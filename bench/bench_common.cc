@@ -1,0 +1,169 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace subrec::bench {
+
+std::unique_ptr<SemWorld> BuildSemWorld(
+    const datagen::CorpusGeneratorOptions& corpus_options,
+    const SemWorldOptions& options) {
+  auto world = std::make_unique<SemWorld>();
+  auto generated = datagen::GenerateCorpus(corpus_options);
+  SUBREC_CHECK(generated.ok()) << generated.status().ToString();
+  world->dataset = std::move(generated).value();
+  const corpus::Corpus& corpus = world->dataset.corpus;
+
+  text::HashedNgramEncoderOptions enc_options;
+  enc_options.dim = options.encoder_dim;
+  enc_options.use_bigrams = options.encoder_bigrams;
+  enc_options.seed = options.seed;
+  world->encoder = std::make_unique<text::HashedNgramEncoder>(enc_options);
+
+  // Keyword vectors: word2vec trained on abstracts + keyword lists.
+  {
+    std::vector<std::vector<std::string>> sentences;
+    for (const auto& p : corpus.papers) {
+      for (const auto& s : p.abstract_sentences)
+        sentences.push_back(text::Tokenize(s.text));
+      if (!p.keywords.empty()) sentences.push_back(p.keywords);
+    }
+    text::Word2VecOptions w2v_options;
+    w2v_options.dim = 32;
+    w2v_options.epochs = 1;
+    w2v_options.seed = options.seed + 1;
+    world->keyword_vectors = std::make_unique<text::Word2Vec>(w2v_options);
+    const Status s = world->keyword_vectors->Train(sentences);
+    SUBREC_CHECK(s.ok()) << s.ToString();
+  }
+
+  // Labeler trained on a gold slice, evaluated on the next slice.
+  {
+    const int train_docs =
+        std::min<int>(options.labeler_train_docs,
+                      static_cast<int>(corpus.papers.size()) / 2);
+    std::vector<std::vector<std::string>> abstracts, eval_abstracts;
+    std::vector<std::vector<int>> roles, eval_roles;
+    for (int i = 0; i < train_docs * 2; ++i) {
+      std::vector<int> row;
+      for (const auto& s : corpus.papers[static_cast<size_t>(i)].abstract_sentences)
+        row.push_back(s.role);
+      if (i < train_docs) {
+        abstracts.push_back(corpus.AbstractOf(i));
+        roles.push_back(std::move(row));
+      } else {
+        eval_abstracts.push_back(corpus.AbstractOf(i));
+        eval_roles.push_back(std::move(row));
+      }
+    }
+    world->labeler = std::make_unique<labeling::SentenceLabeler>(3);
+    const Status s = world->labeler->Train(abstracts, roles);
+    SUBREC_CHECK(s.ok()) << s.ToString();
+    world->labeler_accuracy =
+        world->labeler->Evaluate(eval_abstracts, eval_roles);
+  }
+
+  world->engine = std::make_unique<rules::ExpertRuleEngine>(
+      &world->dataset.ccs, world->encoder.get(),
+      world->keyword_vectors.get());
+
+  world->features.reserve(corpus.papers.size());
+  for (const auto& p : corpus.papers) {
+    world->features.push_back(world->engine->ComputeFeatures(
+        p, world->labeler->Label(corpus.AbstractOf(p.id))));
+  }
+  return world;
+}
+
+std::unique_ptr<subspace::SemModel> TrainSem(
+    const SemWorld& world, const std::vector<corpus::PaperId>& history,
+    int epochs, uint64_t seed) {
+  subspace::SemModelOptions options;
+  options.encoder.input_dim = world.encoder->dim();
+  // Residual fine-tuning keeps hidden == input.
+  options.encoder.hidden_dim = world.encoder->dim();
+  options.encoder.attention_dim = 16;
+  options.miner.num_candidates = 1200;
+  options.trainer.epochs = epochs;
+  options.seed = seed;
+  auto model = std::make_unique<subspace::SemModel>(options);
+  auto stats = model->Fit(world.dataset.corpus, history, world.features,
+                          *world.engine);
+  SUBREC_CHECK(stats.ok()) << stats.status().ToString();
+  return model;
+}
+
+std::unique_ptr<RecWorld> BuildRecWorld(std::unique_ptr<SemWorld> sem,
+                                        const RecWorldOptions& options) {
+  auto world = std::make_unique<RecWorld>();
+  world->sem = std::move(sem);
+  const corpus::Corpus& corpus = world->sem->dataset.corpus;
+  const datagen::YearSplit split =
+      datagen::SplitByYear(corpus, options.split_year);
+
+  graph::GraphBuildOptions graph_options;
+  graph_options.citation_year_cutoff = options.split_year;
+  world->graph = graph::BuildAcademicGraph(corpus, graph_options);
+
+  // SEM-trained subspace embeddings for every paper.
+  world->sem_model = TrainSem(*world->sem, split.train);
+  for (const auto& p : corpus.papers) {
+    auto subs =
+        world->sem_model->Embed(world->sem->features[static_cast<size_t>(p.id)]);
+    std::vector<double> fused(subs[0].size(), 0.0);
+    for (const auto& s : subs)
+      for (size_t j = 0; j < s.size(); ++j) fused[j] += s[j] / 3.0;
+    world->subspace.push_back(std::move(subs));
+    world->text.push_back(std::move(fused));
+  }
+
+  world->ctx.corpus = &corpus;
+  world->ctx.graph = &world->graph;
+  world->ctx.split_year = options.split_year;
+  world->ctx.train_papers = split.train;
+  world->ctx.test_papers = split.test;
+  world->ctx.paper_text = &world->text;
+
+  world->users = datagen::SelectUsers(corpus, options.split_year,
+                                      options.min_train_papers);
+  if (static_cast<int>(world->users.size()) > options.max_users)
+    world->users.resize(static_cast<size_t>(options.max_users));
+  Rng rng(options.seed);
+  for (corpus::AuthorId u : world->users)
+    world->sets.push_back(rec::BuildCandidateSet(
+        world->ctx, u, options.candidates_per_user, rng));
+  return world;
+}
+
+std::vector<rec::CandidateSet> BuildCandidateSets(
+    const rec::RecContext& ctx, const std::vector<corpus::AuthorId>& users,
+    int k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rec::CandidateSet> sets;
+  sets.reserve(users.size());
+  for (corpus::AuthorId u : users)
+    sets.push_back(rec::BuildCandidateSet(ctx, u, k, rng));
+  return sets;
+}
+
+std::string Row(const std::string& name, const std::vector<double>& values) {
+  char buf[32];
+  std::string out = name;
+  if (out.size() < 12) out += std::string(12 - out.size(), ' ');
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "  %8.4f", v);
+    out += buf;
+  }
+  return out;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace subrec::bench

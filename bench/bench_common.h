@@ -1,0 +1,99 @@
+#ifndef SUBREC_BENCH_BENCH_COMMON_H_
+#define SUBREC_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "graph/academic_graph.h"
+#include "labeling/trainer.h"
+#include "rec/candidate_sets.h"
+#include "rec/recommender.h"
+#include "rec/sampler.h"
+#include "rules/expert_rules.h"
+#include "subspace/sem_model.h"
+#include "text/hashed_ngram_encoder.h"
+#include "text/word2vec.h"
+
+namespace subrec::bench {
+
+/// Everything the Sec. III experiments need: a generated corpus, the frozen
+/// sentence encoder, keyword word2vec, a sentence-function labeler trained
+/// on a gold-role slice (the paper tags 100 abstracts per dataset), the
+/// rule engine and per-paper content features computed with PREDICTED
+/// roles.
+struct SemWorld {
+  datagen::GeneratedDataset dataset;
+  std::unique_ptr<text::HashedNgramEncoder> encoder;
+  std::unique_ptr<text::Word2Vec> keyword_vectors;
+  std::unique_ptr<labeling::SentenceLabeler> labeler;
+  std::unique_ptr<rules::ExpertRuleEngine> engine;
+  std::vector<rules::PaperContentFeatures> features;
+  double labeler_accuracy = 0.0;
+};
+
+struct SemWorldOptions {
+  size_t encoder_dim = 128;
+  /// Unigram-only hashing is less noisy for difference analysis.
+  bool encoder_bigrams = false;
+  /// Gold-labeled abstracts for labeler training (paper: 100 per dataset).
+  int labeler_train_docs = 100;
+  uint64_t seed = 7;
+};
+
+/// Builds the SEM experiment world from generator options.
+std::unique_ptr<SemWorld> BuildSemWorld(
+    const datagen::CorpusGeneratorOptions& corpus_options,
+    const SemWorldOptions& options);
+
+/// Trains a SemModel on `history` within the world (default small config).
+std::unique_ptr<subspace::SemModel> TrainSem(
+    const SemWorld& world, const std::vector<corpus::PaperId>& history,
+    int epochs = 2, uint64_t seed = 21);
+
+/// Everything the Sec. IV experiments need: graph (citations cut at the
+/// split year), SEM-derived subspace + fused text embeddings for every
+/// paper, users and candidate sets.
+struct RecWorld {
+  std::unique_ptr<SemWorld> sem;
+  std::unique_ptr<subspace::SemModel> sem_model;
+  graph::GraphIndex graph;
+  rec::SubspaceEmbeddings subspace;
+  std::vector<std::vector<double>> text;
+  rec::RecContext ctx;
+  std::vector<corpus::AuthorId> users;
+  std::vector<rec::CandidateSet> sets;
+};
+
+struct RecWorldOptions {
+  int split_year = 2014;
+  int max_users = 100;
+  int candidates_per_user = 50;
+  int min_train_papers = 2;
+  uint64_t seed = 17;
+};
+
+/// Builds one candidate set of size `k` per user (the paper's protocol:
+/// the candidate-list size IS the k of nDCG@k).
+std::vector<rec::CandidateSet> BuildCandidateSets(
+    const rec::RecContext& ctx, const std::vector<corpus::AuthorId>& users,
+    int k, uint64_t seed);
+
+/// Builds the recommendation experiment world on top of a SemWorld
+/// (takes ownership). Trains SEM on the training papers and embeds the
+/// whole corpus.
+std::unique_ptr<RecWorld> BuildRecWorld(std::unique_ptr<SemWorld> sem,
+                                        const RecWorldOptions& options);
+
+/// Formats one table row: name column padded to 12 plus fixed-4 values.
+std::string Row(const std::string& name, const std::vector<double>& values);
+
+/// Prints a separator + title header for one experiment.
+void PrintHeader(const std::string& title);
+
+}  // namespace subrec::bench
+
+#endif  // SUBREC_BENCH_BENCH_COMMON_H_

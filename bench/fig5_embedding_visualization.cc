@@ -1,0 +1,194 @@
+// Reproduces Fig. 5 quantitatively. The figure shows t-SNE maps of (a/c/e)
+// author text / interest / influence embeddings and (b/d/f) paper
+// embeddings under NPRec. The claims we verify numerically:
+//   (a) co-authors (teams) cluster in author TEXT embeddings;
+//   (c) co-authors share citation habits -> teams also cohere in INTEREST
+//       space, and highly productive+cited authors sit close together;
+//   (e) highly cited authors cluster tightly in INFLUENCE space;
+//   (b/d/f) papers near a highly cited paper in text space need not stay
+//       near it in interest/influence space.
+// For each claim we print mean intra-group vs global distance ratios
+// (smaller = tighter clustering), plus 2-D t-SNE coordinates for the
+// author maps (first 40 authors) so the figure can be re-plotted.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/tsne.h"
+#include "la/ops.h"
+#include "rec/nprec.h"
+
+namespace {
+
+using namespace subrec;
+
+/// mean pairwise distance within groups / mean pairwise distance overall.
+double CohesionRatio(const std::vector<std::vector<double>>& vecs,
+                     const std::vector<int>& group) {
+  double within = 0.0, total = 0.0;
+  long nw = 0, nt = 0;
+  for (size_t i = 0; i < vecs.size(); ++i) {
+    for (size_t j = i + 1; j < vecs.size(); ++j) {
+      const double d = la::EuclideanDistance(vecs[i], vecs[j]);
+      total += d;
+      ++nt;
+      if (group[i] == group[j]) {
+        within += d;
+        ++nw;
+      }
+    }
+  }
+  if (nw == 0 || nt == 0) return 1.0;
+  return (within / static_cast<double>(nw)) /
+         (total / static_cast<double>(nt));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 5: author & paper combined embeddings (NPRec)");
+
+  auto world = bench::BuildRecWorld(
+      bench::BuildSemWorld(
+          datagen::AcmLikeOptions(datagen::DatasetScale::kSmall, 303), {}),
+      {});
+  const corpus::Corpus& corpus = *world->ctx.corpus;
+
+  rec::NPRecOptions options;
+  options.sampler.max_positives = 1500;
+  rec::NPRec model(options, &world->subspace);
+  const Status status = model.Fit(world->ctx);
+  SUBREC_CHECK(status.ok()) << status.ToString();
+
+  // Author embeddings: expectation of their papers' vectors (Sec. IV-G).
+  std::vector<std::vector<double>> author_text, author_interest,
+      author_influence;
+  std::vector<int> team_of;       // co-author group (generation teams)
+  std::vector<int> total_citations;
+  std::vector<size_t> paper_counts;
+  const int team_size = 4;        // matches the generator default
+  for (const corpus::Author& a : corpus.authors) {
+    if (a.papers.size() < 3) continue;
+    std::vector<double> text, interest, influence;
+    int citations = 0;
+    for (corpus::PaperId pid : a.papers) {
+      const auto t = model.PaperTextVector(pid);
+      const auto& i = model.PaperInterestVector(pid);
+      const auto& f = model.PaperInfluenceVector(pid);
+      if (text.empty()) {
+        text.assign(t.size(), 0.0);
+        interest.assign(i.size(), 0.0);
+        influence.assign(f.size(), 0.0);
+      }
+      la::AxpyVec(1.0, t, text);
+      la::AxpyVec(1.0, i, interest);
+      la::AxpyVec(1.0, f, influence);
+      citations += corpus.paper(pid).citation_count;
+    }
+    const double inv = 1.0 / static_cast<double>(a.papers.size());
+    for (double& x : text) x *= inv;
+    for (double& x : interest) x *= inv;
+    for (double& x : influence) x *= inv;
+    author_text.push_back(std::move(text));
+    author_interest.push_back(std::move(interest));
+    author_influence.push_back(std::move(influence));
+    team_of.push_back(a.id / team_size);
+    total_citations.push_back(citations);
+    paper_counts.push_back(a.papers.size());
+  }
+  // Prolific + highly cited: top decile of citation mass among the
+  // analyzed authors, with an above-median publication count.
+  std::vector<int> sorted_cites = total_citations;
+  std::sort(sorted_cites.begin(), sorted_cites.end());
+  const int cite_cut = sorted_cites[sorted_cites.size() * 9 / 10];
+  std::vector<bool> prolific(total_citations.size());
+  for (size_t i = 0; i < prolific.size(); ++i)
+    prolific[i] = total_citations[i] >= cite_cut && paper_counts[i] >= 6;
+  std::printf("authors analyzed: %zu (prolific+cited: %ld)\n",
+              author_text.size(),
+              std::count(prolific.begin(), prolific.end(), true));
+
+  // (a) team cohesion in text space, (c) interest, (e) influence.
+  std::printf(
+      "co-author (team) cohesion ratio   text %.3f   interest %.3f   "
+      "influence %.3f\n",
+      CohesionRatio(author_text, team_of),
+      CohesionRatio(author_interest, team_of),
+      CohesionRatio(author_influence, team_of));
+
+  // Prolific/high-cited author cohesion (group = prolific flag; ratio of
+  // their mutual distances to global).
+  std::vector<int> prolific_group(prolific.size(), -1);
+  {
+    int g = 0;
+    for (size_t i = 0; i < prolific.size(); ++i)
+      if (prolific[i]) prolific_group[i] = 1000 + (g = 1);
+  }
+  std::printf(
+      "prolific-author cohesion ratio    interest %.3f   influence %.3f   "
+      "(<1 = authoritative authors cluster, Fig. 5c/5e)\n",
+      CohesionRatio(author_interest, prolific_group),
+      CohesionRatio(author_influence, prolific_group));
+
+  // (b/d/f): take the highest-cited paper; its 20 text-nearest neighbors;
+  // how many remain among its 20 nearest in interest / influence space?
+  {
+    corpus::PaperId star = 0;
+    for (const auto& p : corpus.papers)
+      if (p.citation_count > corpus.paper(star).citation_count) star = p.id;
+    auto nearest = [&](auto&& vec_of, corpus::PaperId center) {
+      std::vector<std::pair<double, corpus::PaperId>> d;
+      for (const auto& p : corpus.papers) {
+        if (p.id == center) continue;
+        d.emplace_back(
+            la::EuclideanDistance(vec_of(center), vec_of(p.id)), p.id);
+      }
+      std::sort(d.begin(), d.end());
+      std::vector<corpus::PaperId> out;
+      for (int i = 0; i < 20; ++i) out.push_back(d[static_cast<size_t>(i)].second);
+      return out;
+    };
+    const auto text_nn =
+        nearest([&](corpus::PaperId p) { return model.PaperTextVector(p); },
+                star);
+    const auto int_nn = nearest(
+        [&](corpus::PaperId p) { return model.PaperInterestVector(p); }, star);
+    const auto inf_nn = nearest(
+        [&](corpus::PaperId p) { return model.PaperInfluenceVector(p); }, star);
+    auto overlap = [&](const std::vector<corpus::PaperId>& a,
+                       const std::vector<corpus::PaperId>& b) {
+      int n = 0;
+      for (corpus::PaperId x : a)
+        if (std::find(b.begin(), b.end(), x) != b.end()) ++n;
+      return n;
+    };
+    std::printf(
+        "highest-cited paper #%d (%d cites): of its 20 text-nearest papers, "
+        "%d stay in its interest top-20 and %d in its influence top-20\n"
+        "(churn = content-similar papers diverge in interest/influence "
+        "space, Fig. 5b/5d/5f)\n",
+        star, corpus.paper(star).citation_count, overlap(text_nn, int_nn),
+        overlap(text_nn, inf_nn));
+  }
+
+  // 2-D coordinates for replotting Fig. 5a (first 40 analyzed authors).
+  {
+    la::Matrix m(author_text.size(), author_text[0].size());
+    for (size_t i = 0; i < author_text.size(); ++i) m.SetRow(i, author_text[i]);
+    auto coords = cluster::Tsne(m, [] {
+      cluster::TsneOptions o;
+      o.iterations = 250;
+      return o;
+    }());
+    SUBREC_CHECK(coords.ok());
+    std::printf("\nt-SNE of author text embeddings (first 40): team x y\n");
+    for (size_t i = 0; i < std::min<size_t>(40, coords.value().rows()); ++i) {
+      std::printf("  %3d  %8.2f  %8.2f\n", team_of[i], coords.value()(i, 0),
+                  coords.value()(i, 1));
+    }
+  }
+  return 0;
+}

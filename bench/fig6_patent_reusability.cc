@@ -1,0 +1,77 @@
+// Reproduces Fig. 6: personalized recommendation on the low-resource
+// patent corpus (authors + citations only; no venues, keywords or CCS —
+// Tab. III), nDCG@20 of all nine methods. Expected shape: everything drops
+// relative to the full-featured corpora, but NPRec still leads because the
+// text channel and the asymmetric citation structure survive the missing
+// metadata.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "rec/jtie.h"
+#include "rec/kgcn.h"
+#include "rec/mlp_ncf.h"
+#include "rec/nbcf.h"
+#include "rec/nprec.h"
+#include "rec/ripplenet.h"
+#include "rec/svd.h"
+#include "rec/wnmf.h"
+
+namespace {
+
+using namespace subrec;
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 6: patent (low-resource) recommendation");
+
+  auto corpus_options =
+      datagen::PatentLikeOptions(datagen::DatasetScale::kSmall, 606);
+  auto sem = bench::BuildSemWorld(corpus_options, {});
+  bench::RecWorldOptions rec_options;
+  rec_options.split_year = 2016;  // patents: short history, recent split
+  rec_options.max_users = 50;     // the paper evaluates 50 patent authors
+  auto world = bench::BuildRecWorld(std::move(sem), rec_options);
+  std::printf("patent corpus: %zu patents, %zu users, labeler acc %.3f\n",
+              world->ctx.corpus->papers.size(), world->users.size(),
+              world->sem->labeler_accuracy);
+
+  rec::NPRecOptions nprec_options;
+  nprec_options.sampler.max_positives = 1500;
+
+  std::vector<std::unique_ptr<rec::Recommender>> models;
+  models.push_back(std::make_unique<rec::SvdRecommender>());
+  models.push_back(std::make_unique<rec::WnmfRecommender>());
+  models.push_back(std::make_unique<rec::NbcfRecommender>());
+  models.push_back(std::make_unique<rec::MlpRecommender>());
+  models.push_back(std::make_unique<rec::JtieRecommender>());
+  models.push_back(std::make_unique<rec::NPRec>(
+      rec::KgcnOptions(nprec_options), &world->subspace));
+  models.push_back(std::make_unique<rec::NPRec>(
+      rec::KgcnLsOptions(nprec_options), &world->subspace));
+  models.push_back(std::make_unique<rec::RippleNetRecommender>());
+  models.push_back(
+      std::make_unique<rec::NPRec>(nprec_options, &world->subspace));
+
+  std::printf("%-12s  %8s\n", "Model", "nDCG@20");
+  for (auto& model : models) {
+    const Status status = model->Fit(world->ctx);
+    SUBREC_CHECK(status.ok()) << model->name() << ": " << status.ToString();
+    double total = 0.0;
+    for (uint64_t s : {21ULL, 121ULL, 221ULL}) {
+      const auto sets =
+          bench::BuildCandidateSets(world->ctx, world->users, 20, s);
+      total += rec::EvaluateRecommender(world->ctx, *model, sets, 20).ndcg;
+    }
+    std::printf("%s\n", bench::Row(model->name(), {total / 3.0}).c_str());
+  }
+
+  std::printf(
+      "\npaper (Fig. 6, approximate): SVD ~.55, WNMF ~.66, NBCF ~.67, MLP "
+      "~.7, JTIE ~.72, KGCN ~.74, KGCN-LS ~.76, RippleNet ~.78, NPRec "
+      "~.85\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Engineering microbenchmarks (google-benchmark): the hot kernels under
+// every experiment — dense matmul, autodiff forward/backward, the hashed
+// sentence encoder, CRF Viterbi decoding, GMM EM, LOF, and corpus
+// generation throughput. Useful for tracking performance regressions; no
+// paper table corresponds to this binary.
+
+#include <benchmark/benchmark.h>
+
+#include "autodiff/tape.h"
+#include "cluster/gmm.h"
+#include "cluster/lof.h"
+#include "common/rng.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "labeling/trainer.h"
+#include "la/ops.h"
+#include "text/hashed_ngram_encoder.h"
+
+namespace {
+
+using namespace subrec;
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  la::Matrix a = la::Matrix::Random(n, n, rng);
+  la::Matrix b = la::Matrix::Random(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::MatMul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TapeMlpForwardBackward(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  la::Matrix x = la::Matrix::Random(8, d, rng);
+  la::Matrix w1 = la::Matrix::Random(d, d, rng);
+  la::Matrix w2 = la::Matrix::Random(d, 1, rng);
+  for (auto _ : state) {
+    autodiff::Tape tape;
+    autodiff::VarId xi = tape.Constant(x);
+    autodiff::VarId v1 = tape.Input(w1, true);
+    autodiff::VarId v2 = tape.Input(w2, true);
+    autodiff::VarId loss =
+        tape.SumSquares(tape.MatMul(tape.Tanh(tape.MatMul(xi, v1)), v2));
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(tape.grad(v1));
+  }
+}
+BENCHMARK(BM_TapeMlpForwardBackward)->Arg(32)->Arg(96);
+
+void BM_HashedEncoder(benchmark::State& state) {
+  text::HashedNgramEncoder encoder;
+  const std::string sentence =
+      "we propose a novel graph convolutional recommendation model with "
+      "asymmetric influence propagation over heterogeneous networks";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(sentence));
+  }
+}
+BENCHMARK(BM_HashedEncoder);
+
+void BM_CrfViterbi(benchmark::State& state) {
+  labeling::LinearChainCrf crf(3, 1 << 14);
+  Rng rng(3);
+  std::vector<std::vector<size_t>> feats(12);
+  for (auto& f : feats)
+    for (int i = 0; i < 20; ++i) f.push_back(rng.UniformInt(1 << 14));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf.Decode(feats));
+  }
+}
+BENCHMARK(BM_CrfViterbi);
+
+void BM_GmmFit(benchmark::State& state) {
+  Rng rng(4);
+  la::Matrix data(300, 8);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = rng.Gaussian();
+  for (auto _ : state) {
+    cluster::GaussianMixture gmm(cluster::GmmOptions{.num_components = 3,
+                                                     .max_iterations = 20});
+    benchmark::DoNotOptimize(gmm.Fit(data));
+  }
+}
+BENCHMARK(BM_GmmFit);
+
+void BM_Lof(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  la::Matrix data(n, 16);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::LocalOutlierFactor(data, 10));
+  }
+}
+BENCHMARK(BM_Lof)->Arg(200)->Arg(600);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = datagen::GenerateCorpus(
+        datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 99));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CorpusGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

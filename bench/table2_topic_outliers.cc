@@ -1,0 +1,94 @@
+// Reproduces Tab. II: mean subspace LOF (x100, like the paper's percent
+// values) of high-cited vs low-cited papers across four ACM CCS fields.
+// The paper takes 200 high-cited (>300 cites) and 200 low-cited (<5)
+// papers per field; at laptop scale we use the top / bottom citation
+// quartiles of each field. Expected shape: the high-cited column exceeds
+// the low-cited column in every (field, subspace) cell, with the method
+// subspace carrying the largest differences in CS.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/lof.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace subrec;
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table II: subspace outliers, high vs low citation (ACM)");
+
+  auto corpus_options =
+      datagen::AcmLikeOptions(datagen::DatasetScale::kSmall, 303);
+  corpus_options.papers_per_year = 400;
+  auto world = bench::BuildSemWorld(corpus_options, {});
+  const corpus::Corpus& corpus = world->dataset.corpus;
+
+  std::vector<corpus::PaperId> history;
+  for (const auto& p : corpus.papers)
+    if (p.year < 2015) history.push_back(p.id);
+  auto sem = bench::TrainSem(*world, history);
+
+  const char* field_names[4] = {"InfoSystems", "TheoryComp", "GeneralLit",
+                                "Hardware"};
+  std::printf("%-12s  %-10s  %10s  %10s\n", "ACM CCS", "subspace", "low cit.",
+              "high cit.");
+
+  for (int field = 0; field < 4; ++field) {
+    // 2015 papers of this field, split into citation quartiles.
+    std::vector<corpus::PaperId> fresh;
+    for (const auto& p : corpus.papers)
+      if (p.topic == field && p.year == 2015) fresh.push_back(p.id);
+    if (fresh.size() < 12) continue;
+    std::sort(fresh.begin(), fresh.end(),
+              [&](corpus::PaperId a, corpus::PaperId b) {
+                return corpus.paper(a).citation_count <
+                       corpus.paper(b).citation_count;
+              });
+    const size_t quartile = fresh.size() / 4;
+    std::vector<corpus::PaperId> low(fresh.begin(),
+                                     fresh.begin() + static_cast<long>(quartile));
+    std::vector<corpus::PaperId> high(fresh.end() - static_cast<long>(quartile),
+                                      fresh.end());
+
+    // Comparison collection: same field, before 2015.
+    std::vector<corpus::PaperId> context;
+    for (const auto& p : corpus.papers)
+      if (p.topic == field && p.year < 2015) context.push_back(p.id);
+
+    std::vector<corpus::PaperId> all = context;
+    all.insert(all.end(), low.begin(), low.end());
+    all.insert(all.end(), high.begin(), high.end());
+
+    for (int k = 0; k < 3; ++k) {
+      const la::Matrix emb =
+          sem->SubspaceEmbeddingMatrix(world->features, all, k);
+      auto lof = cluster::LocalOutlierFactor(emb, 15);
+      SUBREC_CHECK(lof.ok());
+      const std::vector<double> norm = cluster::MinMaxNormalize(lof.value());
+      const size_t off_low = context.size();
+      const size_t off_high = context.size() + low.size();
+      double low_mean = 0.0, high_mean = 0.0;
+      for (size_t i = 0; i < low.size(); ++i) low_mean += norm[off_low + i];
+      for (size_t i = 0; i < high.size(); ++i) high_mean += norm[off_high + i];
+      low_mean = 100.0 * low_mean / static_cast<double>(low.size());
+      high_mean = 100.0 * high_mean / static_cast<double>(high.size());
+      std::printf("%-12s  %-10s  %10.2f  %10.2f%s\n",
+                  k == 0 ? field_names[field] : "",
+                  corpus::SubspaceRoleName(k), low_mean, high_mean,
+                  high_mean > low_mean ? "" : "   (!)");
+    }
+  }
+
+  std::printf(
+      "\npaper reports (Tab. II, low->high): InfoSys B 2.07->3.12, M "
+      "3.85->4.91, R 1.98->2.15; Theory B 2.65->2.73, M 3.56->4.01, R "
+      "1.06->2.58; GenLit B 1.66->2.97, M 3.24->4.15, R 2.45->2.68; Hardware "
+      "B 2.53->2.87, M 2.74->3.05, R 1.90->2.71\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Tab. IV: new-paper recommendation comparison — nDCG@{20,30,50}
+// of SVD / WNMF / NBCF / MLP / JTIE / KGCN / KGCN-LS / RippleNet / NPRec on
+// ACM-like and Scopus-like corpora. Expected shape: CF methods trail,
+// graph-convolution methods lead them, NPRec leads everything.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "rec/jtie.h"
+#include "rec/kgcn.h"
+#include "rec/mlp_ncf.h"
+#include "rec/nbcf.h"
+#include "rec/nprec.h"
+#include "rec/ripplenet.h"
+#include "rec/svd.h"
+#include "rec/wnmf.h"
+
+namespace {
+
+using namespace subrec;
+
+rec::NPRecOptions BenchNPRecOptions() {
+  rec::NPRecOptions options;
+  options.sampler.max_positives = 1500;
+  return options;
+}
+
+void RunDataset(const char* name, std::unique_ptr<bench::SemWorld> sem,
+                int max_users) {
+  bench::RecWorldOptions rec_options;
+  rec_options.max_users = max_users;
+  rec_options.candidates_per_user = 50;
+  auto world = bench::BuildRecWorld(std::move(sem), rec_options);
+  std::printf("\n--- %s: %zu papers, %zu users ---\n", name,
+              world->ctx.corpus->papers.size(), world->users.size());
+
+  std::vector<std::unique_ptr<rec::Recommender>> models;
+  models.push_back(std::make_unique<rec::SvdRecommender>());
+  models.push_back(std::make_unique<rec::WnmfRecommender>());
+  models.push_back(std::make_unique<rec::NbcfRecommender>());
+  models.push_back(std::make_unique<rec::MlpRecommender>());
+  models.push_back(std::make_unique<rec::JtieRecommender>());
+  models.push_back(std::make_unique<rec::NPRec>(
+      rec::KgcnOptions(BenchNPRecOptions()), &world->subspace));
+  models.push_back(std::make_unique<rec::NPRec>(
+      rec::KgcnLsOptions(BenchNPRecOptions()), &world->subspace));
+  models.push_back(std::make_unique<rec::RippleNetRecommender>());
+  models.push_back(
+      std::make_unique<rec::NPRec>(BenchNPRecOptions(), &world->subspace));
+
+  std::printf("%-12s  %8s  %8s  %8s\n", "nDCG@k", "k=20", "k=30", "k=50");
+  for (auto& model : models) {
+    const Status status = model->Fit(world->ctx);
+    SUBREC_CHECK(status.ok()) << model->name() << ": " << status.ToString();
+    std::vector<double> row;
+    for (int k : {20, 30, 50}) {
+      // Average over three candidate-set draws to damp sampling noise.
+      double total = 0.0;
+      for (uint64_t s : {99ULL, 199ULL, 299ULL}) {
+        const auto sets =
+            bench::BuildCandidateSets(world->ctx, world->users, k, s + k);
+        total += rec::EvaluateRecommender(world->ctx, *model, sets, k).ndcg;
+      }
+      row.push_back(total / 3.0);
+    }
+    std::printf("%s\n", bench::Row(model->name(), row).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table IV: new paper recommendation comparison");
+
+  RunDataset("ACM-like",
+             bench::BuildSemWorld(
+                 datagen::AcmLikeOptions(datagen::DatasetScale::kSmall, 303),
+                 {}),
+             300);
+  RunDataset("Scopus-like",
+             bench::BuildSemWorld(
+                 datagen::ScopusLikeOptions(datagen::DatasetScale::kSmall, 404),
+                 {}),
+             100);
+
+  std::printf(
+      "\npaper reports (Tab. IV, ACM k=20..50): SVD .68/.66/.60  WNMF "
+      ".83/.79/.73  NBCF .83/.80/.73  MLP .84/.80/.76  JTIE .87/.85/.81  "
+      "KGCN .87/.86/.84  KGCN-LS .91/.90/.89  RippleNet .92/.91/.90  "
+      "NPRec .97/.97/.96\n");
+  return 0;
+}

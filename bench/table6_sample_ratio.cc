@@ -1,0 +1,104 @@
+// Reproduces Tab. VI: sensitivity to the positive:negative sample ratio
+// (1:1, 1:10, 1:50). Applies to every method that samples negatives during
+// training (MLP, JTIE, KGCN, KGCN-LS, NPRec); purely neighborhood/
+// factorization baselines are retrained unchanged and repeat their value.
+// Expected shape: 1:10 is the sweet spot for the sampled methods; NPRec
+// leads at every ratio.
+
+#include <cstdio>
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "rec/jtie.h"
+#include "rec/kgcn.h"
+#include "rec/mlp_ncf.h"
+#include "rec/nbcf.h"
+#include "rec/nprec.h"
+#include "rec/ripplenet.h"
+#include "rec/wnmf.h"
+
+namespace {
+
+using namespace subrec;
+
+std::unique_ptr<rec::Recommender> MakeModel(const std::string& name, int ratio,
+                                            const rec::SubspaceEmbeddings* subs) {
+  rec::NPRecOptions base;
+  // Keep the 1:10 column consistent with Tab. IV's training budget while
+  // bounding the total pair count so the 1:50 column stays tractable.
+  base.sampler.max_positives = std::min(1500, std::max(150, 16000 / (1 + ratio)));
+  base.sampler.negatives_per_positive = ratio;
+  base.epochs = 2;
+  if (name == "WNMF") return std::make_unique<rec::WnmfRecommender>();
+  if (name == "NBCF") return std::make_unique<rec::NbcfRecommender>();
+  if (name == "MLP") {
+    rec::MlpNcfOptions o;
+    o.negatives = ratio;
+    return std::make_unique<rec::MlpRecommender>(o);
+  }
+  if (name == "JTIE") {
+    rec::JtieOptions o;
+    o.negatives = ratio;
+    return std::make_unique<rec::JtieRecommender>(o);
+  }
+  if (name == "KGCN")
+    return std::make_unique<rec::NPRec>(rec::KgcnOptions(base), subs);
+  if (name == "KGCN-LS")
+    return std::make_unique<rec::NPRec>(rec::KgcnLsOptions(base), subs);
+  if (name == "RippleNet") return std::make_unique<rec::RippleNetRecommender>();
+  return std::make_unique<rec::NPRec>(base, subs);
+}
+
+void RunDataset(const char* tag, bench::RecWorld* world) {
+  std::printf("\n--- %s ---\n%-12s  %8s  %8s  %8s\n", tag, "nDCG@20", "1:1",
+              "1:10", "1:50");
+  const auto sets =
+      bench::BuildCandidateSets(world->ctx, world->users, 20, 11);
+  for (const char* name : {"WNMF", "NBCF", "MLP", "JTIE", "KGCN", "KGCN-LS",
+                           "RippleNet", "NPRec"}) {
+    std::vector<double> row;
+    for (int ratio : {1, 10, 50}) {
+      auto model = MakeModel(name, ratio, &world->subspace);
+      const Status status = model->Fit(world->ctx);
+      SUBREC_CHECK(status.ok()) << name << ": " << status.ToString();
+      row.push_back(
+          rec::EvaluateRecommender(world->ctx, *model, sets, 20).ndcg);
+    }
+    std::printf("%s\n", bench::Row(name, row).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table VI: comparison on positive:negative sample ratios");
+
+  auto acm = bench::BuildRecWorld(
+      bench::BuildSemWorld(
+          datagen::AcmLikeOptions(datagen::DatasetScale::kSmall, 303), {}),
+      [] {
+        bench::RecWorldOptions o;
+        o.max_users = 120;
+        return o;
+      }());
+  RunDataset("ACM-like", acm.get());
+
+  auto scopus = bench::BuildRecWorld(
+      bench::BuildSemWorld(
+          datagen::ScopusLikeOptions(datagen::DatasetScale::kSmall, 404), {}),
+      [] {
+        bench::RecWorldOptions o;
+        o.max_users = 100;
+        return o;
+      }());
+  RunDataset("Scopus-like", scopus.get());
+
+  std::printf(
+      "\npaper reports (Tab. VI, ACM 1:1/1:10/1:50): WNMF .76/.79/.77  NBCF "
+      ".78/.81/.80  MLP .82/.86/.82  JTIE .87/.91/.89  KGCN .85/.88/.86  "
+      "KGCN-LS .88/.90/.88  RippleNet .88/.93/.90  NPRec .95/.97/.96\n");
+  return 0;
+}

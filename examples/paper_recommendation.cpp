@@ -1,0 +1,100 @@
+// New-paper recommendation (the Sec. IV use case): build the heterogeneous
+// academic network, train NPRec on pre-split citations with the de-fuzzing
+// sampler, and recommend new papers to one researcher — showing which of
+// the recommendations the researcher actually went on to cite.
+//
+// Build & run:  cmake --build build && ./build/examples/paper_recommendation
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "graph/academic_graph.h"
+#include "la/ops.h"
+#include "rec/nprec.h"
+#include "text/hashed_ngram_encoder.h"
+
+using namespace subrec;
+
+int main() {
+  auto generated = datagen::GenerateCorpus(
+      datagen::AcmLikeOptions(datagen::DatasetScale::kTiny, 21));
+  if (!generated.ok()) return 1;
+  const corpus::Corpus& corpus = generated.value().corpus;
+  const int split_year = 2014;
+  const datagen::YearSplit split = datagen::SplitByYear(corpus, split_year);
+
+  // Academic network with held-out citations excluded.
+  graph::GraphBuildOptions graph_options;
+  graph_options.citation_year_cutoff = split_year;
+  const graph::GraphIndex index =
+      graph::BuildAcademicGraph(corpus, graph_options);
+  std::printf("academic network: %zu nodes, %zu edges\n",
+              index.graph.num_nodes(), index.graph.num_edges());
+
+  // Subspace text embeddings. For brevity this example pools the frozen
+  // encoder by gold roles; innovation_analysis shows the SEM-trained path.
+  text::HashedNgramEncoder encoder;
+  rec::SubspaceEmbeddings subspace;
+  std::vector<std::vector<double>> text;
+  for (const auto& p : corpus.papers) {
+    std::vector<std::vector<double>> subs(3,
+                                          std::vector<double>(encoder.dim()));
+    std::vector<int> counts(3, 0);
+    for (const auto& s : p.abstract_sentences) {
+      la::AxpyVec(1.0, encoder.Encode(s.text),
+                  subs[static_cast<size_t>(s.role)]);
+      ++counts[static_cast<size_t>(s.role)];
+    }
+    std::vector<double> fused(encoder.dim(), 0.0);
+    for (int k = 0; k < 3; ++k) {
+      if (counts[static_cast<size_t>(k)] > 0)
+        for (double& x : subs[static_cast<size_t>(k)])
+          x /= counts[static_cast<size_t>(k)];
+      la::AxpyVec(1.0 / 3.0, subs[static_cast<size_t>(k)], fused);
+    }
+    subspace.push_back(std::move(subs));
+    text.push_back(std::move(fused));
+  }
+
+  rec::RecContext ctx;
+  ctx.corpus = &corpus;
+  ctx.graph = &index;
+  ctx.split_year = split_year;
+  ctx.train_papers = split.train;
+  ctx.test_papers = split.test;
+  ctx.paper_text = &text;
+
+  rec::NPRecOptions options;
+  options.sampler.max_positives = 600;
+  rec::NPRec model(options, &subspace);
+  const Status status = model.Fit(ctx);
+  if (!status.ok()) {
+    std::printf("NPRec training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Pick a researcher with held-out ground truth and rank ALL new papers.
+  const auto users = datagen::SelectUsers(corpus, split_year, 2);
+  if (users.empty()) return 1;
+  const corpus::AuthorId user = users[0];
+  rec::UserQuery query{user, rec::UserProfile(ctx, user)};
+  const auto scores = model.Score(ctx, query, split.test);
+
+  const std::vector<corpus::PaperId> truth =
+      datagen::HeldOutCitations(corpus, user, split_year);
+  std::unordered_set<corpus::PaperId> truth_set(truth.begin(), truth.end());
+  std::printf(
+      "\nresearcher %s: %zu prior papers, actually cited %zu new papers\n",
+      corpus.author(user).name.c_str(), query.profile.size(), truth.size());
+  std::printf("top-10 recommended new papers (* = actually cited later):\n");
+  for (size_t rank_index : la::TopKIndices(scores, 10)) {
+    const corpus::Paper& p = corpus.paper(split.test[rank_index]);
+    std::printf("  %c score=%.3f  #%-5d  \"%s\"\n",
+                truth_set.count(p.id) > 0 ? '*' : ' ', scores[rank_index],
+                p.id, p.title.c_str());
+  }
+  return 0;
+}

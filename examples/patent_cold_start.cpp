@@ -1,0 +1,94 @@
+// Low-resource reusability (the Sec. IV-I use case): run the full NPRec
+// pipeline on a patent-like corpus that has NO venues, keywords, CCS
+// labels or affiliations — only text, inventors and citations — and
+// compare against a collaborative-filtering baseline that suffers on cold
+// items.
+//
+// Build & run:  cmake --build build && ./build/examples/patent_cold_start
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "graph/academic_graph.h"
+#include "la/ops.h"
+#include "rec/candidate_sets.h"
+#include "rec/nprec.h"
+#include "rec/svd.h"
+#include "text/hashed_ngram_encoder.h"
+
+using namespace subrec;
+
+int main() {
+  auto generated = datagen::GenerateCorpus(
+      datagen::PatentLikeOptions(datagen::DatasetScale::kTiny, 31));
+  if (!generated.ok()) return 1;
+  const corpus::Corpus& corpus = generated.value().corpus;
+  std::printf("patent corpus: %zu patents, %zu inventors — no venues, "
+              "keywords or classes (Tab. III)\n",
+              corpus.papers.size(), corpus.authors.size());
+
+  const int split_year = 2016;
+  const datagen::YearSplit split = datagen::SplitByYear(corpus, split_year);
+  graph::GraphBuildOptions graph_options;
+  graph_options.citation_year_cutoff = split_year;
+  const graph::GraphIndex index =
+      graph::BuildAcademicGraph(corpus, graph_options);
+
+  // Text still exists for patents; pool the frozen encoder by gold roles.
+  text::HashedNgramEncoder encoder;
+  rec::SubspaceEmbeddings subspace;
+  std::vector<std::vector<double>> text;
+  for (const auto& p : corpus.papers) {
+    std::vector<std::vector<double>> subs(3,
+                                          std::vector<double>(encoder.dim()));
+    std::vector<int> counts(3, 0);
+    for (const auto& s : p.abstract_sentences) {
+      la::AxpyVec(1.0, encoder.Encode(s.text),
+                  subs[static_cast<size_t>(s.role)]);
+      ++counts[static_cast<size_t>(s.role)];
+    }
+    std::vector<double> fused(encoder.dim(), 0.0);
+    for (int k = 0; k < 3; ++k) {
+      if (counts[static_cast<size_t>(k)] > 0)
+        for (double& x : subs[static_cast<size_t>(k)])
+          x /= counts[static_cast<size_t>(k)];
+      la::AxpyVec(1.0 / 3.0, subs[static_cast<size_t>(k)], fused);
+    }
+    subspace.push_back(std::move(subs));
+    text.push_back(std::move(fused));
+  }
+
+  rec::RecContext ctx;
+  ctx.corpus = &corpus;
+  ctx.graph = &index;
+  ctx.split_year = split_year;
+  ctx.train_papers = split.train;
+  ctx.test_papers = split.test;
+  ctx.paper_text = &text;
+
+  const auto users = datagen::SelectUsers(corpus, split_year, 2);
+  Rng rng(5);
+  std::vector<rec::CandidateSet> sets;
+  for (corpus::AuthorId u : users)
+    sets.push_back(rec::BuildCandidateSet(ctx, u, 20, rng));
+  std::printf("evaluating on %zu inventors with held-out citations\n",
+              sets.size());
+
+  rec::NPRecOptions options;
+  options.sampler.max_positives = 600;
+  rec::NPRec nprec(options, &subspace);
+  rec::SvdRecommender svd;
+  if (!nprec.Fit(ctx).ok() || !svd.Fit(ctx).ok()) return 1;
+
+  const auto n = rec::EvaluateRecommender(ctx, nprec, sets, 20);
+  const auto s = rec::EvaluateRecommender(ctx, svd, sets, 20);
+  std::printf("\nnDCG@20  NPRec %.3f   SVD %.3f\n", n.ndcg, s.ndcg);
+  std::printf("MRR@20   NPRec %.3f   SVD %.3f\n", n.mrr, s.mrr);
+  std::printf(
+      "NPRec keeps working without metadata because the text channel and "
+      "the asymmetric citation structure survive (Fig. 6's point).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "autodiff/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace subrec::autodiff {
+
+GradCheckResult CheckGradients(const ScalarFn& f,
+                               std::vector<la::Matrix> params, double eps) {
+  std::vector<la::Matrix> analytic;
+  f(params, &analytic);
+  SUBREC_CHECK_EQ(analytic.size(), params.size());
+
+  GradCheckResult result;
+  for (size_t p = 0; p < params.size(); ++p) {
+    SUBREC_CHECK(analytic[p].SameShape(params[p]));
+    for (size_t i = 0; i < params[p].size(); ++i) {
+      const double saved = params[p][i];
+      params[p][i] = saved + eps;
+      const double fp = f(params, nullptr);
+      params[p][i] = saved - eps;
+      const double fm = f(params, nullptr);
+      params[p][i] = saved;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      const double a = analytic[p][i];
+      const double abs_err = std::fabs(a - numeric);
+      const double rel_err =
+          abs_err / std::max(1.0, std::fabs(a) + std::fabs(numeric));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+    }
+  }
+  return result;
+}
+
+}  // namespace subrec::autodiff

@@ -1,0 +1,32 @@
+#ifndef SUBREC_AUTODIFF_GRAD_CHECK_H_
+#define SUBREC_AUTODIFF_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace subrec::autodiff {
+
+/// A differentiable scalar function of a set of parameter matrices. When
+/// `grads` is non-null the callee must fill it with one gradient matrix per
+/// parameter (analytic, e.g. via a Tape).
+using ScalarFn = std::function<double(const std::vector<la::Matrix>& params,
+                                      std::vector<la::Matrix>* grads)>;
+
+/// Outcome of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  /// max |analytic - numeric| / max(1, |analytic| + |numeric|).
+  double max_rel_error = 0.0;
+};
+
+/// Compares analytic gradients of `f` against central finite differences at
+/// `params`. Used by tests for every autodiff op and every trainable model.
+GradCheckResult CheckGradients(const ScalarFn& f,
+                               std::vector<la::Matrix> params,
+                               double eps = 1e-5);
+
+}  // namespace subrec::autodiff
+
+#endif  // SUBREC_AUTODIFF_GRAD_CHECK_H_

@@ -1,0 +1,357 @@
+#include "autodiff/tape.h"
+
+#include <cmath>
+#include <utility>
+
+#include "la/ops.h"
+
+namespace subrec::autodiff {
+
+using la::Matrix;
+
+VarId Tape::Input(Matrix value, bool requires_grad) {
+  return AddNode(std::move(value), requires_grad, nullptr);
+}
+
+VarId Tape::AddNode(Matrix value, bool requires_grad,
+                    std::function<void(Tape*)> backward) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+Tape::Node& Tape::node(VarId id) {
+  SUBREC_CHECK_LT(id, nodes_.size());
+  return nodes_[id];
+}
+
+void Tape::Accumulate(VarId id, const Matrix& g) {
+  Node& n = node(id);
+  if (!n.requires_grad) return;
+  SUBREC_CHECK(n.grad.SameShape(g));
+  la::Axpy(1.0, g, n.grad);
+}
+
+const Matrix& Tape::value(VarId id) const {
+  SUBREC_CHECK_LT(id, nodes_.size());
+  return nodes_[id].value;
+}
+
+const Matrix& Tape::grad(VarId id) const {
+  SUBREC_CHECK_LT(id, nodes_.size());
+  return nodes_[id].grad;
+}
+
+void Tape::Reset() { nodes_.clear(); }
+
+VarId Tape::Add(VarId a, VarId b) {
+  Matrix v = la::Add(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = AddNode(std::move(v), rg, nullptr);
+  nodes_[out].backward = [a, b, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    t->Accumulate(a, g);
+    t->Accumulate(b, g);
+  };
+  return out;
+}
+
+VarId Tape::Sub(VarId a, VarId b) {
+  Matrix v = la::Sub(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = AddNode(std::move(v), rg, nullptr);
+  nodes_[out].backward = [a, b, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    t->Accumulate(a, g);
+    t->Accumulate(b, la::Scale(g, -1.0));
+  };
+  return out;
+}
+
+VarId Tape::Mul(VarId a, VarId b) {
+  Matrix v = la::Hadamard(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = AddNode(std::move(v), rg, nullptr);
+  nodes_[out].backward = [a, b, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    t->Accumulate(a, la::Hadamard(g, t->value(b)));
+    t->Accumulate(b, la::Hadamard(g, t->value(a)));
+  };
+  return out;
+}
+
+VarId Tape::Scale(VarId a, double alpha) {
+  Matrix v = la::Scale(value(a), alpha);
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, alpha, out](Tape* t) {
+    t->Accumulate(a, la::Scale(t->nodes_[out].grad, alpha));
+  };
+  return out;
+}
+
+VarId Tape::MatMul(VarId a, VarId b) {
+  Matrix v = la::MatMul(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = AddNode(std::move(v), rg, nullptr);
+  nodes_[out].backward = [a, b, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    // dA = G * B^T ; dB = A^T * G
+    t->Accumulate(a, la::MatMulTransB(g, t->value(b)));
+    t->Accumulate(b, la::MatMulTransA(t->value(a), g));
+  };
+  return out;
+}
+
+VarId Tape::MatMulTransB(VarId a, VarId b) {
+  Matrix v = la::MatMulTransB(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = AddNode(std::move(v), rg, nullptr);
+  nodes_[out].backward = [a, b, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    // c = a b^T  =>  dA = G * B ; dB = G^T * A
+    t->Accumulate(a, la::MatMul(g, t->value(b)));
+    t->Accumulate(b, la::MatMulTransA(g, t->value(a)));
+  };
+  return out;
+}
+
+VarId Tape::AddRowBroadcast(VarId a, VarId bias) {
+  Matrix v = la::AddRowBroadcast(value(a), value(bias));
+  bool rg = node(a).requires_grad || node(bias).requires_grad;
+  VarId out = AddNode(std::move(v), rg, nullptr);
+  nodes_[out].backward = [a, bias, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    t->Accumulate(a, g);
+    Matrix gb(1, g.cols());
+    for (size_t i = 0; i < g.rows(); ++i)
+      for (size_t j = 0; j < g.cols(); ++j) gb(0, j) += g(i, j);
+    t->Accumulate(bias, gb);
+  };
+  return out;
+}
+
+VarId Tape::Tanh(VarId a) {
+  Matrix v = la::Tanh(value(a));
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    const Matrix& y = t->nodes_[out].value;
+    Matrix da = g;
+    for (size_t i = 0; i < da.size(); ++i) da[i] *= (1.0 - y[i] * y[i]);
+    t->Accumulate(a, da);
+  };
+  return out;
+}
+
+VarId Tape::Sigmoid(VarId a) {
+  Matrix v = la::Sigmoid(value(a));
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    const Matrix& y = t->nodes_[out].value;
+    Matrix da = g;
+    for (size_t i = 0; i < da.size(); ++i) da[i] *= y[i] * (1.0 - y[i]);
+    t->Accumulate(a, da);
+  };
+  return out;
+}
+
+VarId Tape::Relu(VarId a) {
+  Matrix v = la::Relu(value(a));
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    const Matrix& x = t->value(a);
+    Matrix da = g;
+    for (size_t i = 0; i < da.size(); ++i) da[i] = x[i] > 0.0 ? da[i] : 0.0;
+    t->Accumulate(a, da);
+  };
+  return out;
+}
+
+VarId Tape::RowSoftmax(VarId a) {
+  Matrix v = la::RowSoftmax(value(a));
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    const Matrix& y = t->nodes_[out].value;
+    Matrix da(g.rows(), g.cols());
+    for (size_t i = 0; i < g.rows(); ++i) {
+      double dot = 0.0;
+      for (size_t j = 0; j < g.cols(); ++j) dot += g(i, j) * y(i, j);
+      for (size_t j = 0; j < g.cols(); ++j)
+        da(i, j) = y(i, j) * (g(i, j) - dot);
+    }
+    t->Accumulate(a, da);
+  };
+  return out;
+}
+
+VarId Tape::Transpose(VarId a) {
+  Matrix v = la::Transpose(value(a));
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, out](Tape* t) {
+    t->Accumulate(a, la::Transpose(t->nodes_[out].grad));
+  };
+  return out;
+}
+
+VarId Tape::RowMean(VarId a) {
+  Matrix v = la::ColMean(value(a));
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    const Matrix& x = t->value(a);
+    const double inv = 1.0 / static_cast<double>(x.rows());
+    Matrix da(x.rows(), x.cols());
+    for (size_t i = 0; i < x.rows(); ++i)
+      for (size_t j = 0; j < x.cols(); ++j) da(i, j) = g(0, j) * inv;
+    t->Accumulate(a, da);
+  };
+  return out;
+}
+
+VarId Tape::ConcatRows(const std::vector<VarId>& parts) {
+  SUBREC_CHECK(!parts.empty());
+  size_t rows = 0;
+  const size_t cols = value(parts[0]).cols();
+  bool rg = false;
+  for (VarId p : parts) {
+    SUBREC_CHECK_EQ(value(p).cols(), cols);
+    rows += value(p).rows();
+    rg = rg || node(p).requires_grad;
+  }
+  Matrix v(rows, cols);
+  size_t r = 0;
+  for (VarId p : parts) {
+    const Matrix& pv = value(p);
+    for (size_t i = 0; i < pv.rows(); ++i, ++r)
+      for (size_t j = 0; j < cols; ++j) v(r, j) = pv(i, j);
+  }
+  VarId out = AddNode(std::move(v), rg, nullptr);
+  nodes_[out].backward = [parts, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    size_t r = 0;
+    for (VarId p : parts) {
+      const Matrix& pv = t->value(p);
+      Matrix gp(pv.rows(), pv.cols());
+      for (size_t i = 0; i < pv.rows(); ++i, ++r)
+        for (size_t j = 0; j < pv.cols(); ++j) gp(i, j) = g(r, j);
+      t->Accumulate(p, gp);
+    }
+  };
+  return out;
+}
+
+VarId Tape::ConcatCols(const std::vector<VarId>& parts) {
+  SUBREC_CHECK(!parts.empty());
+  const size_t rows = value(parts[0]).rows();
+  size_t cols = 0;
+  bool rg = false;
+  for (VarId p : parts) {
+    SUBREC_CHECK_EQ(value(p).rows(), rows);
+    cols += value(p).cols();
+    rg = rg || node(p).requires_grad;
+  }
+  Matrix v(rows, cols);
+  size_t c = 0;
+  for (VarId p : parts) {
+    const Matrix& pv = value(p);
+    for (size_t j = 0; j < pv.cols(); ++j, ++c)
+      for (size_t i = 0; i < rows; ++i) v(i, c) = pv(i, j);
+  }
+  VarId out = AddNode(std::move(v), rg, nullptr);
+  nodes_[out].backward = [parts, out](Tape* t) {
+    const Matrix& g = t->nodes_[out].grad;
+    size_t c = 0;
+    for (VarId p : parts) {
+      const Matrix& pv = t->value(p);
+      Matrix gp(pv.rows(), pv.cols());
+      for (size_t j = 0; j < pv.cols(); ++j, ++c)
+        for (size_t i = 0; i < pv.rows(); ++i) gp(i, j) = g(i, c);
+      t->Accumulate(p, gp);
+    }
+  };
+  return out;
+}
+
+VarId Tape::Sum(VarId a) {
+  Matrix v(1, 1);
+  v(0, 0) = la::Sum(value(a));
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, out](Tape* t) {
+    const double g = t->nodes_[out].grad(0, 0);
+    const Matrix& x = t->value(a);
+    t->Accumulate(a, Matrix(x.rows(), x.cols(), g));
+  };
+  return out;
+}
+
+VarId Tape::SumSquares(VarId a) {
+  const Matrix& x = value(a);
+  Matrix v(1, 1);
+  double s = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) s += x[i] * x[i];
+  v(0, 0) = s;
+  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
+  nodes_[out].backward = [a, out](Tape* t) {
+    const double g = t->nodes_[out].grad(0, 0);
+    t->Accumulate(a, la::Scale(t->value(a), 2.0 * g));
+  };
+  return out;
+}
+
+VarId Tape::SigmoidBce(VarId logits, const Matrix& targets) {
+  const Matrix& x = value(logits);
+  SUBREC_CHECK(x.SameShape(targets));
+  SUBREC_CHECK_GT(x.size(), 0u);
+  // mean over entries of: max(x,0) - x*y + log(1 + exp(-|x|))
+  double loss = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    loss += std::max(xi, 0.0) - xi * targets[i] +
+            std::log1p(std::exp(-std::fabs(xi)));
+  }
+  Matrix v(1, 1);
+  v(0, 0) = loss / static_cast<double>(x.size());
+  VarId out = AddNode(std::move(v), node(logits).requires_grad, nullptr);
+  Matrix y = targets;
+  nodes_[out].backward = [logits, y, out](Tape* t) {
+    const double g = t->nodes_[out].grad(0, 0);
+    const Matrix& x = t->value(logits);
+    const double inv = g / static_cast<double>(x.size());
+    Matrix dx(x.rows(), x.cols());
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double sig = 1.0 / (1.0 + std::exp(-x[i]));
+      dx[i] = (sig - y[i]) * inv;
+    }
+    t->Accumulate(logits, dx);
+  };
+  return out;
+}
+
+void Tape::Backward(VarId root) {
+  SUBREC_CHECK_LT(root, nodes_.size());
+  SUBREC_CHECK(nodes_[root].value.rows() == 1 &&
+               nodes_[root].value.cols() == 1)
+      << "Backward root must be a 1x1 loss";
+  // (Re)initialize grads.
+  for (Node& n : nodes_) {
+    if (n.requires_grad) {
+      n.grad = Matrix(n.value.rows(), n.value.cols());
+    } else {
+      n.grad = Matrix();
+    }
+  }
+  if (!nodes_[root].requires_grad) return;  // nothing to differentiate
+  nodes_[root].grad(0, 0) = 1.0;
+  for (size_t i = root + 1; i-- > 0;) {
+    Node& n = nodes_[i];
+    if (n.backward && n.requires_grad) n.backward(this);
+  }
+}
+
+}  // namespace subrec::autodiff

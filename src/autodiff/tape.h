@@ -1,0 +1,107 @@
+#ifndef SUBREC_AUTODIFF_TAPE_H_
+#define SUBREC_AUTODIFF_TAPE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace subrec::autodiff {
+
+/// Handle to a node on a Tape. Valid only for the tape that produced it and
+/// only until Tape::Reset().
+using VarId = size_t;
+
+/// Reverse-mode automatic differentiation over dense matrices.
+///
+/// Usage: create leaf nodes with Input() (trainable) or Constant() (frozen),
+/// compose ops, call Backward() on a 1x1 loss node, then read grad() of the
+/// leaves and feed an optimizer. The tape is rebuilt every forward pass
+/// (define-by-run); Reset() reuses the node storage.
+///
+/// All shapes are validated eagerly with SUBREC_CHECK — shape bugs are
+/// programmer errors, not recoverable conditions.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Leaf node. If `requires_grad`, gradients are accumulated into it.
+  VarId Input(la::Matrix value, bool requires_grad = true);
+
+  /// Leaf node that never receives gradient.
+  VarId Constant(la::Matrix value) { return Input(std::move(value), false); }
+
+  // --- ops ------------------------------------------------------------
+
+  VarId Add(VarId a, VarId b);
+  VarId Sub(VarId a, VarId b);
+  /// Elementwise product.
+  VarId Mul(VarId a, VarId b);
+  VarId Scale(VarId a, double alpha);
+  /// c = a * b (matrix product).
+  VarId MatMul(VarId a, VarId b);
+  /// c = a * b^T.
+  VarId MatMulTransB(VarId a, VarId b);
+  /// Adds a 1 x n bias row to every row of a (m x n).
+  VarId AddRowBroadcast(VarId a, VarId bias);
+  VarId Tanh(VarId a);
+  VarId Sigmoid(VarId a);
+  VarId Relu(VarId a);
+  /// Softmax over each row.
+  VarId RowSoftmax(VarId a);
+  /// Transposed copy.
+  VarId Transpose(VarId a);
+  /// Mean over rows: n x d -> 1 x d.
+  VarId RowMean(VarId a);
+  /// Stacks row-compatible nodes vertically.
+  VarId ConcatRows(const std::vector<VarId>& parts);
+  /// Concatenates column-wise (all parts share the row count).
+  VarId ConcatCols(const std::vector<VarId>& parts);
+  /// Sum of all entries -> 1x1.
+  VarId Sum(VarId a);
+  /// Sum of squared entries -> 1x1 (L2 regularizer building block).
+  VarId SumSquares(VarId a);
+  /// Mean binary cross-entropy with logits against constant targets
+  /// (same shape as `logits`); numerically stable log-sum-exp form -> 1x1.
+  VarId SigmoidBce(VarId logits, const la::Matrix& targets);
+
+  // --- access -----------------------------------------------------------
+
+  const la::Matrix& value(VarId id) const;
+  /// Gradient accumulated by the last Backward(); zero matrix if the node
+  /// was not reached or does not require grad.
+  const la::Matrix& grad(VarId id) const;
+
+  /// Runs reverse accumulation from `root` (must be 1x1; seeded with 1).
+  void Backward(VarId root);
+
+  /// Number of live nodes.
+  size_t size() const { return nodes_.size(); }
+
+  /// Drops all nodes; previously returned VarIds become invalid.
+  void Reset();
+
+ private:
+  struct Node {
+    la::Matrix value;
+    la::Matrix grad;
+    bool requires_grad = false;
+    // Propagates this node's grad into its parents. Empty for leaves.
+    std::function<void(Tape*)> backward;
+  };
+
+  VarId AddNode(la::Matrix value, bool requires_grad,
+                std::function<void(Tape*)> backward);
+  Node& node(VarId id);
+  /// Adds g into the grad of `id` if it requires grad.
+  void Accumulate(VarId id, const la::Matrix& g);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace subrec::autodiff
+
+#endif  // SUBREC_AUTODIFF_TAPE_H_

@@ -1,0 +1,18 @@
+#include "cluster/bic.h"
+
+#include <cmath>
+
+namespace subrec::cluster {
+
+double BayesianInformationCriterion(double log_likelihood,
+                                    size_t num_parameters, size_t n) {
+  return -2.0 * log_likelihood +
+         static_cast<double>(num_parameters) * std::log(static_cast<double>(n));
+}
+
+double AkaikeInformationCriterion(double log_likelihood,
+                                  size_t num_parameters) {
+  return -2.0 * log_likelihood + 2.0 * static_cast<double>(num_parameters);
+}
+
+}  // namespace subrec::cluster

@@ -1,0 +1,21 @@
+#ifndef SUBREC_CLUSTER_BIC_H_
+#define SUBREC_CLUSTER_BIC_H_
+
+#include <cstddef>
+
+namespace subrec::cluster {
+
+/// Bayesian information criterion for a model with `num_parameters` free
+/// parameters, `log_likelihood` at the optimum and `n` observations:
+/// BIC = -2 logL + p ln n. Lower is better (Schwarz; the paper's [31]).
+double BayesianInformationCriterion(double log_likelihood,
+                                    size_t num_parameters, size_t n);
+
+/// Akaike information criterion: AIC = -2 logL + 2p (provided for
+/// sensitivity checks against the BIC-selected cluster counts).
+double AkaikeInformationCriterion(double log_likelihood,
+                                  size_t num_parameters);
+
+}  // namespace subrec::cluster
+
+#endif  // SUBREC_CLUSTER_BIC_H_

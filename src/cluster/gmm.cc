@@ -1,0 +1,213 @@
+#include "cluster/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "common/check.h"
+
+namespace subrec::cluster {
+namespace {
+
+constexpr double kLogTwoPi = 1.8378770664093454835606594728112;
+
+double LogSumExp(const std::vector<double>& v) {
+  const double mx = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+}  // namespace
+
+GaussianMixture::GaussianMixture(GmmOptions options) : options_(options) {
+  SUBREC_CHECK_GT(options_.num_components, 0);
+}
+
+double GaussianMixture::LogJoint(const la::Matrix& data, size_t i,
+                                 size_t c) const {
+  const size_t d = data.cols();
+  double log_det = 0.0;
+  double quad = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double var = variances_(c, j);
+    const double diff = data(i, j) - means_(c, j);
+    log_det += std::log(var);
+    quad += diff * diff / var;
+  }
+  return std::log(weights_[c]) -
+         0.5 * (static_cast<double>(d) * kLogTwoPi + log_det + quad);
+}
+
+Status GaussianMixture::Fit(const la::Matrix& data) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = static_cast<size_t>(options_.num_components);
+  if (n < k)
+    return Status::InvalidArgument("GaussianMixture: fewer points than components");
+
+  // Initialize from k-means.
+  KMeansOptions km_options;
+  km_options.num_clusters = options_.num_components;
+  km_options.seed = options_.seed;
+  auto km = KMeans(data, km_options);
+  if (!km.ok()) return km.status();
+
+  means_ = km.value().centroids;
+  variances_ = la::Matrix(k, d, 1.0);
+  weights_.assign(k, 1.0 / static_cast<double>(k));
+  // Per-cluster variance from k-means assignments.
+  {
+    std::vector<int64_t> counts(k, 0);
+    la::Matrix ss(k, d);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(km.value().assignments[i]);
+      ++counts[c];
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = data(i, j) - means_(c, j);
+        ss(c, j) += diff * diff;
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      weights_[c] = std::max(static_cast<double>(counts[c]), 1.0) /
+                    static_cast<double>(n);
+      for (size_t j = 0; j < d; ++j) {
+        variances_(c, j) =
+            counts[c] > 1
+                ? std::max(ss(c, j) / static_cast<double>(counts[c]),
+                           options_.min_variance)
+                : 1.0;
+      }
+    }
+    // Renormalize weights after the max() clamp.
+    double total = 0.0;
+    for (double w : weights_) total += w;
+    for (double& w : weights_) w /= total;
+  }
+
+  fitted_ = true;  // LogJoint needs the flag off-path; safe to set now.
+  double prev_avg_ll = -std::numeric_limits<double>::max();
+  la::Matrix resp(n, k);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // E-step.
+    double total_ll = 0.0;
+    std::vector<double> joint(k);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
+      const double lse = LogSumExp(joint);
+      total_ll += lse;
+      for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(joint[c] - lse);
+    }
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double nc = 0.0;
+      for (size_t i = 0; i < n; ++i) nc += resp(i, c);
+      nc = std::max(nc, 1e-10);
+      weights_[c] = nc / static_cast<double>(n);
+      for (size_t j = 0; j < d; ++j) {
+        double mean = 0.0;
+        for (size_t i = 0; i < n; ++i) mean += resp(i, c) * data(i, j);
+        mean /= nc;
+        means_(c, j) = mean;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        double var = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double diff = data(i, j) - means_(c, j);
+          var += resp(i, c) * diff * diff;
+        }
+        variances_(c, j) = std::max(var / nc, options_.min_variance);
+      }
+    }
+    iterations_ = iter + 1;
+    const double avg_ll = total_ll / static_cast<double>(n);
+    if (avg_ll - prev_avg_ll < options_.tolerance && iter > 0) break;
+    prev_avg_ll = avg_ll;
+  }
+  return Status::Ok();
+}
+
+std::vector<int> GaussianMixture::Predict(const la::Matrix& data) const {
+  SUBREC_CHECK(fitted_);
+  std::vector<int> out(data.rows());
+  const size_t k = static_cast<size_t>(options_.num_components);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double best = -std::numeric_limits<double>::max();
+    int best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      const double lj = LogJoint(data, i, c);
+      if (lj > best) {
+        best = lj;
+        best_c = static_cast<int>(c);
+      }
+    }
+    out[i] = best_c;
+  }
+  return out;
+}
+
+la::Matrix GaussianMixture::PredictProba(const la::Matrix& data) const {
+  SUBREC_CHECK(fitted_);
+  const size_t k = static_cast<size_t>(options_.num_components);
+  la::Matrix resp(data.rows(), k);
+  std::vector<double> joint(k);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
+    const double lse = LogSumExp(joint);
+    for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(joint[c] - lse);
+  }
+  return resp;
+}
+
+double GaussianMixture::LogLikelihood(const la::Matrix& data) const {
+  SUBREC_CHECK(fitted_);
+  const size_t k = static_cast<size_t>(options_.num_components);
+  double total = 0.0;
+  std::vector<double> joint(k);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
+    total += LogSumExp(joint);
+  }
+  return total;
+}
+
+size_t GaussianMixture::NumParameters() const {
+  const size_t k = static_cast<size_t>(options_.num_components);
+  const size_t d = means_.cols();
+  return (k - 1) + k * d + k * d;
+}
+
+double GaussianMixture::Bic(const la::Matrix& data) const {
+  const double n = static_cast<double>(data.rows());
+  return -2.0 * LogLikelihood(data) +
+         static_cast<double>(NumParameters()) * std::log(n);
+}
+
+Result<GaussianMixture> FitGmmWithBic(const la::Matrix& data,
+                                      int min_components, int max_components,
+                                      GmmOptions base_options) {
+  if (min_components <= 0 || max_components < min_components)
+    return Status::InvalidArgument("FitGmmWithBic: bad component range");
+  bool found = false;
+  double best_bic = std::numeric_limits<double>::max();
+  GaussianMixture best;
+  for (int k = min_components; k <= max_components; ++k) {
+    GmmOptions options = base_options;
+    options.num_components = k;
+    GaussianMixture gmm(options);
+    if (!gmm.Fit(data).ok()) continue;
+    const double bic = gmm.Bic(data);
+    if (bic < best_bic) {
+      best_bic = bic;
+      best = gmm;
+      found = true;
+    }
+  }
+  if (!found)
+    return Status::InvalidArgument("FitGmmWithBic: no component count fit");
+  return best;
+}
+
+}  // namespace subrec::cluster

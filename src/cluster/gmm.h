@@ -1,0 +1,79 @@
+#ifndef SUBREC_CLUSTER_GMM_H_
+#define SUBREC_CLUSTER_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace subrec::cluster {
+
+struct GmmOptions {
+  int num_components = 2;
+  int max_iterations = 100;
+  /// Stop when the mean log-likelihood improves by less than this.
+  double tolerance = 1e-5;
+  /// Variance floor for numerical stability.
+  double min_variance = 1e-6;
+  uint64_t seed = 5;
+};
+
+/// Diagonal-covariance Gaussian mixture fitted by EM, initialized from
+/// k-means++. The clustering method of Sec. III-C ("Gaussian mixture
+/// clustering ... number of clusters set by BIC" [31]).
+class GaussianMixture {
+ public:
+  explicit GaussianMixture(GmmOptions options = {});
+
+  /// Fits to the rows of `data`. Returns InvalidArgument when there are
+  /// fewer points than components.
+  Status Fit(const la::Matrix& data);
+
+  bool fitted() const { return fitted_; }
+  int num_components() const { return options_.num_components; }
+  size_t dim() const { return means_.cols(); }
+
+  /// Per-row most likely component.
+  std::vector<int> Predict(const la::Matrix& data) const;
+
+  /// Per-row responsibilities (n x k).
+  la::Matrix PredictProba(const la::Matrix& data) const;
+
+  /// Total log-likelihood of `data` under the fitted model.
+  double LogLikelihood(const la::Matrix& data) const;
+
+  /// Bayesian information criterion: -2 logL + params * ln(n). Lower is
+  /// better.
+  double Bic(const la::Matrix& data) const;
+
+  /// Free-parameter count: k-1 weights + k*d means + k*d variances.
+  size_t NumParameters() const;
+
+  const la::Matrix& means() const { return means_; }
+  const la::Matrix& variances() const { return variances_; }
+  const std::vector<double>& weights() const { return weights_; }
+  int iterations() const { return iterations_; }
+
+ private:
+  /// Row i, component c log density + log weight.
+  double LogJoint(const la::Matrix& data, size_t i, size_t c) const;
+
+  GmmOptions options_;
+  bool fitted_ = false;
+  la::Matrix means_;      // k x d
+  la::Matrix variances_;  // k x d (diagonal)
+  std::vector<double> weights_;
+  int iterations_ = 0;
+};
+
+/// Fits mixtures with k in [min_components, max_components] and returns the
+/// one with the lowest BIC (the paper's mclust-style model selection).
+Result<GaussianMixture> FitGmmWithBic(const la::Matrix& data,
+                                      int min_components, int max_components,
+                                      GmmOptions base_options = {});
+
+}  // namespace subrec::cluster
+
+#endif  // SUBREC_CLUSTER_GMM_H_

@@ -1,0 +1,97 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace subrec::cluster {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, size_t d) {
+  double s = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const la::Matrix& data,
+                            const KMeansOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = static_cast<size_t>(options.num_clusters);
+  if (options.num_clusters <= 0)
+    return Status::InvalidArgument("KMeans: num_clusters must be positive");
+  if (n < k)
+    return Status::InvalidArgument("KMeans: fewer points than clusters");
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = la::Matrix(k, d);
+
+  // k-means++ seeding.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  size_t first = rng.UniformInt(n);
+  for (size_t j = 0; j < d; ++j) result.centroids(0, j) = data(first, j);
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      const double dist = SquaredDistance(data.row_data(i),
+                                          result.centroids.row_data(c - 1), d);
+      min_dist[i] = std::min(min_dist[i], dist);
+    }
+    const size_t chosen = rng.Categorical(min_dist);
+    for (size_t j = 0; j < d; ++j)
+      result.centroids(c, j) = data(chosen, j);
+  }
+
+  result.assignments.assign(n, -1);
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Assign.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(data.row_data(i), result.centroids.row_data(c), d);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      result.assignments[i] = best_c;
+      inertia += best;
+    }
+    // Update.
+    la::Matrix sums(k, d);
+    std::vector<int64_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(result.assignments[i]);
+      for (size_t j = 0; j < d; ++j) sums(c, j) += data(i, j);
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at a random point.
+        const size_t pick = rng.UniformInt(n);
+        for (size_t j = 0; j < d; ++j) result.centroids(c, j) = data(pick, j);
+      } else {
+        for (size_t j = 0; j < d; ++j)
+          result.centroids(c, j) = sums(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+    if (prev_inertia - inertia <= options.tolerance * std::max(prev_inertia, 1.0))
+      break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace subrec::cluster

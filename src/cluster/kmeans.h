@@ -1,0 +1,35 @@
+#ifndef SUBREC_CLUSTER_KMEANS_H_
+#define SUBREC_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace subrec::cluster {
+
+struct KMeansOptions {
+  int num_clusters = 2;
+  int max_iterations = 100;
+  /// Stop when the relative inertia improvement falls below this.
+  double tolerance = 1e-6;
+  uint64_t seed = 3;
+};
+
+struct KMeansResult {
+  la::Matrix centroids;          // k x d
+  std::vector<int> assignments;  // one per data row
+  double inertia = 0.0;          // sum of squared distances to centroids
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Rows of `data` are points.
+/// Also used to initialize the Gaussian mixture EM. Returns InvalidArgument
+/// when there are fewer points than clusters.
+Result<KMeansResult> KMeans(const la::Matrix& data,
+                            const KMeansOptions& options);
+
+}  // namespace subrec::cluster
+
+#endif  // SUBREC_CLUSTER_KMEANS_H_

@@ -1,0 +1,112 @@
+#include "cluster/gmm.h"
+#include "cluster/lof.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace subrec::cluster {
+
+Result<std::vector<double>> LocalOutlierFactor(const la::Matrix& data, int k) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (k <= 0) return Status::InvalidArgument("LOF: k must be positive");
+  if (n <= static_cast<size_t>(k))
+    return Status::InvalidArgument("LOF: need more points than neighbors");
+
+  // Pairwise distances.
+  la::Matrix dist(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (size_t c = 0; c < d; ++c) {
+        const double diff = data(i, c) - data(j, c);
+        s += diff * diff;
+      }
+      const double dv = std::sqrt(s);
+      dist(i, j) = dv;
+      dist(j, i) = dv;
+    }
+  }
+
+  // k nearest neighbors and k-distance for each point.
+  const size_t ks = static_cast<size_t>(k);
+  std::vector<std::vector<size_t>> neighbors(n);
+  std::vector<double> k_distance(n);
+  std::vector<size_t> order;
+  order.reserve(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    order.clear();
+    for (size_t j = 0; j < n; ++j)
+      if (j != i) order.push_back(j);
+    std::nth_element(order.begin(), order.begin() + static_cast<long>(ks - 1),
+                     order.end(), [&](size_t a, size_t b) {
+                       return dist(i, a) < dist(i, b);
+                     });
+    neighbors[i].assign(order.begin(), order.begin() + static_cast<long>(ks));
+    k_distance[i] = 0.0;
+    for (size_t nb : neighbors[i])
+      k_distance[i] = std::max(k_distance[i], dist(i, nb));
+  }
+
+  // Local reachability density.
+  std::vector<double> lrd(n);
+  for (size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (size_t nb : neighbors[i])
+      reach_sum += std::max(k_distance[nb], dist(i, nb));
+    lrd[i] = reach_sum > 0.0
+                 ? static_cast<double>(ks) / reach_sum
+                 : 1e12;  // duplicate points: effectively infinite density
+  }
+
+  // LOF: mean neighbor lrd over own lrd.
+  std::vector<double> lof(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t nb : neighbors[i]) sum += lrd[nb];
+    lof[i] = sum / (static_cast<double>(ks) * lrd[i]);
+  }
+  return lof;
+}
+
+Result<std::vector<double>> ClusteredLocalOutlierFactor(const la::Matrix& data,
+                                                        int k,
+                                                        int min_components,
+                                                        int max_components) {
+  const size_t n = data.rows();
+  if (n < 8)
+    return Status::InvalidArgument("ClusteredLOF: need at least 8 points");
+  auto gmm = FitGmmWithBic(data, min_components, max_components);
+  if (!gmm.ok()) return gmm.status();
+  const std::vector<int> assignment = gmm.value().Predict(data);
+
+  std::vector<double> scores(n, 1.0);
+  for (int c = 0; c < gmm.value().num_components(); ++c) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < n; ++i)
+      if (assignment[i] == c) members.push_back(i);
+    if (members.size() < 3) continue;  // no density evidence
+    la::Matrix sub(members.size(), data.cols());
+    for (size_t i = 0; i < members.size(); ++i)
+      for (size_t j = 0; j < data.cols(); ++j) sub(i, j) = data(members[i], j);
+    const int kk = std::min<int>(k, static_cast<int>(members.size()) - 1);
+    auto lof = LocalOutlierFactor(sub, kk);
+    if (!lof.ok()) return lof.status();
+    for (size_t i = 0; i < members.size(); ++i)
+      scores[members[i]] = lof.value()[i];
+  }
+  return scores;
+}
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mn_it, mx = *mx_it;
+  std::vector<double> out(values.size(), 0.0);
+  if (mx - mn <= 0.0) return out;
+  for (size_t i = 0; i < values.size(); ++i)
+    out[i] = (values[i] - mn) / (mx - mn);
+  return out;
+}
+
+}  // namespace subrec::cluster

@@ -1,0 +1,35 @@
+#ifndef SUBREC_CLUSTER_LOF_H_
+#define SUBREC_CLUSTER_LOF_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace subrec::cluster {
+
+/// Local Outlier Factor (Breunig et al. [32]) with Euclidean distances and
+/// `k` neighbors. Rows of `data` are points; higher scores mean more
+/// outlying — in SEM, more *different* from the comparison papers.
+/// O(n^2) distance computation; fine at experiment scale (n <= a few
+/// thousand). Returns InvalidArgument when n <= k.
+Result<std::vector<double>> LocalOutlierFactor(const la::Matrix& data, int k);
+
+/// Min-max normalization to [0,1] (constant input maps to all zeros) —
+/// the "normalized LOF value" axis of Fig. 3.
+std::vector<double> MinMaxNormalize(const std::vector<double>& values);
+
+/// The paper's Sec. III-C procedure: Gaussian-mixture cluster the
+/// embeddings (components chosen by BIC), then compute LOF *within each
+/// cluster* — "select the closely related papers using the subspace
+/// embeddings" — so a paper's outlierness is measured against its own
+/// research neighborhood rather than the whole mixed corpus. Clusters too
+/// small for `k` neighbors shrink k; singleton/pair clusters score 1
+/// (no evidence of difference).
+Result<std::vector<double>> ClusteredLocalOutlierFactor(
+    const la::Matrix& data, int k, int min_components = 2,
+    int max_components = 8);
+
+}  // namespace subrec::cluster
+
+#endif  // SUBREC_CLUSTER_LOF_H_

@@ -1,0 +1,160 @@
+#include "cluster/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace subrec::cluster {
+namespace {
+
+/// Row-conditional affinities p_{j|i} with bandwidth tuned so the row
+/// entropy matches log(perplexity).
+void ComputeRowAffinities(const la::Matrix& sqdist, size_t i,
+                          double perplexity, std::vector<double>& p_row) {
+  const size_t n = sqdist.rows();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      p_row[j] = (j == i) ? 0.0 : std::exp(-beta * sqdist(i, j));
+      sum += p_row[j];
+    }
+    if (sum <= 1e-300) {
+      beta_hi = beta;
+      beta = (beta_lo + beta) / 2.0;
+      continue;
+    }
+    double entropy = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (p_row[j] <= 0.0) continue;
+      const double pj = p_row[j] / sum;
+      entropy -= pj * std::log(pj);
+    }
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) {
+      for (size_t j = 0; j < n; ++j) p_row[j] /= sum;
+      return;
+    }
+    if (diff > 0) {  // entropy too high -> sharpen -> larger beta
+      beta_lo = beta;
+      beta = beta_hi >= 1e12 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+    } else {
+      beta_hi = beta;
+      beta = (beta_lo + beta) / 2.0;
+    }
+  }
+  // Normalize with the final beta even if not fully converged.
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    p_row[j] = (j == i) ? 0.0 : std::exp(-beta * sqdist(i, j));
+    sum += p_row[j];
+  }
+  if (sum <= 0.0) sum = 1.0;
+  for (size_t j = 0; j < n; ++j) p_row[j] /= sum;
+}
+
+}  // namespace
+
+Result<la::Matrix> Tsne(const la::Matrix& data, const TsneOptions& options) {
+  const size_t n = data.rows();
+  if (n < 4) return Status::InvalidArgument("Tsne: need at least 4 points");
+  if (options.output_dim <= 0)
+    return Status::InvalidArgument("Tsne: output_dim must be positive");
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  // Pairwise squared distances in input space.
+  la::Matrix sqdist(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (size_t c = 0; c < data.cols(); ++c) {
+        const double diff = data(i, c) - data(j, c);
+        s += diff * diff;
+      }
+      sqdist(i, j) = s;
+      sqdist(j, i) = s;
+    }
+  }
+
+  // Symmetrized affinities P.
+  la::Matrix p(n, n);
+  {
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+      ComputeRowAffinities(sqdist, i, perplexity, row);
+      for (size_t j = 0; j < n; ++j) p(i, j) = row[j];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = (p(i, j) + p(j, i)) / (2.0 * static_cast<double>(n));
+      p(i, j) = std::max(v, 1e-12);
+      p(j, i) = p(i, j);
+    }
+    p(i, i) = 1e-12;
+  }
+
+  // Gradient descent on the embedding.
+  const size_t od = static_cast<size_t>(options.output_dim);
+  Rng rng(options.seed);
+  la::Matrix y = la::Matrix::RandomGaussian(n, od, rng, 1e-2);
+  la::Matrix velocity(n, od);
+  la::Matrix grad(n, od);
+  la::Matrix q(n, n);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.exaggeration : 1.0;
+    // Student-t low-dim affinities.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (size_t c = 0; c < od; ++c) {
+          const double diff = y(i, c) - y(j, c);
+          s += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + s);
+        q(i, j) = w;
+        q(j, i) = w;
+        q_sum += 2.0 * w;
+      }
+      q(i, i) = 0.0;
+    }
+    q_sum = std::max(q_sum, 1e-300);
+
+    grad.Fill(0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q(i, j);
+        const double mult =
+            4.0 * (exaggeration * p(i, j) - w / q_sum) * w;
+        for (size_t c = 0; c < od; ++c)
+          grad(i, c) += mult * (y(i, c) - y(j, c));
+      }
+    }
+    const double momentum = iter < 100 ? options.initial_momentum
+                                       : options.final_momentum;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < od; ++c) {
+        velocity(i, c) =
+            momentum * velocity(i, c) - options.learning_rate * grad(i, c);
+        y(i, c) += velocity(i, c);
+      }
+    }
+    // Re-center.
+    for (size_t c = 0; c < od; ++c) {
+      double mean = 0.0;
+      for (size_t i = 0; i < n; ++i) mean += y(i, c);
+      mean /= static_cast<double>(n);
+      for (size_t i = 0; i < n; ++i) y(i, c) -= mean;
+    }
+  }
+  return y;
+}
+
+}  // namespace subrec::cluster

@@ -1,0 +1,32 @@
+#ifndef SUBREC_CLUSTER_TSNE_H_
+#define SUBREC_CLUSTER_TSNE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace subrec::cluster {
+
+struct TsneOptions {
+  int output_dim = 2;
+  double perplexity = 20.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  /// Early-exaggeration factor applied for the first `exaggeration_iters`.
+  double exaggeration = 4.0;
+  int exaggeration_iters = 80;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  uint64_t seed = 9;
+};
+
+/// Exact (O(n^2)) t-SNE (van der Maaten & Hinton [50]) — used to produce
+/// the 2-D coordinates of Fig. 3 (cluster plots) and Fig. 5 (author/paper
+/// embedding maps). Perplexity is calibrated per point with a binary search
+/// on the Gaussian bandwidth. Returns a rows(data) x output_dim matrix.
+Result<la::Matrix> Tsne(const la::Matrix& data, const TsneOptions& options);
+
+}  // namespace subrec::cluster
+
+#endif  // SUBREC_CLUSTER_TSNE_H_

@@ -1,0 +1,48 @@
+#ifndef SUBREC_COMMON_CHECK_H_
+#define SUBREC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace subrec::internal_check {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+/// Invariant violations are programmer errors; recoverable conditions use
+/// Status instead.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace subrec::internal_check
+
+/// Aborts with a message when `cond` is false. Supports streaming extra
+/// context: SUBREC_CHECK(i < n) << "i=" << i;
+#define SUBREC_CHECK(cond)                                               \
+  while (!(cond))                                                        \
+  ::subrec::internal_check::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define SUBREC_CHECK_EQ(a, b) SUBREC_CHECK((a) == (b))
+#define SUBREC_CHECK_NE(a, b) SUBREC_CHECK((a) != (b))
+#define SUBREC_CHECK_LT(a, b) SUBREC_CHECK((a) < (b))
+#define SUBREC_CHECK_LE(a, b) SUBREC_CHECK((a) <= (b))
+#define SUBREC_CHECK_GT(a, b) SUBREC_CHECK((a) > (b))
+#define SUBREC_CHECK_GE(a, b) SUBREC_CHECK((a) >= (b))
+
+#endif  // SUBREC_COMMON_CHECK_H_

@@ -1,0 +1,41 @@
+#ifndef SUBREC_COMMON_LOGGING_H_
+#define SUBREC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace subrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level emitted by SUBREC_LOG. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// One log statement; flushes a single line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace subrec
+
+#define SUBREC_LOG(level)                                        \
+  ::subrec::internal_logging::LogMessage(::subrec::LogLevel::k##level, \
+                                         __FILE__, __LINE__)
+
+#endif  // SUBREC_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+#ifndef SUBREC_COMMON_RESULT_H_
+#define SUBREC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace subrec {
+
+/// Value-or-Status, in the style of arrow::Result. Accessing the value of an
+/// errored Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SUBREC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SUBREC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SUBREC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SUBREC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// Status out of the enclosing Status-returning function.
+#define SUBREC_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto _subrec_result_##__LINE__ = (expr);           \
+  if (!_subrec_result_##__LINE__.ok())               \
+    return _subrec_result_##__LINE__.status();       \
+  lhs = std::move(_subrec_result_##__LINE__).value()
+
+}  // namespace subrec
+
+#endif  // SUBREC_COMMON_RESULT_H_

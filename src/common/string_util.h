@@ -1,0 +1,34 @@
+#ifndef SUBREC_COMMON_STRING_UTIL_H_
+#define SUBREC_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subrec {
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// FNV-1a 64-bit hash; the stable hash used for feature hashing so encoders
+/// are deterministic across platforms.
+uint64_t Fnv1aHash(std::string_view s);
+
+/// Combines a hash with an extra word (for n-gram / namespaced features).
+uint64_t HashCombine(uint64_t h, uint64_t v);
+
+/// Formats a double with fixed precision (printf "%.*f").
+std::string FormatDouble(double v, int precision);
+
+}  // namespace subrec
+
+#endif  // SUBREC_COMMON_STRING_UTIL_H_

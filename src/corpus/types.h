@@ -1,0 +1,112 @@
+#ifndef SUBREC_CORPUS_TYPES_H_
+#define SUBREC_CORPUS_TYPES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace subrec::corpus {
+
+/// Dense index of a paper within a Corpus.
+using PaperId = int;
+/// Dense index of an author within a Corpus.
+using AuthorId = int;
+
+/// The three commonly recognized content subspaces of Sec. III. The number
+/// of subspaces is configurable in the models (paper: "K can be adjusted");
+/// the synthetic generator emits these three roles.
+enum class SubspaceRole : int { kBackground = 0, kMethod = 1, kResult = 2 };
+
+/// Default subspace count K used throughout the experiments.
+inline constexpr int kDefaultNumSubspaces = 3;
+
+/// Stable display names ("background", "method", "result").
+inline const char* SubspaceRoleName(int role) {
+  switch (role) {
+    case 0:
+      return "background";
+    case 1:
+      return "method";
+    case 2:
+      return "result";
+    default:
+      return "subspace";
+  }
+}
+
+/// One abstract sentence with its ground-truth function role (when known;
+/// -1 otherwise). Real-world corpora have roles only on PubMedRCT; the
+/// synthetic generator always knows them, and experiments decide whether to
+/// expose them (labeler training) or hide them (labeler inference).
+struct Sentence {
+  std::string text;
+  int role = -1;
+};
+
+/// A paper with the metadata the paper's datasets provide: title, abstract,
+/// citations, field label, keywords, authors, venue, year, CCS path.
+struct Paper {
+  PaperId id = -1;
+  std::string title;
+  std::vector<Sentence> abstract_sentences;
+  std::vector<std::string> keywords;
+  /// Node ids along the path root->leaf in the dataset's category tree.
+  std::vector<int> ccs_path;
+  int discipline = 0;
+  int topic = 0;
+  int year = 0;
+  int venue = -1;
+  std::vector<AuthorId> authors;
+  /// Cited papers (always older than this paper).
+  std::vector<PaperId> references;
+  /// Realized citation count at the evaluation horizon.
+  int citation_count = 0;
+  /// Ground-truth latent innovation per subspace (generator-only signal,
+  /// used to validate recovered correlations — never fed to models).
+  std::array<double, 3> latent_innovation = {0.0, 0.0, 0.0};
+};
+
+/// A researcher: authored papers define interests; citations received
+/// define influence.
+struct Author {
+  AuthorId id = -1;
+  std::string name;
+  int affiliation = -1;
+  /// Latent authority scalar used by the citation process (generator-only).
+  double authority = 1.0;
+  /// Interest mixture over corpus topics (generator-only).
+  std::vector<double> interests;
+  std::vector<PaperId> papers;
+};
+
+/// A full dataset: papers + authors + dataset-level vocabularies of
+/// categorical attributes. Which attributes are present varies by preset
+/// (the patent preset has no venues/keywords/CCS — Tab. III).
+struct Corpus {
+  std::vector<Paper> papers;
+  std::vector<Author> authors;
+  std::vector<std::string> discipline_names;
+  int num_topics = 0;
+  int num_venues = 0;
+  int num_affiliations = 0;
+  /// Number of nodes in the associated category tree (0 when absent).
+  int num_ccs_nodes = 0;
+
+  const Paper& paper(PaperId id) const { return papers[static_cast<size_t>(id)]; }
+  const Author& author(AuthorId id) const {
+    return authors[static_cast<size_t>(id)];
+  }
+
+  /// Abstract sentences of `id` as plain strings.
+  std::vector<std::string> AbstractOf(PaperId id) const {
+    std::vector<std::string> out;
+    const Paper& p = paper(id);
+    out.reserve(p.abstract_sentences.size());
+    for (const auto& s : p.abstract_sentences) out.push_back(s.text);
+    return out;
+  }
+};
+
+}  // namespace subrec::corpus
+
+#endif  // SUBREC_CORPUS_TYPES_H_

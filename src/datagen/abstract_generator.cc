@@ -1,0 +1,109 @@
+#include "datagen/abstract_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace subrec::datagen {
+
+AbstractGenerator::AbstractGenerator(AbstractGeneratorOptions options)
+    : options_(options) {
+  SUBREC_CHECK_GE(options_.mean_sentences_per_role, 1.0);
+  SUBREC_CHECK_LE(options_.min_content_tokens, options_.max_content_tokens);
+}
+
+corpus::Sentence AbstractGenerator::MakeSentence(
+    const SyntheticVocabulary& vocab, int discipline, int topic, int role,
+    double innovation, const std::vector<std::string>& novel_pool,
+    Rng& rng) const {
+  std::string text;
+  // Leading cue phrase; occasionally from the wrong role (labeler noise).
+  int cue_role = role;
+  if (!rng.Bernoulli(options_.cue_fidelity))
+    cue_role = static_cast<int>(rng.UniformInt(3));
+  const auto& cues = vocab.CuePhrases(cue_role);
+  text += cues[rng.UniformInt(cues.size())];
+
+  const int n_tokens =
+      options_.min_content_tokens +
+      static_cast<int>(rng.UniformInt(static_cast<uint64_t>(
+          options_.max_content_tokens - options_.min_content_tokens + 1)));
+  const auto& topic_words = vocab.TopicWords(discipline, topic);
+  const auto& disc_words = vocab.DisciplineWords(discipline);
+  const auto& general = vocab.GeneralWords();
+  auto skewed_index = [&](size_t size) {
+    const double u = rng.UniformDouble();
+    const double frac = std::pow(u, options_.topic_word_skew);
+    return std::min(size - 1, static_cast<size_t>(frac * static_cast<double>(size)));
+  };
+  for (int i = 0; i < n_tokens; ++i) {
+    text += ' ';
+    const double u = rng.UniformDouble();
+    if (u < 0.62) {
+      text += topic_words[skewed_index(topic_words.size())];
+    } else if (u < 0.82) {
+      text += disc_words[skewed_index(disc_words.size())];
+    } else {
+      text += general[rng.UniformInt(general.size())];
+    }
+  }
+
+  // Innovation signatures: the paper's own novel terminology (a new
+  // technique/finding gets named and then repeated, concentrating encoder
+  // weight on it) plus cross-topic borrowings, both confined to this
+  // sentence's role.
+  if (!novel_pool.empty()) {
+    // Superlinear at the low end (z^2/(z+0.5)): barely-innovative papers
+    // usually coin nothing, so embedding displacement tracks z instead of
+    // saturating after the first novel term.
+    const double lambda = options_.novel_token_rate * innovation * innovation /
+                          (innovation + 0.5);
+    const int novel = rng.Poisson(lambda);
+    for (int i = 0; i < novel; ++i) {
+      text += ' ';
+      text += novel_pool[rng.UniformInt(novel_pool.size())];
+    }
+  }
+  const int borrowed = rng.Poisson(options_.borrow_rate * innovation);
+  for (int i = 0; i < borrowed; ++i) {
+    const int other_topic = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(vocab.max_topics())));
+    const auto& other = vocab.TopicWords(discipline, other_topic);
+    text += ' ';
+    text += other[rng.UniformInt(other.size())];
+  }
+  text += '.';
+  corpus::Sentence s;
+  s.text = std::move(text);
+  s.role = role;
+  return s;
+}
+
+std::vector<corpus::Sentence> AbstractGenerator::Generate(
+    const SyntheticVocabulary& vocab, int discipline, int topic,
+    const std::array<double, 3>& innovation, corpus::PaperId paper_id,
+    Rng& rng) const {
+  std::vector<corpus::Sentence> sentences;
+  for (int role = 0; role < 3; ++role) {
+    const double z = innovation[static_cast<size_t>(role)];
+    // The paper coins a few new terms per innovative subspace and reuses
+    // them across that subspace's sentences.
+    std::vector<std::string> novel_pool;
+    const int pool_size = z > 0.0 ? 1 + rng.Poisson(z) : 0;
+    for (int j = 0; j < pool_size; ++j) {
+      novel_pool.push_back("p" + std::to_string(paper_id) + "r" +
+                           std::to_string(role) + "n" + std::to_string(j));
+    }
+    const int count =
+        1 + rng.Poisson(options_.mean_sentences_per_role - 1.0);
+    for (int i = 0; i < count; ++i) {
+      sentences.push_back(
+          MakeSentence(vocab, discipline, topic, role, z, novel_pool, rng));
+    }
+  }
+  return sentences;
+}
+
+}  // namespace subrec::datagen

@@ -1,0 +1,91 @@
+#include "datagen/citation_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace subrec::datagen {
+
+CitationModel::CitationModel(CitationModelOptions options)
+    : options_(options) {}
+
+double CitationModel::InnovationFactor(const corpus::Paper& paper,
+                                       const DisciplineSpec& spec) const {
+  double weighted = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    weighted += spec.innovation_sensitivity[static_cast<size_t>(k)] *
+                paper.latent_innovation[static_cast<size_t>(k)];
+  }
+  return std::exp(options_.innovation_boost * weighted);
+}
+
+std::vector<corpus::PaperId> CitationModel::SelectReferences(
+    const corpus::Corpus& corpus, const std::vector<DisciplineSpec>& specs,
+    const std::vector<int>& in_degree, int discipline, int topic, int count,
+    Rng& rng,
+    const std::unordered_set<corpus::AuthorId>* favored_authors) const {
+  const size_t n = corpus.papers.size();
+  SUBREC_CHECK_EQ(in_degree.size(), n);
+  if (n == 0 || count <= 0) return {};
+
+  std::vector<double> weights(n);
+  const int current_year =
+      corpus.papers.empty() ? 0 : corpus.papers.back().year;
+  for (size_t i = 0; i < n; ++i) {
+    const corpus::Paper& cand = corpus.papers[i];
+    double rel = options_.relevance_other;
+    if (cand.discipline == discipline) {
+      rel = cand.topic == topic ? options_.relevance_same_topic
+                                : options_.relevance_same_discipline;
+    }
+    const double pref =
+        1.0 + options_.preferential_weight * static_cast<double>(in_degree[i]);
+    const double age = static_cast<double>(std::max(current_year - cand.year, 0));
+    const double recency =
+        std::exp(-age * 0.6931471805599453 / options_.recency_half_life);
+    const double innov =
+        InnovationFactor(cand, specs[static_cast<size_t>(cand.discipline)]);
+    double habit = 1.0;
+    if (favored_authors != nullptr) {
+      for (corpus::AuthorId a : cand.authors) {
+        if (favored_authors->count(a) > 0) {
+          habit = options_.habit_boost;
+          break;
+        }
+      }
+    }
+    weights[i] = rel * pref * recency * innov * habit;
+  }
+
+  std::vector<corpus::PaperId> refs;
+  std::unordered_set<corpus::PaperId> seen;
+  const int max_refs = static_cast<int>(std::min<size_t>(n, static_cast<size_t>(count)));
+  int attempts = 0;
+  while (static_cast<int>(refs.size()) < max_refs && attempts < 20 * count) {
+    ++attempts;
+    const size_t pick = rng.Categorical(weights);
+    const corpus::PaperId id = corpus.papers[pick].id;
+    if (seen.insert(id).second) {
+      refs.push_back(id);
+      weights[pick] = 0.0;
+    }
+  }
+  return refs;
+}
+
+int CitationModel::FinalCitationCount(const corpus::Paper& paper,
+                                      const DisciplineSpec& spec,
+                                      int in_degree, double venue_prestige,
+                                      double author_authority,
+                                      int horizon_year, Rng& rng) const {
+  const double age =
+      std::max(static_cast<double>(horizon_year - paper.year), 0.0);
+  const double lambda = options_.external_scale * spec.base_citation_rate *
+                        InnovationFactor(paper, spec) * venue_prestige *
+                        author_authority * (0.5 + 0.5 * age);
+  return in_degree + rng.Poisson(lambda);
+}
+
+}  // namespace subrec::datagen

@@ -1,0 +1,273 @@
+#include "datagen/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace subrec::datagen {
+namespace {
+
+/// A research team: authors sharing focus topics within one discipline.
+struct Team {
+  int discipline = 0;
+  std::vector<int> focus_topics;
+  std::vector<corpus::AuthorId> members;
+};
+
+}  // namespace
+
+Result<GeneratedDataset> GenerateCorpus(const CorpusGeneratorOptions& options) {
+  if (options.disciplines.empty())
+    return Status::InvalidArgument("GenerateCorpus: no disciplines");
+  if (options.num_authors < options.team_size)
+    return Status::InvalidArgument("GenerateCorpus: too few authors");
+  if (options.end_year < options.start_year)
+    return Status::InvalidArgument("GenerateCorpus: bad year range");
+  if (options.min_authors_per_paper < 1 ||
+      options.max_authors_per_paper < options.min_authors_per_paper)
+    return Status::InvalidArgument("GenerateCorpus: bad author count range");
+
+  Rng rng(options.seed);
+  GeneratedDataset out;
+  out.disciplines = options.disciplines;
+  corpus::Corpus& corpus = out.corpus;
+
+  const int num_disciplines = static_cast<int>(options.disciplines.size());
+  int max_topics = 1;
+  for (const auto& d : options.disciplines)
+    max_topics = std::max(max_topics, d.num_topics);
+  corpus.num_topics = max_topics;
+  for (const auto& d : options.disciplines)
+    corpus.discipline_names.push_back(d.name);
+
+  SyntheticVocabulary vocab(num_disciplines, max_topics);
+  AbstractGenerator abstracts(options.abstract_options);
+  CitationModel citations(options.citation_options);
+
+  // Category tree: root -> discipline -> topic leaves.
+  if (options.include_ccs) {
+    out.topic_ccs_node.resize(static_cast<size_t>(num_disciplines));
+    for (int d = 0; d < num_disciplines; ++d) {
+      const int dn = out.ccs.AddNode(options.disciplines[static_cast<size_t>(d)].name,
+                                     out.ccs.root());
+      for (int t = 0; t < options.disciplines[static_cast<size_t>(d)].num_topics;
+           ++t) {
+        out.topic_ccs_node[static_cast<size_t>(d)].push_back(
+            out.ccs.AddNode("topic" + std::to_string(t), dn));
+      }
+    }
+    corpus.num_ccs_nodes = static_cast<int>(out.ccs.size());
+  }
+
+  // Venues with prestige.
+  if (options.include_venues) {
+    corpus.num_venues = num_disciplines * options.venues_per_discipline;
+    for (int v = 0; v < corpus.num_venues; ++v)
+      out.venue_prestige.push_back(rng.Uniform(0.8, 1.5));
+  }
+  corpus.num_affiliations =
+      options.include_affiliations ? options.num_affiliations : 0;
+
+  // Authors and teams.
+  std::vector<Team> teams;
+  corpus.authors.resize(static_cast<size_t>(options.num_authors));
+  for (int a = 0; a < options.num_authors; ++a) {
+    corpus::Author& author = corpus.authors[static_cast<size_t>(a)];
+    author.id = a;
+    author.name = "author" + std::to_string(a);
+    author.affiliation =
+        corpus.num_affiliations > 0
+            ? static_cast<int>(rng.UniformInt(
+                  static_cast<uint64_t>(corpus.num_affiliations)))
+            : -1;
+    author.authority = std::exp(rng.Gaussian(0.0, 0.4));
+    if (a % options.team_size == 0) {
+      Team team;
+      team.discipline = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(num_disciplines)));
+      const int nt =
+          options.disciplines[static_cast<size_t>(team.discipline)].num_topics;
+      team.focus_topics.push_back(
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(nt))));
+      team.focus_topics.push_back(
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(nt))));
+      teams.push_back(team);
+    }
+    teams.back().members.push_back(a);
+    // Interests over this discipline's topic range (generator-side truth).
+    const Team& team = teams.back();
+    const int nt =
+        options.disciplines[static_cast<size_t>(team.discipline)].num_topics;
+    author.interests.assign(static_cast<size_t>(nt), 0.1);
+    for (int t : team.focus_topics)
+      author.interests[static_cast<size_t>(t)] += 1.0;
+  }
+
+  // Teams per discipline, for cross-team sampling.
+  std::vector<std::vector<size_t>> discipline_teams(
+      static_cast<size_t>(num_disciplines));
+  for (size_t t = 0; t < teams.size(); ++t)
+    discipline_teams[static_cast<size_t>(teams[t].discipline)].push_back(t);
+  for (int d = 0; d < num_disciplines; ++d) {
+    if (discipline_teams[static_cast<size_t>(d)].empty())
+      return Status::InvalidArgument(
+          "GenerateCorpus: discipline without any team; increase num_authors");
+  }
+
+  // Citation habit state: each team habitually cites its own members and
+  // the authors it has cited repeatedly. The favored set is thresholded
+  // and capped so habits stay selective instead of saturating to "everyone
+  // we ever cited".
+  constexpr int kHabitMinCount = 3;
+  constexpr size_t kHabitMaxAuthors = 25;
+  std::vector<std::unordered_map<corpus::AuthorId, int>> team_citee_counts(
+      teams.size());
+  auto favored_of = [&](size_t team_index) {
+    std::unordered_set<corpus::AuthorId> favored(
+        teams[team_index].members.begin(), teams[team_index].members.end());
+    std::vector<std::pair<int, corpus::AuthorId>> ranked;
+    for (const auto& [author, count] : team_citee_counts[team_index])
+      if (count >= kHabitMinCount) ranked.emplace_back(count, author);
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (size_t i = 0; i < ranked.size() && i < kHabitMaxAuthors; ++i)
+      favored.insert(ranked[i].second);
+    return favored;
+  };
+
+  // Papers, year by year.
+  std::vector<int> in_degree;
+  corpus::PaperId next_id = 0;
+  for (int year = options.start_year; year <= options.end_year; ++year) {
+    for (int i = 0; i < options.papers_per_year; ++i) {
+      corpus::Paper paper;
+      paper.id = next_id++;
+      paper.year = year;
+      paper.discipline = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(num_disciplines)));
+      const DisciplineSpec& spec =
+          options.disciplines[static_cast<size_t>(paper.discipline)];
+
+      // Team and authors.
+      const auto& dteams = discipline_teams[static_cast<size_t>(paper.discipline)];
+      const size_t team_index = dteams[rng.UniformInt(dteams.size())];
+      const Team& team = teams[team_index];
+      const int n_authors =
+          options.min_authors_per_paper +
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(
+              options.max_authors_per_paper - options.min_authors_per_paper +
+              1)));
+      std::vector<size_t> picks = rng.SampleWithoutReplacement(
+          team.members.size(),
+          std::min(static_cast<size_t>(n_authors), team.members.size()));
+      for (size_t p : picks) paper.authors.push_back(team.members[p]);
+      if (rng.Bernoulli(options.cross_team_prob) && dteams.size() > 1) {
+        const Team& other = teams[dteams[rng.UniformInt(dteams.size())]];
+        const corpus::AuthorId extra =
+            other.members[rng.UniformInt(other.members.size())];
+        if (std::find(paper.authors.begin(), paper.authors.end(), extra) ==
+            paper.authors.end())
+          paper.authors.push_back(extra);
+      }
+
+      // Topic: team focus most of the time.
+      if (rng.Bernoulli(0.8)) {
+        paper.topic =
+            team.focus_topics[rng.UniformInt(team.focus_topics.size())];
+      } else {
+        paper.topic = static_cast<int>(
+            rng.UniformInt(static_cast<uint64_t>(spec.num_topics)));
+      }
+
+      // Latent innovation.
+      for (int k = 0; k < 3; ++k)
+        paper.latent_innovation[static_cast<size_t>(k)] =
+            rng.Gamma(options.innovation_shape, options.innovation_scale);
+
+      // Venue: innovative papers skew to prestigious venues.
+      if (options.include_venues) {
+        std::vector<double> w(static_cast<size_t>(options.venues_per_discipline));
+        double total_z = 0.0;
+        for (double z : paper.latent_innovation) total_z += z;
+        for (int v = 0; v < options.venues_per_discipline; ++v) {
+          const int venue = paper.discipline * options.venues_per_discipline + v;
+          // Mild prestige pull only: a strong pull would launder total
+          // innovation through the venue and blur the per-subspace
+          // citation signal.
+          w[static_cast<size_t>(v)] =
+              std::exp(0.4 * out.venue_prestige[static_cast<size_t>(venue)] *
+                       std::min(total_z, 3.0));
+        }
+        paper.venue = paper.discipline * options.venues_per_discipline +
+                      static_cast<int>(rng.Categorical(w));
+      }
+
+      // CCS path.
+      if (options.include_ccs) {
+        const int leaf = out.topic_ccs_node[static_cast<size_t>(paper.discipline)]
+                                           [static_cast<size_t>(paper.topic)];
+        paper.ccs_path = out.ccs.PathFromRoot(leaf);
+      }
+
+      // Keywords.
+      if (options.include_keywords) {
+        const auto& pool = vocab.TopicKeywords(paper.discipline, paper.topic);
+        std::vector<size_t> kw = rng.SampleWithoutReplacement(
+            pool.size(), std::min(pool.size(),
+                                  static_cast<size_t>(options.keywords_per_paper)));
+        for (size_t j : kw) paper.keywords.push_back(pool[j]);
+      }
+
+      // Abstract.
+      paper.abstract_sentences =
+          abstracts.Generate(vocab, paper.discipline, paper.topic,
+                             paper.latent_innovation, paper.id, rng);
+      paper.title = "paper " + std::to_string(paper.id) + " on " +
+                    vocab.TopicWords(paper.discipline, paper.topic)[0];
+
+      // References, habit-biased toward the team's usual citees.
+      const int n_refs = 1 + rng.Poisson(options.mean_references - 1.0);
+      const std::unordered_set<corpus::AuthorId> favored =
+          favored_of(team_index);
+      paper.references = citations.SelectReferences(
+          corpus, options.disciplines, in_degree, paper.discipline,
+          paper.topic, n_refs, rng, &favored);
+      for (corpus::PaperId ref : paper.references) {
+        ++in_degree[static_cast<size_t>(ref)];
+        for (corpus::AuthorId a :
+             corpus.papers[static_cast<size_t>(ref)].authors)
+          ++team_citee_counts[team_index][a];
+      }
+
+      for (corpus::AuthorId a : paper.authors)
+        corpus.authors[static_cast<size_t>(a)].papers.push_back(paper.id);
+      corpus.papers.push_back(std::move(paper));
+      in_degree.push_back(0);
+    }
+  }
+
+  // Final citation metadata at the horizon (= end_year).
+  for (corpus::Paper& paper : corpus.papers) {
+    const DisciplineSpec& spec =
+        options.disciplines[static_cast<size_t>(paper.discipline)];
+    const double prestige =
+        (options.include_venues && paper.venue >= 0)
+            ? out.venue_prestige[static_cast<size_t>(paper.venue)]
+            : 1.0;
+    double authority = 0.0;
+    for (corpus::AuthorId a : paper.authors)
+      authority += corpus.authors[static_cast<size_t>(a)].authority;
+    authority = paper.authors.empty()
+                    ? 1.0
+                    : authority / static_cast<double>(paper.authors.size());
+    paper.citation_count = citations.FinalCitationCount(
+        paper, spec, in_degree[static_cast<size_t>(paper.id)], prestige,
+        authority, options.end_year, rng);
+  }
+  return out;
+}
+
+}  // namespace subrec::datagen

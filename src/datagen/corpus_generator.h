@@ -1,0 +1,64 @@
+#ifndef SUBREC_DATAGEN_CORPUS_GENERATOR_H_
+#define SUBREC_DATAGEN_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/types.h"
+#include "datagen/abstract_generator.h"
+#include "datagen/citation_model.h"
+#include "datagen/discipline.h"
+#include "rules/ccs_tree.h"
+
+namespace subrec::datagen {
+
+struct CorpusGeneratorOptions {
+  std::vector<DisciplineSpec> disciplines = ScopusDisciplines();
+  int start_year = 2008;
+  int end_year = 2017;
+  int papers_per_year = 250;
+  int num_authors = 300;
+  /// Authors are grouped into research teams of this size; teams share
+  /// focus topics, which produces the co-author clustering of Fig. 5.
+  int team_size = 4;
+  /// Probability a paper adds one author from a different team.
+  double cross_team_prob = 0.15;
+  int min_authors_per_paper = 1;
+  int max_authors_per_paper = 4;
+  int venues_per_discipline = 3;
+  int num_affiliations = 25;
+  double mean_references = 10.0;
+  int keywords_per_paper = 4;
+  /// Latent per-subspace innovation z_k ~ Gamma(shape, scale).
+  double innovation_shape = 1.6;
+  double innovation_scale = 0.45;
+  AbstractGeneratorOptions abstract_options;
+  CitationModelOptions citation_options;
+  /// Attribute switches (the patent preset turns most of these off).
+  bool include_venues = true;
+  bool include_keywords = true;
+  bool include_affiliations = true;
+  bool include_ccs = true;
+  uint64_t seed = 1234;
+};
+
+/// A generated dataset: the corpus plus the category tree and generator
+/// metadata the experiments need.
+struct GeneratedDataset {
+  corpus::Corpus corpus;
+  rules::CcsTree ccs;
+  std::vector<DisciplineSpec> disciplines;
+  /// ccs node id of each (discipline, topic) leaf; empty when !include_ccs.
+  std::vector<std::vector<int>> topic_ccs_node;
+  /// Venue prestige multipliers, by venue index.
+  std::vector<double> venue_prestige;
+};
+
+/// Runs the generative model described in DESIGN.md. Deterministic given
+/// options.seed. Returns InvalidArgument for degenerate configurations.
+Result<GeneratedDataset> GenerateCorpus(const CorpusGeneratorOptions& options);
+
+}  // namespace subrec::datagen
+
+#endif  // SUBREC_DATAGEN_CORPUS_GENERATOR_H_

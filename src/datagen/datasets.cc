@@ -1,0 +1,82 @@
+#include "datagen/datasets.h"
+
+namespace subrec::datagen {
+namespace {
+
+void ApplyScale(DatasetScale scale, CorpusGeneratorOptions* options) {
+  switch (scale) {
+    case DatasetScale::kTiny:
+      options->papers_per_year = 40;
+      options->num_authors = 60;
+      options->mean_references = 5.0;
+      break;
+    case DatasetScale::kSmall:
+      options->papers_per_year = 150;
+      options->num_authors = 200;
+      break;
+    case DatasetScale::kMedium:
+      options->papers_per_year = 400;
+      options->num_authors = 500;
+      break;
+  }
+}
+
+}  // namespace
+
+CorpusGeneratorOptions AcmLikeOptions(DatasetScale scale, uint64_t seed) {
+  CorpusGeneratorOptions options;
+  options.disciplines = AcmDisciplines();
+  options.start_year = 2008;
+  options.end_year = 2017;
+  options.seed = seed;
+  ApplyScale(scale, &options);
+  return options;
+}
+
+CorpusGeneratorOptions ScopusLikeOptions(DatasetScale scale, uint64_t seed) {
+  CorpusGeneratorOptions options;
+  options.disciplines = ScopusDisciplines();
+  options.start_year = 2008;
+  options.end_year = 2017;
+  options.include_affiliations = false;  // Tab. III: Scopus lacks units.
+  options.seed = seed;
+  ApplyScale(scale, &options);
+  return options;
+}
+
+CorpusGeneratorOptions PubmedRctLikeOptions(DatasetScale scale,
+                                            uint64_t seed) {
+  CorpusGeneratorOptions options;
+  DisciplineSpec medicine;
+  medicine.name = "Medicine";
+  medicine.innovation_sensitivity = {0.30, 0.35, 1.15};
+  medicine.num_topics = 8;
+  medicine.base_citation_rate = 3.0;
+  options.disciplines = {medicine};
+  // Longer abstracts: PubMedRCT averages 11.5 sentences.
+  options.abstract_options.mean_sentences_per_role = 3.8;
+  options.seed = seed;
+  ApplyScale(scale, &options);
+  return options;
+}
+
+CorpusGeneratorOptions PatentLikeOptions(DatasetScale scale, uint64_t seed) {
+  CorpusGeneratorOptions options;
+  DisciplineSpec tech;
+  tech.name = "Technology";
+  tech.innovation_sensitivity = {0.4, 0.9, 0.9};
+  tech.num_topics = 6;
+  tech.base_citation_rate = 1.5;
+  options.disciplines = {tech};
+  options.include_venues = false;
+  options.include_keywords = false;
+  options.include_affiliations = false;
+  options.include_ccs = false;
+  options.start_year = 2013;
+  options.end_year = 2017;
+  options.seed = seed;
+  ApplyScale(scale, &options);
+  return options;
+}
+
+}  // namespace subrec::datagen

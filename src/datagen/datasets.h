@@ -1,0 +1,35 @@
+#ifndef SUBREC_DATAGEN_DATASETS_H_
+#define SUBREC_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+
+#include "datagen/corpus_generator.h"
+
+namespace subrec::datagen {
+
+/// Scale knob for presets: benches use kSmall for tractable runtimes,
+/// examples/tests use kTiny, kMedium is the stress preset.
+enum class DatasetScale { kTiny, kSmall, kMedium };
+
+/// ACM-like preset (Tab. III row 1, laptop scale): one CS discipline whose
+/// 4 topics are the Tab. II CCS fields, full attribute set, years 2008-17.
+CorpusGeneratorOptions AcmLikeOptions(DatasetScale scale, uint64_t seed);
+
+/// Scopus-like preset: 3 disciplines (CS / Medicine / Sociology) with the
+/// discipline-specific innovation sensitivities of Sec. III, no
+/// affiliations (Tab. III: Scopus lacks them).
+CorpusGeneratorOptions ScopusLikeOptions(DatasetScale scale, uint64_t seed);
+
+/// PubMedRCT-like preset: medicine only, longer abstracts (the paper: 11.5
+/// sentences on average) with gold sentence roles — the labeler's training
+/// corpus.
+CorpusGeneratorOptions PubmedRctLikeOptions(DatasetScale scale, uint64_t seed);
+
+/// US-patent-like preset (Sec. IV-I, Tab. III): authors + citations only —
+/// no venues, keywords, CCS or affiliations — the low-resource
+/// reusability setting of Fig. 6.
+CorpusGeneratorOptions PatentLikeOptions(DatasetScale scale, uint64_t seed);
+
+}  // namespace subrec::datagen
+
+#endif  // SUBREC_DATAGEN_DATASETS_H_

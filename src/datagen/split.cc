@@ -1,0 +1,62 @@
+#include "datagen/split.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace subrec::datagen {
+
+YearSplit SplitByYear(const corpus::Corpus& corpus, int year) {
+  YearSplit split;
+  split.split_year = year;
+  for (const corpus::Paper& p : corpus.papers) {
+    if (p.year <= year) {
+      split.train.push_back(p.id);
+    } else {
+      split.test.push_back(p.id);
+    }
+  }
+  return split;
+}
+
+std::vector<corpus::PaperId> PapersOfDiscipline(const corpus::Corpus& corpus,
+                                                int discipline, int min_year,
+                                                int max_year) {
+  std::vector<corpus::PaperId> out;
+  for (const corpus::Paper& p : corpus.papers) {
+    if (p.discipline == discipline && p.year >= min_year && p.year <= max_year)
+      out.push_back(p.id);
+  }
+  return out;
+}
+
+std::vector<corpus::PaperId> HeldOutCitations(const corpus::Corpus& corpus,
+                                              corpus::AuthorId user,
+                                              int year) {
+  std::unordered_set<corpus::PaperId> cited;
+  for (corpus::PaperId pid : corpus.author(user).papers) {
+    const corpus::Paper& p = corpus.paper(pid);
+    if (p.year <= year) continue;
+    for (corpus::PaperId ref : p.references) {
+      if (corpus.paper(ref).year > year) cited.insert(ref);
+    }
+  }
+  std::vector<corpus::PaperId> out(cited.begin(), cited.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<corpus::AuthorId> SelectUsers(const corpus::Corpus& corpus,
+                                          int year, int min_train_papers) {
+  std::vector<corpus::AuthorId> users;
+  for (const corpus::Author& a : corpus.authors) {
+    int train_papers = 0;
+    for (corpus::PaperId pid : a.papers)
+      if (corpus.paper(pid).year <= year) ++train_papers;
+    if (train_papers < min_train_papers) continue;
+    if (HeldOutCitations(corpus, a.id, year).empty()) continue;
+    users.push_back(a.id);
+  }
+  return users;
+}
+
+}  // namespace subrec::datagen

@@ -1,0 +1,38 @@
+#ifndef SUBREC_DATAGEN_SPLIT_H_
+#define SUBREC_DATAGEN_SPLIT_H_
+
+#include <vector>
+
+#include "corpus/types.h"
+
+namespace subrec::datagen {
+
+/// Year-based split of Sec. IV-E: papers published in or before `year`
+/// train the models; papers after `year` are the "new papers" under test.
+struct YearSplit {
+  std::vector<corpus::PaperId> train;
+  std::vector<corpus::PaperId> test;
+  int split_year = 0;
+};
+
+YearSplit SplitByYear(const corpus::Corpus& corpus, int year);
+
+/// Papers of one discipline within the given inclusive year range.
+std::vector<corpus::PaperId> PapersOfDiscipline(const corpus::Corpus& corpus,
+                                                int discipline, int min_year,
+                                                int max_year);
+
+/// Authors with at least `min_train_papers` papers in/before `year` AND at
+/// least one post-`year` paper citing a post-`year` paper (so there is
+/// recommendation ground truth) — the experiment users of Sec. IV-E.
+std::vector<corpus::AuthorId> SelectUsers(const corpus::Corpus& corpus,
+                                          int year, int min_train_papers);
+
+/// The post-`year` papers a user's post-`year` publications cite — the
+/// recommendation ground truth set for that user.
+std::vector<corpus::PaperId> HeldOutCitations(const corpus::Corpus& corpus,
+                                              corpus::AuthorId user, int year);
+
+}  // namespace subrec::datagen
+
+#endif  // SUBREC_DATAGEN_SPLIT_H_

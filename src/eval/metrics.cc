@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace subrec::eval {
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  SUBREC_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<double> RankWithTies(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return values[x] < values[y]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  return PearsonCorrelation(RankWithTies(a), RankWithTies(b));
+}
+
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
+  SUBREC_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double x = (a[i] - a[j]) * (b[i] - b[j]);
+      if (x > 0) ++concordant;
+      else if (x < 0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+double NdcgAtK(const std::vector<bool>& relevant, int k, double rel_value) {
+  SUBREC_CHECK_GT(k, 0);
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k), relevant.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < kk; ++i) {
+    if (relevant[i])
+      dcg += rel_value / std::log2(static_cast<double>(i) + 2.0);
+  }
+  const size_t total_relevant =
+      static_cast<size_t>(std::count(relevant.begin(), relevant.end(), true));
+  if (total_relevant == 0) return 0.0;
+  double idcg = 0.0;
+  for (size_t i = 0; i < total_relevant; ++i)
+    idcg += rel_value / std::log2(static_cast<double>(i) + 2.0);
+  return dcg / idcg;
+}
+
+double ReciprocalRank(const std::vector<bool>& relevant, int k) {
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k), relevant.size());
+  for (size_t i = 0; i < kk; ++i) {
+    if (relevant[i]) return 1.0 / (static_cast<double>(i) + 1.0);
+  }
+  return 0.0;
+}
+
+double AveragePrecision(const std::vector<bool>& relevant) {
+  double hits = 0.0, sum = 0.0;
+  for (size_t i = 0; i < relevant.size(); ++i) {
+    if (relevant[i]) {
+      hits += 1.0;
+      sum += hits / (static_cast<double>(i) + 1.0);
+    }
+  }
+  return hits > 0.0 ? sum / hits : 0.0;
+}
+
+}  // namespace subrec::eval

@@ -1,0 +1,40 @@
+#ifndef SUBREC_EVAL_METRICS_H_
+#define SUBREC_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace subrec::eval {
+
+/// Pearson linear correlation; 0 for degenerate (constant) inputs.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman rank correlation [33] with average ranks on ties — the
+/// agreement measure between predicted difference rankings and citation
+/// rankings in Tab. I / Fig. 2.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Kendall's tau-a (provided as a robustness cross-check on Spearman).
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Average ranks (1-based; ties share the mean rank).
+std::vector<double> RankWithTies(const std::vector<double>& values);
+
+/// nDCG@k of the paper's Sec. IV-D form: the candidate list is already in
+/// recommendation order; `relevant[i]` says whether position i is actually
+/// cited. Every cited paper has gain `rel_value` (paper: 5); IDCG places
+/// all |Ref| cited papers first.
+double NdcgAtK(const std::vector<bool>& relevant, int k,
+               double rel_value = 5.0);
+
+/// Reciprocal rank of the first relevant item within the top-k (0 when
+/// none).
+double ReciprocalRank(const std::vector<bool>& relevant, int k);
+
+/// Average precision over the full ranked list (0 when nothing relevant).
+double AveragePrecision(const std::vector<bool>& relevant);
+
+}  // namespace subrec::eval
+
+#endif  // SUBREC_EVAL_METRICS_H_

@@ -1,0 +1,28 @@
+#include "eval/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace subrec::eval {
+
+std::vector<size_t> SortIndicesDescending(const std::vector<double>& scores) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return idx;
+}
+
+std::vector<bool> ReorderByRanking(const std::vector<double>& scores,
+                                   const std::vector<bool>& flags) {
+  SUBREC_CHECK_EQ(scores.size(), flags.size());
+  const std::vector<size_t> order = SortIndicesDescending(scores);
+  std::vector<bool> out(flags.size());
+  for (size_t r = 0; r < order.size(); ++r) out[r] = flags[order[r]];
+  return out;
+}
+
+}  // namespace subrec::eval

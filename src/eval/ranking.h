@@ -1,0 +1,19 @@
+#ifndef SUBREC_EVAL_RANKING_H_
+#define SUBREC_EVAL_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace subrec::eval {
+
+/// Indices of `scores` sorted descending (ties by smaller index).
+std::vector<size_t> SortIndicesDescending(const std::vector<double>& scores);
+
+/// Reorders a parallel boolean array by a score ranking: out[r] = flags of
+/// the item ranked r-th.
+std::vector<bool> ReorderByRanking(const std::vector<double>& scores,
+                                   const std::vector<bool>& flags);
+
+}  // namespace subrec::eval
+
+#endif  // SUBREC_EVAL_RANKING_H_

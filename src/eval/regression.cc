@@ -1,0 +1,34 @@
+#include "eval/regression.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+
+namespace subrec::eval {
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  SUBREC_CHECK_EQ(x.size(), y.size());
+  LinearFit fit;
+  const size_t n = x.size();
+  if (n < 2) return fit;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r = PearsonCorrelation(x, y);
+  return fit;
+}
+
+}  // namespace subrec::eval

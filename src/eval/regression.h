@@ -1,0 +1,21 @@
+#ifndef SUBREC_EVAL_REGRESSION_H_
+#define SUBREC_EVAL_REGRESSION_H_
+
+#include <vector>
+
+namespace subrec::eval {
+
+/// Ordinary least squares line y = slope * x + intercept, with the Pearson
+/// r of the fit. Used for the regression-line slopes of Fig. 3 (which
+/// subspace's difference tracks citations most strongly per discipline).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;
+};
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace subrec::eval
+
+#endif  // SUBREC_EVAL_REGRESSION_H_

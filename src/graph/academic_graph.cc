@@ -1,0 +1,188 @@
+#include "graph/academic_graph.h"
+
+#include "common/check.h"
+
+namespace subrec::graph {
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kPaper:
+      return "paper";
+    case EntityType::kAuthor:
+      return "author";
+    case EntityType::kAffiliation:
+      return "affiliation";
+    case EntityType::kVenue:
+      return "venue";
+    case EntityType::kClassification:
+      return "classification";
+    case EntityType::kKeyword:
+      return "keyword";
+    case EntityType::kYear:
+      return "year";
+  }
+  return "?";
+}
+
+const char* RelationTypeName(RelationType type) {
+  switch (type) {
+    case RelationType::kCites:
+      return "cite";
+    case RelationType::kWrittenBy:
+      return "written";
+    case RelationType::kPublishedIn:
+      return "published in";
+    case RelationType::kPublishedYear:
+      return "published year is";
+    case RelationType::kUnitIs:
+      return "unit is";
+    case RelationType::kHasKeyword:
+      return "keywords include";
+    case RelationType::kClassifiedAs:
+      return "specialty classification is";
+  }
+  return "?";
+}
+
+NodeId AcademicGraph::AddNode(EntityType type, int external_id) {
+  const NodeId id = static_cast<NodeId>(types_.size());
+  types_.push_back(type);
+  external_ids_.push_back(external_id);
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+void AcademicGraph::AddEdge(NodeId a, NodeId b, RelationType rel) {
+  SUBREC_CHECK(a >= 0 && static_cast<size_t>(a) < types_.size());
+  SUBREC_CHECK(b >= 0 && static_cast<size_t>(b) < types_.size());
+  out_[static_cast<size_t>(a)].push_back({b, rel});
+  in_[static_cast<size_t>(b)].push_back({a, rel});
+  ++num_edges_;
+  if (rel != RelationType::kCites) {
+    // Two-way association: mirror into the other endpoint's lists.
+    out_[static_cast<size_t>(b)].push_back({a, rel});
+    in_[static_cast<size_t>(a)].push_back({b, rel});
+  }
+}
+
+EntityType AcademicGraph::type(NodeId n) const {
+  SUBREC_CHECK(n >= 0 && static_cast<size_t>(n) < types_.size());
+  return types_[static_cast<size_t>(n)];
+}
+
+int AcademicGraph::external_id(NodeId n) const {
+  SUBREC_CHECK(n >= 0 && static_cast<size_t>(n) < external_ids_.size());
+  return external_ids_[static_cast<size_t>(n)];
+}
+
+const std::vector<Edge>& AcademicGraph::OutEdges(NodeId n) const {
+  SUBREC_CHECK(n >= 0 && static_cast<size_t>(n) < out_.size());
+  return out_[static_cast<size_t>(n)];
+}
+
+const std::vector<Edge>& AcademicGraph::InEdges(NodeId n) const {
+  SUBREC_CHECK(n >= 0 && static_cast<size_t>(n) < in_.size());
+  return in_[static_cast<size_t>(n)];
+}
+
+std::vector<Edge> AcademicGraph::InterestNeighborhood(NodeId n) const {
+  // Out-list already holds both-way relations plus out-citations.
+  return OutEdges(n);
+}
+
+std::vector<Edge> AcademicGraph::InfluenceNeighborhood(NodeId n) const {
+  std::vector<Edge> result;
+  for (const Edge& e : OutEdges(n))
+    if (e.rel != RelationType::kCites) result.push_back(e);
+  for (const Edge& e : InEdges(n))
+    if (e.rel == RelationType::kCites) result.push_back(e);
+  return result;
+}
+
+GraphIndex BuildAcademicGraph(const corpus::Corpus& corpus,
+                              const GraphBuildOptions& options) {
+  GraphIndex index;
+  AcademicGraph& g = index.graph;
+
+  index.paper_nodes.resize(corpus.papers.size());
+  for (const corpus::Paper& p : corpus.papers)
+    index.paper_nodes[static_cast<size_t>(p.id)] =
+        g.AddNode(EntityType::kPaper, p.id);
+
+  if (options.include_authors) {
+    index.author_nodes.resize(corpus.authors.size());
+    for (const corpus::Author& a : corpus.authors)
+      index.author_nodes[static_cast<size_t>(a.id)] =
+          g.AddNode(EntityType::kAuthor, a.id);
+  }
+
+  std::vector<NodeId> affiliation_nodes;
+  if (options.include_affiliations) {
+    for (int i = 0; i < corpus.num_affiliations; ++i)
+      affiliation_nodes.push_back(g.AddNode(EntityType::kAffiliation, i));
+  }
+  std::vector<NodeId> venue_nodes;
+  if (options.include_venues) {
+    for (int i = 0; i < corpus.num_venues; ++i)
+      venue_nodes.push_back(g.AddNode(EntityType::kVenue, i));
+  }
+  std::vector<NodeId> ccs_nodes;
+  if (options.include_classification) {
+    for (int i = 0; i < corpus.num_ccs_nodes; ++i)
+      ccs_nodes.push_back(g.AddNode(EntityType::kClassification, i));
+  }
+  std::unordered_map<std::string, NodeId> keyword_nodes;
+  std::unordered_map<int, NodeId> year_nodes;
+
+  for (const corpus::Paper& p : corpus.papers) {
+    const NodeId pn = index.paper_nodes[static_cast<size_t>(p.id)];
+    for (corpus::PaperId ref : p.references) {
+      if (corpus.paper(ref).year <= options.citation_year_cutoff) {
+        g.AddEdge(pn, index.paper_nodes[static_cast<size_t>(ref)],
+                  RelationType::kCites);
+      }
+    }
+    if (options.include_authors) {
+      for (corpus::AuthorId a : p.authors)
+        g.AddEdge(pn, index.author_nodes[static_cast<size_t>(a)],
+                  RelationType::kWrittenBy);
+    }
+    if (options.include_venues && p.venue >= 0 &&
+        p.venue < corpus.num_venues) {
+      g.AddEdge(pn, venue_nodes[static_cast<size_t>(p.venue)],
+                RelationType::kPublishedIn);
+    }
+    if (options.include_classification && !p.ccs_path.empty()) {
+      const int leaf = p.ccs_path.back();
+      if (leaf >= 0 && leaf < corpus.num_ccs_nodes)
+        g.AddEdge(pn, ccs_nodes[static_cast<size_t>(leaf)],
+                  RelationType::kClassifiedAs);
+    }
+    if (options.include_keywords) {
+      for (const std::string& kw : p.keywords) {
+        auto [it, inserted] = keyword_nodes.try_emplace(kw, 0);
+        if (inserted) it->second = g.AddNode(EntityType::kKeyword, 0);
+        g.AddEdge(pn, it->second, RelationType::kHasKeyword);
+      }
+    }
+    if (options.include_years) {
+      auto [it, inserted] = year_nodes.try_emplace(p.year, 0);
+      if (inserted) it->second = g.AddNode(EntityType::kYear, p.year);
+      g.AddEdge(pn, it->second, RelationType::kPublishedYear);
+    }
+  }
+
+  if (options.include_authors && options.include_affiliations) {
+    for (const corpus::Author& a : corpus.authors) {
+      if (a.affiliation >= 0 && a.affiliation < corpus.num_affiliations) {
+        g.AddEdge(index.author_nodes[static_cast<size_t>(a.id)],
+                  affiliation_nodes[static_cast<size_t>(a.affiliation)],
+                  RelationType::kUnitIs);
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace subrec::graph

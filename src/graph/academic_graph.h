@@ -1,0 +1,115 @@
+#ifndef SUBREC_GRAPH_ACADEMIC_GRAPH_H_
+#define SUBREC_GRAPH_ACADEMIC_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/types.h"
+
+namespace subrec::graph {
+
+/// The 7 entity types of the heterogeneous academic network G (Sec. IV-A).
+enum class EntityType : int {
+  kPaper = 0,
+  kAuthor,
+  kAffiliation,
+  kVenue,
+  kClassification,
+  kKeyword,
+  kYear,
+};
+inline constexpr int kNumEntityTypes = 7;
+
+/// The 7 relation types of T_R. kCites is the single ONE-WAY relation
+/// (academic influence flows from cited to citing); the rest are two-way.
+enum class RelationType : int {
+  kCites = 0,
+  kWrittenBy,
+  kPublishedIn,
+  kPublishedYear,
+  kUnitIs,
+  kHasKeyword,
+  kClassifiedAs,
+};
+inline constexpr int kNumRelationTypes = 7;
+
+const char* EntityTypeName(EntityType type);
+const char* RelationTypeName(RelationType type);
+
+/// Global node id within an AcademicGraph.
+using NodeId = int;
+
+struct Edge {
+  NodeId dst;
+  RelationType rel;
+};
+
+/// Heterogeneous academic network with asymmetric citation handling.
+/// Two-way relations appear in the out-lists of both endpoints; the
+/// citation relation appears only in the citing paper's out-list and the
+/// cited paper's in-list, which is what makes the interest / influence
+/// neighborhoods of Sec. IV-A differ.
+class AcademicGraph {
+ public:
+  /// Adds a node of `type` carrying the dataset-level id (PaperId,
+  /// AuthorId, venue index, ...).
+  NodeId AddNode(EntityType type, int external_id);
+
+  /// Adds a relation a -> b. Two-way relations are mirrored automatically.
+  void AddEdge(NodeId a, NodeId b, RelationType rel);
+
+  size_t num_nodes() const { return types_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  EntityType type(NodeId n) const;
+  int external_id(NodeId n) const;
+
+  const std::vector<Edge>& OutEdges(NodeId n) const;
+  const std::vector<Edge>& InEdges(NodeId n) const;
+
+  /// N_left(p) of the paper: two-way neighbors plus papers p CITES. Feeds
+  /// the interest embedding (what p builds on).
+  std::vector<Edge> InterestNeighborhood(NodeId n) const;
+
+  /// N_right(p): two-way neighbors plus papers CITING p. Feeds the
+  /// influence embedding (who p reaches).
+  std::vector<Edge> InfluenceNeighborhood(NodeId n) const;
+
+ private:
+  std::vector<EntityType> types_;
+  std::vector<int> external_ids_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  size_t num_edges_ = 0;
+};
+
+/// Which entity/relation families to materialize (the patent preset of
+/// Sec. IV-I has only papers + authors — Tab. III).
+struct GraphBuildOptions {
+  bool include_authors = true;
+  bool include_affiliations = true;
+  bool include_venues = true;
+  bool include_keywords = true;
+  bool include_classification = true;
+  bool include_years = true;
+  /// Citation edges are added only when the CITED paper's year is <= this
+  /// (train/test hygiene: held-out post-split citations of post-split
+  /// papers never enter the graph, while a new paper's reference list —
+  /// public at publication time — stays available). INT32_MAX keeps all.
+  int citation_year_cutoff = 0x7fffffff;
+};
+
+/// Maps between a Corpus and its graph nodes.
+struct GraphIndex {
+  AcademicGraph graph;
+  std::vector<NodeId> paper_nodes;   // by PaperId
+  std::vector<NodeId> author_nodes;  // by AuthorId
+};
+
+/// Materializes the network of Sec. IV-A from a corpus.
+GraphIndex BuildAcademicGraph(const corpus::Corpus& corpus,
+                              const GraphBuildOptions& options = {});
+
+}  // namespace subrec::graph
+
+#endif  // SUBREC_GRAPH_ACADEMIC_GRAPH_H_

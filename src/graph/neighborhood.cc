@@ -1,0 +1,38 @@
+#include "graph/neighborhood.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace subrec::graph {
+
+std::vector<Edge> SampleNeighbors(const AcademicGraph& graph, NodeId node,
+                                  NeighborhoodKind kind, int k, Rng& rng) {
+  SUBREC_CHECK_GT(k, 0);
+  std::vector<Edge> all = kind == NeighborhoodKind::kInterest
+                              ? graph.InterestNeighborhood(node)
+                              : graph.InfluenceNeighborhood(node);
+  if (all.size() <= static_cast<size_t>(k)) return all;
+  std::vector<size_t> pick =
+      rng.SampleWithoutReplacement(all.size(), static_cast<size_t>(k));
+  std::vector<Edge> out;
+  out.reserve(pick.size());
+  for (size_t i : pick) out.push_back(all[i]);
+  return out;
+}
+
+DegreeStats ComputeDegreeStats(const AcademicGraph& graph) {
+  DegreeStats stats;
+  if (graph.num_nodes() == 0) return stats;
+  double total = 0.0;
+  for (size_t n = 0; n < graph.num_nodes(); ++n) {
+    const double deg =
+        static_cast<double>(graph.OutEdges(static_cast<NodeId>(n)).size());
+    total += deg;
+    stats.max_out = std::max(stats.max_out, deg);
+  }
+  stats.mean_out = total / static_cast<double>(graph.num_nodes());
+  return stats;
+}
+
+}  // namespace subrec::graph

@@ -1,0 +1,30 @@
+#ifndef SUBREC_GRAPH_NEIGHBORHOOD_H_
+#define SUBREC_GRAPH_NEIGHBORHOOD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/academic_graph.h"
+
+namespace subrec::graph {
+
+/// Which asymmetric neighborhood of a paper node to expand (Sec. IV-A).
+/// Non-paper entities have symmetric neighborhoods, so both modes coincide.
+enum class NeighborhoodKind { kInterest, kInfluence };
+
+/// Samples up to `k` neighbors of `node` without replacement (all of them
+/// when the neighborhood is smaller). Deterministic given `rng` state —
+/// the GCN's fixed-size receptive field sampler.
+std::vector<Edge> SampleNeighbors(const AcademicGraph& graph, NodeId node,
+                                  NeighborhoodKind kind, int k, Rng& rng);
+
+/// Degree statistics used in tests and experiment logging.
+struct DegreeStats {
+  double mean_out = 0.0;
+  double max_out = 0.0;
+};
+DegreeStats ComputeDegreeStats(const AcademicGraph& graph);
+
+}  // namespace subrec::graph
+
+#endif  // SUBREC_GRAPH_NEIGHBORHOOD_H_

@@ -1,0 +1,80 @@
+#include "la/matrix.h"
+
+#include "common/string_util.h"
+
+namespace subrec::la {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    SUBREC_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Random(size_t rows, size_t cols, Rng& rng, double lo,
+                      double hi) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m[i] = rng.Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, Rng& rng,
+                              double stddev) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m[i] = rng.Gaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& v) {
+  Matrix m(1, v.size());
+  for (size_t i = 0; i < v.size(); ++i) m[i] = v[i];
+  return m;
+}
+
+Matrix Matrix::ColVector(const std::vector<double>& v) {
+  Matrix m(v.size(), 1);
+  for (size_t i = 0; i < v.size(); ++i) m[i] = v[i];
+  return m;
+}
+
+std::vector<double> Matrix::RowToVector(size_t r) const {
+  SUBREC_CHECK_LT(r, rows_);
+  return std::vector<double>(row_data(r), row_data(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& v) {
+  SUBREC_CHECK_LT(r, rows_);
+  SUBREC_CHECK_EQ(v.size(), cols_);
+  for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void Matrix::Reshape(size_t rows, size_t cols) {
+  SUBREC_CHECK_EQ(rows * cols, data_.size());
+  rows_ = rows;
+  cols_ = cols;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out = "[";
+  for (size_t r = 0; r < rows_; ++r) {
+    out += r == 0 ? "[" : " [";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += FormatDouble((*this)(r, c), precision);
+    }
+    out += r + 1 == rows_ ? "]" : "]\n";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace subrec::la

@@ -1,0 +1,102 @@
+#ifndef SUBREC_LA_MATRIX_H_
+#define SUBREC_LA_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace subrec::la {
+
+/// Dense row-major matrix of doubles. The single numeric container used by
+/// the autodiff engine, the clustering code and the recommenders. Vectors
+/// are represented as 1xN or Nx1 matrices or as std::vector<double> where a
+/// flat view is more natural.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists: Matrix m = {{1,2},{3,4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Entries i.i.d. Uniform(lo, hi).
+  static Matrix Random(size_t rows, size_t cols, Rng& rng, double lo = -1.0,
+                       double hi = 1.0);
+
+  /// Entries i.i.d. Normal(0, stddev).
+  static Matrix RandomGaussian(size_t rows, size_t cols, Rng& rng,
+                               double stddev = 1.0);
+
+  /// 1 x v.size() row vector wrapping a copy of `v`.
+  static Matrix RowVector(const std::vector<double>& v);
+
+  /// v.size() x 1 column vector wrapping a copy of `v`.
+  static Matrix ColVector(const std::vector<double>& v);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    SUBREC_CHECK(r < rows_ && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    SUBREC_CHECK(r < rows_ && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+
+  /// Flat element access (row-major).
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_data(size_t r) { return data_.data() + r * cols_; }
+  const double* row_data(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row r into a std::vector.
+  std::vector<double> RowToVector(size_t r) const;
+
+  /// Overwrites row r from `v` (sizes must match).
+  void SetRow(size_t r, const std::vector<double>& v);
+
+  void Fill(double v) { data_.assign(data_.size(), v); }
+
+  /// Reshape preserving the flat contents; total size must be unchanged.
+  void Reshape(size_t rows, size_t cols);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Human-readable dump (small matrices only; used in tests/logging).
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace subrec::la
+
+#endif  // SUBREC_LA_MATRIX_H_

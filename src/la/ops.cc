@@ -1,0 +1,231 @@
+#include "la/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace subrec::la {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  SUBREC_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order: streams over b and c rows for cache friendliness.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.row_data(i);
+    const double* arow = a.row_data(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  SUBREC_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA shape mismatch";
+  Matrix c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_data(k);
+    const double* brow = b.row_data(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row_data(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  SUBREC_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransB shape mismatch";
+  Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_data(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  SUBREC_CHECK(a.SameShape(b));
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] += b[i];
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  SUBREC_CHECK(a.SameShape(b));
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] -= b[i];
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  SUBREC_CHECK(a.SameShape(b));
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  return c;
+}
+
+void Axpy(double alpha, const Matrix& b, Matrix& a) {
+  SUBREC_CHECK(a.SameShape(b));
+  for (size_t i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+}
+
+Matrix Scale(const Matrix& a, double alpha) {
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] *= alpha;
+  return c;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
+  SUBREC_CHECK_EQ(bias.rows(), 1u);
+  SUBREC_CHECK_EQ(bias.cols(), a.cols());
+  Matrix c = a;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) c(i, j) += bias(0, j);
+  return c;
+}
+
+Matrix Tanh(const Matrix& a) {
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] = std::tanh(c[i]);
+  return c;
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] = 1.0 / (1.0 + std::exp(-c[i]));
+  return c;
+}
+
+Matrix Relu(const Matrix& a) {
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] = c[i] > 0.0 ? c[i] : 0.0;
+  return c;
+}
+
+Matrix Exp(const Matrix& a) {
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] = std::exp(c[i]);
+  return c;
+}
+
+Matrix RowSoftmax(const Matrix& a) {
+  Matrix c = a;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* row = c.row_data(i);
+    double mx = row[0];
+    for (size_t j = 1; j < a.cols(); ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    for (size_t j = 0; j < a.cols(); ++j) row[j] /= sum;
+  }
+  return c;
+}
+
+double Sum(const Matrix& a) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i];
+  return s;
+}
+
+Matrix ColMean(const Matrix& a) {
+  SUBREC_CHECK_GT(a.rows(), 0u);
+  Matrix m(1, a.cols());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) m(0, j) += a(i, j);
+  for (size_t j = 0; j < a.cols(); ++j) m(0, j) /= static_cast<double>(a.rows());
+  return m;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  SUBREC_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+void NormalizeL2(std::vector<double>& a) {
+  const double n = Norm2(a);
+  if (n == 0.0) return;
+  for (double& v : a) v /= n;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  SUBREC_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const double na = Norm2(a), nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void AxpyVec(double alpha, const std::vector<double>& b,
+             std::vector<double>& a) {
+  SUBREC_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+}
+
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+void SoftmaxInPlace(std::vector<double>& v) {
+  SUBREC_CHECK(!v.empty());
+  double mx = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (double& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (double& x : v) x /= sum;
+}
+
+Matrix StackRows(const std::vector<std::vector<double>>& rows) {
+  SUBREC_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) m.SetRow(i, rows[i]);
+  return m;
+}
+
+}  // namespace subrec::la

@@ -1,0 +1,90 @@
+#include "labeling/crf.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace subrec::labeling {
+
+LinearChainCrf::LinearChainCrf(size_t num_labels, size_t num_features)
+    : num_labels_(num_labels),
+      num_features_(num_features),
+      emit_(num_labels * num_features, 0.0),
+      trans_(num_labels * num_labels, 0.0),
+      start_(num_labels, 0.0) {
+  SUBREC_CHECK_GT(num_labels_, 0u);
+  SUBREC_CHECK_GT(num_features_, 0u);
+}
+
+std::vector<int> LinearChainCrf::Decode(
+    const std::vector<std::vector<size_t>>& features) const {
+  const size_t n = features.size();
+  if (n == 0) return {};
+  const size_t l = num_labels_;
+  std::vector<double> prev(l), cur(l);
+  std::vector<std::vector<int>> backptr(n, std::vector<int>(l, 0));
+
+  auto emit_score = [&](size_t pos, size_t label) {
+    double s = 0.0;
+    for (size_t f : features[pos]) {
+      SUBREC_CHECK_LT(f, num_features_);
+      s += emit_[label * num_features_ + f];
+    }
+    return s;
+  };
+
+  for (size_t y = 0; y < l; ++y) prev[y] = start_[y] + emit_score(0, y);
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t y = 0; y < l; ++y) {
+      double best = -std::numeric_limits<double>::infinity();
+      int best_prev = 0;
+      for (size_t yp = 0; yp < l; ++yp) {
+        const double s = prev[yp] + trans_[yp * l + y];
+        if (s > best) {
+          best = s;
+          best_prev = static_cast<int>(yp);
+        }
+      }
+      cur[y] = best + emit_score(i, y);
+      backptr[i][y] = best_prev;
+    }
+    prev.swap(cur);
+  }
+  int best_last = 0;
+  for (size_t y = 1; y < l; ++y)
+    if (prev[y] > prev[best_last]) best_last = static_cast<int>(y);
+
+  std::vector<int> labels(n);
+  labels[n - 1] = best_last;
+  for (size_t i = n - 1; i > 0; --i)
+    labels[i - 1] = backptr[i][static_cast<size_t>(labels[i])];
+  return labels;
+}
+
+double LinearChainCrf::SequenceScore(
+    const std::vector<std::vector<size_t>>& features,
+    const std::vector<int>& labels) const {
+  SUBREC_CHECK_EQ(features.size(), labels.size());
+  if (labels.empty()) return 0.0;
+  double s = start_[static_cast<size_t>(labels[0])];
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const size_t y = static_cast<size_t>(labels[i]);
+    SUBREC_CHECK_LT(y, num_labels_);
+    for (size_t f : features[i]) s += emit_[y * num_features_ + f];
+    if (i > 0)
+      s += trans_[static_cast<size_t>(labels[i - 1]) * num_labels_ + y];
+  }
+  return s;
+}
+
+void LinearChainCrf::Axpy(double alpha, const LinearChainCrf& other) {
+  SUBREC_CHECK_EQ(num_labels_, other.num_labels_);
+  SUBREC_CHECK_EQ(num_features_, other.num_features_);
+  for (size_t i = 0; i < emit_.size(); ++i) emit_[i] += alpha * other.emit_[i];
+  for (size_t i = 0; i < trans_.size(); ++i)
+    trans_[i] += alpha * other.trans_[i];
+  for (size_t i = 0; i < start_.size(); ++i)
+    start_[i] += alpha * other.start_[i];
+}
+
+}  // namespace subrec::labeling

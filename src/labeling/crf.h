@@ -1,0 +1,62 @@
+#ifndef SUBREC_LABELING_CRF_H_
+#define SUBREC_LABELING_CRF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace subrec::labeling {
+
+/// Linear-chain sequence model over hashed emission features: score(y|x) =
+/// sum_i emit[y_i]·phi(x_i) + sum_i trans[y_{i-1}][y_i] + start[y_0] +
+/// end[y_n]. Decoding is exact Viterbi. (Training uses the averaged
+/// structured perceptron — see trainer.h — which optimizes the same
+/// decision function as a CRF without needing partition-function
+/// gradients; the paper's role for this component [27] is sentence
+/// function labeling.)
+class LinearChainCrf {
+ public:
+  LinearChainCrf(size_t num_labels, size_t num_features);
+
+  size_t num_labels() const { return num_labels_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Viterbi-decodes the label sequence for per-position feature lists.
+  std::vector<int> Decode(
+      const std::vector<std::vector<size_t>>& features) const;
+
+  /// Linear score of a (features, labels) pair under current weights.
+  double SequenceScore(const std::vector<std::vector<size_t>>& features,
+                       const std::vector<int>& labels) const;
+
+  // Weight access for trainers.
+  double& emit(int label, size_t feature) {
+    return emit_[static_cast<size_t>(label) * num_features_ + feature];
+  }
+  double emit(int label, size_t feature) const {
+    return emit_[static_cast<size_t>(label) * num_features_ + feature];
+  }
+  double& trans(int prev, int cur) {
+    return trans_[static_cast<size_t>(prev) * num_labels_ +
+                  static_cast<size_t>(cur)];
+  }
+  double trans(int prev, int cur) const {
+    return trans_[static_cast<size_t>(prev) * num_labels_ +
+                  static_cast<size_t>(cur)];
+  }
+  double& start(int label) { return start_[static_cast<size_t>(label)]; }
+  double start(int label) const { return start_[static_cast<size_t>(label)]; }
+
+  /// this += alpha * other (same shape). Used for weight averaging.
+  void Axpy(double alpha, const LinearChainCrf& other);
+
+ private:
+  size_t num_labels_;
+  size_t num_features_;
+  std::vector<double> emit_;
+  std::vector<double> trans_;
+  std::vector<double> start_;
+};
+
+}  // namespace subrec::labeling
+
+#endif  // SUBREC_LABELING_CRF_H_

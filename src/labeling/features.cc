@@ -1,0 +1,40 @@
+#include "labeling/features.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace subrec::labeling {
+
+FeatureExtractor::FeatureExtractor(size_t num_buckets)
+    : num_buckets_(num_buckets) {
+  SUBREC_CHECK_GT(num_buckets_, 0u);
+}
+
+size_t FeatureExtractor::Bucket(const std::string& feature) const {
+  return Fnv1aHash(feature) % num_buckets_;
+}
+
+std::vector<size_t> FeatureExtractor::Extract(const std::string& sentence,
+                                              int position, int length) const {
+  std::vector<size_t> feats;
+  const std::vector<std::string> tokens = text::Tokenize(sentence);
+  feats.reserve(tokens.size() + 6);
+  for (const auto& t : tokens) feats.push_back(Bucket("tok=" + t));
+  // Leading bigram is a strong rhetorical cue ("we propose", "results show").
+  if (tokens.size() >= 2)
+    feats.push_back(Bucket("lead=" + tokens[0] + "_" + tokens[1]));
+  if (!tokens.empty()) feats.push_back(Bucket("first=" + tokens[0]));
+  // Coarse relative-position buckets.
+  if (length > 0) {
+    const double rel =
+        static_cast<double>(position) / static_cast<double>(length);
+    const int bucket = rel < 0.25 ? 0 : rel < 0.5 ? 1 : rel < 0.75 ? 2 : 3;
+    feats.push_back(Bucket("pos=" + std::to_string(bucket)));
+    if (position == 0) feats.push_back(Bucket("pos=first"));
+    if (position == length - 1) feats.push_back(Bucket("pos=last"));
+  }
+  return feats;
+}
+
+}  // namespace subrec::labeling

@@ -1,0 +1,33 @@
+#ifndef SUBREC_LABELING_FEATURES_H_
+#define SUBREC_LABELING_FEATURES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace subrec::labeling {
+
+/// Hashed emission features for one sentence in an abstract: token unigrams,
+/// leading-bigram cue ("we_propose"...), and coarse position-in-abstract
+/// buckets. All features are hashed into a fixed bucket space so the CRF
+/// weight matrices have a bounded size.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(size_t num_buckets = size_t{1} << 14);
+
+  size_t num_buckets() const { return num_buckets_; }
+
+  /// Features of the sentence at `position` (0-based) in an abstract with
+  /// `length` sentences. Returned bucket ids may repeat.
+  std::vector<size_t> Extract(const std::string& sentence, int position,
+                              int length) const;
+
+ private:
+  size_t Bucket(const std::string& feature) const;
+
+  size_t num_buckets_;
+};
+
+}  // namespace subrec::labeling
+
+#endif  // SUBREC_LABELING_FEATURES_H_

@@ -1,0 +1,128 @@
+#include "labeling/trainer.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace subrec::labeling {
+
+Status TrainAveragedPerceptron(const std::vector<SequenceExample>& examples,
+                               const TrainerOptions& options,
+                               LinearChainCrf* crf) {
+  if (examples.empty())
+    return Status::InvalidArgument("perceptron: no training examples");
+  for (const auto& ex : examples) {
+    if (ex.features.size() != ex.labels.size())
+      return Status::InvalidArgument("perceptron: features/labels mismatch");
+    for (int y : ex.labels) {
+      if (y < 0 || static_cast<size_t>(y) >= crf->num_labels())
+        return Status::InvalidArgument("perceptron: label out of range");
+    }
+  }
+
+  LinearChainCrf sum(crf->num_labels(), crf->num_features());
+  Rng rng(options.seed);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  int64_t updates = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const SequenceExample& ex = examples[idx];
+      if (ex.labels.empty()) continue;
+      const std::vector<int> pred = crf->Decode(ex.features);
+      if (pred == ex.labels) continue;
+      // w += Phi(x, gold) - Phi(x, pred).
+      for (size_t i = 0; i < ex.labels.size(); ++i) {
+        const int gold = ex.labels[i];
+        const int hyp = pred[i];
+        if (gold != hyp) {
+          for (size_t f : ex.features[i]) {
+            crf->emit(gold, f) += 1.0;
+            crf->emit(hyp, f) -= 1.0;
+          }
+        }
+        if (i == 0) {
+          crf->start(gold) += 1.0;
+          crf->start(hyp) -= 1.0;
+        } else {
+          crf->trans(ex.labels[i - 1], gold) += 1.0;
+          crf->trans(pred[i - 1], hyp) -= 1.0;
+        }
+      }
+      sum.Axpy(1.0, *crf);
+      ++updates;
+    }
+  }
+  if (updates > 0) {
+    // Replace the final weights with the running average.
+    LinearChainCrf averaged(crf->num_labels(), crf->num_features());
+    averaged.Axpy(1.0 / static_cast<double>(updates), sum);
+    *crf = averaged;
+  }
+  return Status::Ok();
+}
+
+double SequenceAccuracy(const LinearChainCrf& crf,
+                        const std::vector<SequenceExample>& examples) {
+  int64_t correct = 0, total = 0;
+  for (const auto& ex : examples) {
+    const std::vector<int> pred = crf.Decode(ex.features);
+    for (size_t i = 0; i < ex.labels.size(); ++i) {
+      if (pred[i] == ex.labels[i]) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) /
+                                static_cast<double>(total);
+}
+
+SentenceLabeler::SentenceLabeler(size_t num_labels, size_t num_feature_buckets)
+    : extractor_(num_feature_buckets),
+      crf_(num_labels, num_feature_buckets) {}
+
+SequenceExample SentenceLabeler::MakeExample(
+    const std::vector<std::string>& sentences,
+    const std::vector<int>* roles) const {
+  SequenceExample ex;
+  const int n = static_cast<int>(sentences.size());
+  ex.features.reserve(sentences.size());
+  for (int i = 0; i < n; ++i)
+    ex.features.push_back(extractor_.Extract(sentences[static_cast<size_t>(i)],
+                                             i, n));
+  if (roles != nullptr) ex.labels = *roles;
+  return ex;
+}
+
+Status SentenceLabeler::Train(
+    const std::vector<std::vector<std::string>>& abstracts,
+    const std::vector<std::vector<int>>& roles, const TrainerOptions& options) {
+  if (abstracts.size() != roles.size())
+    return Status::InvalidArgument("SentenceLabeler::Train: size mismatch");
+  std::vector<SequenceExample> examples;
+  examples.reserve(abstracts.size());
+  for (size_t i = 0; i < abstracts.size(); ++i)
+    examples.push_back(MakeExample(abstracts[i], &roles[i]));
+  SUBREC_RETURN_NOT_OK(TrainAveragedPerceptron(examples, options, &crf_));
+  trained_ = true;
+  return Status::Ok();
+}
+
+std::vector<int> SentenceLabeler::Label(
+    const std::vector<std::string>& sentences) const {
+  SUBREC_CHECK(trained_) << "SentenceLabeler used before Train()";
+  return crf_.Decode(MakeExample(sentences, nullptr).features);
+}
+
+double SentenceLabeler::Evaluate(
+    const std::vector<std::vector<std::string>>& abstracts,
+    const std::vector<std::vector<int>>& roles) const {
+  SUBREC_CHECK_EQ(abstracts.size(), roles.size());
+  std::vector<SequenceExample> examples;
+  examples.reserve(abstracts.size());
+  for (size_t i = 0; i < abstracts.size(); ++i)
+    examples.push_back(MakeExample(abstracts[i], &roles[i]));
+  return SequenceAccuracy(crf_, examples);
+}
+
+}  // namespace subrec::labeling

@@ -1,0 +1,70 @@
+#ifndef SUBREC_LABELING_TRAINER_H_
+#define SUBREC_LABELING_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "labeling/crf.h"
+#include "labeling/features.h"
+
+namespace subrec::labeling {
+
+/// One labeled abstract: per-sentence feature lists + gold roles.
+struct SequenceExample {
+  std::vector<std::vector<size_t>> features;
+  std::vector<int> labels;
+};
+
+/// Options for averaged-perceptron CRF training.
+struct TrainerOptions {
+  int epochs = 8;
+  uint64_t seed = 7;
+};
+
+/// Trains a LinearChainCrf with the averaged structured perceptron
+/// (Collins 2002): on each mispredicted sequence, add the gold feature
+/// vector and subtract the predicted one; the returned weights are the
+/// average over all updates, which regularizes like a margin method.
+Status TrainAveragedPerceptron(const std::vector<SequenceExample>& examples,
+                               const TrainerOptions& options,
+                               LinearChainCrf* crf);
+
+/// Fraction of sentences labeled correctly by `crf` over `examples`.
+double SequenceAccuracy(const LinearChainCrf& crf,
+                        const std::vector<SequenceExample>& examples);
+
+/// High-level sentence-function labeler: feature extraction + CRF, the
+/// pretrained-module counterpart of Fig. 1's bottom-right box.
+class SentenceLabeler {
+ public:
+  SentenceLabeler(size_t num_labels, size_t num_feature_buckets = size_t{1} << 14);
+
+  /// Trains on abstracts (lists of sentence strings) with gold roles.
+  Status Train(const std::vector<std::vector<std::string>>& abstracts,
+               const std::vector<std::vector<int>>& roles,
+               const TrainerOptions& options = {});
+
+  /// Labels the sentences of one abstract.
+  std::vector<int> Label(const std::vector<std::string>& sentences) const;
+
+  /// Sentence-level accuracy over a labeled evaluation set.
+  double Evaluate(const std::vector<std::vector<std::string>>& abstracts,
+                  const std::vector<std::vector<int>>& roles) const;
+
+  bool trained() const { return trained_; }
+  size_t num_labels() const { return crf_.num_labels(); }
+
+ private:
+  SequenceExample MakeExample(const std::vector<std::string>& sentences,
+                              const std::vector<int>* roles) const;
+
+  FeatureExtractor extractor_;
+  LinearChainCrf crf_;
+  bool trained_ = false;
+};
+
+}  // namespace subrec::labeling
+
+#endif  // SUBREC_LABELING_TRAINER_H_

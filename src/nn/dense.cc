@@ -1,0 +1,33 @@
+#include "nn/dense.h"
+
+#include "nn/init.h"
+
+namespace subrec::nn {
+
+Dense::Dense(ParameterStore* store, const std::string& name, size_t in,
+             size_t out, Rng& rng, Activation activation)
+    : in_(in),
+      out_(out),
+      activation_(activation),
+      w_(store->Create(name + ".w", GlorotUniform(in, out, rng))),
+      b_(store->Create(name + ".b", la::Matrix(1, out))) {}
+
+autodiff::VarId Dense::Forward(autodiff::Tape* tape, TapeBinding* binding,
+                               autodiff::VarId x) const {
+  autodiff::VarId w = binding->Use(w_);
+  autodiff::VarId b = binding->Use(b_);
+  autodiff::VarId z = tape->AddRowBroadcast(tape->MatMul(x, w), b);
+  switch (activation_) {
+    case Activation::kLinear:
+      return z;
+    case Activation::kTanh:
+      return tape->Tanh(z);
+    case Activation::kSigmoid:
+      return tape->Sigmoid(z);
+    case Activation::kRelu:
+      return tape->Relu(z);
+  }
+  return z;
+}
+
+}  // namespace subrec::nn

@@ -1,0 +1,40 @@
+#ifndef SUBREC_NN_DENSE_H_
+#define SUBREC_NN_DENSE_H_
+
+#include <string>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+#include "nn/parameter.h"
+
+namespace subrec::nn {
+
+enum class Activation { kLinear, kTanh, kSigmoid, kRelu };
+
+/// Fully-connected layer y = act(x W + b) with Glorot-initialized W.
+/// Parameters live in the supplied ParameterStore.
+class Dense {
+ public:
+  Dense(ParameterStore* store, const std::string& name, size_t in, size_t out,
+        Rng& rng, Activation activation = Activation::kLinear);
+
+  /// Applies the layer to `x` (batch x in) on the given tape/binding.
+  autodiff::VarId Forward(autodiff::Tape* tape, TapeBinding* binding,
+                          autodiff::VarId x) const;
+
+  size_t in_dim() const { return in_; }
+  size_t out_dim() const { return out_; }
+  Parameter* weight() const { return w_; }
+  Parameter* bias() const { return b_; }
+
+ private:
+  size_t in_;
+  size_t out_;
+  Activation activation_;
+  Parameter* w_;
+  Parameter* b_;
+};
+
+}  // namespace subrec::nn
+
+#endif  // SUBREC_NN_DENSE_H_

@@ -1,0 +1,16 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace subrec::nn {
+
+la::Matrix GlorotUniform(size_t fan_in, size_t fan_out, Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return la::Matrix::Random(fan_in, fan_out, rng, -a, a);
+}
+
+la::Matrix EmbeddingInit(size_t rows, size_t cols, Rng& rng, double stddev) {
+  return la::Matrix::RandomGaussian(rows, cols, rng, stddev);
+}
+
+}  // namespace subrec::nn

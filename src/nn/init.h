@@ -1,0 +1,18 @@
+#ifndef SUBREC_NN_INIT_H_
+#define SUBREC_NN_INIT_H_
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace subrec::nn {
+
+/// Glorot/Xavier uniform init: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+la::Matrix GlorotUniform(size_t fan_in, size_t fan_out, Rng& rng);
+
+/// Small-gaussian init N(0, stddev) for embedding tables.
+la::Matrix EmbeddingInit(size_t rows, size_t cols, Rng& rng,
+                         double stddev = 0.1);
+
+}  // namespace subrec::nn
+
+#endif  // SUBREC_NN_INIT_H_

@@ -1,0 +1,26 @@
+#include "nn/loss.h"
+
+namespace subrec::nn {
+
+autodiff::VarId TripletHingeLoss(autodiff::Tape* tape, autodiff::VarId d_pos,
+                                 autodiff::VarId d_neg, double margin) {
+  autodiff::VarId eps = tape->Constant(la::Matrix(1, 1, margin));
+  autodiff::VarId violation =
+      tape->Add(tape->Sub(d_neg, d_pos), eps);
+  return tape->Relu(violation);
+}
+
+autodiff::VarId AddL2Regularizer(autodiff::Tape* tape, TapeBinding* binding,
+                                 autodiff::VarId loss,
+                                 const std::vector<Parameter*>& params,
+                                 double lambda) {
+  if (lambda == 0.0 || params.empty()) return loss;
+  autodiff::VarId total = loss;
+  for (Parameter* p : params) {
+    autodiff::VarId leaf = binding->Use(p);
+    total = tape->Add(total, tape->Scale(tape->SumSquares(leaf), lambda));
+  }
+  return total;
+}
+
+}  // namespace subrec::nn

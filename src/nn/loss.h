@@ -1,0 +1,29 @@
+#ifndef SUBREC_NN_LOSS_H_
+#define SUBREC_NN_LOSS_H_
+
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "nn/parameter.h"
+
+namespace subrec::nn {
+
+/// Triplet hinge contrast loss of Eq. (14): max(0, D_pos_violation + eps)
+/// built as Relu(d_neg - d_pos + eps) where d_pos should come out LARGER
+/// than d_neg under the model's distance. `d_pos` and `d_neg` are 1x1 nodes.
+/// (The paper's Eq. 14 writes the hinge with the arguments transposed; this
+/// is the standard orientation that actually decreases on satisfied
+/// triplets.)
+autodiff::VarId TripletHingeLoss(autodiff::Tape* tape, autodiff::VarId d_pos,
+                                 autodiff::VarId d_neg, double margin);
+
+/// Adds lambda * sum_p ||p||^2 over the given parameters to `loss` (1x1),
+/// using the bound leaves so the regularizer also produces gradients.
+autodiff::VarId AddL2Regularizer(autodiff::Tape* tape, TapeBinding* binding,
+                                 autodiff::VarId loss,
+                                 const std::vector<Parameter*>& params,
+                                 double lambda);
+
+}  // namespace subrec::nn
+
+#endif  // SUBREC_NN_LOSS_H_

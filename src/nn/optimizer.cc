@@ -1,0 +1,56 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace subrec::nn {
+
+void Optimizer::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    Update(p);
+    p->grad.Fill(0.0);
+  }
+}
+
+void Sgd::Update(Parameter* p) {
+  for (size_t i = 0; i < p->value.size(); ++i) {
+    double g = p->grad[i] + weight_decay_ * p->value[i];
+    p->value[i] -= lr_ * g;
+  }
+}
+
+void Adam::Update(Parameter* p) {
+  State& s = state_[p];
+  if (s.step == 0) {
+    s.m = la::Matrix(p->value.rows(), p->value.cols());
+    s.v = la::Matrix(p->value.rows(), p->value.cols());
+  }
+  ++s.step;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(s.step));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(s.step));
+  for (size_t i = 0; i < p->value.size(); ++i) {
+    const double g = p->grad[i] + weight_decay_ * p->value[i];
+    s.m[i] = beta1_ * s.m[i] + (1.0 - beta1_) * g;
+    s.v[i] = beta2_ * s.v[i] + (1.0 - beta2_) * g * g;
+    const double mhat = s.m[i] / bc1;
+    const double vhat = s.v[i] / bc2;
+    p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  SUBREC_CHECK_GT(max_norm, 0.0);
+  double total = 0.0;
+  for (const Parameter* p : params)
+    for (size_t i = 0; i < p->grad.size(); ++i) total += p->grad[i] * p->grad[i];
+  const double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (Parameter* p : params)
+      for (size_t i = 0; i < p->grad.size(); ++i) p->grad[i] *= scale;
+  }
+  return norm;
+}
+
+}  // namespace subrec::nn

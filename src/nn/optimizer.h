@@ -1,0 +1,78 @@
+#ifndef SUBREC_NN_OPTIMIZER_H_
+#define SUBREC_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/parameter.h"
+
+namespace subrec::nn {
+
+/// Applies accumulated gradients to parameters and zeroes them.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// One update step over all `params`; clears their grads afterwards.
+  void Step(const std::vector<Parameter*>& params);
+
+ protected:
+  virtual void Update(Parameter* p) = 0;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double weight_decay = 0.0)
+      : lr_(lr), weight_decay_(weight_decay) {}
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ protected:
+  void Update(Parameter* p) override;
+
+ private:
+  double lr_;
+  double weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional L2 weight decay.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0)
+      : lr_(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps),
+        weight_decay_(weight_decay) {}
+
+  void set_lr(double lr) { lr_ = lr; }
+
+ protected:
+  void Update(Parameter* p) override;
+
+ private:
+  struct State {
+    la::Matrix m;
+    la::Matrix v;
+    long step = 0;
+  };
+
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  std::unordered_map<Parameter*, State> state_;
+};
+
+/// Rescales all grads so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace subrec::nn
+
+#endif  // SUBREC_NN_OPTIMIZER_H_

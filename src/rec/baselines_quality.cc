@@ -1,0 +1,138 @@
+#include "rec/baselines_quality.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace subrec::rec {
+namespace {
+
+/// Corpus-wide token document frequencies (for lexical rarity).
+std::unordered_map<std::string, int> TokenDocumentFrequencies(
+    const corpus::Corpus& corpus) {
+  std::unordered_map<std::string, int> df;
+  for (const corpus::Paper& p : corpus.papers) {
+    std::unordered_set<std::string> seen;
+    for (const corpus::Sentence& s : p.abstract_sentences) {
+      for (const std::string& t : text::Tokenize(s.text)) seen.insert(t);
+    }
+    for (const std::string& t : seen) ++df[t];
+  }
+  return df;
+}
+
+}  // namespace
+
+std::vector<double> CltScores(const corpus::Corpus& corpus,
+                              const std::vector<corpus::PaperId>& papers) {
+  const auto df = TokenDocumentFrequencies(corpus);
+  const double n_docs = static_cast<double>(corpus.papers.size());
+  std::vector<double> scores;
+  scores.reserve(papers.size());
+  for (corpus::PaperId pid : papers) {
+    const corpus::Paper& p = corpus.paper(pid);
+    int total_tokens = 0;
+    std::unordered_set<std::string> uniq;
+    double rarity = 0.0;
+    for (const corpus::Sentence& s : p.abstract_sentences) {
+      for (const std::string& t : text::Tokenize(s.text)) {
+        ++total_tokens;
+        uniq.insert(t);
+        auto it = df.find(t);
+        const double d = it == df.end() ? 1.0 : static_cast<double>(it->second);
+        rarity += std::log(n_docs / d);
+      }
+    }
+    if (total_tokens == 0) {
+      scores.push_back(0.0);
+      continue;
+    }
+    const double ttr =
+        static_cast<double>(uniq.size()) / static_cast<double>(total_tokens);
+    const double mean_len =
+        static_cast<double>(total_tokens) /
+        std::max<double>(1.0, static_cast<double>(p.abstract_sentences.size()));
+    // Readability blend (Louis & Nenkova measure writing quality, not
+    // technical-term rarity): vocabulary richness plus a sentence-length
+    // penalty. Corpus rarity is deliberately excluded — with it the score
+    // degenerates into an innovation detector instead of a WRITING-quality
+    // score.
+    (void)rarity;
+    scores.push_back(2.0 * ttr - 0.02 * std::fabs(mean_len - 12.0));
+  }
+  return scores;
+}
+
+std::vector<double> CsjScores(const corpus::Corpus& corpus,
+                              const std::vector<corpus::PaperId>& papers) {
+  std::vector<double> scores;
+  scores.reserve(papers.size());
+  for (corpus::PaperId pid : papers) {
+    const corpus::Paper& p = corpus.paper(pid);
+    if (p.abstract_sentences.empty()) {
+      scores.push_back(0.0);
+      continue;
+    }
+    // Sentence length regularity.
+    std::vector<double> lens;
+    int academic = 0, total = 0;
+    for (const corpus::Sentence& s : p.abstract_sentences) {
+      const auto toks = text::Tokenize(s.text);
+      lens.push_back(static_cast<double>(toks.size()));
+      for (const std::string& t : toks) {
+        ++total;
+        // "Academic vocabulary": multi-syllable-ish words (crude proxy:
+        // length >= 8 characters).
+        if (t.size() >= 8) ++academic;
+      }
+    }
+    double mean = 0.0;
+    for (double l : lens) mean += l;
+    mean /= static_cast<double>(lens.size());
+    double var = 0.0;
+    for (double l : lens) var += (l - mean) * (l - mean);
+    var /= static_cast<double>(lens.size());
+    const double regularity = 1.0 / (1.0 + std::sqrt(var));
+    const double academic_density =
+        total > 0 ? static_cast<double>(academic) / static_cast<double>(total)
+                  : 0.0;
+    const double keyword_density =
+        static_cast<double>(p.keywords.size()) /
+        std::max<double>(1.0, static_cast<double>(total));
+    scores.push_back(regularity + 2.0 * academic_density +
+                     10.0 * keyword_density);
+  }
+  return scores;
+}
+
+std::vector<double> HpScores(const corpus::Corpus& corpus,
+                             const std::vector<corpus::PaperId>& papers,
+                             int window_years) {
+  // Early citers of each paper, within the window.
+  std::vector<std::vector<corpus::PaperId>> early_citers(corpus.papers.size());
+  for (const corpus::Paper& citing : corpus.papers) {
+    for (corpus::PaperId ref : citing.references) {
+      const corpus::Paper& cited = corpus.paper(ref);
+      if (citing.year - cited.year <= window_years)
+        early_citers[static_cast<size_t>(ref)].push_back(citing.id);
+    }
+  }
+  std::vector<double> scores;
+  scores.reserve(papers.size());
+  for (corpus::PaperId pid : papers) {
+    const auto& citers = early_citers[static_cast<size_t>(pid)];
+    // h-index flavored: citation count weighted by the citers' own early
+    // connectivity (core degree in the young citation network).
+    double score = static_cast<double>(citers.size());
+    for (corpus::PaperId c : citers)
+      score +=
+          0.2 * std::log1p(static_cast<double>(
+                    early_citers[static_cast<size_t>(c)].size()));
+    scores.push_back(score);
+  }
+  return scores;
+}
+
+}  // namespace subrec::rec

@@ -1,0 +1,30 @@
+#ifndef SUBREC_REC_BASELINES_QUALITY_H_
+#define SUBREC_REC_BASELINES_QUALITY_H_
+
+#include <vector>
+
+#include "corpus/types.h"
+
+namespace subrec::rec {
+
+/// CLT [4]: text-quality score from readability characteristics —
+/// type-token ratio, mean sentence length, lexical rarity against the
+/// whole corpus. Higher = predicted higher quality (Tab. I baseline).
+std::vector<double> CltScores(const corpus::Corpus& corpus,
+                              const std::vector<corpus::PaperId>& papers);
+
+/// CSJ [1]: writing-quality score from linguistic indicators — sentence
+/// length regularity, academic-vocabulary density, keyword density.
+std::vector<double> CsjScores(const corpus::Corpus& corpus,
+                              const std::vector<corpus::PaperId>& papers);
+
+/// HP [3]: h-index-style influence from the citation relationships within
+/// `window_years` after publication (the paper: one year), i.e. early
+/// in-corpus citations weighted by the citers' own early connectivity.
+std::vector<double> HpScores(const corpus::Corpus& corpus,
+                             const std::vector<corpus::PaperId>& papers,
+                             int window_years = 1);
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_BASELINES_QUALITY_H_

@@ -1,0 +1,73 @@
+#include "rec/candidate_sets.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "datagen/split.h"
+#include "eval/ranking.h"
+
+namespace subrec::rec {
+
+CandidateSet BuildCandidateSet(const RecContext& ctx, corpus::AuthorId user,
+                               int k, Rng& rng) {
+  CandidateSet set;
+  set.user = user;
+  const std::vector<corpus::PaperId> cited =
+      datagen::HeldOutCitations(*ctx.corpus, user, ctx.split_year);
+  if (cited.empty()) return set;
+
+  std::unordered_set<corpus::PaperId> chosen(cited.begin(), cited.end());
+  std::vector<corpus::PaperId> papers(cited.begin(), cited.end());
+  // Fill with random new papers the user did not cite.
+  if (static_cast<int>(papers.size()) < k) {
+    std::vector<corpus::PaperId> fillers;
+    for (corpus::PaperId pid : ctx.test_papers)
+      if (chosen.count(pid) == 0) fillers.push_back(pid);
+    rng.Shuffle(fillers);
+    for (corpus::PaperId pid : fillers) {
+      if (static_cast<int>(papers.size()) >= k) break;
+      papers.push_back(pid);
+    }
+  } else {
+    papers.resize(static_cast<size_t>(k));
+  }
+  rng.Shuffle(papers);
+  set.papers = papers;
+  set.relevant.reserve(papers.size());
+  std::unordered_set<corpus::PaperId> cited_set(cited.begin(), cited.end());
+  for (corpus::PaperId pid : papers)
+    set.relevant.push_back(cited_set.count(pid) > 0);
+  return set;
+}
+
+RecEvalResult EvaluateRecommender(const RecContext& ctx,
+                                  const Recommender& rec,
+                                  const std::vector<CandidateSet>& sets,
+                                  int k, int max_profile_papers) {
+  RecEvalResult result;
+  double ndcg = 0.0, mrr = 0.0, map = 0.0;
+  for (const CandidateSet& set : sets) {
+    if (set.papers.empty()) continue;
+    UserQuery query;
+    query.user = set.user;
+    query.profile = UserProfile(ctx, set.user, max_profile_papers);
+    const std::vector<double> scores = rec.Score(ctx, query, set.papers);
+    SUBREC_CHECK_EQ(scores.size(), set.papers.size());
+    const std::vector<bool> ranked =
+        eval::ReorderByRanking(scores, set.relevant);
+    ndcg += eval::NdcgAtK(ranked, k);
+    mrr += eval::ReciprocalRank(ranked, k);
+    map += eval::AveragePrecision(ranked);
+    ++result.users_evaluated;
+  }
+  if (result.users_evaluated > 0) {
+    const double n = static_cast<double>(result.users_evaluated);
+    result.ndcg = ndcg / n;
+    result.mrr = mrr / n;
+    result.map = map / n;
+  }
+  return result;
+}
+
+}  // namespace subrec::rec

@@ -1,0 +1,44 @@
+#ifndef SUBREC_REC_CANDIDATE_SETS_H_
+#define SUBREC_REC_CANDIDATE_SETS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "rec/recommender.h"
+
+namespace subrec::rec {
+
+/// A user's candidate list: k new papers of which `relevant` marks the ones
+/// the user actually cites post-split (Sec. IV-D protocol: "each candidate
+/// set contains at least one paper that is actually cited").
+struct CandidateSet {
+  corpus::AuthorId user = -1;
+  std::vector<corpus::PaperId> papers;
+  std::vector<bool> relevant;
+};
+
+/// Builds the candidate set of one user: all held-out cited new papers plus
+/// random new-paper fillers up to size k. Returns an empty set when the
+/// user has no held-out citations.
+CandidateSet BuildCandidateSet(const RecContext& ctx, corpus::AuthorId user,
+                               int k, Rng& rng);
+
+/// Aggregated ranking quality of one recommender over many users.
+struct RecEvalResult {
+  double ndcg = 0.0;
+  double mrr = 0.0;
+  double map = 0.0;
+  int users_evaluated = 0;
+};
+
+/// Scores every candidate set with `rec` (profile limited to
+/// `max_profile_papers`, -1 = all) and averages nDCG@k / MRR@k / MAP.
+RecEvalResult EvaluateRecommender(const RecContext& ctx,
+                                  const Recommender& rec,
+                                  const std::vector<CandidateSet>& sets,
+                                  int k, int max_profile_papers = -1);
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_CANDIDATE_SETS_H_

@@ -1,0 +1,99 @@
+#include "rec/embedding_baselines.h"
+
+#include <string>
+
+#include "la/ops.h"
+#include "text/doc2vec.h"
+#include "text/hashed_ngram_encoder.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
+
+namespace subrec::rec {
+namespace {
+
+std::vector<std::string> AbstractTokens(const corpus::Corpus& corpus,
+                                        corpus::PaperId pid) {
+  std::vector<std::string> tokens;
+  for (const corpus::Sentence& s : corpus.paper(pid).abstract_sentences) {
+    for (auto& t : text::Tokenize(s.text)) tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+std::string FullAbstract(const corpus::Corpus& corpus, corpus::PaperId pid) {
+  std::string out;
+  for (const corpus::Sentence& s : corpus.paper(pid).abstract_sentences) {
+    out += s.text;
+    out += ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<la::Matrix> ShpeEmbeddings(const corpus::Corpus& corpus,
+                                  const std::vector<corpus::PaperId>& papers,
+                                  uint64_t seed) {
+  // Word2vec half, trained on the analysis papers' abstracts.
+  std::vector<std::vector<std::string>> sentences;
+  for (corpus::PaperId pid : papers) {
+    for (const corpus::Sentence& s : corpus.paper(pid).abstract_sentences)
+      sentences.push_back(text::Tokenize(s.text));
+  }
+  text::Word2VecOptions w2v_options;
+  w2v_options.seed = seed;
+  text::Word2Vec w2v(w2v_options);
+  SUBREC_RETURN_NOT_OK(w2v.Train(sentences));
+
+  // Hashed TF half (the SHPE linear TF-IDF component).
+  text::HashedNgramEncoderOptions enc_options;
+  enc_options.dim = 64;
+  enc_options.use_bigrams = false;
+  enc_options.seed = seed + 1;
+  text::HashedNgramEncoder encoder(enc_options);
+
+  la::Matrix out(papers.size(), w2v.dim() + enc_options.dim);
+  for (size_t i = 0; i < papers.size(); ++i) {
+    std::vector<double> v = w2v.MeanEmbedding(AbstractTokens(corpus, papers[i]));
+    const std::vector<double> tf = encoder.Encode(FullAbstract(corpus, papers[i]));
+    v.insert(v.end(), tf.begin(), tf.end());
+    out.SetRow(i, v);
+  }
+  return out;
+}
+
+Result<la::Matrix> Doc2VecEmbeddings(const corpus::Corpus& corpus,
+                                     const std::vector<corpus::PaperId>& papers,
+                                     uint64_t seed) {
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(papers.size());
+  for (corpus::PaperId pid : papers) docs.push_back(AbstractTokens(corpus, pid));
+  text::Doc2VecOptions options;
+  options.seed = seed;
+  text::Doc2Vec d2v(options);
+  SUBREC_RETURN_NOT_OK(d2v.Train(docs));
+  la::Matrix out(papers.size(), d2v.dim());
+  for (size_t i = 0; i < papers.size(); ++i)
+    out.SetRow(i, d2v.DocumentVector(i));
+  return out;
+}
+
+la::Matrix BertAvgEmbeddings(const corpus::Corpus& corpus,
+                             const std::vector<corpus::PaperId>& papers,
+                             const text::SentenceEncoder& encoder) {
+  la::Matrix out(papers.size(), encoder.dim());
+  for (size_t i = 0; i < papers.size(); ++i) {
+    const corpus::Paper& p = corpus.paper(papers[i]);
+    std::vector<double> acc(encoder.dim(), 0.0);
+    for (const corpus::Sentence& s : p.abstract_sentences)
+      la::AxpyVec(1.0, encoder.Encode(s.text), acc);
+    if (!p.abstract_sentences.empty()) {
+      for (double& x : acc)
+        x /= static_cast<double>(p.abstract_sentences.size());
+    }
+    out.SetRow(i, acc);
+  }
+  return out;
+}
+
+}  // namespace rec

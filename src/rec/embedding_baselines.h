@@ -1,0 +1,37 @@
+#ifndef SUBREC_REC_EMBEDDING_BASELINES_H_
+#define SUBREC_REC_EMBEDDING_BASELINES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/types.h"
+#include "la/matrix.h"
+#include "text/sentence_encoder.h"
+
+namespace subrec::text {
+class Word2Vec;
+}
+
+namespace subrec::rec {
+
+/// SHPE baseline [34]: word2vec mean vector concatenated with a hashed
+/// TF vector of the full abstract. Trains word2vec on the given papers'
+/// abstracts. Rows align with `papers`.
+Result<la::Matrix> ShpeEmbeddings(const corpus::Corpus& corpus,
+                                  const std::vector<corpus::PaperId>& papers,
+                                  uint64_t seed);
+
+/// Doc2Vec baseline [20]: PV-DBOW document vectors of the abstracts.
+Result<la::Matrix> Doc2VecEmbeddings(
+    const corpus::Corpus& corpus, const std::vector<corpus::PaperId>& papers,
+    uint64_t seed);
+
+/// "BERT" baseline [26]: mean frozen sentence-encoder vector over the
+/// abstract, with no fine-tuning or subspace structure.
+la::Matrix BertAvgEmbeddings(const corpus::Corpus& corpus,
+                             const std::vector<corpus::PaperId>& papers,
+                             const text::SentenceEncoder& encoder);
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_EMBEDDING_BASELINES_H_

@@ -1,0 +1,143 @@
+#include "rec/jtie.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace subrec::rec {
+
+JtieRecommender::JtieRecommender(JtieOptions options) : options_(options) {}
+
+double JtieRecommender::InfluencePrior(const RecContext& ctx,
+                                       corpus::PaperId paper) const {
+  const corpus::Paper& p = ctx.corpus->paper(paper);
+  double ref_mass = 0.0;
+  for (corpus::PaperId ref : p.references)
+    ref_mass += static_cast<double>(train_in_degree_[static_cast<size_t>(ref)]);
+  double author_mass = 0.0;
+  for (corpus::AuthorId a : p.authors)
+    author_mass += author_citations_[static_cast<size_t>(a)];
+  return std::log1p(ref_mass) + std::log1p(author_mass);
+}
+
+std::vector<double> JtieRecommender::UserText(
+    const RecContext& ctx, const std::vector<corpus::PaperId>& profile) const {
+  const auto& text = *ctx.paper_text;
+  std::vector<double> acc;
+  int n = 0;
+  for (corpus::PaperId pid : profile) {
+    const auto& v = text[static_cast<size_t>(pid)];
+    if (acc.empty()) acc.assign(v.size(), 0.0);
+    la::AxpyVec(1.0, v, acc);
+    ++n;
+  }
+  if (n > 0)
+    for (double& x : acc) x /= static_cast<double>(n);
+  return acc;
+}
+
+std::vector<double> JtieRecommender::Features(
+    const RecContext& ctx, const std::vector<double>& user_text,
+    corpus::PaperId candidate) const {
+  const auto& cand_text = (*ctx.paper_text)[static_cast<size_t>(candidate)];
+  const double cos = user_text.empty()
+                         ? 0.0
+                         : la::CosineSimilarity(user_text, cand_text);
+  return {cos, InfluencePrior(ctx, candidate)};
+}
+
+Status JtieRecommender::Fit(const RecContext& ctx) {
+  if (ctx.paper_text == nullptr)
+    return Status::InvalidArgument("JTIE: paper_text required");
+  const corpus::Corpus& corpus = *ctx.corpus;
+
+  // Train-window citation mass.
+  train_in_degree_.assign(corpus.papers.size(), 0);
+  for (corpus::PaperId pid : ctx.train_papers) {
+    for (corpus::PaperId ref : corpus.paper(pid).references) {
+      if (corpus.paper(ref).year <= ctx.split_year)
+        ++train_in_degree_[static_cast<size_t>(ref)];
+    }
+  }
+  author_citations_.assign(corpus.authors.size(), 0.0);
+  for (const corpus::Author& a : corpus.authors) {
+    for (corpus::PaperId pid : a.papers) {
+      if (corpus.paper(pid).year <= ctx.split_year)
+        author_citations_[static_cast<size_t>(a.id)] +=
+            static_cast<double>(train_in_degree_[static_cast<size_t>(pid)]);
+    }
+  }
+
+  // Logistic regression over (user cited q) vs sampled negatives.
+  Rng rng(options_.seed);
+  struct Example {
+    std::vector<double> features;
+    double label;
+  };
+  std::vector<Example> examples;
+  int positives = 0;
+  for (const corpus::Author& a : corpus.authors) {
+    const std::vector<corpus::PaperId> profile = UserProfile(ctx, a.id);
+    if (profile.empty()) continue;
+    const std::vector<double> user_text = UserText(ctx, profile);
+    const auto items = UserInteractions(ctx, a.id);
+    for (corpus::PaperId item : items) {
+      if (positives >= options_.max_positives) break;
+      ++positives;
+      examples.push_back({Features(ctx, user_text, item), 1.0});
+      for (int k = 0; k < options_.negatives; ++k) {
+        const corpus::PaperId neg =
+            ctx.train_papers[rng.UniformInt(ctx.train_papers.size())];
+        if (items.count(neg) > 0) continue;
+        examples.push_back({Features(ctx, user_text, neg), 0.0});
+      }
+    }
+  }
+  if (examples.empty())
+    return Status::InvalidArgument("JTIE: no training examples");
+
+  // Standardize the influence feature for stable LR.
+  double mean = 0.0, var = 0.0;
+  for (const Example& e : examples) mean += e.features[1];
+  mean /= static_cast<double>(examples.size());
+  for (const Example& e : examples) {
+    const double d = e.features[1] - mean;
+    var += d * d;
+  }
+  const double stddev =
+      std::sqrt(std::max(var / static_cast<double>(examples.size()), 1e-9));
+  for (Example& e : examples) e.features[1] = (e.features[1] - mean) / stddev;
+  influence_mean_ = mean;
+  influence_stddev_ = stddev;
+
+  weights_ = {0.0, 0.0};
+  bias_ = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(examples);
+    for (const Example& e : examples) {
+      const double z = la::Dot(weights_, e.features) + bias_;
+      const double pred = 1.0 / (1.0 + std::exp(-z));
+      const double err = e.label - pred;
+      for (size_t j = 0; j < weights_.size(); ++j)
+        weights_[j] += options_.learning_rate * err * e.features[j];
+      bias_ += options_.learning_rate * err;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> JtieRecommender::Score(
+    const RecContext& ctx, const UserQuery& query,
+    const std::vector<corpus::PaperId>& candidates) const {
+  const std::vector<double> user_text = UserText(ctx, query.profile);
+  std::vector<double> scores(candidates.size(), 0.0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    std::vector<double> f = Features(ctx, user_text, candidates[c]);
+    f[1] = (f[1] - influence_mean_) / influence_stddev_;
+    scores[c] = la::Dot(weights_, f) + bias_;
+  }
+  return scores;
+}
+
+}  // namespace subrec::rec

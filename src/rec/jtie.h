@@ -1,0 +1,57 @@
+#ifndef SUBREC_REC_JTIE_H_
+#define SUBREC_REC_JTIE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rec/recommender.h"
+
+namespace subrec::rec {
+
+struct JtieOptions {
+  int epochs = 20;
+  double learning_rate = 0.1;
+  int negatives = 4;
+  int max_positives = 3000;
+  uint64_t seed = 53;
+};
+
+/// JTIE baseline [2]: joint text-and-influence embedding. A candidate is
+/// scored by a logistic-regression blend of (a) cosine similarity between
+/// the user's mean text embedding and the candidate's text embedding and
+/// (b) an influence prior available for new papers (train-window citation
+/// mass of the candidate's references and its authors). The blend weights
+/// are learned on citation positives vs sampled negatives. Requires
+/// ctx.paper_text.
+class JtieRecommender final : public Recommender {
+ public:
+  explicit JtieRecommender(JtieOptions options = {});
+
+  std::string name() const override { return "JTIE"; }
+  Status Fit(const RecContext& ctx) override;
+  std::vector<double> Score(
+      const RecContext& ctx, const UserQuery& query,
+      const std::vector<corpus::PaperId>& candidates) const override;
+
+ private:
+  /// [cosine(user,cand), influence_prior(cand)] feature vector.
+  std::vector<double> Features(const RecContext& ctx,
+                               const std::vector<double>& user_text,
+                               corpus::PaperId candidate) const;
+  double InfluencePrior(const RecContext& ctx, corpus::PaperId paper) const;
+  std::vector<double> UserText(const RecContext& ctx,
+                               const std::vector<corpus::PaperId>& profile) const;
+
+  JtieOptions options_;
+  std::vector<double> weights_ = {1.0, 0.1};  // learned blend
+  double bias_ = 0.0;
+  // Influence-feature standardization fitted on training examples.
+  double influence_mean_ = 0.0;
+  double influence_stddev_ = 1.0;
+  std::vector<int> train_in_degree_;  // by PaperId, citations within train
+  std::vector<double> author_citations_;  // by AuthorId, train window
+};
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_JTIE_H_

@@ -1,0 +1,23 @@
+#include "rec/kgcn.h"
+
+namespace subrec::rec {
+
+NPRecOptions KgcnOptions(const NPRecOptions& base) {
+  NPRecOptions options = base;
+  options.display_name = "KGCN";
+  options.use_text = false;
+  options.use_influence_prior = false;
+  options.symmetric_neighborhoods = true;
+  options.sampler.use_defuzzing = false;
+  options.label_smoothness = 0.0;
+  return options;
+}
+
+NPRecOptions KgcnLsOptions(const NPRecOptions& base) {
+  NPRecOptions options = KgcnOptions(base);
+  options.display_name = "KGCN-LS";
+  options.label_smoothness = 0.05;
+  return options;
+}
+
+}  // namespace subrec::rec

@@ -1,0 +1,19 @@
+#ifndef SUBREC_REC_KGCN_H_
+#define SUBREC_REC_KGCN_H_
+
+#include "rec/nprec.h"
+
+namespace subrec::rec {
+
+/// KGCN baseline [19]: the same relation-typed graph convolution as NPRec
+/// but direction-blind (no interest/influence asymmetry), without the
+/// subspace text channel and with citation-only (non-defuzzed) labels.
+NPRecOptions KgcnOptions(const NPRecOptions& base);
+
+/// KGCN-LS baseline [9]: KGCN plus a label-smoothness regularizer pulling
+/// cited pairs' embeddings together.
+NPRecOptions KgcnLsOptions(const NPRecOptions& base);
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_KGCN_H_

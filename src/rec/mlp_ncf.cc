@@ -1,0 +1,134 @@
+#include "rec/mlp_ncf.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+#include "nn/init.h"
+#include "nn/optimizer.h"
+
+namespace subrec::rec {
+
+MlpRecommender::MlpRecommender(MlpNcfOptions options) : options_(options) {}
+
+Status MlpRecommender::Fit(const RecContext& ctx) {
+  Rng rng(options_.seed);
+  user_embed_.clear();
+  item_embed_.clear();
+
+  std::vector<std::pair<corpus::AuthorId, corpus::PaperId>> positives;
+  for (const corpus::Author& a : ctx.corpus->authors) {
+    const auto items = UserInteractions(ctx, a.id);
+    if (items.empty()) continue;
+    user_embed_[a.id] = store_.Create(
+        "ncf.u" + std::to_string(a.id),
+        nn::EmbeddingInit(1, options_.embed_dim, rng));
+    for (corpus::PaperId item : items) {
+      positives.emplace_back(a.id, item);
+      if (item_embed_.find(item) == item_embed_.end()) {
+        item_embed_[item] = store_.Create(
+            "ncf.i" + std::to_string(item),
+            nn::EmbeddingInit(1, options_.embed_dim, rng));
+      }
+    }
+  }
+  if (positives.empty())
+    return Status::InvalidArgument("MLP: no interactions");
+  if (options_.max_positives >= 0 &&
+      positives.size() > static_cast<size_t>(options_.max_positives)) {
+    rng.Shuffle(positives);
+    positives.resize(static_cast<size_t>(options_.max_positives));
+  }
+  // Every train paper gets an embedding so negatives are well-defined.
+  for (corpus::PaperId pid : ctx.train_papers) {
+    if (item_embed_.find(pid) == item_embed_.end()) {
+      item_embed_[pid] = store_.Create(
+          "ncf.i" + std::to_string(pid),
+          nn::EmbeddingInit(1, options_.embed_dim, rng));
+    }
+  }
+
+  hidden_ = std::make_unique<nn::Dense>(&store_, "ncf.h",
+                                        2 * options_.embed_dim,
+                                        options_.hidden_dim, rng,
+                                        nn::Activation::kTanh);
+  output_ = std::make_unique<nn::Dense>(&store_, "ncf.out",
+                                        options_.hidden_dim, 1, rng,
+                                        nn::Activation::kLinear);
+
+  nn::Adam optimizer(options_.learning_rate);
+  const std::vector<nn::Parameter*> params = store_.params();
+  int in_batch = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(positives);
+    for (const auto& [user, item] : positives) {
+      for (int k = 0; k <= options_.negatives; ++k) {
+        corpus::PaperId target = item;
+        double label = 1.0;
+        if (k > 0) {
+          target = ctx.train_papers[rng.UniformInt(ctx.train_papers.size())];
+          label = 0.0;
+        }
+        autodiff::Tape tape;
+        nn::TapeBinding binding(&tape);
+        autodiff::VarId u = binding.Use(user_embed_[user]);
+        autodiff::VarId i = binding.Use(item_embed_[target]);
+        autodiff::VarId x = tape.ConcatCols({u, i});
+        autodiff::VarId logit =
+            output_->Forward(&tape, &binding, hidden_->Forward(&tape, &binding, x));
+        autodiff::VarId loss = tape.SigmoidBce(logit, la::Matrix(1, 1, label));
+        tape.Backward(loss);
+        binding.PullGradients();
+        if (++in_batch >= options_.batch_size) {
+          optimizer.Step(params);
+          in_batch = 0;
+        }
+      }
+    }
+  }
+  if (in_batch > 0) optimizer.Step(params);
+  return Status::Ok();
+}
+
+std::vector<double> MlpRecommender::ItemEmbedding(const RecContext& ctx,
+                                                  corpus::PaperId paper) const {
+  auto it = item_embed_.find(paper);
+  if (it != item_embed_.end()) return it->second->value.RowToVector(0);
+  std::vector<double> acc(options_.embed_dim, 0.0);
+  int known = 0;
+  for (corpus::PaperId ref : ctx.corpus->paper(paper).references) {
+    auto rit = item_embed_.find(ref);
+    if (rit == item_embed_.end()) continue;
+    la::AxpyVec(1.0, rit->second->value.RowToVector(0), acc);
+    ++known;
+  }
+  if (known > 0)
+    for (double& x : acc) x /= static_cast<double>(known);
+  return acc;
+}
+
+double MlpRecommender::Predict(const std::vector<double>& user_vec,
+                               const std::vector<double>& item_vec) const {
+  std::vector<double> x = user_vec;
+  x.insert(x.end(), item_vec.begin(), item_vec.end());
+  la::Matrix xm = la::Matrix::RowVector(x);
+  la::Matrix h = la::Tanh(la::AddRowBroadcast(
+      la::MatMul(xm, hidden_->weight()->value), hidden_->bias()->value));
+  la::Matrix out = la::AddRowBroadcast(
+      la::MatMul(h, output_->weight()->value), output_->bias()->value);
+  return out(0, 0);
+}
+
+std::vector<double> MlpRecommender::Score(
+    const RecContext& ctx, const UserQuery& query,
+    const std::vector<corpus::PaperId>& candidates) const {
+  std::vector<double> scores(candidates.size(), 0.0);
+  auto uit = user_embed_.find(query.user);
+  if (uit == user_embed_.end()) return scores;
+  const std::vector<double> u = uit->second->value.RowToVector(0);
+  for (size_t c = 0; c < candidates.size(); ++c)
+    scores[c] = Predict(u, ItemEmbedding(ctx, candidates[c]));
+  return scores;
+}
+
+}  // namespace subrec::rec

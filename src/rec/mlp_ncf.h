@@ -1,0 +1,57 @@
+#ifndef SUBREC_REC_MLP_NCF_H_
+#define SUBREC_REC_MLP_NCF_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/parameter.h"
+#include "rec/recommender.h"
+
+namespace subrec::rec {
+
+struct MlpNcfOptions {
+  size_t embed_dim = 16;
+  size_t hidden_dim = 32;
+  int epochs = 3;
+  int negatives = 4;
+  double learning_rate = 0.02;
+  int batch_size = 32;
+  /// Cap on (user, item) positives; -1 = all.
+  int max_positives = 4000;
+  uint64_t seed = 47;
+};
+
+/// Neural collaborative filtering MLP (He et al. [12]): learned user and
+/// item embeddings pushed through an MLP interaction function, trained
+/// with BCE over citation positives and sampled negatives. New candidates
+/// reuse the mean embedding of their cited train papers.
+class MlpRecommender final : public Recommender {
+ public:
+  explicit MlpRecommender(MlpNcfOptions options = {});
+
+  std::string name() const override { return "MLP"; }
+  Status Fit(const RecContext& ctx) override;
+  std::vector<double> Score(
+      const RecContext& ctx, const UserQuery& query,
+      const std::vector<corpus::PaperId>& candidates) const override;
+
+ private:
+  std::vector<double> ItemEmbedding(const RecContext& ctx,
+                                    corpus::PaperId paper) const;
+  double Predict(const std::vector<double>& user_vec,
+                 const std::vector<double>& item_vec) const;
+
+  MlpNcfOptions options_;
+  nn::ParameterStore store_;
+  std::unordered_map<corpus::AuthorId, nn::Parameter*> user_embed_;
+  std::unordered_map<corpus::PaperId, nn::Parameter*> item_embed_;
+  std::unique_ptr<nn::Dense> hidden_;
+  std::unique_ptr<nn::Dense> output_;
+};
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_MLP_NCF_H_

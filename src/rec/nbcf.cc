@@ -1,0 +1,61 @@
+#include "rec/nbcf.h"
+
+#include <algorithm>
+
+namespace subrec::rec {
+namespace {
+
+double Jaccard(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::unordered_set<int> sa(a.begin(), a.end());
+  size_t inter = 0;
+  for (int x : b)
+    if (sa.count(x) > 0) ++inter;
+  const size_t uni = sa.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double KeywordJaccard(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  size_t inter = 0;
+  for (const auto& x : b)
+    if (sa.count(x) > 0) ++inter;
+  const size_t uni = sa.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+NbcfRecommender::NbcfRecommender(NbcfOptions options) : options_(options) {}
+
+Status NbcfRecommender::Fit(const RecContext& ctx) {
+  if (ctx.train_papers.empty())
+    return Status::InvalidArgument("NBCF: no training papers");
+  return Status::Ok();
+}
+
+double NbcfRecommender::ItemSimilarity(const corpus::Paper& a,
+                                       const corpus::Paper& b) const {
+  return Jaccard(a.references, b.references) +
+         options_.keyword_weight * KeywordJaccard(a.keywords, b.keywords);
+}
+
+std::vector<double> NbcfRecommender::Score(
+    const RecContext& ctx, const UserQuery& query,
+    const std::vector<corpus::PaperId>& candidates) const {
+  const corpus::Corpus& corpus = *ctx.corpus;
+  const auto items = UserInteractions(ctx, query.user);
+  std::vector<double> scores(candidates.size(), 0.0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const corpus::Paper& cand = corpus.paper(candidates[c]);
+    double total = 0.0;
+    for (corpus::PaperId item : items)
+      total += ItemSimilarity(corpus.paper(item), cand);
+    scores[c] = total;
+  }
+  return scores;
+}
+
+}  // namespace subrec::rec

@@ -1,0 +1,40 @@
+#ifndef SUBREC_REC_NBCF_H_
+#define SUBREC_REC_NBCF_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rec/recommender.h"
+
+namespace subrec::rec {
+
+struct NbcfOptions {
+  /// Contribution weight of shared keywords relative to shared references.
+  double keyword_weight = 0.5;
+};
+
+/// Neighborhood-based collaborative filtering (Sugiyama & Kan [8]): ranks a
+/// candidate by its similarity to the papers the user interacted with,
+/// where item-item similarity is bibliographic-coupling Jaccard (shared
+/// references) plus a keyword-overlap term — both available for brand-new
+/// papers, which is how the original handles potential citation papers.
+class NbcfRecommender final : public Recommender {
+ public:
+  explicit NbcfRecommender(NbcfOptions options = {});
+
+  std::string name() const override { return "NBCF"; }
+  Status Fit(const RecContext& ctx) override;
+  std::vector<double> Score(
+      const RecContext& ctx, const UserQuery& query,
+      const std::vector<corpus::PaperId>& candidates) const override;
+
+ private:
+  double ItemSimilarity(const corpus::Paper& a, const corpus::Paper& b) const;
+
+  NbcfOptions options_;
+};
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_NBCF_H_

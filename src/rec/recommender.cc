@@ -1,0 +1,39 @@
+#include "rec/recommender.h"
+
+#include <algorithm>
+
+namespace subrec::rec {
+
+std::unordered_set<corpus::PaperId> UserInteractions(const RecContext& ctx,
+                                                     corpus::AuthorId user) {
+  std::unordered_set<corpus::PaperId> items;
+  const corpus::Corpus& corpus = *ctx.corpus;
+  for (corpus::PaperId pid : corpus.author(user).papers) {
+    const corpus::Paper& p = corpus.paper(pid);
+    if (p.year > ctx.split_year) continue;
+    items.insert(pid);
+    for (corpus::PaperId ref : p.references) {
+      if (corpus.paper(ref).year <= ctx.split_year) items.insert(ref);
+    }
+  }
+  return items;
+}
+
+std::vector<corpus::PaperId> UserProfile(const RecContext& ctx,
+                                         corpus::AuthorId user,
+                                         int max_papers) {
+  std::vector<corpus::PaperId> profile;
+  const corpus::Corpus& corpus = *ctx.corpus;
+  for (corpus::PaperId pid : corpus.author(user).papers) {
+    if (corpus.paper(pid).year <= ctx.split_year) profile.push_back(pid);
+  }
+  std::sort(profile.begin(), profile.end(),
+            [&](corpus::PaperId a, corpus::PaperId b) {
+              return corpus.paper(a).year > corpus.paper(b).year;
+            });
+  if (max_papers >= 0 && profile.size() > static_cast<size_t>(max_papers))
+    profile.resize(static_cast<size_t>(max_papers));
+  return profile;
+}
+
+}  // namespace subrec::rec

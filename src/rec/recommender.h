@@ -1,0 +1,67 @@
+#ifndef SUBREC_REC_RECOMMENDER_H_
+#define SUBREC_REC_RECOMMENDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/types.h"
+#include "graph/academic_graph.h"
+
+namespace subrec::rec {
+
+/// Shared evaluation context handed to every recommender. Non-owning
+/// pointers must outlive the recommender.
+struct RecContext {
+  const corpus::Corpus* corpus = nullptr;
+  /// Academic network built with citation edges cut at split_year; null for
+  /// content-only methods.
+  const graph::GraphIndex* graph = nullptr;
+  int split_year = 0;
+  std::vector<corpus::PaperId> train_papers;
+  std::vector<corpus::PaperId> test_papers;
+  /// Fused subspace text embedding per paper (indexed by PaperId); null for
+  /// text-free methods.
+  const std::vector<std::vector<double>>* paper_text = nullptr;
+};
+
+/// One evaluation query: a researcher plus their representative
+/// (pre-split-year) papers — the "#rp" knob of Tab. V.
+struct UserQuery {
+  corpus::AuthorId user = -1;
+  std::vector<corpus::PaperId> profile;
+};
+
+/// Interface implemented by NPRec and by every baseline of Sec. IV-D.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on ctx.train_papers (and whatever signals the method uses).
+  virtual Status Fit(const RecContext& ctx) = 0;
+
+  /// Scores the user's interest in each candidate; higher ranks earlier.
+  virtual std::vector<double> Score(
+      const RecContext& ctx, const UserQuery& query,
+      const std::vector<corpus::PaperId>& candidates) const = 0;
+};
+
+/// The set of training-time papers a user interacted with: their own
+/// pre-split publications plus the papers those publications cite. The
+/// "user cited papers" matrix every CF baseline consumes.
+std::unordered_set<corpus::PaperId> UserInteractions(const RecContext& ctx,
+                                                     corpus::AuthorId user);
+
+/// The user's own pre-split publications, most recent first, optionally
+/// truncated to `max_papers` (-1 keeps all).
+std::vector<corpus::PaperId> UserProfile(const RecContext& ctx,
+                                         corpus::AuthorId user,
+                                         int max_papers = -1);
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_RECOMMENDER_H_

@@ -1,0 +1,104 @@
+#include "rec/ripplenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace subrec::rec {
+
+RippleNetRecommender::RippleNetRecommender(RippleNetOptions options)
+    : options_(options) {}
+
+Status RippleNetRecommender::Fit(const RecContext& ctx) {
+  if (ctx.paper_text == nullptr)
+    return Status::InvalidArgument("RippleNet: paper_text required");
+  return Status::Ok();
+}
+
+std::vector<std::vector<corpus::PaperId>> RippleNetRecommender::BuildRippleSets(
+    const RecContext& ctx, const UserQuery& query) const {
+  const corpus::Corpus& corpus = *ctx.corpus;
+  Rng rng(options_.seed + static_cast<uint64_t>(query.user));
+  std::vector<std::vector<corpus::PaperId>> hops;
+  std::unordered_set<corpus::PaperId> visited;
+
+  std::vector<corpus::PaperId> frontier;
+  for (corpus::PaperId pid : query.profile) {
+    if (visited.insert(pid).second) frontier.push_back(pid);
+    for (corpus::PaperId ref : corpus.paper(pid).references) {
+      if (corpus.paper(ref).year <= ctx.split_year &&
+          visited.insert(ref).second)
+        frontier.push_back(ref);
+    }
+  }
+  hops.push_back(frontier);
+
+  for (int h = 1; h <= options_.hops; ++h) {
+    std::vector<corpus::PaperId> next;
+    for (corpus::PaperId pid : hops.back()) {
+      for (corpus::PaperId ref : corpus.paper(pid).references) {
+        if (corpus.paper(ref).year <= ctx.split_year &&
+            visited.insert(ref).second)
+          next.push_back(ref);
+      }
+    }
+    if (next.size() > static_cast<size_t>(options_.max_ripple_size)) {
+      rng.Shuffle(next);
+      next.resize(static_cast<size_t>(options_.max_ripple_size));
+    }
+    hops.push_back(std::move(next));
+    if (hops.back().empty()) break;
+  }
+  return hops;
+}
+
+std::vector<double> RippleNetRecommender::Score(
+    const RecContext& ctx, const UserQuery& query,
+    const std::vector<corpus::PaperId>& candidates) const {
+  const auto& text = *ctx.paper_text;
+  const std::vector<std::vector<corpus::PaperId>> hops =
+      BuildRippleSets(ctx, query);
+  std::unordered_set<corpus::PaperId> ripple_all;
+  for (const auto& hop : hops) ripple_all.insert(hop.begin(), hop.end());
+
+  std::vector<double> scores(candidates.size(), 0.0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const corpus::Paper& cand = ctx.corpus->paper(candidates[c]);
+    const auto& cand_text = text[static_cast<size_t>(candidates[c])];
+    double score = 0.0;
+    double decay = 1.0;
+    for (const auto& hop : hops) {
+      if (!hop.empty()) {
+        // Attention over hop items by text affinity (softmax-weighted mean
+        // of the similarities == smooth max preference response).
+        std::vector<double> sims(hop.size());
+        for (size_t i = 0; i < hop.size(); ++i) {
+          sims[i] = la::CosineSimilarity(
+              text[static_cast<size_t>(hop[i])], cand_text);
+        }
+        std::vector<double> attn = sims;
+        for (double& a : attn) a *= 4.0;  // attention temperature
+        la::SoftmaxInPlace(attn);
+        double hop_score = 0.0;
+        for (size_t i = 0; i < hop.size(); ++i) hop_score += attn[i] * sims[i];
+        score += decay * hop_score;
+      }
+      decay *= options_.hop_decay;
+    }
+    // Structural term: how much of the candidate's bibliography falls
+    // inside the user's ripple set.
+    if (!cand.references.empty()) {
+      int inside = 0;
+      for (corpus::PaperId ref : cand.references)
+        if (ripple_all.count(ref) > 0) ++inside;
+      score += options_.overlap_weight * static_cast<double>(inside) /
+               static_cast<double>(cand.references.size());
+    }
+    scores[c] = score;
+  }
+  return scores;
+}
+
+}  // namespace subrec::rec

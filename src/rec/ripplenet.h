@@ -1,0 +1,51 @@
+#ifndef SUBREC_REC_RIPPLENET_H_
+#define SUBREC_REC_RIPPLENET_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "rec/recommender.h"
+
+namespace subrec::rec {
+
+struct RippleNetOptions {
+  int hops = 2;
+  /// Per-hop preference decay.
+  double hop_decay = 0.6;
+  /// Weight of the structural term (candidate references landing inside the
+  /// user's ripple set).
+  double overlap_weight = 1.2;
+  /// Cap per hop to bound cost.
+  int max_ripple_size = 96;
+  uint64_t seed = 59;
+};
+
+/// RippleNet baseline [21]: the user's preference propagates outward from
+/// their seed papers along citation links; a candidate is scored by
+/// attention-weighted similarity against each ripple hop plus a structural
+/// overlap term. This implementation uses the fused text embeddings as
+/// item representations (ctx.paper_text required) instead of end-to-end
+/// trained KG embeddings — see DESIGN.md.
+class RippleNetRecommender final : public Recommender {
+ public:
+  explicit RippleNetRecommender(RippleNetOptions options = {});
+
+  std::string name() const override { return "RippleNet"; }
+  Status Fit(const RecContext& ctx) override;
+  std::vector<double> Score(
+      const RecContext& ctx, const UserQuery& query,
+      const std::vector<corpus::PaperId>& candidates) const override;
+
+ private:
+  /// Ripple sets: hop 0 = the profile plus its citations; hop h = the
+  /// train-window references of hop h-1.
+  std::vector<std::vector<corpus::PaperId>> BuildRippleSets(
+      const RecContext& ctx, const UserQuery& query) const;
+
+  RippleNetOptions options_;
+};
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_RIPPLENET_H_

@@ -1,0 +1,105 @@
+#include "rec/sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "la/ops.h"
+
+namespace subrec::rec {
+
+DefuzzSampler::DefuzzSampler(SamplerOptions options) : options_(options) {
+  SUBREC_CHECK_GT(options_.negatives_per_positive, 0);
+}
+
+std::vector<double> DefuzzSampler::SubspaceDistances(
+    const SubspaceEmbeddings& s, corpus::PaperId a, corpus::PaperId b) {
+  const auto& ea = s[static_cast<size_t>(a)];
+  const auto& eb = s[static_cast<size_t>(b)];
+  SUBREC_CHECK_EQ(ea.size(), eb.size());
+  std::vector<double> out(ea.size());
+  for (size_t k = 0; k < ea.size(); ++k)
+    out[k] = la::EuclideanDistance(ea[k], eb[k]);
+  return out;
+}
+
+std::vector<TrainingPair> DefuzzSampler::BuildPairs(
+    const RecContext& ctx, const SubspaceEmbeddings* subspace) const {
+  const corpus::Corpus& corpus = *ctx.corpus;
+  Rng rng(options_.seed);
+
+  // Positives: citation pairs within the training window.
+  std::vector<TrainingPair> pairs;
+  std::unordered_set<corpus::PaperId> train_set(ctx.train_papers.begin(),
+                                                ctx.train_papers.end());
+  std::vector<std::pair<corpus::PaperId, corpus::PaperId>> positives;
+  for (corpus::PaperId pid : ctx.train_papers) {
+    for (corpus::PaperId ref : corpus.paper(pid).references) {
+      if (train_set.count(ref) > 0) positives.emplace_back(pid, ref);
+    }
+  }
+  if (options_.max_positives >= 0 &&
+      positives.size() > static_cast<size_t>(options_.max_positives)) {
+    rng.Shuffle(positives);
+    positives.resize(static_cast<size_t>(options_.max_positives));
+  }
+
+  const bool defuzz = options_.use_defuzzing && subspace != nullptr;
+
+  // Calibrate per-subspace thresholds from random train pairs.
+  std::vector<double> thresholds;
+  if (defuzz) {
+    const size_t n = ctx.train_papers.size();
+    std::vector<std::vector<double>> samples;  // per subspace
+    for (int i = 0; i < options_.calibration_pairs; ++i) {
+      const corpus::PaperId a = ctx.train_papers[rng.UniformInt(n)];
+      const corpus::PaperId b = ctx.train_papers[rng.UniformInt(n)];
+      if (a == b) continue;
+      const std::vector<double> d = SubspaceDistances(*subspace, a, b);
+      samples.resize(d.size());
+      for (size_t k = 0; k < d.size(); ++k) samples[k].push_back(d[k]);
+    }
+    thresholds.resize(samples.size(), 0.0);
+    for (size_t k = 0; k < samples.size(); ++k) {
+      if (samples[k].empty()) continue;
+      std::sort(samples[k].begin(), samples[k].end());
+      const size_t idx = static_cast<size_t>(
+          options_.threshold_quantile *
+          static_cast<double>(samples[k].size() - 1));
+      thresholds[k] = samples[k][idx];
+    }
+  }
+
+  // Per-paper cited sets for negative rejection.
+  for (const auto& [p, q] : positives) {
+    pairs.push_back({p, q, 1.0});
+    std::unordered_set<corpus::PaperId> cited(
+        corpus.paper(p).references.begin(), corpus.paper(p).references.end());
+    int produced = 0;
+    int guard = 0;
+    while (produced < options_.negatives_per_positive &&
+           guard < options_.negatives_per_positive * 50) {
+      ++guard;
+      corpus::PaperId neg =
+          ctx.train_papers[rng.UniformInt(ctx.train_papers.size())];
+      if (neg == p || cited.count(neg) > 0) continue;
+      if (defuzz) {
+        bool all_far = true;
+        const std::vector<double> d = SubspaceDistances(*subspace, p, neg);
+        for (size_t k = 0; k < d.size(); ++k) {
+          if (d[k] <= thresholds[k]) {
+            all_far = false;
+            break;
+          }
+        }
+        if (!all_far && guard % options_.max_attempts != 0) continue;
+      }
+      pairs.push_back({p, neg, 0.0});
+      ++produced;
+    }
+  }
+  rng.Shuffle(pairs);
+  return pairs;
+}
+
+}  // namespace subrec::rec

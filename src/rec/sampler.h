@@ -1,0 +1,68 @@
+#ifndef SUBREC_REC_SAMPLER_H_
+#define SUBREC_REC_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "rec/recommender.h"
+
+namespace subrec::rec {
+
+/// A labeled training pair of Sec. IV-C: y(p,q)=1 when p cites q, 0 for a
+/// sampled (de-fuzzed) negative.
+struct TrainingPair {
+  corpus::PaperId citing;
+  corpus::PaperId cited;
+  double label;
+};
+
+struct SamplerOptions {
+  /// Negatives sampled per positive (Tab. VI sweeps 1 / 10 / 50).
+  int negatives_per_positive = 10;
+  /// Apply the de-fuzzing filter: a negative (p,q) must have subspace
+  /// difference above the calibrated threshold in EVERY subspace, so that
+  /// related-but-uncited pairs are not mislabeled as negatives.
+  bool use_defuzzing = true;
+  /// Quantile of the random-pair per-subspace distance distribution used
+  /// as the threshold.
+  double threshold_quantile = 0.3;
+  int calibration_pairs = 400;
+  /// Resampling attempts per negative before accepting a fuzzy one.
+  int max_attempts = 8;
+  /// Cap on positives (and thereby total pairs) for bounded training cost;
+  /// -1 = no cap.
+  int max_positives = -1;
+  uint64_t seed = 31;
+};
+
+/// Per-paper subspace embeddings (PaperId -> K vectors) used to measure the
+/// subspace difference for de-fuzzing.
+using SubspaceEmbeddings = std::vector<std::vector<std::vector<double>>>;
+
+/// Implements the sample strategy of Sec. IV-C. When `subspace` is null or
+/// de-fuzzing is disabled, negatives are plain uniform non-cited samples
+/// (the NPRec+CN ablation).
+class DefuzzSampler {
+ public:
+  explicit DefuzzSampler(SamplerOptions options = {});
+
+  /// Builds labeled pairs over ctx.train_papers.
+  std::vector<TrainingPair> BuildPairs(const RecContext& ctx,
+                                       const SubspaceEmbeddings* subspace) const;
+
+  const SamplerOptions& options() const { return options_; }
+
+ private:
+  /// Euclidean distance per subspace between two papers' embeddings.
+  static std::vector<double> SubspaceDistances(const SubspaceEmbeddings& s,
+                                               corpus::PaperId a,
+                                               corpus::PaperId b);
+
+  SamplerOptions options_;
+};
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_SAMPLER_H_

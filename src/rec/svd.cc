@@ -1,0 +1,104 @@
+#include "rec/svd.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace subrec::rec {
+
+SvdRecommender::SvdRecommender(SvdOptions options) : options_(options) {}
+
+Status SvdRecommender::Fit(const RecContext& ctx) {
+  if (ctx.train_papers.empty())
+    return Status::InvalidArgument("SVD: no training papers");
+  Rng rng(options_.seed);
+  const size_t f = options_.factors;
+  user_factors_.clear();
+  item_factors_.clear();
+
+  // Interactions per user.
+  std::vector<std::pair<corpus::AuthorId, corpus::PaperId>> observations;
+  for (const corpus::Author& a : ctx.corpus->authors) {
+    const auto items = UserInteractions(ctx, a.id);
+    if (items.empty()) continue;
+    auto& uf = user_factors_[a.id];
+    uf.resize(f);
+    for (double& x : uf) x = rng.Gaussian(0.0, 0.1);
+    for (corpus::PaperId item : items) {
+      observations.emplace_back(a.id, item);
+      auto [it, inserted] = item_factors_.try_emplace(item);
+      if (inserted) {
+        it->second.resize(f);
+        for (double& x : it->second) x = rng.Gaussian(0.0, 0.1);
+      }
+    }
+  }
+  if (observations.empty())
+    return Status::InvalidArgument("SVD: no interactions");
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(observations);
+    for (const auto& [user, item] : observations) {
+      auto& pu = user_factors_[user];
+      auto update = [&](std::vector<double>& qi, double label) {
+        const double pred = 1.0 / (1.0 + std::exp(-la::Dot(pu, qi)));
+        const double err = label - pred;
+        for (size_t j = 0; j < f; ++j) {
+          const double puj = pu[j];
+          pu[j] += options_.learning_rate *
+                   (err * qi[j] - options_.regularization * puj);
+          qi[j] += options_.learning_rate *
+                   (err * puj - options_.regularization * qi[j]);
+        }
+      };
+      update(item_factors_[item], 1.0);
+      for (int nidx = 0; nidx < options_.negatives; ++nidx) {
+        const corpus::PaperId neg =
+            ctx.train_papers[rng.UniformInt(ctx.train_papers.size())];
+        auto it = item_factors_.find(neg);
+        if (it == item_factors_.end()) {
+          auto [nit, inserted] = item_factors_.try_emplace(neg);
+          if (inserted) {
+            nit->second.resize(f);
+            for (double& x : nit->second) x = rng.Gaussian(0.0, 0.1);
+          }
+          it = nit;
+        }
+        update(it->second, 0.0);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> SvdRecommender::ItemFactor(const RecContext& ctx,
+                                               corpus::PaperId paper) const {
+  auto it = item_factors_.find(paper);
+  if (it != item_factors_.end()) return it->second;
+  // Cold-start bridge: mean factor of cited train papers.
+  std::vector<double> acc(options_.factors, 0.0);
+  int known = 0;
+  for (corpus::PaperId ref : ctx.corpus->paper(paper).references) {
+    auto rit = item_factors_.find(ref);
+    if (rit == item_factors_.end()) continue;
+    la::AxpyVec(1.0, rit->second, acc);
+    ++known;
+  }
+  if (known > 0)
+    for (double& x : acc) x /= static_cast<double>(known);
+  return acc;
+}
+
+std::vector<double> SvdRecommender::Score(
+    const RecContext& ctx, const UserQuery& query,
+    const std::vector<corpus::PaperId>& candidates) const {
+  std::vector<double> scores(candidates.size(), 0.0);
+  auto uit = user_factors_.find(query.user);
+  if (uit == user_factors_.end()) return scores;
+  for (size_t c = 0; c < candidates.size(); ++c)
+    scores[c] = la::Dot(uit->second, ItemFactor(ctx, candidates[c]));
+  return scores;
+}
+
+}  // namespace subrec::rec

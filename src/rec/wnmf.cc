@@ -1,0 +1,104 @@
+#include "rec/wnmf.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace subrec::rec {
+
+WnmfRecommender::WnmfRecommender(WnmfOptions options) : options_(options) {}
+
+Status WnmfRecommender::Fit(const RecContext& ctx) {
+  user_index_.clear();
+  item_index_.clear();
+
+  // Index users with any interaction and the train items they touch.
+  std::vector<std::vector<size_t>> user_items;
+  for (const corpus::Author& a : ctx.corpus->authors) {
+    const auto items = UserInteractions(ctx, a.id);
+    if (items.empty()) continue;
+    const size_t u = user_index_.size();
+    user_index_[a.id] = u;
+    user_items.emplace_back();
+    for (corpus::PaperId item : items) {
+      auto [it, inserted] = item_index_.try_emplace(item, item_index_.size());
+      user_items[u].push_back(it->second);
+    }
+  }
+  if (user_index_.empty())
+    return Status::InvalidArgument("WNMF: no interactions");
+
+  const size_t nu = user_index_.size();
+  const size_t ni = item_index_.size();
+  const size_t f = options_.factors;
+
+  // Dense binary ratings + confidence weights.
+  la::Matrix r(nu, ni);
+  la::Matrix m(nu, ni, options_.missing_weight);
+  for (size_t u = 0; u < nu; ++u) {
+    for (size_t i : user_items[u]) {
+      r(u, i) = 1.0;
+      m(u, i) = 1.0;
+    }
+  }
+
+  Rng rng(options_.seed);
+  w_ = la::Matrix::Random(nu, f, rng, 0.01, 1.0);
+  h_ = la::Matrix::Random(f, ni, rng, 0.01, 1.0);
+
+  const double eps = 1e-9;
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // W <- W .* ((M.*R) H^T) ./ ((M.*(WH)) H^T)
+    la::Matrix wh = la::MatMul(w_, h_);
+    la::Matrix mr = la::Hadamard(m, r);
+    la::Matrix mwh = la::Hadamard(m, wh);
+    la::Matrix num_w = la::MatMulTransB(mr, h_);   // nu x f
+    la::Matrix den_w = la::MatMulTransB(mwh, h_);  // nu x f
+    for (size_t i = 0; i < w_.size(); ++i)
+      w_[i] *= num_w[i] / (den_w[i] + eps);
+    // H <- H .* (W^T (M.*R)) ./ (W^T (M.*(WH)))
+    wh = la::MatMul(w_, h_);
+    mwh = la::Hadamard(m, wh);
+    la::Matrix num_h = la::MatMulTransA(w_, mr);   // f x ni
+    la::Matrix den_h = la::MatMulTransA(w_, mwh);  // f x ni
+    for (size_t i = 0; i < h_.size(); ++i)
+      h_[i] *= num_h[i] / (den_h[i] + eps);
+  }
+  return Status::Ok();
+}
+
+std::vector<double> WnmfRecommender::ItemColumn(const RecContext& ctx,
+                                                corpus::PaperId paper) const {
+  std::vector<double> col(options_.factors, 0.0);
+  auto it = item_index_.find(paper);
+  if (it != item_index_.end()) {
+    for (size_t j = 0; j < options_.factors; ++j) col[j] = h_(j, it->second);
+    return col;
+  }
+  int known = 0;
+  for (corpus::PaperId ref : ctx.corpus->paper(paper).references) {
+    auto rit = item_index_.find(ref);
+    if (rit == item_index_.end()) continue;
+    for (size_t j = 0; j < options_.factors; ++j) col[j] += h_(j, rit->second);
+    ++known;
+  }
+  if (known > 0)
+    for (double& x : col) x /= static_cast<double>(known);
+  return col;
+}
+
+std::vector<double> WnmfRecommender::Score(
+    const RecContext& ctx, const UserQuery& query,
+    const std::vector<corpus::PaperId>& candidates) const {
+  std::vector<double> scores(candidates.size(), 0.0);
+  auto uit = user_index_.find(query.user);
+  if (uit == user_index_.end()) return scores;
+  std::vector<double> pu(options_.factors);
+  for (size_t j = 0; j < options_.factors; ++j) pu[j] = w_(uit->second, j);
+  for (size_t c = 0; c < candidates.size(); ++c)
+    scores[c] = la::Dot(pu, ItemColumn(ctx, candidates[c]));
+  return scores;
+}
+
+}  // namespace subrec::rec

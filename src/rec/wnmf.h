@@ -1,0 +1,49 @@
+#ifndef SUBREC_REC_WNMF_H_
+#define SUBREC_REC_WNMF_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "la/matrix.h"
+#include "rec/recommender.h"
+
+namespace subrec::rec {
+
+struct WnmfOptions {
+  /// The paper sets "the number of features ... to 10".
+  size_t factors = 10;
+  int iterations = 30;
+  /// Confidence weight of unobserved cells.
+  double missing_weight = 0.05;
+  uint64_t seed = 43;
+};
+
+/// Weighted non-negative matrix factorization [47] on the implicit
+/// author x paper citation matrix via multiplicative updates (Zhan et al.:
+/// learning from incomplete ratings). Cold candidates are bridged through
+/// the columns of the train papers they cite.
+class WnmfRecommender final : public Recommender {
+ public:
+  explicit WnmfRecommender(WnmfOptions options = {});
+
+  std::string name() const override { return "WNMF"; }
+  Status Fit(const RecContext& ctx) override;
+  std::vector<double> Score(
+      const RecContext& ctx, const UserQuery& query,
+      const std::vector<corpus::PaperId>& candidates) const override;
+
+ private:
+  std::vector<double> ItemColumn(const RecContext& ctx,
+                                 corpus::PaperId paper) const;
+
+  WnmfOptions options_;
+  std::unordered_map<corpus::AuthorId, size_t> user_index_;
+  std::unordered_map<corpus::PaperId, size_t> item_index_;
+  la::Matrix w_;  // users x factors
+  la::Matrix h_;  // factors x items
+};
+
+}  // namespace subrec::rec
+
+#endif  // SUBREC_REC_WNMF_H_

@@ -1,0 +1,102 @@
+#include "rules/ccs_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace subrec::rules {
+
+CcsTree::CcsTree() {
+  parents_.push_back(-1);
+  levels_.push_back(0);
+  names_.push_back("root");
+  children_.emplace_back();
+}
+
+int CcsTree::AddNode(const std::string& name, int parent) {
+  SUBREC_CHECK(parent >= 0 && static_cast<size_t>(parent) < parents_.size())
+      << "invalid parent " << parent;
+  const int id = static_cast<int>(parents_.size());
+  parents_.push_back(parent);
+  levels_.push_back(levels_[static_cast<size_t>(parent)] + 1);
+  names_.push_back(name);
+  children_.emplace_back();
+  children_[static_cast<size_t>(parent)].push_back(id);
+  return id;
+}
+
+int CcsTree::parent(int node) const {
+  SUBREC_CHECK(node >= 0 && static_cast<size_t>(node) < parents_.size());
+  return parents_[static_cast<size_t>(node)];
+}
+
+int CcsTree::level(int node) const {
+  SUBREC_CHECK(node >= 0 && static_cast<size_t>(node) < levels_.size());
+  return levels_[static_cast<size_t>(node)];
+}
+
+const std::string& CcsTree::name(int node) const {
+  SUBREC_CHECK(node >= 0 && static_cast<size_t>(node) < names_.size());
+  return names_[static_cast<size_t>(node)];
+}
+
+const std::vector<int>& CcsTree::children(int node) const {
+  SUBREC_CHECK(node >= 0 && static_cast<size_t>(node) < children_.size());
+  return children_[static_cast<size_t>(node)];
+}
+
+std::vector<int> CcsTree::PathFromRoot(int node) const {
+  std::vector<int> path;
+  for (int n = node; n != -1; n = parent(n)) path.push_back(n);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double CcsTree::PathDifference(int node_p, int node_q) const {
+  const std::vector<int> pp = PathFromRoot(node_p);
+  const std::vector<int> pq = PathFromRoot(node_q);
+  // Paths share a prefix; every node past the longest common prefix is in
+  // the symmetric difference.
+  size_t common = 0;
+  while (common < pp.size() && common < pq.size() && pp[common] == pq[common])
+    ++common;
+  double score = 0.0;
+  auto add_tail = [&](const std::vector<int>& path) {
+    for (size_t i = common; i < path.size(); ++i) {
+      const int l = level(path[i]);
+      const double w = 1.0 / (1.0 + static_cast<double>(l));
+      score += w / std::pow(2.0, static_cast<double>(l));
+    }
+  };
+  add_tail(pp);
+  add_tail(pq);
+  return score;
+}
+
+std::vector<int> CcsTree::Leaves() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < children_.size(); ++i)
+    if (children_[i].empty()) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+CcsTree BuildUniformTree(const std::vector<int>& branching) {
+  CcsTree tree;
+  std::vector<int> frontier = {tree.root()};
+  for (size_t depth = 0; depth < branching.size(); ++depth) {
+    std::vector<int> next;
+    for (int node : frontier) {
+      for (int c = 0; c < branching[depth]; ++c) {
+        next.push_back(tree.AddNode(
+            "L" + std::to_string(depth + 1) + "." + std::to_string(c) + "@" +
+                std::to_string(node),
+            node));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return tree;
+}
+
+}  // namespace subrec::rules

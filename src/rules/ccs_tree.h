@@ -1,0 +1,51 @@
+#ifndef SUBREC_RULES_CCS_TREE_H_
+#define SUBREC_RULES_CCS_TREE_H_
+
+#include <string>
+#include <vector>
+
+namespace subrec::rules {
+
+/// Hierarchically organized classification system (the paper's HCS, e.g.
+/// ACM CCS). Nodes are added top-down; node 0 is the root (level 0).
+class CcsTree {
+ public:
+  CcsTree();
+
+  /// Adds a child of `parent` (which must exist); returns the new node id.
+  int AddNode(const std::string& name, int parent);
+
+  int root() const { return 0; }
+  size_t size() const { return parents_.size(); }
+  int parent(int node) const;
+  int level(int node) const;
+  const std::string& name(int node) const;
+  const std::vector<int>& children(int node) const;
+
+  /// Node ids on the path root -> `node`, inclusive.
+  std::vector<int> PathFromRoot(int node) const;
+
+  /// Weighted hierarchical edit distance of Eq. (1):
+  ///   f_c = sum over the symmetric difference of the two root-paths of
+  ///         w(level) / 2^level,
+  /// with w decreasing away from the root (default w(l) = 1/(1+l)), so
+  /// divergence near the root costs more.
+  double PathDifference(int node_p, int node_q) const;
+
+  /// All leaf node ids (no children).
+  std::vector<int> Leaves() const;
+
+ private:
+  std::vector<int> parents_;
+  std::vector<int> levels_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> children_;
+};
+
+/// Builds a uniform tree: `branching[l]` children per node at depth l.
+/// Useful for tests and the synthetic generator.
+CcsTree BuildUniformTree(const std::vector<int>& branching);
+
+}  // namespace subrec::rules
+
+#endif  // SUBREC_RULES_CCS_TREE_H_

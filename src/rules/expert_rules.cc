@@ -1,0 +1,123 @@
+#include "rules/expert_rules.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "la/ops.h"
+
+namespace subrec::rules {
+
+ExpertRuleEngine::ExpertRuleEngine(const CcsTree* tree,
+                                   const text::SentenceEncoder* encoder,
+                                   const text::Word2Vec* word_vectors,
+                                   ExpertRuleOptions options)
+    : tree_(tree),
+      encoder_(encoder),
+      word_vectors_(word_vectors),
+      options_(options) {
+  SUBREC_CHECK(encoder_ != nullptr);
+  SUBREC_CHECK_GT(options_.num_subspaces, 0);
+}
+
+PaperContentFeatures ExpertRuleEngine::ComputeFeatures(
+    const corpus::Paper& paper, const std::vector<int>& roles) const {
+  SUBREC_CHECK_EQ(roles.size(), paper.abstract_sentences.size());
+  PaperContentFeatures f;
+  f.roles = roles;
+  f.sentence_vectors.reserve(paper.abstract_sentences.size());
+  for (const auto& s : paper.abstract_sentences)
+    f.sentence_vectors.push_back(encoder_->Encode(s.text));
+
+  const int k = options_.num_subspaces;
+  f.subspace_means.assign(static_cast<size_t>(k),
+                          std::vector<double>(encoder_->dim(), 0.0));
+  std::vector<int> counts(static_cast<size_t>(k), 0);
+  for (size_t i = 0; i < f.sentence_vectors.size(); ++i) {
+    const int r = roles[i];
+    if (r < 0 || r >= k) continue;
+    la::AxpyVec(1.0, f.sentence_vectors[i], f.subspace_means[static_cast<size_t>(r)]);
+    ++counts[static_cast<size_t>(r)];
+  }
+  for (int s = 0; s < k; ++s) {
+    if (counts[static_cast<size_t>(s)] > 0) {
+      for (double& v : f.subspace_means[static_cast<size_t>(s)])
+        v /= static_cast<double>(counts[static_cast<size_t>(s)]);
+      // Normalize: subspace difference should be angular, not an artifact
+      // of how many sentences a paper happens to spend on the subspace.
+      la::NormalizeL2(f.subspace_means[static_cast<size_t>(s)]);
+    }
+  }
+
+  if (word_vectors_ != nullptr && word_vectors_->trained()) {
+    f.keyword_vectors.reserve(paper.keywords.size());
+    for (const auto& kw : paper.keywords)
+      f.keyword_vectors.push_back(word_vectors_->Embedding(kw));
+  }
+  return f;
+}
+
+double ExpertRuleEngine::ClassificationScore(const corpus::Paper& p,
+                                             const corpus::Paper& q) const {
+  if (tree_ == nullptr || p.ccs_path.empty() || q.ccs_path.empty()) return 0.0;
+  return tree_->PathDifference(p.ccs_path.back(), q.ccs_path.back());
+}
+
+double ExpertRuleEngine::ReferenceScore(const corpus::Paper& p,
+                                        const corpus::Paper& q) const {
+  std::unordered_set<corpus::PaperId> rp(p.references.begin(),
+                                         p.references.end());
+  size_t intersection = 0;
+  for (corpus::PaperId r : q.references)
+    if (rp.count(r) > 0) ++intersection;
+  const size_t uni = rp.size() + q.references.size() - intersection;
+  // Add-one smoothing keeps the reciprocal Jaccard finite for disjoint sets.
+  return static_cast<double>(uni + 1) / static_cast<double>(intersection + 1);
+}
+
+double ExpertRuleEngine::KeywordScore(const PaperContentFeatures& fp,
+                                      const PaperContentFeatures& fq) const {
+  if (fp.keyword_vectors.empty() || fq.keyword_vectors.empty()) return 0.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (const auto& x : fp.keyword_vectors) {
+    for (const auto& y : fq.keyword_vectors) {
+      total += la::EuclideanDistance(x, y);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+std::vector<double> ExpertRuleEngine::AbstractSubspaceScores(
+    const PaperContentFeatures& fp, const PaperContentFeatures& fq) const {
+  const int k = options_.num_subspaces;
+  std::vector<double> scores(static_cast<size_t>(k), 0.0);
+  for (int s = 0; s < k; ++s) {
+    scores[static_cast<size_t>(s)] = la::EuclideanDistance(
+        fp.subspace_means[static_cast<size_t>(s)],
+        fq.subspace_means[static_cast<size_t>(s)]);
+  }
+  return scores;
+}
+
+std::vector<std::vector<double>> ExpertRuleEngine::AllScores(
+    const corpus::Paper& p, const PaperContentFeatures& fp,
+    const corpus::Paper& q, const PaperContentFeatures& fq) const {
+  const int k = options_.num_subspaces;
+  std::vector<std::vector<double>> scores(
+      kNumExpertRules, std::vector<double>(static_cast<size_t>(k), 0.0));
+  const double fc = ClassificationScore(p, q);
+  const double fr = ReferenceScore(p, q);
+  const double fw = KeywordScore(fp, fq);
+  const std::vector<double> ft = AbstractSubspaceScores(fp, fq);
+  for (int s = 0; s < k; ++s) {
+    scores[kRuleClassification][static_cast<size_t>(s)] = fc;
+    scores[kRuleReferences][static_cast<size_t>(s)] = fr;
+    scores[kRuleKeywords][static_cast<size_t>(s)] = fw;
+    scores[kRuleAbstract][static_cast<size_t>(s)] = ft[static_cast<size_t>(s)];
+  }
+  return scores;
+}
+
+}  // namespace subrec::rules

@@ -1,0 +1,92 @@
+#ifndef SUBREC_RULES_EXPERT_RULES_H_
+#define SUBREC_RULES_EXPERT_RULES_H_
+
+#include <vector>
+
+#include "corpus/types.h"
+#include "rules/ccs_tree.h"
+#include "text/sentence_encoder.h"
+#include "text/word2vec.h"
+
+namespace subrec::rules {
+
+/// Precomputed per-paper content features consumed by the rules and by the
+/// subspace twin network: one frozen-encoder vector per sentence, the
+/// predicted (or gold) subspace role of each sentence, the per-subspace
+/// mean sentence vector, and the keyword word-vectors.
+struct PaperContentFeatures {
+  /// One row per abstract sentence (encoder dim columns).
+  std::vector<std::vector<double>> sentence_vectors;
+  /// Subspace role of each sentence, aligned with sentence_vectors.
+  std::vector<int> roles;
+  /// Mean sentence vector per subspace; zero vector for empty subspaces.
+  std::vector<std::vector<double>> subspace_means;
+  /// Word2vec vector per keyword (keywords with no vector are zeros).
+  std::vector<std::vector<double>> keyword_vectors;
+};
+
+/// Fixed order of the expert rules inside fused score vectors.
+enum ExpertRule {
+  kRuleClassification = 0,  // f_c, Eq. (1)
+  kRuleReferences = 1,      // f_r, Eq. (2)
+  kRuleKeywords = 2,        // f_w, Eq. (3)
+  kRuleAbstract = 3,        // f_t, Sec. III-A.4 (subspace-specific)
+  kNumExpertRules = 4,
+};
+
+/// Options for the rule engine.
+struct ExpertRuleOptions {
+  int num_subspaces = corpus::kDefaultNumSubspaces;
+};
+
+/// Implements the annotation rules of Sec. III-A. The engine holds
+/// non-owning pointers to the category tree, the frozen sentence encoder
+/// and the keyword word vectors; all must outlive it.
+class ExpertRuleEngine {
+ public:
+  ExpertRuleEngine(const CcsTree* tree, const text::SentenceEncoder* encoder,
+                   const text::Word2Vec* word_vectors,
+                   ExpertRuleOptions options = {});
+
+  /// Encodes a paper's content once. `roles` must align with the paper's
+  /// abstract sentences (taken from a SentenceLabeler, or the gold roles).
+  PaperContentFeatures ComputeFeatures(const corpus::Paper& paper,
+                                       const std::vector<int>& roles) const;
+
+  /// Eq. (1): weighted hierarchical edit distance between CCS leaf tags.
+  /// Papers without a CCS path score 0 (no evidence of difference).
+  double ClassificationScore(const corpus::Paper& p,
+                             const corpus::Paper& q) const;
+
+  /// Eq. (2): |R(p) ∪ R(q)| / |R(p) ∩ R(q)| — the reciprocal Jaccard
+  /// coefficient, add-one smoothed so disjoint reference sets stay finite.
+  double ReferenceScore(const corpus::Paper& p, const corpus::Paper& q) const;
+
+  /// Eq. (3): expected Euclidean distance between keyword vectors.
+  double KeywordScore(const PaperContentFeatures& fp,
+                      const PaperContentFeatures& fq) const;
+
+  /// Sec. III-A.4: per-subspace distance between mean sentence vectors.
+  std::vector<double> AbstractSubspaceScores(
+      const PaperContentFeatures& fp, const PaperContentFeatures& fq) const;
+
+  /// All rule scores of a pair as a [kNumExpertRules x num_subspaces]
+  /// column-per-subspace layout: entry(rule, k). The first three rules are
+  /// whole-paper scores replicated across subspaces (the paper's f_*^k).
+  std::vector<std::vector<double>> AllScores(
+      const corpus::Paper& p, const PaperContentFeatures& fp,
+      const corpus::Paper& q, const PaperContentFeatures& fq) const;
+
+  int num_subspaces() const { return options_.num_subspaces; }
+  const text::SentenceEncoder& encoder() const { return *encoder_; }
+
+ private:
+  const CcsTree* tree_;
+  const text::SentenceEncoder* encoder_;
+  const text::Word2Vec* word_vectors_;
+  ExpertRuleOptions options_;
+};
+
+}  // namespace subrec::rules
+
+#endif  // SUBREC_RULES_EXPERT_RULES_H_

@@ -1,0 +1,89 @@
+#include "rules/rule_fusion.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace subrec::rules {
+
+RuleFusion::RuleFusion(int num_subspaces) : num_subspaces_(num_subspaces) {
+  SUBREC_CHECK_GT(num_subspaces_, 0);
+  const size_t k = static_cast<size_t>(num_subspaces_);
+  mean_.assign(kNumExpertRules, std::vector<double>(k, 0.0));
+  stddev_.assign(kNumExpertRules, std::vector<double>(k, 1.0));
+  weights_.assign(
+      k, std::vector<double>(kNumExpertRules,
+                             1.0 / static_cast<double>(kNumExpertRules)));
+}
+
+Status RuleFusion::FitNormalization(
+    const std::vector<std::vector<std::vector<double>>>& score_samples) {
+  if (score_samples.empty())
+    return Status::InvalidArgument("RuleFusion: empty calibration sample");
+  const size_t k = static_cast<size_t>(num_subspaces_);
+  for (int r = 0; r < kNumExpertRules; ++r) {
+    for (size_t s = 0; s < k; ++s) {
+      double sum = 0.0, sum2 = 0.0;
+      for (const auto& sample : score_samples) {
+        SUBREC_CHECK_EQ(sample.size(), static_cast<size_t>(kNumExpertRules));
+        const double v = sample[static_cast<size_t>(r)][s];
+        sum += v;
+        sum2 += v * v;
+      }
+      const double n = static_cast<double>(score_samples.size());
+      const double mean = sum / n;
+      const double var = std::max(sum2 / n - mean * mean, 0.0);
+      mean_[static_cast<size_t>(r)][s] = mean;
+      stddev_[static_cast<size_t>(r)][s] = var > 1e-12 ? std::sqrt(var) : 1.0;
+    }
+  }
+  normalized_ = true;
+  return Status::Ok();
+}
+
+Status RuleFusion::SetWeights(int k, const std::vector<double>& weights) {
+  if (k < 0 || k >= num_subspaces_)
+    return Status::InvalidArgument("RuleFusion: subspace out of range");
+  if (weights.size() != static_cast<size_t>(kNumExpertRules))
+    return Status::InvalidArgument("RuleFusion: need one weight per rule");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      return Status::InvalidArgument("RuleFusion: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    return Status::InvalidArgument("RuleFusion: all-zero weights");
+  auto& dst = weights_[static_cast<size_t>(k)];
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] = weights[i] / total;
+  return Status::Ok();
+}
+
+double RuleFusion::Fuse(const std::vector<std::vector<double>>& scores,
+                        int k) const {
+  SUBREC_CHECK(k >= 0 && k < num_subspaces_);
+  SUBREC_CHECK_EQ(scores.size(), static_cast<size_t>(kNumExpertRules));
+  const size_t sk = static_cast<size_t>(k);
+  double fused = 0.0;
+  for (int r = 0; r < kNumExpertRules; ++r) {
+    const size_t sr = static_cast<size_t>(r);
+    const double z = (scores[sr][sk] - mean_[sr][sk]) / stddev_[sr][sk];
+    fused += weights_[sk][sr] * z;
+  }
+  return fused;
+}
+
+std::vector<double> RuleFusion::FuseAll(
+    const std::vector<std::vector<double>>& scores) const {
+  std::vector<double> out(static_cast<size_t>(num_subspaces_));
+  for (int k = 0; k < num_subspaces_; ++k)
+    out[static_cast<size_t>(k)] = Fuse(scores, k);
+  return out;
+}
+
+const std::vector<double>& RuleFusion::weights(int k) const {
+  SUBREC_CHECK(k >= 0 && k < num_subspaces_);
+  return weights_[static_cast<size_t>(k)];
+}
+
+}  // namespace subrec::rules

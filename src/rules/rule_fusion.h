@@ -1,0 +1,54 @@
+#ifndef SUBREC_RULES_RULE_FUSION_H_
+#define SUBREC_RULES_RULE_FUSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "rules/expert_rules.h"
+
+namespace subrec::rules {
+
+/// Fuses per-rule difference scores into the per-subspace teacher signal
+/// f^k(p,q) = sum_i a_i * z_i(p,q) of Sec. III-D, where z_i is the rule
+/// score standardized over a calibration sample (rules have wildly
+/// different scales, so raw averaging would let one rule dominate — the
+/// paper's "eliminate the scoring bias of different expert rules").
+/// Weights a_i default to uniform and can be set per subspace.
+class RuleFusion {
+ public:
+  explicit RuleFusion(int num_subspaces = corpus::kDefaultNumSubspaces);
+
+  /// Estimates per-rule mean/stddev from a calibration sample of score
+  /// vectors (each as returned by ExpertRuleEngine::AllScores). Returns
+  /// InvalidArgument when the sample is empty.
+  Status FitNormalization(
+      const std::vector<std::vector<std::vector<double>>>& score_samples);
+
+  /// Sets the fusion weights of subspace `k` (size kNumExpertRules;
+  /// normalized to sum 1 internally; all-zero is invalid).
+  Status SetWeights(int k, const std::vector<double>& weights);
+
+  /// Fused score of subspace `k` for one pair's AllScores() output.
+  double Fuse(const std::vector<std::vector<double>>& scores, int k) const;
+
+  /// Fused scores for every subspace.
+  std::vector<double> FuseAll(
+      const std::vector<std::vector<double>>& scores) const;
+
+  int num_subspaces() const { return num_subspaces_; }
+  bool normalized() const { return normalized_; }
+  const std::vector<double>& weights(int k) const;
+
+ private:
+  int num_subspaces_;
+  bool normalized_ = false;
+  // Per rule x subspace statistics.
+  std::vector<std::vector<double>> mean_;
+  std::vector<std::vector<double>> stddev_;
+  // Per subspace weight vector over rules.
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace subrec::rules
+
+#endif  // SUBREC_RULES_RULE_FUSION_H_

@@ -1,0 +1,48 @@
+#include "subspace/sem_model.h"
+
+#include "common/logging.h"
+
+namespace subrec::subspace {
+
+SemModel::SemModel(const SemModelOptions& options)
+    : options_(options),
+      fusion_(options.encoder.num_subspaces),
+      network_(options.encoder, options.seed) {}
+
+Result<SemTrainStats> SemModel::Fit(
+    const corpus::Corpus& corpus,
+    const std::vector<corpus::PaperId>& train_ids,
+    const std::vector<rules::PaperContentFeatures>& features,
+    const rules::ExpertRuleEngine& engine) {
+  for (int k = 0; k < options_.encoder.num_subspaces; ++k)
+    SUBREC_RETURN_NOT_OK(fusion_.SetWeights(k, options_.rule_weights));
+  SUBREC_RETURN_NOT_OK(CalibrateFusion(corpus, train_ids, features, engine,
+                                       options_.calibration_pairs,
+                                       options_.seed + 1, &fusion_));
+  const std::vector<Triplet> triplets = MineTriplets(
+      corpus, train_ids, features, engine, fusion_, options_.miner);
+  SUBREC_LOG(Info) << "SemModel: mined " << triplets.size() << " triplets";
+  auto stats = TrainTwinNetwork(features, triplets, options_.trainer,
+                                &network_);
+  if (stats.ok()) fitted_ = true;
+  return stats;
+}
+
+std::vector<std::vector<double>> SemModel::Embed(
+    const rules::PaperContentFeatures& features) const {
+  return network_.Embed(features);
+}
+
+la::Matrix SemModel::SubspaceEmbeddingMatrix(
+    const std::vector<rules::PaperContentFeatures>& features,
+    const std::vector<corpus::PaperId>& ids, int k) const {
+  SUBREC_CHECK(k >= 0 && k < num_subspaces());
+  la::Matrix m(ids.size(), network_.embedding_dim());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto emb = Embed(features[static_cast<size_t>(ids[i])]);
+    m.SetRow(i, emb[static_cast<size_t>(k)]);
+  }
+  return m;
+}
+
+}  // namespace subrec::subspace

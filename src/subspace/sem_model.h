@@ -1,0 +1,70 @@
+#ifndef SUBREC_SUBSPACE_SEM_MODEL_H_
+#define SUBREC_SUBSPACE_SEM_MODEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+#include "rules/rule_fusion.h"
+#include "subspace/trainer.h"
+#include "subspace/triplet_miner.h"
+#include "subspace/twin_network.h"
+
+namespace subrec::subspace {
+
+/// End-to-end configuration of the Subspace Embedding Method.
+struct SemModelOptions {
+  SubspaceEncoderOptions encoder;
+  TripletMinerOptions miner;
+  SemTrainerOptions trainer;
+  /// Random pairs used to standardize rule scores before mining.
+  int calibration_pairs = 500;
+  /// Fusion weights over the expert rules [f_c, f_r, f_w, f_t], applied to
+  /// every subspace. The abstract rule f_t is the only subspace-specific
+  /// signal, and Sec. III-A notes the subspace differences "are learned
+  /// mostly depending on this part", so it dominates by default.
+  std::vector<double> rule_weights = {0.15, 0.15, 0.15, 0.55};
+  uint64_t seed = 42;
+};
+
+/// Facade over the full SEM pipeline of Fig. 1: rule calibration ->
+/// triplet mining -> twin-network fine-tuning -> subspace embeddings.
+/// SEM-B / SEM-M / SEM-R of the paper are the k = 0/1/2 outputs.
+class SemModel {
+ public:
+  explicit SemModel(const SemModelOptions& options);
+
+  /// Calibrates the fusion, mines triplets from `train_ids` and trains the
+  /// twin network. `features` must be indexed by PaperId across the corpus.
+  Result<SemTrainStats> Fit(
+      const corpus::Corpus& corpus,
+      const std::vector<corpus::PaperId>& train_ids,
+      const std::vector<rules::PaperContentFeatures>& features,
+      const rules::ExpertRuleEngine& engine);
+
+  /// Subspace embeddings (K vectors) of one paper.
+  std::vector<std::vector<double>> Embed(
+      const rules::PaperContentFeatures& features) const;
+
+  /// Rows = papers (in `ids` order), columns = embedding of subspace `k`.
+  la::Matrix SubspaceEmbeddingMatrix(
+      const std::vector<rules::PaperContentFeatures>& features,
+      const std::vector<corpus::PaperId>& ids, int k) const;
+
+  const rules::RuleFusion& fusion() const { return fusion_; }
+  rules::RuleFusion* mutable_fusion() { return &fusion_; }
+  TwinNetwork* network() { return &network_; }
+  const TwinNetwork& network() const { return network_; }
+  int num_subspaces() const { return options_.encoder.num_subspaces; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  SemModelOptions options_;
+  rules::RuleFusion fusion_;
+  TwinNetwork network_;
+  bool fitted_ = false;
+};
+
+}  // namespace subrec::subspace
+
+#endif  // SUBREC_SUBSPACE_SEM_MODEL_H_

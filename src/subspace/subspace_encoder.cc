@@ -1,0 +1,101 @@
+#include "subspace/subspace_encoder.h"
+
+#include "la/ops.h"
+#include "nn/init.h"
+
+namespace subrec::subspace {
+
+using autodiff::Tape;
+using autodiff::VarId;
+
+SubspaceEncoderNet::SubspaceEncoderNet(nn::ParameterStore* store,
+                                       const SubspaceEncoderOptions& options,
+                                       Rng& rng)
+    : options_(options) {
+  SUBREC_CHECK_GT(options_.num_subspaces, 0);
+  SUBREC_CHECK_GT(options_.mlp_layers, 0);
+  if (options_.residual) {
+    SUBREC_CHECK_EQ(options_.hidden_dim, options_.input_dim)
+        << "residual subspace encoder needs hidden_dim == input_dim";
+  }
+  const int k = options_.num_subspaces;
+  mlp_.reserve(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    std::vector<nn::Dense> stack;
+    for (int l = 0; l < options_.mlp_layers; ++l) {
+      const size_t in = l == 0 ? options_.input_dim : options_.hidden_dim;
+      stack.emplace_back(store,
+                         "sem.mlp" + std::to_string(s) + "." + std::to_string(l),
+                         in, options_.hidden_dim, rng, nn::Activation::kTanh);
+    }
+    mlp_.push_back(std::move(stack));
+  }
+  attn_m_ = store->Create(
+      "sem.attn.m",
+      nn::GlorotUniform(options_.hidden_dim, options_.attention_dim, rng));
+  attn_b_ = store->Create("sem.attn.b", la::Matrix(1, options_.attention_dim));
+  for (int s = 0; s < k; ++s) {
+    attn_probe_.push_back(store->Create(
+        "sem.attn.probe" + std::to_string(s),
+        nn::GlorotUniform(options_.attention_dim, 1, rng)));
+  }
+}
+
+std::vector<VarId> SubspaceEncoderNet::Forward(
+    Tape* tape, nn::TapeBinding* binding,
+    const std::vector<std::vector<double>>& sentence_vectors,
+    const std::vector<int>& roles) const {
+  SUBREC_CHECK_EQ(sentence_vectors.size(), roles.size());
+  const int k = options_.num_subspaces;
+
+  // Eq. 5-6: gather the sentence rows of each subspace (selection is
+  // equivalent to the paper's indicator masking for the pooled result).
+  std::vector<VarId> pooled;  // c_hat_k, each 1 x hidden.
+  pooled.reserve(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    std::vector<std::vector<double>> rows;
+    for (size_t i = 0; i < roles.size(); ++i)
+      if (roles[i] == s) rows.push_back(sentence_vectors[i]);
+    if (rows.empty())
+      rows.emplace_back(options_.input_dim, 0.0);  // learned default response
+    VarId x = tape->Constant(la::StackRows(rows));
+
+    // Eqs. 7-8: tanh MLP.
+    VarId h = x;
+    for (const nn::Dense& layer : mlp_[static_cast<size_t>(s)])
+      h = layer.Forward(tape, binding, h);
+
+    // Eq. 9: global attention pooling  c_hat = softmax(m^k tanh(hM+b)) . h
+    VarId proj = tape->Tanh(tape->AddRowBroadcast(
+        tape->MatMul(h, binding->Use(attn_m_)), binding->Use(attn_b_)));
+    VarId scores =
+        tape->MatMul(proj, binding->Use(attn_probe_[static_cast<size_t>(s)]));
+    // scores is n x 1; softmax over the n sentences as a row.
+    VarId weights = tape->RowSoftmax(tape->Transpose(scores));  // 1 x n
+    VarId c_hat = tape->MatMul(weights, h);        // 1 x hidden
+    if (options_.residual) {
+      VarId base = tape->Constant(la::ColMean(tape->value(x)));
+      c_hat = tape->Add(base, tape->Scale(c_hat, options_.residual_scale));
+    }
+    pooled.push_back(c_hat);
+  }
+
+  // Eqs. 10-11: cross-subspace attention (excluding self).
+  VarId all = tape->ConcatRows(pooled);  // K x hidden
+  std::vector<VarId> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    VarId sims = tape->MatMulTransB(pooled[static_cast<size_t>(s)], all);
+    // Mask out j == s with a large negative constant before the softmax.
+    la::Matrix mask(1, static_cast<size_t>(k));
+    mask(0, static_cast<size_t>(s)) = -1e9;
+    VarId attn = tape->RowSoftmax(tape->Add(sims, tape->Constant(mask)));
+    VarId c_tilde = tape->MatMul(attn, all);  // 1 x hidden
+    // Eq. 12: c_k = [c_hat_k ; c_tilde_k].
+    out.push_back(
+        tape->ConcatCols({pooled[static_cast<size_t>(s)], c_tilde}));
+  }
+  return out;
+}
+
+}  // namespace subrec::subspace

@@ -1,0 +1,74 @@
+#ifndef SUBREC_SUBSPACE_SUBSPACE_ENCODER_H_
+#define SUBREC_SUBSPACE_SUBSPACE_ENCODER_H_
+
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+#include "nn/dense.h"
+#include "nn/parameter.h"
+#include "rules/expert_rules.h"
+
+namespace subrec::subspace {
+
+/// Architecture hyperparameters of the subspace embedding network
+/// (Eqs. 5-12).
+struct SubspaceEncoderOptions {
+  /// Sentence-encoder dimension d (input).
+  size_t input_dim = 96;
+  int num_subspaces = corpus::kDefaultNumSubspaces;
+  /// Width of the per-subspace MLP and of the pooled embedding.
+  size_t hidden_dim = 32;
+  /// Number of tanh MLP layers (Eqs. 7-8).
+  int mlp_layers = 2;
+  /// Width of the global-attention projection (Eq. 9).
+  size_t attention_dim = 16;
+  /// Residual mode: c_hat_k = mean(masked sentences) + residual_scale *
+  /// attention-pooled MLP output. This mirrors the paper's *fine-tuning*
+  /// of a pretrained encoder — the trained embedding stays on the frozen
+  /// encoder's manifold (so density analyses like LOF keep working) while
+  /// the network nudges it toward the expert-rule ordering. Requires
+  /// hidden_dim == input_dim.
+  bool residual = true;
+  double residual_scale = 0.15;
+};
+
+/// The subspace fusion network of Fig. 1 (top): per subspace k, masked
+/// sentence vectors flow through a tanh MLP (Eqs. 5-8), are pooled with a
+/// global attention head (Eq. 9) into c_hat_k, then cross-subspace
+/// attention (Eqs. 10-11) yields c_tilde_k, and the subspace embedding is
+/// the concatenation c_k = [c_hat_k ; c_tilde_k] (Eq. 12), of width
+/// 2*hidden_dim.
+class SubspaceEncoderNet {
+ public:
+  SubspaceEncoderNet(nn::ParameterStore* store,
+                     const SubspaceEncoderOptions& options, Rng& rng);
+
+  /// Builds the K subspace embeddings of one paper on `tape`. Each returned
+  /// node is 1 x (2*hidden_dim). Sentences with out-of-range roles are
+  /// ignored; an empty subspace contributes a zero input row (its embedding
+  /// degenerates to the learned bias response, a learned "no content here"
+  /// code).
+  std::vector<autodiff::VarId> Forward(
+      autodiff::Tape* tape, nn::TapeBinding* binding,
+      const std::vector<std::vector<double>>& sentence_vectors,
+      const std::vector<int>& roles) const;
+
+  const SubspaceEncoderOptions& options() const { return options_; }
+  /// Width of each produced subspace embedding (2*hidden_dim).
+  size_t output_dim() const { return 2 * options_.hidden_dim; }
+
+ private:
+  SubspaceEncoderOptions options_;
+  // Per-subspace MLP stacks [k][layer].
+  std::vector<std::vector<nn::Dense>> mlp_;
+  // Global-attention parameters: shared projection M (Eq. 9)...
+  nn::Parameter* attn_m_;
+  nn::Parameter* attn_b_;
+  // ...and per-subspace probe vectors m^k.
+  std::vector<nn::Parameter*> attn_probe_;
+};
+
+}  // namespace subrec::subspace
+
+#endif  // SUBREC_SUBSPACE_SUBSPACE_ENCODER_H_

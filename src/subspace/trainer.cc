@@ -1,0 +1,86 @@
+#include "subspace/trainer.h"
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace subrec::subspace {
+
+Result<SemTrainStats> TrainTwinNetwork(
+    const std::vector<rules::PaperContentFeatures>& features,
+    const std::vector<Triplet>& triplets, const SemTrainerOptions& options,
+    TwinNetwork* net) {
+  if (triplets.empty())
+    return Status::InvalidArgument("TrainTwinNetwork: no triplets");
+  for (const Triplet& t : triplets) {
+    const auto valid = [&](corpus::PaperId id) {
+      return id >= 0 && static_cast<size_t>(id) < features.size();
+    };
+    if (!valid(t.anchor) || !valid(t.positive) || !valid(t.negative))
+      return Status::InvalidArgument("TrainTwinNetwork: triplet id out of range");
+    if (t.subspace < 0 || t.subspace >= net->options().num_subspaces)
+      return Status::InvalidArgument("TrainTwinNetwork: bad subspace");
+  }
+
+  nn::Adam optimizer(options.learning_rate);
+  const std::vector<nn::Parameter*> params = net->store()->params();
+  Rng rng(options.seed);
+  std::vector<size_t> order(triplets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  SemTrainStats stats;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (size_t idx : order) {
+      const Triplet& t = triplets[idx];
+      autodiff::Tape tape;
+      nn::TapeBinding binding(&tape);
+      const auto cp = net->EmbedOnTape(
+          &tape, &binding, features[static_cast<size_t>(t.anchor)]);
+      const auto cq = net->EmbedOnTape(
+          &tape, &binding, features[static_cast<size_t>(t.positive)]);
+      const auto cq2 = net->EmbedOnTape(
+          &tape, &binding, features[static_cast<size_t>(t.negative)]);
+      const size_t k = static_cast<size_t>(t.subspace);
+      autodiff::VarId d_pos = net->DistanceOnTape(&tape, cp[k], cq[k]);
+      autodiff::VarId d_neg = net->DistanceOnTape(&tape, cp[k], cq2[k]);
+      autodiff::VarId loss =
+          nn::TripletHingeLoss(&tape, d_pos, d_neg, options.margin);
+      loss = nn::AddL2Regularizer(&tape, &binding, loss, params,
+                                  options.lambda);
+      tape.Backward(loss);
+      binding.PullGradients();
+      epoch_loss += tape.value(loss)(0, 0);
+      if (++in_batch >= options.batch_size) {
+        nn::ClipGradNorm(params, options.clip_norm);
+        optimizer.Step(params);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      nn::ClipGradNorm(params, options.clip_norm);
+      optimizer.Step(params);
+    }
+    stats.epoch_loss.push_back(epoch_loss /
+                               static_cast<double>(triplets.size()));
+  }
+
+  // Order accuracy: does D(anchor, positive) exceed D(anchor, negative)?
+  int correct = 0;
+  for (const Triplet& t : triplets) {
+    const double dp = net->Distance(features[static_cast<size_t>(t.anchor)],
+                                    features[static_cast<size_t>(t.positive)],
+                                    t.subspace);
+    const double dn = net->Distance(features[static_cast<size_t>(t.anchor)],
+                                    features[static_cast<size_t>(t.negative)],
+                                    t.subspace);
+    if (dp > dn) ++correct;
+  }
+  stats.final_order_accuracy =
+      static_cast<double>(correct) / static_cast<double>(triplets.size());
+  return stats;
+}
+
+}  // namespace subrec::subspace

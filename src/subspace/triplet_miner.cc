@@ -1,0 +1,79 @@
+#include "subspace/triplet_miner.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace subrec::subspace {
+
+std::vector<Triplet> MineTriplets(
+    const corpus::Corpus& corpus,
+    const std::vector<corpus::PaperId>& paper_ids,
+    const std::vector<rules::PaperContentFeatures>& features,
+    const rules::ExpertRuleEngine& engine, const rules::RuleFusion& fusion,
+    const TripletMinerOptions& options) {
+  SUBREC_CHECK_GE(paper_ids.size(), 3u);
+  Rng rng(options.seed);
+  std::vector<Triplet> triplets;
+  const size_t n = paper_ids.size();
+  for (int c = 0; c < options.num_candidates; ++c) {
+    const corpus::PaperId p = paper_ids[rng.UniformInt(n)];
+    const corpus::PaperId q = paper_ids[rng.UniformInt(n)];
+    const corpus::PaperId q2 = paper_ids[rng.UniformInt(n)];
+    if (p == q || p == q2 || q == q2) continue;
+    const auto sp = engine.AllScores(corpus.paper(p),
+                                     features[static_cast<size_t>(p)],
+                                     corpus.paper(q),
+                                     features[static_cast<size_t>(q)]);
+    const auto sp2 = engine.AllScores(corpus.paper(p),
+                                      features[static_cast<size_t>(p)],
+                                      corpus.paper(q2),
+                                      features[static_cast<size_t>(q2)]);
+    const std::vector<double> fq = fusion.FuseAll(sp);
+    const std::vector<double> fq2 = fusion.FuseAll(sp2);
+    for (int k = 0; k < fusion.num_subspaces(); ++k) {
+      const double gap = fq[static_cast<size_t>(k)] - fq2[static_cast<size_t>(k)];
+      if (std::fabs(gap) < options.min_gap) continue;
+      Triplet t;
+      t.anchor = p;
+      t.subspace = k;
+      t.gap = std::fabs(gap);
+      if (gap > 0) {
+        t.positive = q;   // (p,q) is the more-different pair
+        t.negative = q2;
+      } else {
+        t.positive = q2;
+        t.negative = q;
+      }
+      triplets.push_back(t);
+    }
+  }
+  return triplets;
+}
+
+Status CalibrateFusion(
+    const corpus::Corpus& corpus,
+    const std::vector<corpus::PaperId>& paper_ids,
+    const std::vector<rules::PaperContentFeatures>& features,
+    const rules::ExpertRuleEngine& engine, int num_pairs, uint64_t seed,
+    rules::RuleFusion* fusion) {
+  if (paper_ids.size() < 2)
+    return Status::InvalidArgument("CalibrateFusion: need >= 2 papers");
+  Rng rng(seed);
+  std::vector<std::vector<std::vector<double>>> samples;
+  samples.reserve(static_cast<size_t>(num_pairs));
+  const size_t n = paper_ids.size();
+  for (int i = 0; i < num_pairs; ++i) {
+    const corpus::PaperId p = paper_ids[rng.UniformInt(n)];
+    const corpus::PaperId q = paper_ids[rng.UniformInt(n)];
+    if (p == q) continue;
+    samples.push_back(engine.AllScores(corpus.paper(p),
+                                       features[static_cast<size_t>(p)],
+                                       corpus.paper(q),
+                                       features[static_cast<size_t>(q)]));
+  }
+  return fusion->FitNormalization(samples);
+}
+
+}  // namespace subrec::subspace

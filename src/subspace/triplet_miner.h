@@ -1,0 +1,53 @@
+#ifndef SUBREC_SUBSPACE_TRIPLET_MINER_H_
+#define SUBREC_SUBSPACE_TRIPLET_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/types.h"
+#include "rules/expert_rules.h"
+#include "rules/rule_fusion.h"
+
+namespace subrec::subspace {
+
+/// One training triplet of Sec. III-D: under the fused expert rules, the
+/// pair (anchor, positive) is MORE different than (anchor, negative) in
+/// `subspace`, by `gap` (in fused z-score units). The twin network learns
+/// to order its distances the same way.
+struct Triplet {
+  corpus::PaperId anchor;
+  corpus::PaperId positive;
+  corpus::PaperId negative;
+  int subspace;
+  double gap;
+};
+
+struct TripletMinerOptions {
+  /// How many (p,q,q') candidate draws to make; each draw yields at most
+  /// one triplet per subspace.
+  int num_candidates = 2000;
+  /// Minimum fused-score gap for a candidate to become a triplet (filters
+  /// ties the rules cannot order confidently).
+  double min_gap = 0.25;
+  uint64_t seed = 11;
+};
+
+/// Samples training triplets from `paper_ids` using an already-calibrated
+/// RuleFusion. `features` is indexed by PaperId over the whole corpus.
+std::vector<Triplet> MineTriplets(
+    const corpus::Corpus& corpus, const std::vector<corpus::PaperId>& paper_ids,
+    const std::vector<rules::PaperContentFeatures>& features,
+    const rules::ExpertRuleEngine& engine, const rules::RuleFusion& fusion,
+    const TripletMinerOptions& options);
+
+/// Convenience: calibrates `fusion`'s normalization on `num_pairs` random
+/// pairs from `paper_ids` (Sec. III-B's bias elimination) before mining.
+Status CalibrateFusion(const corpus::Corpus& corpus,
+                       const std::vector<corpus::PaperId>& paper_ids,
+                       const std::vector<rules::PaperContentFeatures>& features,
+                       const rules::ExpertRuleEngine& engine, int num_pairs,
+                       uint64_t seed, rules::RuleFusion* fusion);
+
+}  // namespace subrec::subspace
+
+#endif  // SUBREC_SUBSPACE_TRIPLET_MINER_H_

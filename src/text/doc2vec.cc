@@ -1,0 +1,110 @@
+#include "text/doc2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace subrec::text {
+namespace {
+
+double FastSigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+Doc2Vec::Doc2Vec(Doc2VecOptions options) : options_(options) {
+  SUBREC_CHECK_GT(options_.dim, 0u);
+}
+
+Status Doc2Vec::Train(const std::vector<std::vector<std::string>>& documents) {
+  if (documents.empty())
+    return Status::InvalidArgument("Doc2Vec::Train: empty corpus");
+  vocab_ = Vocabulary();
+  vocab_.AddAll(documents);
+  vocab_.Prune(options_.min_count);
+  if (vocab_.size() == 0)
+    return Status::InvalidArgument("Doc2Vec::Train: vocabulary empty");
+
+  const size_t d = options_.dim;
+  const size_t v = vocab_.size();
+  Rng rng(options_.seed);
+  doc_.resize(documents.size() * d);
+  out_.assign(v * d, 0.0);
+  for (double& x : doc_) x = rng.Uniform(-0.5 / static_cast<double>(d),
+                                         0.5 / static_cast<double>(d));
+
+  std::vector<std::vector<int>> ids(documents.size());
+  int64_t total_tokens = 0;
+  for (size_t i = 0; i < documents.size(); ++i) {
+    for (const auto& w : documents[i]) {
+      int id = vocab_.Lookup(w);
+      if (id != Vocabulary::kUnknown) ids[i].push_back(id);
+    }
+    total_tokens += static_cast<int64_t>(ids[i].size());
+  }
+  if (total_tokens == 0)
+    return Status::InvalidArgument("Doc2Vec::Train: no in-vocabulary tokens");
+
+  std::vector<double> neg_cdf = vocab_.SamplingWeights(0.75);
+  for (size_t i = 1; i < neg_cdf.size(); ++i) neg_cdf[i] += neg_cdf[i - 1];
+  const double neg_total = neg_cdf.back();
+  auto sample_negative = [&](Rng& r) {
+    const double x = r.UniformDouble() * neg_total;
+    return static_cast<int>(
+        std::lower_bound(neg_cdf.begin(), neg_cdf.end(), x) - neg_cdf.begin());
+  };
+
+  const int64_t total_steps =
+      static_cast<int64_t>(options_.epochs) * total_tokens;
+  int64_t step = 0;
+  std::vector<double> grad_doc(d);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t doc_id = 0; doc_id < ids.size(); ++doc_id) {
+      double* dv = doc_.data() + doc_id * d;
+      for (int word : ids[doc_id]) {
+        const double progress =
+            static_cast<double>(step++) / static_cast<double>(total_steps);
+        const double lr =
+            options_.learning_rate * std::max(1.0 - progress, 1e-2);
+        std::fill(grad_doc.begin(), grad_doc.end(), 0.0);
+        for (int k = 0; k <= options_.negatives; ++k) {
+          int target;
+          double label;
+          if (k == 0) {
+            target = word;
+            label = 1.0;
+          } else {
+            target = sample_negative(rng);
+            if (target == word) continue;
+            label = 0.0;
+          }
+          double* wo = out_.data() + static_cast<size_t>(target) * d;
+          double dot = 0.0;
+          for (size_t j = 0; j < d; ++j) dot += dv[j] * wo[j];
+          const double g = (label - FastSigmoid(dot)) * lr;
+          for (size_t j = 0; j < d; ++j) {
+            grad_doc[j] += g * wo[j];
+            wo[j] += g * dv[j];
+          }
+        }
+        for (size_t j = 0; j < d; ++j) dv[j] += grad_doc[j];
+      }
+    }
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+std::vector<double> Doc2Vec::DocumentVector(size_t i) const {
+  SUBREC_CHECK(trained_);
+  SUBREC_CHECK_LT(i, doc_.size() / options_.dim);
+  const double* p = doc_.data() + i * options_.dim;
+  return std::vector<double>(p, p + options_.dim);
+}
+
+}  // namespace subrec::text

@@ -1,0 +1,50 @@
+#ifndef SUBREC_TEXT_DOC2VEC_H_
+#define SUBREC_TEXT_DOC2VEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/vocabulary.h"
+
+namespace subrec::text {
+
+/// Configuration for PV-DBOW Doc2Vec.
+struct Doc2VecOptions {
+  size_t dim = 48;
+  int negatives = 5;
+  int epochs = 5;
+  double learning_rate = 0.025;
+  int64_t min_count = 1;
+  uint64_t seed = 29;
+};
+
+/// Distributed bag-of-words paragraph vectors (Le & Mikolov): each document
+/// vector is trained to predict its own words against negative samples.
+/// Serves as the Doc2Vec baseline of Fig. 2.
+class Doc2Vec {
+ public:
+  explicit Doc2Vec(Doc2VecOptions options = {});
+
+  /// Trains document vectors on tokenized documents.
+  Status Train(const std::vector<std::vector<std::string>>& documents);
+
+  size_t dim() const { return options_.dim; }
+  size_t num_documents() const { return trained_ ? doc_.size() / options_.dim : 0; }
+  bool trained() const { return trained_; }
+
+  /// Trained vector of document `i` (indexing the Train() corpus).
+  std::vector<double> DocumentVector(size_t i) const;
+
+ private:
+  Doc2VecOptions options_;
+  Vocabulary vocab_;
+  bool trained_ = false;
+  std::vector<double> doc_;  // [num_docs x dim]
+  std::vector<double> out_;  // [vocab x dim]
+};
+
+}  // namespace subrec::text
+
+#endif  // SUBREC_TEXT_DOC2VEC_H_

@@ -1,0 +1,46 @@
+#include "text/hashed_ngram_encoder.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "la/ops.h"
+#include "text/tokenizer.h"
+
+namespace subrec::text {
+
+HashedNgramEncoder::HashedNgramEncoder(HashedNgramEncoderOptions options)
+    : options_(options) {
+  SUBREC_CHECK_GT(options_.dim, 0u);
+}
+
+void HashedNgramEncoder::AddFeature(const std::string& feature,
+                                    std::vector<double>& acc) const {
+  const uint64_t h = HashCombine(options_.seed, Fnv1aHash(feature));
+  const size_t bucket = h % options_.dim;
+  const double sign = ((h >> 32) & 1) ? 1.0 : -1.0;
+  acc[bucket] += sign;
+}
+
+std::vector<double> HashedNgramEncoder::Encode(
+    const std::string& sentence) const {
+  const std::vector<std::string> tokens =
+      options_.drop_stopwords ? TokenizeNoStopwords(sentence)
+                              : Tokenize(sentence);
+  std::vector<double> acc(options_.dim, 0.0);
+  for (const auto& t : tokens) AddFeature(t, acc);
+  if (options_.use_bigrams) {
+    for (size_t i = 0; i + 1 < tokens.size(); ++i)
+      AddFeature(tokens[i] + "_" + tokens[i + 1], acc);
+  }
+  if (options_.sublinear_tf) {
+    for (double& v : acc) {
+      const double a = std::fabs(v);
+      v = (v >= 0.0 ? 1.0 : -1.0) * std::log1p(a);
+    }
+  }
+  la::NormalizeL2(acc);
+  return acc;
+}
+
+}  // namespace subrec::text

@@ -1,0 +1,48 @@
+#ifndef SUBREC_TEXT_HASHED_NGRAM_ENCODER_H_
+#define SUBREC_TEXT_HASHED_NGRAM_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/sentence_encoder.h"
+
+namespace subrec::text {
+
+/// Options for HashedNgramEncoder.
+struct HashedNgramEncoderOptions {
+  /// Output dimension.
+  size_t dim = 96;
+  /// Also hash adjacent-token bigrams (adds word-order signal).
+  bool use_bigrams = true;
+  /// Drop stopwords before hashing.
+  bool drop_stopwords = true;
+  /// log(1+tf) bucket scaling instead of raw counts.
+  bool sublinear_tf = true;
+  /// Salt mixed into every hash so two encoders can be decorrelated.
+  uint64_t seed = 17;
+};
+
+/// Deterministic signed feature-hashing sentence encoder — the library's
+/// stand-in for a frozen pretrained text encoder. Tokens (and optionally
+/// bigrams) are hashed to a signed bucket; the bucket histogram is
+/// L2-normalized. Lexically similar sentences land close in cosine space,
+/// which is the only contract the downstream twin network relies on.
+class HashedNgramEncoder final : public SentenceEncoder {
+ public:
+  explicit HashedNgramEncoder(HashedNgramEncoderOptions options = {});
+
+  size_t dim() const override { return options_.dim; }
+  std::vector<double> Encode(const std::string& sentence) const override;
+
+  const HashedNgramEncoderOptions& options() const { return options_; }
+
+ private:
+  void AddFeature(const std::string& feature, std::vector<double>& acc) const;
+
+  HashedNgramEncoderOptions options_;
+};
+
+}  // namespace subrec::text
+
+#endif  // SUBREC_TEXT_HASHED_NGRAM_ENCODER_H_

@@ -1,0 +1,54 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "la/ops.h"
+
+namespace subrec::text {
+
+Status TfIdfVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& documents) {
+  if (documents.empty())
+    return Status::InvalidArgument("TfIdfVectorizer::Fit: empty corpus");
+  index_.clear();
+  std::vector<int64_t> df;
+  for (const auto& doc : documents) {
+    std::unordered_set<std::string> seen;
+    for (const auto& tok : doc) {
+      if (!seen.insert(tok).second) continue;
+      auto [it, inserted] = index_.try_emplace(tok, static_cast<int>(df.size()));
+      if (inserted) df.push_back(0);
+      ++df[it->second];
+    }
+  }
+  const double n = static_cast<double>(documents.size());
+  idf_.resize(df.size());
+  for (size_t i = 0; i < df.size(); ++i)
+    idf_[i] = std::log((1.0 + n) / (1.0 + static_cast<double>(df[i]))) + 1.0;
+  fitted_ = true;
+  return Status::Ok();
+}
+
+std::vector<double> TfIdfVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  SUBREC_CHECK(fitted_) << "Transform before Fit";
+  std::vector<double> v(idf_.size(), 0.0);
+  for (const auto& tok : tokens) {
+    auto it = index_.find(tok);
+    if (it != index_.end()) v[it->second] += 1.0;
+  }
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] > 0.0) v[i] = (1.0 + std::log(v[i])) * idf_[i];
+  }
+  la::NormalizeL2(v);
+  return v;
+}
+
+int TfIdfVectorizer::IndexOf(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace subrec::text

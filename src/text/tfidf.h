@@ -1,0 +1,40 @@
+#ifndef SUBREC_TEXT_TFIDF_H_
+#define SUBREC_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace subrec::text {
+
+/// Classic TF-IDF vectorizer over a fixed fitted corpus. Produces dense
+/// vectors in vocabulary space (vocabularies at our corpus scales are small
+/// enough that dense is fine) with idf = log((1+N)/(1+df)) + 1 and
+/// L2-normalized rows.
+class TfIdfVectorizer {
+ public:
+  /// Learns vocabulary and document frequencies. `documents` are token
+  /// lists. Returns InvalidArgument on an empty corpus.
+  Status Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// Transforms one document into the fitted space (unknown tokens are
+  /// ignored). Must be called after a successful Fit().
+  std::vector<double> Transform(const std::vector<std::string>& tokens) const;
+
+  size_t vocabulary_size() const { return idf_.size(); }
+  bool fitted() const { return fitted_; }
+
+  /// Index of `token` in the fitted space, or -1.
+  int IndexOf(const std::string& token) const;
+
+ private:
+  bool fitted_ = false;
+  std::unordered_map<std::string, int> index_;
+  std::vector<double> idf_;
+};
+
+}  // namespace subrec::text
+
+#endif  // SUBREC_TEXT_TFIDF_H_

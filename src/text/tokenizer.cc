@@ -1,0 +1,71 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace subrec::text {
+namespace {
+
+// Small closed stopword list; sorted for binary search.
+constexpr std::array<std::string_view, 42> kStopwords = {
+    "a",    "an",   "and",  "are",  "as",    "at",   "be",   "by",
+    "for",  "from", "has",  "have", "in",    "is",   "it",   "its",
+    "more", "most", "not",  "of",   "on",    "or",   "our",  "such",
+    "that", "the",  "their", "then", "there", "these", "they", "this",
+    "to",   "was",  "we",   "were", "which", "while", "will", "with",
+    "you",  "your"};
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : s) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool IsStopword(std::string_view token) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), token);
+}
+
+std::vector<std::string> TokenizeNoStopwords(std::string_view s) {
+  std::vector<std::string> tokens = Tokenize(s);
+  tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                              [](const std::string& t) { return IsStopword(t); }),
+               tokens.end());
+  return tokens;
+}
+
+std::vector<std::string> SplitSentences(std::string_view abstract_text) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (char c : abstract_text) {
+    if (c == '.' || c == '!' || c == '?') {
+      // Trim leading/trailing spaces.
+      size_t b = current.find_first_not_of(" \t\n");
+      size_t e = current.find_last_not_of(" \t\n");
+      if (b != std::string::npos) sentences.push_back(current.substr(b, e - b + 1));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  size_t b = current.find_first_not_of(" \t\n");
+  if (b != std::string::npos) {
+    size_t e = current.find_last_not_of(" \t\n");
+    sentences.push_back(current.substr(b, e - b + 1));
+  }
+  return sentences;
+}
+
+}  // namespace subrec::text

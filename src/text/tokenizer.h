@@ -1,0 +1,29 @@
+#ifndef SUBREC_TEXT_TOKENIZER_H_
+#define SUBREC_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subrec::text {
+
+/// Lowercases and splits `s` into alphanumeric tokens (everything else is a
+/// separator). The one tokenizer used across the library so all components
+/// agree on token boundaries.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// True for a small closed set of English function words. Encoders may drop
+/// stopwords to sharpen lexical signal.
+bool IsStopword(std::string_view token);
+
+/// Tokenize() minus stopwords.
+std::vector<std::string> TokenizeNoStopwords(std::string_view s);
+
+/// Splits abstract text into sentences on '.', '!', '?' boundaries,
+/// dropping empty fragments. (Synthetic abstracts use '.'-terminated
+/// sentences, so this is exact for generated data.)
+std::vector<std::string> SplitSentences(std::string_view abstract_text);
+
+}  // namespace subrec::text
+
+#endif  // SUBREC_TEXT_TOKENIZER_H_

@@ -1,0 +1,64 @@
+#include "text/vocabulary.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace subrec::text {
+
+int Vocabulary::Add(const std::string& word) {
+  auto [it, inserted] = index_.try_emplace(word, static_cast<int>(words_.size()));
+  if (inserted) {
+    words_.push_back(word);
+    counts_.push_back(0);
+  }
+  ++counts_[it->second];
+  ++total_count_;
+  return it->second;
+}
+
+void Vocabulary::AddAll(const std::vector<std::vector<std::string>>& sentences) {
+  for (const auto& sentence : sentences)
+    for (const auto& word : sentence) Add(word);
+}
+
+int Vocabulary::Lookup(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kUnknown : it->second;
+}
+
+const std::string& Vocabulary::WordOf(int id) const {
+  SUBREC_CHECK(id >= 0 && static_cast<size_t>(id) < words_.size());
+  return words_[id];
+}
+
+int64_t Vocabulary::CountOf(int id) const {
+  SUBREC_CHECK(id >= 0 && static_cast<size_t>(id) < counts_.size());
+  return counts_[id];
+}
+
+void Vocabulary::Prune(int64_t min_count) {
+  std::vector<std::string> kept_words;
+  std::vector<int64_t> kept_counts;
+  index_.clear();
+  total_count_ = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (counts_[i] >= min_count) {
+      index_[words_[i]] = static_cast<int>(kept_words.size());
+      kept_words.push_back(words_[i]);
+      kept_counts.push_back(counts_[i]);
+      total_count_ += counts_[i];
+    }
+  }
+  words_ = std::move(kept_words);
+  counts_ = std::move(kept_counts);
+}
+
+std::vector<double> Vocabulary::SamplingWeights(double power) const {
+  std::vector<double> w(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i)
+    w[i] = std::pow(static_cast<double>(counts_[i]), power);
+  return w;
+}
+
+}  // namespace subrec::text

@@ -1,0 +1,46 @@
+#ifndef SUBREC_TEXT_VOCABULARY_H_
+#define SUBREC_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace subrec::text {
+
+/// Bidirectional word <-> id map with frequency counts. Ids are dense and
+/// assigned in first-seen order.
+class Vocabulary {
+ public:
+  static constexpr int kUnknown = -1;
+
+  /// Adds one occurrence of `word`, creating an id on first sight.
+  int Add(const std::string& word);
+
+  /// Adds every token of every sentence.
+  void AddAll(const std::vector<std::vector<std::string>>& sentences);
+
+  /// Id of `word` or kUnknown.
+  int Lookup(const std::string& word) const;
+
+  const std::string& WordOf(int id) const;
+  int64_t CountOf(int id) const;
+  size_t size() const { return words_.size(); }
+  int64_t total_count() const { return total_count_; }
+
+  /// Drops words with count < min_count and reassigns dense ids.
+  void Prune(int64_t min_count);
+
+  /// Unigram^power sampling weights (for SGNS negative sampling).
+  std::vector<double> SamplingWeights(double power = 0.75) const;
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> words_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace subrec::text
+
+#endif  // SUBREC_TEXT_VOCABULARY_H_

@@ -1,0 +1,145 @@
+#include "text/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace subrec::text {
+namespace {
+
+double FastSigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+Word2Vec::Word2Vec(Word2VecOptions options) : options_(options) {
+  SUBREC_CHECK_GT(options_.dim, 0u);
+  SUBREC_CHECK_GT(options_.epochs, 0);
+}
+
+Status Word2Vec::Train(const std::vector<std::vector<std::string>>& sentences) {
+  if (sentences.empty())
+    return Status::InvalidArgument("Word2Vec::Train: empty corpus");
+  vocab_ = Vocabulary();
+  vocab_.AddAll(sentences);
+  vocab_.Prune(options_.min_count);
+  if (vocab_.size() == 0)
+    return Status::InvalidArgument("Word2Vec::Train: vocabulary empty after pruning");
+
+  const size_t v = vocab_.size();
+  const size_t d = options_.dim;
+  Rng rng(options_.seed);
+  in_.resize(v * d);
+  out_.assign(v * d, 0.0);
+  for (double& x : in_) x = rng.Uniform(-0.5 / static_cast<double>(d),
+                                        0.5 / static_cast<double>(d));
+
+  // Precompute id sequences and the negative-sampling alias-free CDF.
+  std::vector<std::vector<int>> ids;
+  ids.reserve(sentences.size());
+  int64_t total_tokens = 0;
+  for (const auto& s : sentences) {
+    std::vector<int> row;
+    row.reserve(s.size());
+    for (const auto& w : s) {
+      int id = vocab_.Lookup(w);
+      if (id != Vocabulary::kUnknown) row.push_back(id);
+    }
+    total_tokens += static_cast<int64_t>(row.size());
+    ids.push_back(std::move(row));
+  }
+  if (total_tokens == 0)
+    return Status::InvalidArgument("Word2Vec::Train: no in-vocabulary tokens");
+
+  std::vector<double> neg_cdf = vocab_.SamplingWeights(0.75);
+  for (size_t i = 1; i < neg_cdf.size(); ++i) neg_cdf[i] += neg_cdf[i - 1];
+  const double neg_total = neg_cdf.back();
+  auto sample_negative = [&](Rng& r) {
+    const double x = r.UniformDouble() * neg_total;
+    return static_cast<int>(
+        std::lower_bound(neg_cdf.begin(), neg_cdf.end(), x) - neg_cdf.begin());
+  };
+
+  const int64_t total_steps =
+      static_cast<int64_t>(options_.epochs) * total_tokens;
+  int64_t step = 0;
+  std::vector<double> grad_in(d);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& sentence : ids) {
+      const int n = static_cast<int>(sentence.size());
+      for (int center = 0; center < n; ++center) {
+        const double progress =
+            static_cast<double>(step++) / static_cast<double>(total_steps);
+        const double lr =
+            options_.learning_rate * std::max(1.0 - progress, 1e-2);
+        const int win = 1 + static_cast<int>(rng.UniformInt(
+                                static_cast<uint64_t>(options_.window)));
+        const int lo = std::max(0, center - win);
+        const int hi = std::min(n - 1, center + win);
+        double* wi = in_.data() + static_cast<size_t>(sentence[center]) * d;
+        for (int ctx = lo; ctx <= hi; ++ctx) {
+          if (ctx == center) continue;
+          std::fill(grad_in.begin(), grad_in.end(), 0.0);
+          // One positive + `negatives` sampled targets.
+          for (int k = 0; k <= options_.negatives; ++k) {
+            int target;
+            double label;
+            if (k == 0) {
+              target = sentence[ctx];
+              label = 1.0;
+            } else {
+              target = sample_negative(rng);
+              if (target == sentence[ctx]) continue;
+              label = 0.0;
+            }
+            double* wo = out_.data() + static_cast<size_t>(target) * d;
+            double dot = 0.0;
+            for (size_t j = 0; j < d; ++j) dot += wi[j] * wo[j];
+            const double g = (label - FastSigmoid(dot)) * lr;
+            for (size_t j = 0; j < d; ++j) {
+              grad_in[j] += g * wo[j];
+              wo[j] += g * wi[j];
+            }
+          }
+          for (size_t j = 0; j < d; ++j) wi[j] += grad_in[j];
+        }
+      }
+    }
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+std::vector<double> Word2Vec::Embedding(const std::string& word) const {
+  std::vector<double> v(options_.dim, 0.0);
+  if (!trained_) return v;
+  const int id = vocab_.Lookup(word);
+  if (id == Vocabulary::kUnknown) return v;
+  const double* w = in_.data() + static_cast<size_t>(id) * options_.dim;
+  std::copy(w, w + options_.dim, v.begin());
+  return v;
+}
+
+std::vector<double> Word2Vec::MeanEmbedding(
+    const std::vector<std::string>& tokens) const {
+  std::vector<double> acc(options_.dim, 0.0);
+  if (!trained_) return acc;
+  int known = 0;
+  for (const auto& t : tokens) {
+    const int id = vocab_.Lookup(t);
+    if (id == Vocabulary::kUnknown) continue;
+    const double* w = in_.data() + static_cast<size_t>(id) * options_.dim;
+    for (size_t j = 0; j < options_.dim; ++j) acc[j] += w[j];
+    ++known;
+  }
+  if (known > 0)
+    for (double& x : acc) x /= static_cast<double>(known);
+  return acc;
+}
+
+}  // namespace subrec::text

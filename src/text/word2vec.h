@@ -1,0 +1,57 @@
+#ifndef SUBREC_TEXT_WORD2VEC_H_
+#define SUBREC_TEXT_WORD2VEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/vocabulary.h"
+
+namespace subrec::text {
+
+/// Configuration for SGNS word2vec.
+struct Word2VecOptions {
+  size_t dim = 48;
+  int window = 4;
+  int negatives = 5;
+  int epochs = 3;
+  double learning_rate = 0.025;
+  int64_t min_count = 1;
+  uint64_t seed = 13;
+};
+
+/// Skip-gram word2vec with negative sampling (Mikolov et al. [25]) —
+/// provides the pretrained keyword vectors of expert rule f_w (Eq. 3) and
+/// the word half of the SHPE baseline. Linear-decay learning rate, unigram
+/// ^0.75 negative table.
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecOptions options = {});
+
+  /// Trains on tokenized sentences. Returns InvalidArgument on an empty or
+  /// all-pruned corpus.
+  Status Train(const std::vector<std::vector<std::string>>& sentences);
+
+  size_t dim() const { return options_.dim; }
+  bool trained() const { return trained_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  /// Input embedding of `word`; zero vector if unknown or untrained.
+  std::vector<double> Embedding(const std::string& word) const;
+
+  /// Mean embedding of the known tokens (zero vector when none known).
+  std::vector<double> MeanEmbedding(const std::vector<std::string>& tokens) const;
+
+ private:
+  Word2VecOptions options_;
+  Vocabulary vocab_;
+  bool trained_ = false;
+  // Row-major [vocab x dim] input and output tables.
+  std::vector<double> in_;
+  std::vector<double> out_;
+};
+
+}  // namespace subrec::text
+
+#endif  // SUBREC_TEXT_WORD2VEC_H_

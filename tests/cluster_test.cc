@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/bic.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/lof.h"
+#include "cluster/tsne.h"
+#include "common/rng.h"
+
+namespace subrec::cluster {
+namespace {
+
+/// Two well-separated Gaussian blobs in 2-D.
+la::Matrix TwoBlobs(int per_blob, Rng& rng, double separation = 8.0) {
+  la::Matrix data(static_cast<size_t>(2 * per_blob), 2);
+  for (int i = 0; i < per_blob; ++i) {
+    data(static_cast<size_t>(i), 0) = rng.Gaussian(0.0, 0.5);
+    data(static_cast<size_t>(i), 1) = rng.Gaussian(0.0, 0.5);
+    data(static_cast<size_t>(per_blob + i), 0) =
+        rng.Gaussian(separation, 0.5);
+    data(static_cast<size_t>(per_blob + i), 1) =
+        rng.Gaussian(separation, 0.5);
+  }
+  return data;
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  Rng rng(1);
+  la::Matrix data = TwoBlobs(40, rng);
+  KMeansOptions options;
+  options.num_clusters = 2;
+  auto result = KMeans(data, options);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  // All of blob A in one cluster, all of blob B in the other.
+  for (int i = 1; i < 40; ++i)
+    EXPECT_EQ(r.assignments[static_cast<size_t>(i)], r.assignments[0]);
+  for (int i = 41; i < 80; ++i)
+    EXPECT_EQ(r.assignments[static_cast<size_t>(i)], r.assignments[40]);
+  EXPECT_NE(r.assignments[0], r.assignments[40]);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(KMeans, RejectsDegenerateInputs) {
+  la::Matrix data(2, 2);
+  KMeansOptions options;
+  options.num_clusters = 5;
+  EXPECT_FALSE(KMeans(data, options).ok());
+  options.num_clusters = 0;
+  EXPECT_FALSE(KMeans(data, options).ok());
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  Rng rng(2);
+  la::Matrix data = TwoBlobs(30, rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 77;
+  auto a = KMeans(data, options);
+  auto b = KMeans(data, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().assignments, b.value().assignments);
+  EXPECT_EQ(a.value().inertia, b.value().inertia);
+}
+
+TEST(Gmm, RecoversMixtureParameters) {
+  Rng rng(3);
+  la::Matrix data = TwoBlobs(120, rng);
+  GmmOptions options;
+  options.num_components = 2;
+  GaussianMixture gmm(options);
+  ASSERT_TRUE(gmm.Fit(data).ok());
+  // Means near (0,0) and (8,8) in some order.
+  const la::Matrix& m = gmm.means();
+  const bool first_is_origin = std::fabs(m(0, 0)) < 1.0;
+  const size_t origin = first_is_origin ? 0 : 1;
+  const size_t far = 1 - origin;
+  EXPECT_NEAR(m(origin, 0), 0.0, 0.3);
+  EXPECT_NEAR(m(far, 0), 8.0, 0.3);
+  for (double w : gmm.weights()) EXPECT_NEAR(w, 0.5, 0.1);
+}
+
+TEST(Gmm, PredictProbaRowsSumToOne) {
+  Rng rng(4);
+  la::Matrix data = TwoBlobs(30, rng);
+  GaussianMixture gmm(GmmOptions{.num_components = 2});
+  ASSERT_TRUE(gmm.Fit(data).ok());
+  la::Matrix proba = gmm.PredictProba(data);
+  for (size_t i = 0; i < proba.rows(); ++i) {
+    double total = 0.0;
+    for (size_t c = 0; c < proba.cols(); ++c) total += proba(i, c);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Gmm, MoreComponentsNeverHurtLikelihoodMuch) {
+  Rng rng(5);
+  la::Matrix data = TwoBlobs(60, rng);
+  GaussianMixture g2(GmmOptions{.num_components = 2});
+  GaussianMixture g1(GmmOptions{.num_components = 1});
+  ASSERT_TRUE(g1.Fit(data).ok());
+  ASSERT_TRUE(g2.Fit(data).ok());
+  EXPECT_GT(g2.LogLikelihood(data), g1.LogLikelihood(data));
+}
+
+TEST(Gmm, BicSelectsTrueComponentCount) {
+  Rng rng(6);
+  la::Matrix data = TwoBlobs(150, rng);
+  auto best = FitGmmWithBic(data, 1, 5);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().num_components(), 2);
+}
+
+TEST(Gmm, RejectsTooFewPoints) {
+  la::Matrix data(1, 2);
+  GaussianMixture gmm(GmmOptions{.num_components = 3});
+  EXPECT_FALSE(gmm.Fit(data).ok());
+}
+
+TEST(Bic, FormulaMatches) {
+  EXPECT_NEAR(BayesianInformationCriterion(-100.0, 5, 100),
+              200.0 + 5.0 * std::log(100.0), 1e-12);
+  EXPECT_NEAR(AkaikeInformationCriterion(-100.0, 5), 210.0, 1e-12);
+}
+
+TEST(Lof, FlagsPlantedOutlier) {
+  Rng rng(7);
+  la::Matrix data(41, 2);
+  for (int i = 0; i < 40; ++i) {
+    data(static_cast<size_t>(i), 0) = rng.Gaussian(0.0, 1.0);
+    data(static_cast<size_t>(i), 1) = rng.Gaussian(0.0, 1.0);
+  }
+  data(40, 0) = 25.0;
+  data(40, 1) = 25.0;
+  auto result = LocalOutlierFactor(data, 5);
+  ASSERT_TRUE(result.ok());
+  const auto& lof = result.value();
+  const size_t argmax = static_cast<size_t>(
+      std::max_element(lof.begin(), lof.end()) - lof.begin());
+  EXPECT_EQ(argmax, 40u);
+  EXPECT_GT(lof[40], 2.0);
+}
+
+TEST(Lof, InliersNearOne) {
+  Rng rng(8);
+  la::Matrix data(60, 2);
+  for (size_t i = 0; i < 60; ++i) {
+    data(i, 0) = rng.Gaussian(0.0, 1.0);
+    data(i, 1) = rng.Gaussian(0.0, 1.0);
+  }
+  auto result = LocalOutlierFactor(data, 8);
+  ASSERT_TRUE(result.ok());
+  // Boundary points naturally exceed 1; the bulk (median) should not.
+  std::vector<double> lof = result.value();
+  std::sort(lof.begin(), lof.end());
+  EXPECT_NEAR(lof[lof.size() / 2], 1.0, 0.2);
+}
+
+TEST(Lof, RejectsTooFewPoints) {
+  la::Matrix data(3, 2);
+  EXPECT_FALSE(LocalOutlierFactor(data, 5).ok());
+  EXPECT_FALSE(LocalOutlierFactor(data, 0).ok());
+}
+
+TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
+  auto out = MinMaxNormalize({2.0, 4.0, 6.0});
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.5);
+  EXPECT_EQ(out[2], 1.0);
+  auto constant = MinMaxNormalize({3.0, 3.0});
+  EXPECT_EQ(constant[0], 0.0);
+  EXPECT_EQ(constant[1], 0.0);
+}
+
+TEST(Tsne, PreservesBlobSeparation) {
+  Rng rng(9);
+  la::Matrix data = TwoBlobs(25, rng, 12.0);
+  TsneOptions options;
+  options.iterations = 250;
+  auto result = Tsne(data, options);
+  ASSERT_TRUE(result.ok());
+  const la::Matrix& y = result.value();
+  ASSERT_EQ(y.rows(), 50u);
+  ASSERT_EQ(y.cols(), 2u);
+  // Mean within-blob distance should be far below the between-blob
+  // centroid distance.
+  auto centroid = [&](size_t lo, size_t hi) {
+    std::vector<double> c(2, 0.0);
+    for (size_t i = lo; i < hi; ++i) {
+      c[0] += y(i, 0);
+      c[1] += y(i, 1);
+    }
+    c[0] /= static_cast<double>(hi - lo);
+    c[1] /= static_cast<double>(hi - lo);
+    return c;
+  };
+  const auto ca = centroid(0, 25);
+  const auto cb = centroid(25, 50);
+  const double between = std::hypot(ca[0] - cb[0], ca[1] - cb[1]);
+  double within = 0.0;
+  for (size_t i = 0; i < 25; ++i)
+    within += std::hypot(y(i, 0) - ca[0], y(i, 1) - ca[1]);
+  within /= 25.0;
+  EXPECT_GT(between, 2.0 * within);
+}
+
+TEST(Tsne, RejectsTinyInput) {
+  la::Matrix data(3, 2);
+  EXPECT_FALSE(Tsne(data, {}).ok());
+}
+
+}  // namespace
+}  // namespace subrec::cluster

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "eval/metrics.h"
+
+namespace subrec::datagen {
+namespace {
+
+const GeneratedDataset& TinyScopus() {
+  static const GeneratedDataset* dataset = [] {
+    auto result = GenerateCorpus(ScopusLikeOptions(DatasetScale::kTiny, 42));
+    SUBREC_CHECK(result.ok());
+    return new GeneratedDataset(std::move(result).value());
+  }();
+  return *dataset;
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  auto a = GenerateCorpus(ScopusLikeOptions(DatasetScale::kTiny, 7));
+  auto b = GenerateCorpus(ScopusLikeOptions(DatasetScale::kTiny, 7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().corpus.papers.size(), b.value().corpus.papers.size());
+  for (size_t i = 0; i < a.value().corpus.papers.size(); ++i) {
+    const auto& pa = a.value().corpus.papers[i];
+    const auto& pb = b.value().corpus.papers[i];
+    EXPECT_EQ(pa.citation_count, pb.citation_count);
+    EXPECT_EQ(pa.references, pb.references);
+    ASSERT_EQ(pa.abstract_sentences.size(), pb.abstract_sentences.size());
+    for (size_t s = 0; s < pa.abstract_sentences.size(); ++s)
+      EXPECT_EQ(pa.abstract_sentences[s].text, pb.abstract_sentences[s].text);
+  }
+}
+
+TEST(Generator, BasicStructuralInvariants) {
+  const auto& d = TinyScopus();
+  const auto& c = d.corpus;
+  EXPECT_EQ(c.discipline_names.size(), 3u);
+  EXPECT_FALSE(c.papers.empty());
+  for (const auto& p : c.papers) {
+    EXPECT_GE(p.year, 2008);
+    EXPECT_LE(p.year, 2017);
+    EXPECT_FALSE(p.abstract_sentences.empty());
+    EXPECT_FALSE(p.authors.empty());
+    // References always point to earlier papers (ids are chronological).
+    for (corpus::PaperId ref : p.references) EXPECT_LT(ref, p.id);
+    // Keyword and venue presence per preset.
+    EXPECT_FALSE(p.keywords.empty());
+    EXPECT_GE(p.venue, 0);
+    EXPECT_FALSE(p.ccs_path.empty());
+    EXPECT_GE(p.citation_count, 0);
+  }
+  // Scopus preset drops affiliations.
+  EXPECT_EQ(c.num_affiliations, 0);
+}
+
+TEST(Generator, RolesFollowCanonicalOrder) {
+  const auto& c = TinyScopus().corpus;
+  for (const auto& p : c.papers) {
+    int prev = -1;
+    for (const auto& s : p.abstract_sentences) {
+      EXPECT_GE(s.role, 0);
+      EXPECT_LT(s.role, 3);
+      EXPECT_GE(s.role, prev);  // background -> method -> result
+      prev = s.role;
+    }
+  }
+}
+
+TEST(Generator, AuthorsOwnTheirPapers) {
+  const auto& c = TinyScopus().corpus;
+  for (const auto& a : c.authors) {
+    for (corpus::PaperId pid : a.papers) {
+      const auto& authors = c.paper(pid).authors;
+      EXPECT_TRUE(std::find(authors.begin(), authors.end(), a.id) !=
+                  authors.end());
+    }
+  }
+}
+
+TEST(Generator, InnovationDrivesCitations) {
+  // The causal chain the whole reproduction rests on: discipline-weighted
+  // innovation must correlate positively with realized citations.
+  const auto& d = TinyScopus();
+  const auto& c = d.corpus;
+  std::vector<double> weighted_innovation, citations;
+  for (const auto& p : c.papers) {
+    if (p.year > 2014) continue;  // mature papers only
+    const auto& beta =
+        d.disciplines[static_cast<size_t>(p.discipline)].innovation_sensitivity;
+    double w = 0.0;
+    for (int k = 0; k < 3; ++k)
+      w += beta[static_cast<size_t>(k)] *
+           p.latent_innovation[static_cast<size_t>(k)];
+    weighted_innovation.push_back(w);
+    citations.push_back(static_cast<double>(p.citation_count));
+  }
+  EXPECT_GT(eval::SpearmanCorrelation(weighted_innovation, citations), 0.35);
+}
+
+TEST(Generator, DisciplineSensitivityShapesCitations) {
+  // In the CS-like discipline (beta_M high) method innovation should
+  // correlate with citations more than background innovation does.
+  const auto& d = TinyScopus();
+  std::vector<double> z_b, z_m, cites;
+  for (const auto& p : d.corpus.papers) {
+    if (p.discipline != 0 || p.year > 2014) continue;
+    z_b.push_back(p.latent_innovation[0]);
+    z_m.push_back(p.latent_innovation[1]);
+    cites.push_back(static_cast<double>(p.citation_count));
+  }
+  ASSERT_GT(z_b.size(), 50u);
+  EXPECT_GT(eval::SpearmanCorrelation(z_m, cites),
+            eval::SpearmanCorrelation(z_b, cites));
+}
+
+TEST(Generator, PatentPresetIsLowResource) {
+  auto result = GenerateCorpus(PatentLikeOptions(DatasetScale::kTiny, 5));
+  ASSERT_TRUE(result.ok());
+  const auto& c = result.value().corpus;
+  EXPECT_EQ(c.num_venues, 0);
+  EXPECT_EQ(c.num_affiliations, 0);
+  EXPECT_EQ(c.num_ccs_nodes, 0);
+  for (const auto& p : c.papers) {
+    EXPECT_TRUE(p.keywords.empty());
+    EXPECT_EQ(p.venue, -1);
+    EXPECT_TRUE(p.ccs_path.empty());
+  }
+}
+
+TEST(Generator, PubmedPresetHasLongAbstracts) {
+  auto result = GenerateCorpus(PubmedRctLikeOptions(DatasetScale::kTiny, 6));
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (const auto& p : result.value().corpus.papers)
+    total += static_cast<double>(p.abstract_sentences.size());
+  const double mean = total / static_cast<double>(
+                                  result.value().corpus.papers.size());
+  EXPECT_GT(mean, 8.0);  // paper: PubMedRCT averages 11.5
+}
+
+TEST(Generator, RejectsDegenerateConfigs) {
+  CorpusGeneratorOptions options;
+  options.disciplines.clear();
+  EXPECT_FALSE(GenerateCorpus(options).ok());
+  options = CorpusGeneratorOptions{};
+  options.num_authors = 1;
+  options.team_size = 4;
+  EXPECT_FALSE(GenerateCorpus(options).ok());
+  options = CorpusGeneratorOptions{};
+  options.end_year = options.start_year - 1;
+  EXPECT_FALSE(GenerateCorpus(options).ok());
+}
+
+TEST(Split, PartitionsByYear) {
+  const auto& c = TinyScopus().corpus;
+  const YearSplit split = SplitByYear(c, 2014);
+  EXPECT_EQ(split.train.size() + split.test.size(), c.papers.size());
+  for (corpus::PaperId id : split.train) EXPECT_LE(c.paper(id).year, 2014);
+  for (corpus::PaperId id : split.test) EXPECT_GT(c.paper(id).year, 2014);
+  EXPECT_FALSE(split.train.empty());
+  EXPECT_FALSE(split.test.empty());
+}
+
+TEST(Split, PapersOfDisciplineFilters) {
+  const auto& c = TinyScopus().corpus;
+  const auto papers = PapersOfDiscipline(c, 1, 2010, 2012);
+  EXPECT_FALSE(papers.empty());
+  for (corpus::PaperId id : papers) {
+    EXPECT_EQ(c.paper(id).discipline, 1);
+    EXPECT_GE(c.paper(id).year, 2010);
+    EXPECT_LE(c.paper(id).year, 2012);
+  }
+}
+
+TEST(Split, HeldOutCitationsAreNewPapers) {
+  const auto& c = TinyScopus().corpus;
+  for (const auto& a : c.authors) {
+    for (corpus::PaperId pid : HeldOutCitations(c, a.id, 2014))
+      EXPECT_GT(c.paper(pid).year, 2014);
+  }
+}
+
+TEST(Split, SelectedUsersHaveHistoryAndGroundTruth) {
+  const auto& c = TinyScopus().corpus;
+  const auto users = SelectUsers(c, 2014, 2);
+  EXPECT_FALSE(users.empty());
+  for (corpus::AuthorId u : users) {
+    int train_papers = 0;
+    for (corpus::PaperId pid : c.author(u).papers)
+      if (c.paper(pid).year <= 2014) ++train_papers;
+    EXPECT_GE(train_papers, 2);
+    EXPECT_FALSE(HeldOutCitations(c, u, 2014).empty());
+  }
+}
+
+TEST(Vocabulary, PoolsAreDisjointAcrossTopics) {
+  SyntheticVocabulary vocab(2, 3);
+  std::set<std::string> seen;
+  for (int d = 0; d < 2; ++d) {
+    for (int t = 0; t < 3; ++t) {
+      for (const auto& w : vocab.TopicWords(d, t)) {
+        EXPECT_TRUE(seen.insert(w).second) << "duplicate topic word " << w;
+      }
+    }
+  }
+}
+
+TEST(AbstractGeneratorTest, InnovationInjectsNovelTokensInRole) {
+  SyntheticVocabulary vocab(1, 2);
+  AbstractGenerator gen;
+  Rng rng(9);
+  // Massive method innovation, zero elsewhere.
+  const std::array<double, 3> z = {0.0, 5.0, 0.0};
+  int novel_in_method = 0, novel_elsewhere = 0;
+  for (int i = 0; i < 20; ++i) {
+    // Novel terms are named "p<id>r<role>n<j>".
+    const std::string method_marker = "p" + std::to_string(i) + "r1n";
+    const std::string background_marker = "p" + std::to_string(i) + "r0n";
+    const std::string result_marker = "p" + std::to_string(i) + "r2n";
+    for (const auto& s : gen.Generate(vocab, 0, 0, z, i, rng)) {
+      if (s.role == 1 && s.text.find(method_marker) != std::string::npos)
+        ++novel_in_method;
+      if (s.text.find(background_marker) != std::string::npos ||
+          s.text.find(result_marker) != std::string::npos)
+        ++novel_elsewhere;
+    }
+  }
+  EXPECT_GT(novel_in_method, 10);
+  EXPECT_EQ(novel_elsewhere, 0);
+}
+
+}  // namespace
+}  // namespace subrec::datagen

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+#include "eval/regression.h"
+
+namespace subrec::eval {
+namespace {
+
+TEST(Pearson, PerfectLinear) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsGiveZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(RankWithTies, AverageRanks) {
+  // values 10, 20, 20, 30 -> ranks 1, 2.5, 2.5, 4
+  auto ranks = RankWithTies({10, 20, 20, 30});
+  EXPECT_EQ(ranks[0], 1.0);
+  EXPECT_EQ(ranks[1], 2.5);
+  EXPECT_EQ(ranks[2], 2.5);
+  EXPECT_EQ(ranks[3], 4.0);
+}
+
+TEST(Spearman, MonotonicNonlinearIsPerfect) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 8, 27, 64, 125};  // x^3: nonlinear, monotonic
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, KnownValue) {
+  // Classic small example.
+  std::vector<double> a = {86, 97, 99, 100, 101, 103, 106, 110, 112, 113};
+  std::vector<double> b = {2, 20, 28, 27, 50, 29, 7, 17, 6, 12};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), -0.1757575, 1e-5);
+}
+
+TEST(Kendall, SimpleCases) {
+  EXPECT_NEAR(KendallTau({1, 2, 3}, {1, 2, 3}), 1.0, 1e-12);
+  EXPECT_NEAR(KendallTau({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(Ndcg, PerfectRankingIsOne) {
+  std::vector<bool> rel = {true, true, false, false};
+  EXPECT_NEAR(NdcgAtK(rel, 4), 1.0, 1e-12);
+}
+
+TEST(Ndcg, HandComputedValue) {
+  // One relevant item at position 3 (0-based 2), one relevant total... use
+  // rel=5: DCG = 5/log2(4) = 2.5; IDCG = 5/log2(2) = 5 -> 0.5.
+  std::vector<bool> rel = {false, false, true};
+  EXPECT_NEAR(NdcgAtK(rel, 3), 0.5, 1e-12);
+}
+
+TEST(Ndcg, TruncatesAtK) {
+  std::vector<bool> rel = {false, false, true};
+  EXPECT_EQ(NdcgAtK(rel, 2), 0.0);
+}
+
+TEST(Ndcg, NoRelevantGivesZero) {
+  EXPECT_EQ(NdcgAtK({false, false}, 2), 0.0);
+}
+
+TEST(Mrr, FirstRelevantPosition) {
+  EXPECT_NEAR(ReciprocalRank({false, true, true}, 10), 0.5, 1e-12);
+  EXPECT_EQ(ReciprocalRank({false, false}, 10), 0.0);
+  EXPECT_EQ(ReciprocalRank({false, false, true}, 2), 0.0);
+}
+
+TEST(Map, HandComputed) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(AveragePrecision({true, false, true}), 5.0 / 6.0, 1e-12);
+  EXPECT_EQ(AveragePrecision({false, false}), 0.0);
+}
+
+TEST(Ranking, SortDescendingStable) {
+  auto order = SortIndicesDescending({0.2, 0.9, 0.9, 0.1});
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+TEST(Ranking, ReorderByRanking) {
+  std::vector<double> scores = {0.1, 0.9, 0.5};
+  std::vector<bool> flags = {true, false, true};
+  auto out = ReorderByRanking(scores, flags);
+  EXPECT_FALSE(out[0]);  // 0.9 item
+  EXPECT_TRUE(out[1]);   // 0.5 item
+  EXPECT_TRUE(out[2]);   // 0.1 item
+}
+
+TEST(Regression, RecoverLine) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y = {1, 3, 5, 7, 9};  // y = 2x + 1
+  LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r, 1.0, 1e-12);
+}
+
+TEST(Regression, DegenerateX) {
+  LinearFit fit = FitLine({1, 1, 1}, {1, 2, 3});
+  EXPECT_EQ(fit.slope, 0.0);
+}
+
+// Property: Spearman is invariant under strictly monotone transforms.
+class SpearmanInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpearmanInvariance, MonotoneTransformInvariant) {
+  const int seed = GetParam();
+  std::vector<double> x, y;
+  uint64_t s = static_cast<uint64_t>(seed) * 2654435761u + 1;
+  for (int i = 0; i < 40; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    x.push_back(static_cast<double>(s >> 40));
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    y.push_back(static_cast<double>(s >> 40));
+  }
+  const double base = SpearmanCorrelation(x, y);
+  std::vector<double> xt = x;
+  for (double& v : xt) v = std::exp(v / 1.0e7);  // strictly increasing
+  EXPECT_NEAR(SpearmanCorrelation(xt, y), base, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpearmanInvariance, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace subrec::eval

@@ -1,0 +1,324 @@
+// Tests for the extension/calibration features added on top of the core
+// reproduction: clustered LOF (Sec. III-C's GMM-scoped outlier analysis),
+// the residual subspace encoder, adjustable subspace counts, the de-fuzzing
+// sampler's geometry, NPRec's influence-prior channel, and the citation-
+// habit process of the generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/lof.h"
+#include "common/rng.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "eval/metrics.h"
+#include "graph/academic_graph.h"
+#include "la/ops.h"
+#include "rec/nprec.h"
+#include "rules/expert_rules.h"
+#include "rules/rule_fusion.h"
+#include "subspace/subspace_encoder.h"
+#include "text/hashed_ngram_encoder.h"
+
+namespace subrec {
+namespace {
+
+TEST(ClusteredLof, FlagsOutliersInsideEachBlob) {
+  Rng rng(1);
+  // Two blobs far apart with one planted outlier near (but not in) each.
+  la::Matrix data(42, 2);
+  for (int i = 0; i < 20; ++i) {
+    data(static_cast<size_t>(i), 0) = rng.Gaussian(0.0, 0.4);
+    data(static_cast<size_t>(i), 1) = rng.Gaussian(0.0, 0.4);
+    data(static_cast<size_t>(20 + i), 0) = rng.Gaussian(20.0, 0.4);
+    data(static_cast<size_t>(20 + i), 1) = rng.Gaussian(20.0, 0.4);
+  }
+  data(40, 0) = 3.5;   // outlier of blob A
+  data(40, 1) = 3.5;
+  data(41, 0) = 16.5;  // outlier of blob B
+  data(41, 1) = 16.5;
+  auto result = cluster::ClusteredLocalOutlierFactor(data, 5, 2, 2);
+  ASSERT_TRUE(result.ok());
+  const auto& lof = result.value();
+  // Both planted outliers beat every regular point of their blob.
+  double max_regular = 0.0;
+  for (int i = 0; i < 40; ++i)
+    max_regular = std::max(max_regular, lof[static_cast<size_t>(i)]);
+  EXPECT_GT(lof[40], max_regular * 0.9);
+  EXPECT_GT(lof[41], max_regular * 0.9);
+}
+
+TEST(ClusteredLof, RejectsTinyInput) {
+  la::Matrix data(4, 2);
+  EXPECT_FALSE(cluster::ClusteredLocalOutlierFactor(data, 3).ok());
+}
+
+TEST(SubspaceEncoderResidual, StaysNearFrozenMean) {
+  subspace::SubspaceEncoderOptions options;
+  options.input_dim = 16;
+  options.hidden_dim = 16;  // residual requires equality
+  options.attention_dim = 8;
+  options.residual = true;
+  options.residual_scale = 0.1;
+  nn::ParameterStore store;
+  Rng rng(2);
+  subspace::SubspaceEncoderNet net(&store, options, rng);
+
+  std::vector<std::vector<double>> sentences;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<double> v(16);
+    for (double& x : v) x = rng.Gaussian();
+    la::NormalizeL2(v);
+    sentences.push_back(v);
+  }
+  std::vector<int> roles = {0, 0, 1, 2};
+
+  autodiff::Tape tape;
+  nn::TapeBinding binding(&tape);
+  const auto out = net.Forward(&tape, &binding, sentences, roles);
+  // The pooled half (first hidden_dim columns) of subspace 0 must be close
+  // to the mean of its two sentences: residual correction is scaled small.
+  std::vector<double> mean(16, 0.0);
+  la::AxpyVec(0.5, sentences[0], mean);
+  la::AxpyVec(0.5, sentences[1], mean);
+  double delta = 0.0;
+  for (size_t j = 0; j < 16; ++j) {
+    const double d = tape.value(out[0])(0, j) - mean[j];
+    delta += d * d;
+  }
+  EXPECT_LT(std::sqrt(delta), 0.5 * la::Norm2(mean) + 0.3);
+}
+
+TEST(SubspaceEncoderResidual, RejectsMismatchedDims) {
+  subspace::SubspaceEncoderOptions options;
+  options.input_dim = 16;
+  options.hidden_dim = 8;
+  options.residual = true;
+  nn::ParameterStore store;
+  Rng rng(3);
+  EXPECT_DEATH(subspace::SubspaceEncoderNet(&store, options, rng),
+               "hidden_dim == input_dim");
+}
+
+TEST(AdjustableSubspaces, RulesAndFusionSupportK4) {
+  // The paper: "the number of the subspaces can be adjusted". Roles beyond
+  // the generated 3 simply stay empty.
+  text::HashedNgramEncoder encoder;
+  rules::ExpertRuleOptions options;
+  options.num_subspaces = 4;
+  rules::ExpertRuleEngine engine(nullptr, &encoder, nullptr, options);
+  corpus::Paper p;
+  p.id = 0;
+  p.abstract_sentences = {{"background statement.", 0},
+                          {"our novel method.", 1},
+                          {"strong results.", 2}};
+  const auto features = engine.ComputeFeatures(p, {0, 1, 2});
+  ASSERT_EQ(features.subspace_means.size(), 4u);
+  for (double v : features.subspace_means[3]) EXPECT_EQ(v, 0.0);
+
+  rules::RuleFusion fusion(4);
+  const auto scores = engine.AllScores(p, features, p, features);
+  const auto fused = fusion.FuseAll(scores);
+  EXPECT_EQ(fused.size(), 4u);
+}
+
+class RecExtensionsWorld : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = datagen::GenerateCorpus(
+        datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 888));
+    SUBREC_CHECK(result.ok());
+    dataset_ = new datagen::GeneratedDataset(std::move(result).value());
+    const auto split = datagen::SplitByYear(dataset_->corpus, 2014);
+    graph::GraphBuildOptions graph_options;
+    graph_options.citation_year_cutoff = 2014;
+    index_ = new graph::GraphIndex(
+        graph::BuildAcademicGraph(dataset_->corpus, graph_options));
+
+    text::HashedNgramEncoderOptions enc_options;
+    enc_options.dim = 24;
+    text::HashedNgramEncoder encoder(enc_options);
+    subspace_ = new rec::SubspaceEmbeddings();
+    text_ = new std::vector<std::vector<double>>();
+    for (const auto& p : dataset_->corpus.papers) {
+      std::vector<std::vector<double>> subs(3, std::vector<double>(24, 0.0));
+      std::vector<int> counts(3, 0);
+      for (const auto& s : p.abstract_sentences) {
+        la::AxpyVec(1.0, encoder.Encode(s.text),
+                    subs[static_cast<size_t>(s.role)]);
+        ++counts[static_cast<size_t>(s.role)];
+      }
+      std::vector<double> fused(24, 0.0);
+      for (int k = 0; k < 3; ++k) {
+        if (counts[static_cast<size_t>(k)] > 0)
+          for (double& x : subs[static_cast<size_t>(k)])
+            x /= counts[static_cast<size_t>(k)];
+        la::AxpyVec(1.0 / 3.0, subs[static_cast<size_t>(k)], fused);
+      }
+      subspace_->push_back(std::move(subs));
+      text_->push_back(std::move(fused));
+    }
+    ctx_ = new rec::RecContext();
+    ctx_->corpus = &dataset_->corpus;
+    ctx_->graph = index_;
+    ctx_->split_year = 2014;
+    ctx_->train_papers = split.train;
+    ctx_->test_papers = split.test;
+    ctx_->paper_text = text_;
+  }
+  static datagen::GeneratedDataset* dataset_;
+  static graph::GraphIndex* index_;
+  static rec::SubspaceEmbeddings* subspace_;
+  static std::vector<std::vector<double>>* text_;
+  static rec::RecContext* ctx_;
+};
+datagen::GeneratedDataset* RecExtensionsWorld::dataset_ = nullptr;
+graph::GraphIndex* RecExtensionsWorld::index_ = nullptr;
+rec::SubspaceEmbeddings* RecExtensionsWorld::subspace_ = nullptr;
+std::vector<std::vector<double>>* RecExtensionsWorld::text_ = nullptr;
+rec::RecContext* RecExtensionsWorld::ctx_ = nullptr;
+
+TEST_F(RecExtensionsWorld, InfluencePriorExtendsVectors) {
+  rec::NPRecOptions with_prior;
+  with_prior.epochs = 1;
+  with_prior.sampler.max_positives = 100;
+  rec::NPRecOptions without = with_prior;
+  without.use_influence_prior = false;
+
+  rec::NPRec a(with_prior, subspace_);
+  rec::NPRec b(without, subspace_);
+  ASSERT_TRUE(a.Fit(*ctx_).ok());
+  ASSERT_TRUE(b.Fit(*ctx_).ok());
+  // The prior channel adds exactly two dimensions to both sides.
+  EXPECT_EQ(a.PaperInterestVector(0).size(),
+            b.PaperInterestVector(0).size() + 2);
+  EXPECT_EQ(a.PaperInfluenceVector(0).size(),
+            b.PaperInfluenceVector(0).size() + 2);
+}
+
+TEST_F(RecExtensionsWorld, PriorFeaturesTrackCitationMass) {
+  // A paper citing heavily-cited work must get a larger first prior
+  // feature than one citing nothing — verified through the influence
+  // vector's tail entries.
+  rec::NPRecOptions options;
+  options.epochs = 1;
+  options.sampler.max_positives = 100;
+  rec::NPRec model(options, subspace_);
+  ASSERT_TRUE(model.Fit(*ctx_).ok());
+
+  // Find train papers with max / zero cited-reference mass.
+  std::vector<int> in_degree(dataset_->corpus.papers.size(), 0);
+  for (corpus::PaperId pid : ctx_->train_papers)
+    for (corpus::PaperId ref : dataset_->corpus.paper(pid).references)
+      if (dataset_->corpus.paper(ref).year <= 2014)
+        ++in_degree[static_cast<size_t>(ref)];
+  corpus::PaperId rich = ctx_->train_papers[0];
+  corpus::PaperId poor = ctx_->train_papers[0];
+  auto ref_mass = [&](corpus::PaperId pid) {
+    int total = 0;
+    for (corpus::PaperId ref : dataset_->corpus.paper(pid).references)
+      total += in_degree[static_cast<size_t>(ref)];
+    return total;
+  };
+  for (corpus::PaperId pid : ctx_->train_papers) {
+    if (ref_mass(pid) > ref_mass(rich)) rich = pid;
+    if (ref_mass(pid) < ref_mass(poor)) poor = pid;
+  }
+  ASSERT_GT(ref_mass(rich), ref_mass(poor));
+  const auto& vr = model.PaperInfluenceVector(rich);
+  const auto& vp = model.PaperInfluenceVector(poor);
+  EXPECT_GT(vr[vr.size() - 2], vp[vp.size() - 2]);
+}
+
+TEST_F(RecExtensionsWorld, RawTextChannelAddsEncoderDims) {
+  rec::NPRecOptions options;
+  options.epochs = 1;
+  options.sampler.max_positives = 80;
+  options.use_raw_text_channel = true;
+  rec::NPRec model(options, subspace_);
+  ASSERT_TRUE(model.Fit(*ctx_).ok());
+  rec::NPRecOptions plain = options;
+  plain.use_raw_text_channel = false;
+  rec::NPRec base(plain, subspace_);
+  ASSERT_TRUE(base.Fit(*ctx_).ok());
+  EXPECT_EQ(model.PaperInterestVector(0).size(),
+            base.PaperInterestVector(0).size() + 24);
+}
+
+TEST_F(RecExtensionsWorld, PairScoreIsProbability) {
+  rec::NPRecOptions options;
+  options.epochs = 1;
+  options.sampler.max_positives = 100;
+  rec::NPRec model(options, subspace_);
+  ASSERT_TRUE(model.Fit(*ctx_).ok());
+  for (corpus::PaperId p : {0, 5, 10}) {
+    for (corpus::PaperId q : {1, 6, 11}) {
+      const double y = model.PairScore(p, q);
+      EXPECT_GE(y, 0.0);
+      EXPECT_LE(y, 1.0);
+    }
+  }
+}
+
+TEST(CitationHabit, TeamsKeepCitingTheSameAuthors) {
+  // The habit process must make a team's later citations concentrate on
+  // authors it cited before — the predictability recommenders exploit.
+  auto generated = datagen::GenerateCorpus(
+      datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 999));
+  ASSERT_TRUE(generated.ok());
+  const corpus::Corpus& corpus = generated.value().corpus;
+
+  // For each author with enough history, check overlap between the author
+  // sets cited before and after 2014.
+  double overlap_total = 0.0;
+  int measured = 0;
+  for (const corpus::Author& a : corpus.authors) {
+    std::unordered_set<corpus::AuthorId> before, after;
+    for (corpus::PaperId pid : a.papers) {
+      const corpus::Paper& p = corpus.paper(pid);
+      for (corpus::PaperId ref : p.references) {
+        for (corpus::AuthorId ca : corpus.paper(ref).authors) {
+          (p.year <= 2014 ? before : after).insert(ca);
+        }
+      }
+    }
+    if (before.size() < 5 || after.size() < 5) continue;
+    int inter = 0;
+    for (corpus::AuthorId ca : after)
+      if (before.count(ca) > 0) ++inter;
+    overlap_total += static_cast<double>(inter) /
+                     static_cast<double>(after.size());
+    ++measured;
+  }
+  ASSERT_GT(measured, 5);
+  // Without habit the expected overlap would hover near the share of
+  // previously-cited authors among all authors (< ~0.5 at this scale).
+  EXPECT_GT(overlap_total / measured, 0.5);
+}
+
+TEST(GraphCutoff, HeldOutCitationsNeverEnterTheGraph) {
+  auto generated = datagen::GenerateCorpus(
+      datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 777));
+  ASSERT_TRUE(generated.ok());
+  const corpus::Corpus& corpus = generated.value().corpus;
+  graph::GraphBuildOptions options;
+  options.citation_year_cutoff = 2014;
+  const graph::GraphIndex index = graph::BuildAcademicGraph(corpus, options);
+  for (const corpus::Paper& p : corpus.papers) {
+    for (const graph::Edge& e :
+         index.graph.OutEdges(index.paper_nodes[static_cast<size_t>(p.id)])) {
+      if (e.rel != graph::RelationType::kCites) continue;
+      const int cited_year =
+          corpus.paper(index.graph.external_id(e.dst)).year;
+      EXPECT_LE(cited_year, 2014);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subrec

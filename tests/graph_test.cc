@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "graph/academic_graph.h"
+#include "graph/neighborhood.h"
+
+namespace subrec::graph {
+namespace {
+
+/// Tiny hand-built corpus: 3 papers (2 cites 0 and 1), 2 authors, 1 venue.
+corpus::Corpus TinyCorpus() {
+  corpus::Corpus c;
+  c.num_venues = 1;
+  c.num_affiliations = 1;
+  corpus::Author a0, a1;
+  a0.id = 0;
+  a0.affiliation = 0;
+  a1.id = 1;
+  a1.affiliation = 0;
+  c.authors = {a0, a1};
+  for (int i = 0; i < 3; ++i) {
+    corpus::Paper p;
+    p.id = i;
+    p.year = 2010 + i;
+    p.venue = 0;
+    p.authors = {i % 2};
+    p.keywords = {"kw" + std::to_string(i % 2)};
+    c.papers.push_back(p);
+  }
+  c.papers[2].references = {0, 1};
+  c.authors[0].papers = {0, 2};
+  c.authors[1].papers = {1};
+  return c;
+}
+
+TEST(AcademicGraph, DirectionalityOfCitations) {
+  AcademicGraph g;
+  const NodeId a = g.AddNode(EntityType::kPaper, 0);
+  const NodeId b = g.AddNode(EntityType::kPaper, 1);
+  g.AddEdge(a, b, RelationType::kCites);
+  // One-way: only a's out-list and b's in-list.
+  EXPECT_EQ(g.OutEdges(a).size(), 1u);
+  EXPECT_EQ(g.OutEdges(b).size(), 0u);
+  EXPECT_EQ(g.InEdges(b).size(), 1u);
+  EXPECT_EQ(g.InEdges(a).size(), 0u);
+}
+
+TEST(AcademicGraph, TwoWayRelationsMirrored) {
+  AcademicGraph g;
+  const NodeId p = g.AddNode(EntityType::kPaper, 0);
+  const NodeId v = g.AddNode(EntityType::kVenue, 0);
+  g.AddEdge(p, v, RelationType::kPublishedIn);
+  EXPECT_EQ(g.OutEdges(p).size(), 1u);
+  EXPECT_EQ(g.OutEdges(v).size(), 1u);
+  EXPECT_EQ(g.OutEdges(v)[0].dst, p);
+}
+
+TEST(AcademicGraph, AsymmetricNeighborhoods) {
+  AcademicGraph g;
+  const NodeId p = g.AddNode(EntityType::kPaper, 0);
+  const NodeId cited = g.AddNode(EntityType::kPaper, 1);
+  const NodeId citer = g.AddNode(EntityType::kPaper, 2);
+  const NodeId venue = g.AddNode(EntityType::kVenue, 0);
+  g.AddEdge(p, cited, RelationType::kCites);
+  g.AddEdge(citer, p, RelationType::kCites);
+  g.AddEdge(p, venue, RelationType::kPublishedIn);
+
+  // Interest: venue + the paper p cites.
+  const auto interest = g.InterestNeighborhood(p);
+  ASSERT_EQ(interest.size(), 2u);
+  EXPECT_TRUE(std::any_of(interest.begin(), interest.end(),
+                          [&](const Edge& e) { return e.dst == cited; }));
+  EXPECT_FALSE(std::any_of(interest.begin(), interest.end(),
+                           [&](const Edge& e) { return e.dst == citer; }));
+
+  // Influence: venue + the paper citing p.
+  const auto influence = g.InfluenceNeighborhood(p);
+  ASSERT_EQ(influence.size(), 2u);
+  EXPECT_TRUE(std::any_of(influence.begin(), influence.end(),
+                          [&](const Edge& e) { return e.dst == citer; }));
+  EXPECT_FALSE(std::any_of(influence.begin(), influence.end(),
+                           [&](const Edge& e) { return e.dst == cited; }));
+}
+
+TEST(BuildAcademicGraph, MaterializesAllEntityFamilies) {
+  const corpus::Corpus c = TinyCorpus();
+  GraphIndex index = BuildAcademicGraph(c);
+  // 3 papers + 2 authors + 1 affiliation + 1 venue + 2 keywords + 3 years.
+  EXPECT_EQ(index.graph.num_nodes(), 12u);
+  EXPECT_EQ(index.paper_nodes.size(), 3u);
+  EXPECT_EQ(index.author_nodes.size(), 2u);
+  // Paper 2 cites both others.
+  const auto& out = index.graph.OutEdges(index.paper_nodes[2]);
+  int cites = 0;
+  for (const Edge& e : out)
+    if (e.rel == RelationType::kCites) ++cites;
+  EXPECT_EQ(cites, 2);
+}
+
+TEST(BuildAcademicGraph, CitationYearCutoffDropsLateCitedPapers) {
+  const corpus::Corpus c = TinyCorpus();
+  GraphBuildOptions options;
+  options.citation_year_cutoff = 2010;  // only paper 0 (2010) is citable
+  GraphIndex index = BuildAcademicGraph(c, options);
+  const auto& out = index.graph.OutEdges(index.paper_nodes[2]);
+  int cites = 0;
+  for (const Edge& e : out) {
+    if (e.rel == RelationType::kCites) {
+      ++cites;
+      EXPECT_EQ(e.dst, index.paper_nodes[0]);
+    }
+  }
+  EXPECT_EQ(cites, 1);  // the edge to paper 1 (2011) is dropped
+}
+
+TEST(BuildAcademicGraph, PatentStyleMinimalEntities) {
+  const corpus::Corpus c = TinyCorpus();
+  GraphBuildOptions options;
+  options.include_affiliations = false;
+  options.include_venues = false;
+  options.include_keywords = false;
+  options.include_classification = false;
+  options.include_years = false;
+  GraphIndex index = BuildAcademicGraph(c, options);
+  // 3 papers + 2 authors.
+  EXPECT_EQ(index.graph.num_nodes(), 5u);
+  for (size_t n = 0; n < index.graph.num_nodes(); ++n) {
+    const EntityType t = index.graph.type(static_cast<NodeId>(n));
+    EXPECT_TRUE(t == EntityType::kPaper || t == EntityType::kAuthor);
+  }
+}
+
+TEST(Neighborhood, SamplesAtMostK) {
+  const corpus::Corpus c = TinyCorpus();
+  GraphIndex index = BuildAcademicGraph(c);
+  Rng rng(1);
+  for (size_t n = 0; n < index.graph.num_nodes(); ++n) {
+    const auto sample =
+        SampleNeighbors(index.graph, static_cast<NodeId>(n),
+                        NeighborhoodKind::kInterest, 2, rng);
+    EXPECT_LE(sample.size(), 2u);
+  }
+}
+
+TEST(Neighborhood, SmallNeighborhoodReturnedWhole) {
+  AcademicGraph g;
+  const NodeId p = g.AddNode(EntityType::kPaper, 0);
+  const NodeId v = g.AddNode(EntityType::kVenue, 0);
+  g.AddEdge(p, v, RelationType::kPublishedIn);
+  Rng rng(2);
+  const auto sample =
+      SampleNeighbors(g, p, NeighborhoodKind::kInterest, 10, rng);
+  ASSERT_EQ(sample.size(), 1u);
+  EXPECT_EQ(sample[0].dst, v);
+}
+
+TEST(Neighborhood, DegreeStats) {
+  const corpus::Corpus c = TinyCorpus();
+  GraphIndex index = BuildAcademicGraph(c);
+  const DegreeStats stats = ComputeDegreeStats(index.graph);
+  EXPECT_GT(stats.mean_out, 0.0);
+  EXPECT_GE(stats.max_out, stats.mean_out);
+}
+
+TEST(EntityNames, Stable) {
+  EXPECT_STREQ(EntityTypeName(EntityType::kPaper), "paper");
+  EXPECT_STREQ(RelationTypeName(RelationType::kCites), "cite");
+  EXPECT_STREQ(RelationTypeName(RelationType::kUnitIs), "unit is");
+}
+
+}  // namespace
+}  // namespace subrec::graph

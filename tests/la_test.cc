@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+#include "la/ops.h"
+
+namespace subrec::la {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, IdentityAndReshape) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id(1, 1), 1.0);
+  EXPECT_EQ(id(1, 2), 0.0);
+  Matrix m(2, 6, 1.0);
+  m.Reshape(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(Matrix, RowRoundTrip) {
+  Matrix m(2, 3);
+  m.SetRow(1, {7, 8, 9});
+  EXPECT_EQ(m.RowToVector(1), (std::vector<double>{7, 8, 9}));
+}
+
+TEST(Ops, MatMulMatchesHandComputation) {
+  Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  Matrix b = {{7, 8}, {9, 10}, {11, 12}};
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c(0, 0), 58.0);
+  EXPECT_EQ(c(0, 1), 64.0);
+  EXPECT_EQ(c(1, 0), 139.0);
+  EXPECT_EQ(c(1, 1), 154.0);
+}
+
+TEST(Ops, TransposedMultipliesAgree) {
+  Rng rng(1);
+  Matrix a = Matrix::Random(4, 3, rng);
+  Matrix b = Matrix::Random(4, 5, rng);
+  Matrix direct = MatMulTransA(a, b);
+  Matrix via = MatMul(Transpose(a), b);
+  ASSERT_TRUE(direct.SameShape(via));
+  for (size_t i = 0; i < direct.size(); ++i)
+    EXPECT_NEAR(direct[i], via[i], 1e-12);
+
+  Matrix c = Matrix::Random(6, 3, rng);
+  Matrix d = Matrix::Random(5, 3, rng);
+  Matrix direct2 = MatMulTransB(c, d);
+  Matrix via2 = MatMul(c, Transpose(d));
+  for (size_t i = 0; i < direct2.size(); ++i)
+    EXPECT_NEAR(direct2[i], via2[i], 1e-12);
+}
+
+TEST(Ops, ElementwiseAndAxpy) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix sum = Add(a, b);
+  EXPECT_EQ(sum(1, 1), 12.0);
+  Matrix diff = Sub(b, a);
+  EXPECT_EQ(diff(0, 0), 4.0);
+  Matrix prod = Hadamard(a, b);
+  EXPECT_EQ(prod(1, 0), 21.0);
+  Axpy(2.0, b, a);
+  EXPECT_EQ(a(0, 0), 11.0);
+}
+
+TEST(Ops, RowSoftmaxRowsSumToOne) {
+  Rng rng(2);
+  Matrix a = Matrix::Random(5, 7, rng, -10, 10);
+  Matrix s = RowSoftmax(a);
+  for (size_t i = 0; i < s.rows(); ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < s.cols(); ++j) {
+      EXPECT_GT(s(i, j), 0.0);
+      total += s(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Ops, RowSoftmaxStableUnderLargeValues) {
+  Matrix a = {{1000.0, 1000.0, 999.0}};
+  Matrix s = RowSoftmax(a);
+  EXPECT_TRUE(std::isfinite(s(0, 0)));
+  EXPECT_GT(s(0, 0), s(0, 2));
+}
+
+TEST(Ops, ColMean) {
+  Matrix a = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix m = ColMean(a);
+  EXPECT_EQ(m(0, 0), 3.0);
+  EXPECT_EQ(m(0, 1), 4.0);
+}
+
+TEST(Ops, VectorKernels) {
+  std::vector<double> a = {3, 4};
+  std::vector<double> b = {4, 3};
+  EXPECT_EQ(Dot(a, b), 24.0);
+  EXPECT_EQ(Norm2(a), 5.0);
+  EXPECT_NEAR(EuclideanDistance(a, b), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(a, b), 24.0 / 25.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity(a, {0, 0}), 0.0);
+}
+
+TEST(Ops, NormalizeL2) {
+  std::vector<double> v = {3, 4};
+  NormalizeL2(v);
+  EXPECT_NEAR(Norm2(v), 1.0, 1e-12);
+  std::vector<double> zero = {0, 0};
+  NormalizeL2(zero);  // must not divide by zero
+  EXPECT_EQ(zero[0], 0.0);
+}
+
+TEST(Ops, TopKIndices) {
+  std::vector<double> scores = {0.1, 0.9, 0.5, 0.9, 0.2};
+  auto top = TopKIndices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // ties broken by smaller index
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+  EXPECT_EQ(TopKIndices(scores, 100).size(), scores.size());
+}
+
+TEST(Ops, SoftmaxInPlace) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(v);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+  EXPECT_LT(v[0], v[2]);
+}
+
+TEST(Ops, StackRows) {
+  Matrix m = StackRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+TEST(Ops, AddRowBroadcast) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix bias = {{10, 20}};
+  Matrix out = AddRowBroadcast(a, bias);
+  EXPECT_EQ(out(0, 0), 11.0);
+  EXPECT_EQ(out(1, 1), 24.0);
+}
+
+// Property sweep: matmul associativity-ish checks over random shapes.
+class MatMulShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, DistributesOverAddition) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(99);
+  Matrix a = Matrix::Random(m, k, rng);
+  Matrix b = Matrix::Random(k, n, rng);
+  Matrix c = Matrix::Random(k, n, rng);
+  Matrix lhs = MatMul(a, Add(b, c));
+  Matrix rhs = Add(MatMul(a, b), MatMul(a, c));
+  for (size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(2, 3, 4),
+                                           std::make_tuple(5, 1, 7),
+                                           std::make_tuple(8, 8, 8)));
+
+}  // namespace
+}  // namespace subrec::la

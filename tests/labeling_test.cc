@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/abstract_generator.h"
+#include "datagen/discipline.h"
+#include "labeling/crf.h"
+#include "labeling/features.h"
+#include "labeling/trainer.h"
+
+namespace subrec::labeling {
+namespace {
+
+TEST(FeatureExtractor, BucketsInRange) {
+  FeatureExtractor fx(128);
+  auto feats = fx.Extract("we propose a novel graph model", 1, 5);
+  EXPECT_FALSE(feats.empty());
+  for (size_t f : feats) EXPECT_LT(f, 128u);
+}
+
+TEST(FeatureExtractor, PositionChangesFeatures) {
+  FeatureExtractor fx(1 << 12);
+  auto first = fx.Extract("same sentence", 0, 4);
+  auto last = fx.Extract("same sentence", 3, 4);
+  EXPECT_NE(first, last);
+}
+
+TEST(Crf, DecodeFollowsEmissionWeights) {
+  LinearChainCrf crf(2, 4);
+  crf.emit(0, 0) = 2.0;  // feature 0 -> label 0
+  crf.emit(1, 1) = 2.0;  // feature 1 -> label 1
+  std::vector<std::vector<size_t>> feats = {{0}, {1}, {0}};
+  EXPECT_EQ(crf.Decode(feats), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(Crf, TransitionsBreakEmissionTies) {
+  LinearChainCrf crf(2, 2);
+  // No emission signal; strong self-transition for label 1 plus start bias.
+  crf.start(1) = 1.0;
+  crf.trans(1, 1) = 2.0;
+  crf.trans(0, 0) = 0.0;
+  std::vector<std::vector<size_t>> feats = {{0}, {0}, {0}};
+  EXPECT_EQ(crf.Decode(feats), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(Crf, SequenceScoreMatchesManualSum) {
+  LinearChainCrf crf(2, 3);
+  crf.start(1) = 0.5;
+  crf.emit(1, 2) = 1.5;
+  crf.emit(0, 0) = 0.75;
+  crf.trans(1, 0) = 0.25;
+  std::vector<std::vector<size_t>> feats = {{2}, {0}};
+  const double score = crf.SequenceScore(feats, {1, 0});
+  EXPECT_NEAR(score, 0.5 + 1.5 + 0.25 + 0.75, 1e-12);
+}
+
+TEST(Crf, EmptySequence) {
+  LinearChainCrf crf(3, 4);
+  EXPECT_TRUE(crf.Decode({}).empty());
+  EXPECT_EQ(crf.SequenceScore({}, {}), 0.0);
+}
+
+TEST(Perceptron, LearnsSimpleRule) {
+  // Feature 0 => label 0, feature 1 => label 1, with a positional twist:
+  // the last position is always label 2 signalled by feature 2.
+  std::vector<SequenceExample> examples;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    SequenceExample ex;
+    const int len = 3 + static_cast<int>(rng.UniformInt(3));
+    for (int t = 0; t < len; ++t) {
+      if (t == len - 1) {
+        ex.features.push_back({2});
+        ex.labels.push_back(2);
+      } else if (rng.Bernoulli(0.5)) {
+        ex.features.push_back({0});
+        ex.labels.push_back(0);
+      } else {
+        ex.features.push_back({1});
+        ex.labels.push_back(1);
+      }
+    }
+    examples.push_back(std::move(ex));
+  }
+  LinearChainCrf crf(3, 8);
+  TrainerOptions options;
+  options.epochs = 5;
+  ASSERT_TRUE(TrainAveragedPerceptron(examples, options, &crf).ok());
+  EXPECT_GT(SequenceAccuracy(crf, examples), 0.99);
+}
+
+TEST(Perceptron, RejectsBadLabels) {
+  LinearChainCrf crf(2, 4);
+  SequenceExample ex;
+  ex.features = {{0}};
+  ex.labels = {5};  // out of range
+  EXPECT_FALSE(TrainAveragedPerceptron({ex}, {}, &crf).ok());
+}
+
+TEST(Perceptron, RejectsEmptyTrainingSet) {
+  LinearChainCrf crf(2, 4);
+  EXPECT_FALSE(TrainAveragedPerceptron({}, {}, &crf).ok());
+}
+
+/// Generates role-labeled abstracts with the synthetic generator — the
+/// same data path the experiments use.
+void MakeAbstracts(int count, uint64_t seed,
+                   std::vector<std::vector<std::string>>* abstracts,
+                   std::vector<std::vector<int>>* roles) {
+  datagen::SyntheticVocabulary vocab(1, 4);
+  datagen::AbstractGenerator gen;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const std::array<double, 3> innovation = {0.3, 0.3, 0.3};
+    const auto sentences =
+        gen.Generate(vocab, 0, static_cast<int>(rng.UniformInt(4)),
+                     innovation, i, rng);
+    std::vector<std::string> texts;
+    std::vector<int> role_row;
+    for (const auto& s : sentences) {
+      texts.push_back(s.text);
+      role_row.push_back(s.role);
+    }
+    abstracts->push_back(std::move(texts));
+    roles->push_back(std::move(role_row));
+  }
+}
+
+TEST(SentenceLabeler, LearnsSubspaceRolesOnSyntheticAbstracts) {
+  std::vector<std::vector<std::string>> train_abs, test_abs;
+  std::vector<std::vector<int>> train_roles, test_roles;
+  MakeAbstracts(150, 11, &train_abs, &train_roles);
+  MakeAbstracts(50, 12, &test_abs, &test_roles);
+
+  SentenceLabeler labeler(3);
+  ASSERT_TRUE(labeler.Train(train_abs, train_roles).ok());
+  EXPECT_TRUE(labeler.trained());
+  // Cue fidelity is 0.92, so ~90% accuracy is attainable; demand well
+  // above chance (1/3).
+  EXPECT_GT(labeler.Evaluate(test_abs, test_roles), 0.8);
+}
+
+TEST(SentenceLabeler, LabelReturnsOneRolePerSentence) {
+  std::vector<std::vector<std::string>> abs;
+  std::vector<std::vector<int>> roles;
+  MakeAbstracts(60, 13, &abs, &roles);
+  SentenceLabeler labeler(3);
+  ASSERT_TRUE(labeler.Train(abs, roles).ok());
+  const auto out = labeler.Label(abs[0]);
+  EXPECT_EQ(out.size(), abs[0].size());
+  for (int r : out) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 3);
+  }
+}
+
+TEST(SentenceLabeler, TrainRejectsMismatchedInputs) {
+  SentenceLabeler labeler(3);
+  EXPECT_FALSE(labeler.Train({{"a"}}, {}).ok());
+}
+
+}  // namespace
+}  // namespace subrec::labeling

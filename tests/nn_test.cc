@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+#include "la/ops.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+
+namespace subrec::nn {
+namespace {
+
+TEST(ParameterStore, CreateAndZero) {
+  ParameterStore store;
+  Parameter* p = store.Create("w", la::Matrix(2, 3, 1.0));
+  EXPECT_EQ(p->name, "w");
+  EXPECT_EQ(p->grad.rows(), 2u);
+  p->grad(0, 0) = 5.0;
+  store.ZeroGrads();
+  EXPECT_EQ(p->grad(0, 0), 0.0);
+  EXPECT_EQ(store.TotalSize(), 6u);
+}
+
+TEST(TapeBinding, DedupesRepeatedUse) {
+  ParameterStore store;
+  Parameter* p = store.Create("w", la::Matrix(1, 2, 1.0));
+  autodiff::Tape tape;
+  TapeBinding binding(&tape);
+  autodiff::VarId a = binding.Use(p);
+  autodiff::VarId b = binding.Use(p);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TapeBinding, PullAccumulatesIntoParameter) {
+  ParameterStore store;
+  Parameter* p = store.Create("w", la::Matrix(1, 1, 3.0));
+  autodiff::Tape tape;
+  TapeBinding binding(&tape);
+  autodiff::VarId x = binding.Use(p);
+  autodiff::VarId loss = tape.SumSquares(x);  // d/dx = 2x = 6
+  tape.Backward(loss);
+  binding.PullGradients();
+  EXPECT_NEAR(p->grad(0, 0), 6.0, 1e-12);
+  // Second pass accumulates.
+  autodiff::Tape tape2;
+  TapeBinding binding2(&tape2);
+  autodiff::VarId x2 = binding2.Use(p);
+  tape2.Backward(tape2.SumSquares(x2));
+  binding2.PullGradients();
+  EXPECT_NEAR(p->grad(0, 0), 12.0, 1e-12);
+}
+
+TEST(Init, GlorotBounds) {
+  Rng rng(1);
+  la::Matrix w = GlorotUniform(100, 100, rng);
+  const double bound = std::sqrt(6.0 / 200.0);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w[i]), bound);
+  }
+}
+
+TEST(Dense, ForwardShapeAndActivation) {
+  ParameterStore store;
+  Rng rng(2);
+  Dense layer(&store, "d", 4, 3, rng, Activation::kTanh);
+  autodiff::Tape tape;
+  TapeBinding binding(&tape);
+  autodiff::VarId x = tape.Constant(la::Matrix::Random(5, 4, rng));
+  autodiff::VarId y = layer.Forward(&tape, &binding, x);
+  EXPECT_EQ(tape.value(y).rows(), 5u);
+  EXPECT_EQ(tape.value(y).cols(), 3u);
+  for (size_t i = 0; i < tape.value(y).size(); ++i)
+    EXPECT_LE(std::fabs(tape.value(y)[i]), 1.0);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // minimize (w - 3)^2.
+  ParameterStore store;
+  Parameter* w = store.Create("w", la::Matrix(1, 1, 0.0));
+  Sgd opt(0.1);
+  for (int i = 0; i < 200; ++i) {
+    w->grad(0, 0) = 2.0 * (w->value(0, 0) - 3.0);
+    opt.Step(store.params());
+  }
+  EXPECT_NEAR(w->value(0, 0), 3.0, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  ParameterStore store;
+  Parameter* w = store.Create("w", la::Matrix(1, 1, -5.0));
+  Adam opt(0.1);
+  for (int i = 0; i < 500; ++i) {
+    w->grad(0, 0) = 2.0 * (w->value(0, 0) - 3.0);
+    opt.Step(store.params());
+  }
+  EXPECT_NEAR(w->value(0, 0), 3.0, 1e-3);
+}
+
+TEST(Adam, LearnsLinearRegressionEndToEnd) {
+  // y = x * W_true, learn W via tape + Adam.
+  Rng rng(3);
+  la::Matrix w_true = {{2.0}, {-1.0}};
+  la::Matrix x = la::Matrix::Random(32, 2, rng);
+  la::Matrix y = la::MatMul(x, w_true);
+
+  ParameterStore store;
+  Parameter* w = store.Create("w", la::Matrix(2, 1, 0.0));
+  Adam opt(0.05);
+  double final_loss = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    autodiff::Tape tape;
+    TapeBinding binding(&tape);
+    autodiff::VarId pred = tape.MatMul(tape.Constant(x), binding.Use(w));
+    autodiff::VarId err = tape.Sub(pred, tape.Constant(y));
+    autodiff::VarId loss = tape.SumSquares(err);
+    tape.Backward(loss);
+    binding.PullGradients();
+    opt.Step(store.params());
+    final_loss = tape.value(loss)(0, 0);
+  }
+  EXPECT_LT(final_loss, 1e-4);
+  EXPECT_NEAR(w->value(0, 0), 2.0, 0.05);
+  EXPECT_NEAR(w->value(1, 0), -1.0, 0.05);
+}
+
+TEST(ClipGradNorm, RescalesWhenAboveThreshold) {
+  ParameterStore store;
+  Parameter* p = store.Create("p", la::Matrix(1, 2));
+  p->grad(0, 0) = 3.0;
+  p->grad(0, 1) = 4.0;  // norm 5
+  const double before = ClipGradNorm(store.params(), 1.0);
+  EXPECT_NEAR(before, 5.0, 1e-12);
+  EXPECT_NEAR(std::hypot(p->grad(0, 0), p->grad(0, 1)), 1.0, 1e-12);
+}
+
+TEST(ClipGradNorm, NoopBelowThreshold) {
+  ParameterStore store;
+  Parameter* p = store.Create("p", la::Matrix(1, 1));
+  p->grad(0, 0) = 0.5;
+  ClipGradNorm(store.params(), 1.0);
+  EXPECT_EQ(p->grad(0, 0), 0.5);
+}
+
+TEST(Loss, TripletHingeZeroWhenSatisfiedByMargin) {
+  autodiff::Tape tape;
+  autodiff::VarId d_pos = tape.Constant(la::Matrix(1, 1, 2.0));
+  autodiff::VarId d_neg = tape.Constant(la::Matrix(1, 1, 0.5));
+  autodiff::VarId loss = TripletHingeLoss(&tape, d_pos, d_neg, 0.5);
+  EXPECT_EQ(tape.value(loss)(0, 0), 0.0);
+}
+
+TEST(Loss, TripletHingePenalizesViolation) {
+  autodiff::Tape tape;
+  autodiff::VarId d_pos = tape.Constant(la::Matrix(1, 1, 0.0));
+  autodiff::VarId d_neg = tape.Constant(la::Matrix(1, 1, 1.0));
+  autodiff::VarId loss = TripletHingeLoss(&tape, d_pos, d_neg, 0.5);
+  EXPECT_NEAR(tape.value(loss)(0, 0), 1.5, 1e-12);
+}
+
+TEST(Loss, L2RegularizerAddsWeightNorm) {
+  ParameterStore store;
+  Parameter* w = store.Create("w", la::Matrix(1, 2, 2.0));  // ||w||^2 = 8
+  autodiff::Tape tape;
+  TapeBinding binding(&tape);
+  autodiff::VarId base = tape.Constant(la::Matrix(1, 1, 1.0));
+  autodiff::VarId total =
+      AddL2Regularizer(&tape, &binding, base, {w}, 0.5);
+  EXPECT_NEAR(tape.value(total)(0, 0), 1.0 + 0.5 * 8.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace subrec::nn

@@ -1,0 +1,223 @@
+// Parameterized property sweeps across modules: invariants that must hold
+// for ranges of shapes, seeds and hyperparameters rather than single
+// examples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "autodiff/grad_check.h"
+#include "autodiff/tape.h"
+#include "cluster/gmm.h"
+#include "cluster/lof.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+#include "la/ops.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "rec/sampler.h"
+#include "text/hashed_ngram_encoder.h"
+#include "text/word2vec.h"
+
+namespace subrec {
+namespace {
+
+// ---------------------------------------------------------------- autodiff
+
+class AutodiffSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutodiffSeeds, RandomCompositeGraphGradChecks) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  auto scalar = [](const std::vector<la::Matrix>& params,
+                   std::vector<la::Matrix>* grads) {
+    autodiff::Tape tape;
+    std::vector<autodiff::VarId> leaves;
+    for (const auto& p : params) leaves.push_back(tape.Input(p, true));
+    // softmax-attention + tanh MLP + sigmoid head, the library's shapes.
+    autodiff::VarId h = tape.Tanh(tape.MatMul(leaves[0], leaves[1]));
+    autodiff::VarId attn =
+        tape.RowSoftmax(tape.Transpose(tape.MatMul(h, leaves[2])));
+    autodiff::VarId pooled = tape.MatMul(attn, h);
+    autodiff::VarId loss =
+        tape.SigmoidBce(tape.MatMulTransB(pooled, leaves[3]),
+                        la::Matrix(1, 1, 1.0));
+    if (grads != nullptr) {
+      tape.Backward(loss);
+      grads->clear();
+      for (autodiff::VarId leaf : leaves) grads->push_back(tape.grad(leaf));
+    }
+    return tape.value(loss)(0, 0);
+  };
+  std::vector<la::Matrix> params = {
+      la::Matrix::Random(5, 6, rng), la::Matrix::Random(6, 4, rng),
+      la::Matrix::Random(4, 1, rng), la::Matrix::Random(1, 4, rng)};
+  const auto result = autodiff::CheckGradients(scalar, params);
+  EXPECT_LT(result.max_rel_error, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutodiffSeeds, ::testing::Range(1, 9));
+
+// ------------------------------------------------------------------ metrics
+
+class NdcgProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(NdcgProperties, BoundedAndMonotoneUnderImprovement) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77);
+  const int n = 30;
+  std::vector<bool> rel(n);
+  for (int i = 0; i < n; ++i) rel[static_cast<size_t>(i)] = rng.Bernoulli(0.2);
+  if (std::none_of(rel.begin(), rel.end(), [](bool b) { return b; }))
+    rel[5] = true;
+  const double base = eval::NdcgAtK(rel, n);
+  EXPECT_GE(base, 0.0);
+  EXPECT_LE(base, 1.0);
+  // Moving a relevant item earlier never decreases nDCG.
+  std::vector<bool> improved = rel;
+  for (int i = 1; i < n; ++i) {
+    if (improved[static_cast<size_t>(i)] &&
+        !improved[static_cast<size_t>(i - 1)]) {
+      improved[static_cast<size_t>(i)] = false;
+      improved[static_cast<size_t>(i - 1)] = true;
+      break;
+    }
+  }
+  EXPECT_GE(eval::NdcgAtK(improved, n) + 1e-12, base);
+  // MRR and MAP bounded.
+  EXPECT_LE(eval::ReciprocalRank(rel, n), 1.0);
+  EXPECT_LE(eval::AveragePrecision(rel), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NdcgProperties, ::testing::Range(1, 10));
+
+TEST(SpearmanProperties, SymmetricAndBounded) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a(25), b(25);
+    for (auto& x : a) x = rng.Gaussian();
+    for (auto& x : b) x = rng.Gaussian();
+    const double ab = eval::SpearmanCorrelation(a, b);
+    EXPECT_NEAR(ab, eval::SpearmanCorrelation(b, a), 1e-12);
+    EXPECT_LE(std::fabs(ab), 1.0 + 1e-12);
+  }
+}
+
+// ------------------------------------------------------------------ cluster
+
+class GmmDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(GmmDims, ResponsibilitiesNormalizedAcrossDims) {
+  const size_t d = static_cast<size_t>(GetParam());
+  Rng rng(31 + d);
+  la::Matrix data(60, d);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = rng.Gaussian();
+  cluster::GaussianMixture gmm(cluster::GmmOptions{.num_components = 3});
+  ASSERT_TRUE(gmm.Fit(data).ok());
+  const la::Matrix proba = gmm.PredictProba(data);
+  for (size_t i = 0; i < proba.rows(); ++i) {
+    double total = 0.0;
+    for (size_t c = 0; c < proba.cols(); ++c) {
+      EXPECT_GE(proba(i, c), 0.0);
+      total += proba(i, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  // Weights form a distribution.
+  double wsum = 0.0;
+  for (double w : gmm.weights()) wsum += w;
+  EXPECT_NEAR(wsum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GmmDims, ::testing::Values(1, 2, 4, 8, 16));
+
+class LofKs : public ::testing::TestWithParam<int> {};
+
+TEST_P(LofKs, ScoresPositiveAndOutlierDominates) {
+  const int k = GetParam();
+  Rng rng(41);
+  la::Matrix data(51, 3);
+  for (int i = 0; i < 50; ++i)
+    for (int j = 0; j < 3; ++j)
+      data(static_cast<size_t>(i), static_cast<size_t>(j)) = rng.Gaussian();
+  for (int j = 0; j < 3; ++j) data(50, static_cast<size_t>(j)) = 40.0;
+  auto lof = cluster::LocalOutlierFactor(data, k);
+  ASSERT_TRUE(lof.ok());
+  for (double v : lof.value()) EXPECT_GT(v, 0.0);
+  const size_t argmax = static_cast<size_t>(
+      std::max_element(lof.value().begin(), lof.value().end()) -
+      lof.value().begin());
+  EXPECT_EQ(argmax, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, LofKs, ::testing::Values(2, 5, 10, 20));
+
+// --------------------------------------------------------------------- text
+
+TEST(EncoderProperties, CosineBoundedAndScaleFree) {
+  text::HashedNgramEncoder encoder;
+  Rng rng(51);
+  const std::vector<std::string> sentences = {
+      "graph networks for papers", "papers about graph networks",
+      "clinical drug trials", "we propose subspace embeddings"};
+  for (const auto& a : sentences) {
+    for (const auto& b : sentences) {
+      const double c =
+          la::CosineSimilarity(encoder.Encode(a), encoder.Encode(b));
+      EXPECT_LE(std::fabs(c), 1.0 + 1e-9);
+    }
+    // Repetition changes counts, not direction sign wildly: still valid.
+    const double self =
+        la::CosineSimilarity(encoder.Encode(a), encoder.Encode(a + " " + a));
+    EXPECT_GT(self, 0.9);
+  }
+}
+
+TEST(Word2VecProperties, DeterministicGivenSeed) {
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 30; ++i)
+    corpus.push_back({"alpha", "beta", "gamma", "delta"});
+  text::Word2VecOptions options;
+  options.dim = 8;
+  text::Word2Vec a(options), b(options);
+  ASSERT_TRUE(a.Train(corpus).ok());
+  ASSERT_TRUE(b.Train(corpus).ok());
+  EXPECT_EQ(a.Embedding("alpha"), b.Embedding("alpha"));
+}
+
+// ------------------------------------------------------------------ sampler
+
+class SamplerRatios : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerRatios, RealizedRatioTracksRequested) {
+  static const datagen::GeneratedDataset* dataset = [] {
+    auto r = datagen::GenerateCorpus(
+        datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 61));
+    SUBREC_CHECK(r.ok());
+    return new datagen::GeneratedDataset(std::move(r).value());
+  }();
+  rec::RecContext ctx;
+  ctx.corpus = &dataset->corpus;
+  ctx.split_year = 2014;
+  const auto split = datagen::SplitByYear(dataset->corpus, 2014);
+  ctx.train_papers = split.train;
+  ctx.test_papers = split.test;
+
+  rec::SamplerOptions options;
+  options.negatives_per_positive = GetParam();
+  options.max_positives = 40;
+  options.use_defuzzing = false;
+  rec::DefuzzSampler sampler(options);
+  const auto pairs = sampler.BuildPairs(ctx, nullptr);
+  int pos = 0, neg = 0;
+  for (const auto& p : pairs) (p.label > 0.5 ? pos : neg)++;
+  ASSERT_GT(pos, 0);
+  EXPECT_NEAR(static_cast<double>(neg) / pos,
+              static_cast<double>(GetParam()), 0.25 * GetParam() + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, SamplerRatios, ::testing::Values(1, 5, 10));
+
+}  // namespace
+}  // namespace subrec

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rules/ccs_tree.h"
+#include "rules/expert_rules.h"
+#include "rules/rule_fusion.h"
+#include "text/hashed_ngram_encoder.h"
+
+namespace subrec::rules {
+namespace {
+
+corpus::Paper MakePaper(corpus::PaperId id, std::vector<std::string> sentences,
+                        std::vector<corpus::PaperId> refs,
+                        std::vector<std::string> keywords = {}) {
+  corpus::Paper p;
+  p.id = id;
+  for (auto& s : sentences) p.abstract_sentences.push_back({std::move(s), -1});
+  p.references = std::move(refs);
+  p.keywords = std::move(keywords);
+  return p;
+}
+
+TEST(CcsTree, LevelsAndPaths) {
+  CcsTree tree;
+  const int cs = tree.AddNode("cs", tree.root());
+  const int db = tree.AddNode("db", cs);
+  const int ml = tree.AddNode("ml", cs);
+  EXPECT_EQ(tree.level(tree.root()), 0);
+  EXPECT_EQ(tree.level(cs), 1);
+  EXPECT_EQ(tree.level(db), 2);
+  EXPECT_EQ(tree.PathFromRoot(db), (std::vector<int>{tree.root(), cs, db}));
+  EXPECT_EQ(tree.children(cs).size(), 2u);
+  EXPECT_EQ(tree.parent(ml), cs);
+}
+
+TEST(CcsTree, PathDifferenceProperties) {
+  CcsTree tree;
+  const int cs = tree.AddNode("cs", tree.root());
+  const int bio = tree.AddNode("bio", tree.root());
+  const int db = tree.AddNode("db", cs);
+  const int ml = tree.AddNode("ml", cs);
+  const int gen = tree.AddNode("genomics", bio);
+
+  // Identity: zero difference.
+  EXPECT_EQ(tree.PathDifference(db, db), 0.0);
+  // Symmetry.
+  EXPECT_EQ(tree.PathDifference(db, gen), tree.PathDifference(gen, db));
+  // Sibling leaves differ less than cross-discipline leaves (Eq. 1:
+  // divergence near the root costs more).
+  EXPECT_LT(tree.PathDifference(db, ml), tree.PathDifference(db, gen));
+}
+
+TEST(CcsTree, UniformBuilder) {
+  CcsTree tree = BuildUniformTree({2, 3});
+  // 1 root + 2 + 6.
+  EXPECT_EQ(tree.size(), 9u);
+  EXPECT_EQ(tree.Leaves().size(), 6u);
+}
+
+class ExpertRulesTest : public ::testing::Test {
+ protected:
+  ExpertRulesTest()
+      : tree_(BuildUniformTree({2, 2})),
+        engine_(&tree_, &encoder_, nullptr) {}
+
+  CcsTree tree_;
+  text::HashedNgramEncoder encoder_;
+  ExpertRuleEngine engine_;
+};
+
+TEST_F(ExpertRulesTest, ReferenceScoreReciprocalJaccard) {
+  corpus::Paper a = MakePaper(0, {"x."}, {10, 11, 12});
+  corpus::Paper b = MakePaper(1, {"y."}, {11, 12, 13});
+  // union 4, intersection 2 -> (4+1)/(2+1).
+  EXPECT_NEAR(engine_.ReferenceScore(a, b), 5.0 / 3.0, 1e-12);
+  // identical reference sets -> (3+1)/(3+1) = 1 (minimum difference).
+  EXPECT_NEAR(engine_.ReferenceScore(a, a), 1.0, 1e-12);
+  // disjoint stays finite thanks to smoothing.
+  corpus::Paper c = MakePaper(2, {"z."}, {20, 21});
+  EXPECT_NEAR(engine_.ReferenceScore(a, c), 6.0, 1e-12);
+}
+
+TEST_F(ExpertRulesTest, ClassificationScoreUsesLeafTags) {
+  corpus::Paper a = MakePaper(0, {"x."}, {});
+  corpus::Paper b = MakePaper(1, {"y."}, {});
+  const auto leaves = tree_.Leaves();
+  a.ccs_path = tree_.PathFromRoot(leaves[0]);
+  b.ccs_path = tree_.PathFromRoot(leaves[1]);
+  EXPECT_GT(engine_.ClassificationScore(a, b), 0.0);
+  b.ccs_path = a.ccs_path;
+  EXPECT_EQ(engine_.ClassificationScore(a, b), 0.0);
+  // Missing tags -> no evidence.
+  b.ccs_path.clear();
+  EXPECT_EQ(engine_.ClassificationScore(a, b), 0.0);
+}
+
+TEST_F(ExpertRulesTest, FeaturesHaveSubspaceMeans) {
+  corpus::Paper p = MakePaper(
+      0, {"background of the problem.", "we propose a method.",
+          "results show improvement."},
+      {});
+  const auto f = engine_.ComputeFeatures(p, {0, 1, 2});
+  ASSERT_EQ(f.subspace_means.size(), 3u);
+  ASSERT_EQ(f.sentence_vectors.size(), 3u);
+  // Each subspace mean equals its single sentence vector.
+  for (int k = 0; k < 3; ++k)
+    EXPECT_EQ(f.subspace_means[static_cast<size_t>(k)],
+              f.sentence_vectors[static_cast<size_t>(k)]);
+}
+
+TEST_F(ExpertRulesTest, EmptySubspaceMeanIsZero) {
+  corpus::Paper p = MakePaper(0, {"only background."}, {});
+  const auto f = engine_.ComputeFeatures(p, {0});
+  for (double v : f.subspace_means[1]) EXPECT_EQ(v, 0.0);
+  for (double v : f.subspace_means[2]) EXPECT_EQ(v, 0.0);
+}
+
+TEST_F(ExpertRulesTest, AbstractSubspaceScoreLocalizesDifference) {
+  // Same background and result; different method sentences.
+  corpus::Paper a = MakePaper(0,
+                              {"shared background context sentence.",
+                               "we use gradient descent optimization.",
+                               "shared results summary sentence."},
+                              {});
+  corpus::Paper b = MakePaper(1,
+                              {"shared background context sentence.",
+                               "we use genetic evolutionary search.",
+                               "shared results summary sentence."},
+                              {});
+  const auto fa = engine_.ComputeFeatures(a, {0, 1, 2});
+  const auto fb = engine_.ComputeFeatures(b, {0, 1, 2});
+  const auto scores = engine_.AbstractSubspaceScores(fa, fb);
+  EXPECT_NEAR(scores[0], 0.0, 1e-9);
+  EXPECT_NEAR(scores[2], 0.0, 1e-9);
+  EXPECT_GT(scores[1], 0.1);
+}
+
+TEST_F(ExpertRulesTest, AllScoresShape) {
+  corpus::Paper a = MakePaper(0, {"alpha beta."}, {1});
+  corpus::Paper b = MakePaper(1, {"gamma delta."}, {2});
+  const auto fa = engine_.ComputeFeatures(a, {0});
+  const auto fb = engine_.ComputeFeatures(b, {1});
+  const auto scores = engine_.AllScores(a, fa, b, fb);
+  ASSERT_EQ(scores.size(), static_cast<size_t>(kNumExpertRules));
+  for (const auto& row : scores) EXPECT_EQ(row.size(), 3u);
+  // Whole-paper rules replicate across subspaces.
+  EXPECT_EQ(scores[kRuleReferences][0], scores[kRuleReferences][2]);
+}
+
+TEST(RuleFusion, NormalizationCentersScores) {
+  RuleFusion fusion(3);
+  // Calibration sample with constant rule values.
+  std::vector<std::vector<std::vector<double>>> samples;
+  for (int i = 0; i < 10; ++i) {
+    samples.push_back({{1.0, 1.0, 1.0},
+                       {2.0, 2.0, 2.0},
+                       {3.0, 3.0, 3.0},
+                       {static_cast<double>(i), 0.0, 0.0}});
+  }
+  ASSERT_TRUE(fusion.FitNormalization(samples).ok());
+  // A pair at the calibration mean fuses to ~0.
+  const double fused =
+      fusion.Fuse({{1.0, 1, 1}, {2.0, 2, 2}, {3.0, 3, 3}, {4.5, 0, 0}}, 0);
+  EXPECT_NEAR(fused, 0.0, 1e-9);
+}
+
+TEST(RuleFusion, WeightsValidation) {
+  RuleFusion fusion(3);
+  EXPECT_FALSE(fusion.SetWeights(0, {1.0}).ok());         // wrong arity
+  EXPECT_FALSE(fusion.SetWeights(0, {0, 0, 0, 0}).ok());  // all zero
+  EXPECT_FALSE(fusion.SetWeights(9, {1, 1, 1, 1}).ok());  // bad subspace
+  ASSERT_TRUE(fusion.SetWeights(0, {2, 0, 0, 2}).ok());
+  const auto& w = fusion.weights(0);
+  EXPECT_NEAR(w[0], 0.5, 1e-12);
+  EXPECT_NEAR(w[3], 0.5, 1e-12);
+}
+
+TEST(RuleFusion, EmptyCalibrationFails) {
+  RuleFusion fusion(3);
+  EXPECT_FALSE(fusion.FitNormalization({}).ok());
+}
+
+}  // namespace
+}  // namespace subrec::rules

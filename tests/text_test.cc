@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/ops.h"
+#include "text/doc2vec.h"
+#include "text/hashed_ngram_encoder.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "text/word2vec.h"
+
+namespace subrec::text {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  auto toks = Tokenize("Hello, World! GCN-based models");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "gcn");
+  EXPECT_EQ(toks[3], "based");
+  EXPECT_EQ(toks[4], "models");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!! ---").empty());
+}
+
+TEST(Tokenizer, StopwordFiltering) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("with"));
+  EXPECT_FALSE(IsStopword("graph"));
+  auto toks = TokenizeNoStopwords("the graph of the model");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "graph");
+  EXPECT_EQ(toks[1], "model");
+}
+
+TEST(Tokenizer, SplitSentences) {
+  auto s = SplitSentences("First one. Second!  Third? trailing");
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], "First one");
+  EXPECT_EQ(s[1], "Second");
+  EXPECT_EQ(s[2], "Third");
+  EXPECT_EQ(s[3], "trailing");
+}
+
+TEST(Vocabulary, AddLookupCount) {
+  Vocabulary v;
+  const int a = v.Add("alpha");
+  v.Add("alpha");
+  const int b = v.Add("beta");
+  EXPECT_EQ(v.Lookup("alpha"), a);
+  EXPECT_EQ(v.Lookup("beta"), b);
+  EXPECT_EQ(v.Lookup("gamma"), Vocabulary::kUnknown);
+  EXPECT_EQ(v.CountOf(a), 2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.total_count(), 3);
+}
+
+TEST(Vocabulary, PruneReindexes) {
+  Vocabulary v;
+  v.Add("rare");
+  for (int i = 0; i < 5; ++i) v.Add("common");
+  v.Prune(2);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.Lookup("rare"), Vocabulary::kUnknown);
+  EXPECT_EQ(v.WordOf(v.Lookup("common")), "common");
+}
+
+TEST(HashedEncoder, DeterministicUnitNorm) {
+  HashedNgramEncoder enc;
+  auto a = enc.Encode("graph neural networks for recommendation");
+  auto b = enc.Encode("graph neural networks for recommendation");
+  EXPECT_EQ(a, b);
+  EXPECT_NEAR(la::Norm2(a), 1.0, 1e-9);
+  EXPECT_EQ(a.size(), enc.dim());
+}
+
+TEST(HashedEncoder, SimilarSentencesCloserThanDissimilar) {
+  HashedNgramEncoder enc;
+  auto a = enc.Encode("graph neural networks learn node embeddings");
+  auto b = enc.Encode("graph neural networks learn entity embeddings");
+  auto c = enc.Encode("randomized clinical trials measure patient outcomes");
+  EXPECT_GT(la::CosineSimilarity(a, b), la::CosineSimilarity(a, c));
+}
+
+TEST(HashedEncoder, EmptySentenceIsZeroVector) {
+  HashedNgramEncoder enc;
+  auto v = enc.Encode("");
+  EXPECT_NEAR(la::Norm2(v), 0.0, 1e-12);
+}
+
+TEST(HashedEncoder, SeedDecorrelates) {
+  HashedNgramEncoderOptions o1, o2;
+  o2.seed = o1.seed + 1;
+  HashedNgramEncoder e1(o1), e2(o2);
+  auto a = e1.Encode("subspace embeddings of papers");
+  auto b = e2.Encode("subspace embeddings of papers");
+  EXPECT_NE(a, b);
+}
+
+TEST(TfIdf, FitTransformBasics) {
+  TfIdfVectorizer tfidf;
+  ASSERT_TRUE(tfidf.Fit({{"a", "b"}, {"a", "c"}, {"a", "d"}}).ok());
+  EXPECT_EQ(tfidf.vocabulary_size(), 4u);
+  auto v = tfidf.Transform({"a", "b", "zzz"});
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_NEAR(la::Norm2(v), 1.0, 1e-9);
+  // "b" is rarer than "a", so it gets more weight.
+  EXPECT_GT(v[static_cast<size_t>(tfidf.IndexOf("b"))],
+            v[static_cast<size_t>(tfidf.IndexOf("a"))]);
+}
+
+TEST(TfIdf, EmptyCorpusFails) {
+  TfIdfVectorizer tfidf;
+  EXPECT_FALSE(tfidf.Fit({}).ok());
+}
+
+std::vector<std::vector<std::string>> TwoTopicCorpus() {
+  // Words co-occur within topic; cross-topic co-occurrence never happens.
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 120; ++i) {
+    corpus.push_back({"graph", "network", "embedding", "node", "edge"});
+    corpus.push_back({"patient", "clinical", "trial", "dose", "drug"});
+  }
+  return corpus;
+}
+
+TEST(Word2Vec, SameTopicWordsCloser) {
+  Word2VecOptions options;
+  options.dim = 24;
+  options.epochs = 4;
+  Word2Vec w2v(options);
+  ASSERT_TRUE(w2v.Train(TwoTopicCorpus()).ok());
+  const auto graph = w2v.Embedding("graph");
+  const auto node = w2v.Embedding("node");
+  const auto drug = w2v.Embedding("drug");
+  EXPECT_GT(la::CosineSimilarity(graph, node),
+            la::CosineSimilarity(graph, drug) + 0.2);
+}
+
+TEST(Word2Vec, UnknownWordIsZero) {
+  Word2Vec w2v;
+  ASSERT_TRUE(w2v.Train({{"a", "b", "c", "d"}}).ok());
+  EXPECT_NEAR(la::Norm2(w2v.Embedding("zzz")), 0.0, 1e-12);
+}
+
+TEST(Word2Vec, MeanEmbeddingAveragesKnownTokens) {
+  Word2Vec w2v;
+  ASSERT_TRUE(w2v.Train({{"a", "b", "a", "b"}, {"a", "b"}}).ok());
+  auto mean = w2v.MeanEmbedding({"a", "b", "zzz"});
+  auto a = w2v.Embedding("a");
+  auto b = w2v.Embedding("b");
+  for (size_t i = 0; i < mean.size(); ++i)
+    EXPECT_NEAR(mean[i], (a[i] + b[i]) / 2.0, 1e-12);
+}
+
+TEST(Word2Vec, EmptyCorpusFails) {
+  Word2Vec w2v;
+  EXPECT_FALSE(w2v.Train({}).ok());
+}
+
+TEST(Doc2Vec, SameTopicDocsCloser) {
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 40; ++i) {
+    docs.push_back({"graph", "network", "embedding", "node"});
+    docs.push_back({"patient", "clinical", "trial", "dose"});
+  }
+  Doc2VecOptions options;
+  options.dim = 16;
+  options.epochs = 12;
+  Doc2Vec d2v(options);
+  ASSERT_TRUE(d2v.Train(docs).ok());
+  ASSERT_EQ(d2v.num_documents(), docs.size());
+  // doc 0 and 2 share a topic; doc 0 and 1 do not.
+  const auto d0 = d2v.DocumentVector(0);
+  EXPECT_GT(la::CosineSimilarity(d0, d2v.DocumentVector(2)),
+            la::CosineSimilarity(d0, d2v.DocumentVector(1)));
+}
+
+}  // namespace
+}  // namespace subrec::text
