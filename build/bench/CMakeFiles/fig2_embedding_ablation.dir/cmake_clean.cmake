@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_embedding_ablation.dir/fig2_embedding_ablation.cc.o"
+  "CMakeFiles/fig2_embedding_ablation.dir/fig2_embedding_ablation.cc.o.d"
+  "fig2_embedding_ablation"
+  "fig2_embedding_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_embedding_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

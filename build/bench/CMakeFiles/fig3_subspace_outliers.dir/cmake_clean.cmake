@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_subspace_outliers.dir/fig3_subspace_outliers.cc.o"
+  "CMakeFiles/fig3_subspace_outliers.dir/fig3_subspace_outliers.cc.o.d"
+  "fig3_subspace_outliers"
+  "fig3_subspace_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_subspace_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

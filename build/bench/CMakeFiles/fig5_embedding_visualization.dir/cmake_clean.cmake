@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_embedding_visualization.dir/fig5_embedding_visualization.cc.o"
+  "CMakeFiles/fig5_embedding_visualization.dir/fig5_embedding_visualization.cc.o.d"
+  "fig5_embedding_visualization"
+  "fig5_embedding_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_embedding_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

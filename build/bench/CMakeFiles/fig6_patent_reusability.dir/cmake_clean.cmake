@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_patent_reusability.dir/fig6_patent_reusability.cc.o"
+  "CMakeFiles/fig6_patent_reusability.dir/fig6_patent_reusability.cc.o.d"
+  "fig6_patent_reusability"
+  "fig6_patent_reusability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_patent_reusability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sem_correlation.dir/table1_sem_correlation.cc.o"
+  "CMakeFiles/table1_sem_correlation.dir/table1_sem_correlation.cc.o.d"
+  "table1_sem_correlation"
+  "table1_sem_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sem_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

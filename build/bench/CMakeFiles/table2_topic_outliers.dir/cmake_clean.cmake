@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_topic_outliers.dir/table2_topic_outliers.cc.o"
+  "CMakeFiles/table2_topic_outliers.dir/table2_topic_outliers.cc.o.d"
+  "table2_topic_outliers"
+  "table2_topic_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_topic_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

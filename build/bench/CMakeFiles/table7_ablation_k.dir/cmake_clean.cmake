@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ablation_k.dir/table7_ablation_k.cc.o"
+  "CMakeFiles/table7_ablation_k.dir/table7_ablation_k.cc.o.d"
+  "table7_ablation_k"
+  "table7_ablation_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ablation_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

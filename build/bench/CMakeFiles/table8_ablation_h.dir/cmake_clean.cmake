@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_ablation_h.dir/table8_ablation_h.cc.o"
+  "CMakeFiles/table8_ablation_h.dir/table8_ablation_h.cc.o.d"
+  "table8_ablation_h"
+  "table8_ablation_h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_ablation_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

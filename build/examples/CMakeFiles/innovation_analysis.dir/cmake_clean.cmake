@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innovation_analysis.dir/innovation_analysis.cpp.o"
+  "CMakeFiles/innovation_analysis.dir/innovation_analysis.cpp.o.d"
+  "innovation_analysis"
+  "innovation_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innovation_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_recommendation.dir/paper_recommendation.cpp.o"
+  "CMakeFiles/paper_recommendation.dir/paper_recommendation.cpp.o.d"
+  "paper_recommendation"
+  "paper_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

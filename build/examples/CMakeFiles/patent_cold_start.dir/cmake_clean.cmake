@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patent_cold_start.dir/patent_cold_start.cpp.o"
+  "CMakeFiles/patent_cold_start.dir/patent_cold_start.cpp.o.d"
+  "patent_cold_start"
+  "patent_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patent_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

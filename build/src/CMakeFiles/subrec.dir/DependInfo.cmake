@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/grad_check.cc" "src/CMakeFiles/subrec.dir/autodiff/grad_check.cc.o" "gcc" "src/CMakeFiles/subrec.dir/autodiff/grad_check.cc.o.d"
+  "/root/repo/src/autodiff/tape.cc" "src/CMakeFiles/subrec.dir/autodiff/tape.cc.o" "gcc" "src/CMakeFiles/subrec.dir/autodiff/tape.cc.o.d"
+  "/root/repo/src/cluster/bic.cc" "src/CMakeFiles/subrec.dir/cluster/bic.cc.o" "gcc" "src/CMakeFiles/subrec.dir/cluster/bic.cc.o.d"
+  "/root/repo/src/cluster/gmm.cc" "src/CMakeFiles/subrec.dir/cluster/gmm.cc.o" "gcc" "src/CMakeFiles/subrec.dir/cluster/gmm.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/subrec.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/subrec.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/lof.cc" "src/CMakeFiles/subrec.dir/cluster/lof.cc.o" "gcc" "src/CMakeFiles/subrec.dir/cluster/lof.cc.o.d"
+  "/root/repo/src/cluster/tsne.cc" "src/CMakeFiles/subrec.dir/cluster/tsne.cc.o" "gcc" "src/CMakeFiles/subrec.dir/cluster/tsne.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/subrec.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/subrec.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/subrec.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/subrec.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/subrec.dir/common/status.cc.o" "gcc" "src/CMakeFiles/subrec.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/subrec.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/subrec.dir/common/string_util.cc.o.d"
+  "/root/repo/src/datagen/abstract_generator.cc" "src/CMakeFiles/subrec.dir/datagen/abstract_generator.cc.o" "gcc" "src/CMakeFiles/subrec.dir/datagen/abstract_generator.cc.o.d"
+  "/root/repo/src/datagen/citation_model.cc" "src/CMakeFiles/subrec.dir/datagen/citation_model.cc.o" "gcc" "src/CMakeFiles/subrec.dir/datagen/citation_model.cc.o.d"
+  "/root/repo/src/datagen/corpus_generator.cc" "src/CMakeFiles/subrec.dir/datagen/corpus_generator.cc.o" "gcc" "src/CMakeFiles/subrec.dir/datagen/corpus_generator.cc.o.d"
+  "/root/repo/src/datagen/datasets.cc" "src/CMakeFiles/subrec.dir/datagen/datasets.cc.o" "gcc" "src/CMakeFiles/subrec.dir/datagen/datasets.cc.o.d"
+  "/root/repo/src/datagen/discipline.cc" "src/CMakeFiles/subrec.dir/datagen/discipline.cc.o" "gcc" "src/CMakeFiles/subrec.dir/datagen/discipline.cc.o.d"
+  "/root/repo/src/datagen/split.cc" "src/CMakeFiles/subrec.dir/datagen/split.cc.o" "gcc" "src/CMakeFiles/subrec.dir/datagen/split.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/subrec.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/subrec.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/ranking.cc" "src/CMakeFiles/subrec.dir/eval/ranking.cc.o" "gcc" "src/CMakeFiles/subrec.dir/eval/ranking.cc.o.d"
+  "/root/repo/src/eval/regression.cc" "src/CMakeFiles/subrec.dir/eval/regression.cc.o" "gcc" "src/CMakeFiles/subrec.dir/eval/regression.cc.o.d"
+  "/root/repo/src/graph/academic_graph.cc" "src/CMakeFiles/subrec.dir/graph/academic_graph.cc.o" "gcc" "src/CMakeFiles/subrec.dir/graph/academic_graph.cc.o.d"
+  "/root/repo/src/graph/neighborhood.cc" "src/CMakeFiles/subrec.dir/graph/neighborhood.cc.o" "gcc" "src/CMakeFiles/subrec.dir/graph/neighborhood.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/CMakeFiles/subrec.dir/la/matrix.cc.o" "gcc" "src/CMakeFiles/subrec.dir/la/matrix.cc.o.d"
+  "/root/repo/src/la/ops.cc" "src/CMakeFiles/subrec.dir/la/ops.cc.o" "gcc" "src/CMakeFiles/subrec.dir/la/ops.cc.o.d"
+  "/root/repo/src/labeling/crf.cc" "src/CMakeFiles/subrec.dir/labeling/crf.cc.o" "gcc" "src/CMakeFiles/subrec.dir/labeling/crf.cc.o.d"
+  "/root/repo/src/labeling/features.cc" "src/CMakeFiles/subrec.dir/labeling/features.cc.o" "gcc" "src/CMakeFiles/subrec.dir/labeling/features.cc.o.d"
+  "/root/repo/src/labeling/trainer.cc" "src/CMakeFiles/subrec.dir/labeling/trainer.cc.o" "gcc" "src/CMakeFiles/subrec.dir/labeling/trainer.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/subrec.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/subrec.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/subrec.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/subrec.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/subrec.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/subrec.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/subrec.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/subrec.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/rec/baselines_quality.cc" "src/CMakeFiles/subrec.dir/rec/baselines_quality.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/baselines_quality.cc.o.d"
+  "/root/repo/src/rec/candidate_sets.cc" "src/CMakeFiles/subrec.dir/rec/candidate_sets.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/candidate_sets.cc.o.d"
+  "/root/repo/src/rec/embedding_baselines.cc" "src/CMakeFiles/subrec.dir/rec/embedding_baselines.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/embedding_baselines.cc.o.d"
+  "/root/repo/src/rec/jtie.cc" "src/CMakeFiles/subrec.dir/rec/jtie.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/jtie.cc.o.d"
+  "/root/repo/src/rec/kgcn.cc" "src/CMakeFiles/subrec.dir/rec/kgcn.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/kgcn.cc.o.d"
+  "/root/repo/src/rec/mlp_ncf.cc" "src/CMakeFiles/subrec.dir/rec/mlp_ncf.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/mlp_ncf.cc.o.d"
+  "/root/repo/src/rec/nbcf.cc" "src/CMakeFiles/subrec.dir/rec/nbcf.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/nbcf.cc.o.d"
+  "/root/repo/src/rec/nprec.cc" "src/CMakeFiles/subrec.dir/rec/nprec.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/nprec.cc.o.d"
+  "/root/repo/src/rec/recommender.cc" "src/CMakeFiles/subrec.dir/rec/recommender.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/recommender.cc.o.d"
+  "/root/repo/src/rec/ripplenet.cc" "src/CMakeFiles/subrec.dir/rec/ripplenet.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/ripplenet.cc.o.d"
+  "/root/repo/src/rec/sampler.cc" "src/CMakeFiles/subrec.dir/rec/sampler.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/sampler.cc.o.d"
+  "/root/repo/src/rec/svd.cc" "src/CMakeFiles/subrec.dir/rec/svd.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/svd.cc.o.d"
+  "/root/repo/src/rec/wnmf.cc" "src/CMakeFiles/subrec.dir/rec/wnmf.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rec/wnmf.cc.o.d"
+  "/root/repo/src/rules/ccs_tree.cc" "src/CMakeFiles/subrec.dir/rules/ccs_tree.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rules/ccs_tree.cc.o.d"
+  "/root/repo/src/rules/expert_rules.cc" "src/CMakeFiles/subrec.dir/rules/expert_rules.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rules/expert_rules.cc.o.d"
+  "/root/repo/src/rules/rule_fusion.cc" "src/CMakeFiles/subrec.dir/rules/rule_fusion.cc.o" "gcc" "src/CMakeFiles/subrec.dir/rules/rule_fusion.cc.o.d"
+  "/root/repo/src/subspace/sem_model.cc" "src/CMakeFiles/subrec.dir/subspace/sem_model.cc.o" "gcc" "src/CMakeFiles/subrec.dir/subspace/sem_model.cc.o.d"
+  "/root/repo/src/subspace/subspace_encoder.cc" "src/CMakeFiles/subrec.dir/subspace/subspace_encoder.cc.o" "gcc" "src/CMakeFiles/subrec.dir/subspace/subspace_encoder.cc.o.d"
+  "/root/repo/src/subspace/trainer.cc" "src/CMakeFiles/subrec.dir/subspace/trainer.cc.o" "gcc" "src/CMakeFiles/subrec.dir/subspace/trainer.cc.o.d"
+  "/root/repo/src/subspace/triplet_miner.cc" "src/CMakeFiles/subrec.dir/subspace/triplet_miner.cc.o" "gcc" "src/CMakeFiles/subrec.dir/subspace/triplet_miner.cc.o.d"
+  "/root/repo/src/subspace/twin_network.cc" "src/CMakeFiles/subrec.dir/subspace/twin_network.cc.o" "gcc" "src/CMakeFiles/subrec.dir/subspace/twin_network.cc.o.d"
+  "/root/repo/src/text/doc2vec.cc" "src/CMakeFiles/subrec.dir/text/doc2vec.cc.o" "gcc" "src/CMakeFiles/subrec.dir/text/doc2vec.cc.o.d"
+  "/root/repo/src/text/hashed_ngram_encoder.cc" "src/CMakeFiles/subrec.dir/text/hashed_ngram_encoder.cc.o" "gcc" "src/CMakeFiles/subrec.dir/text/hashed_ngram_encoder.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/subrec.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/subrec.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/subrec.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/subrec.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/subrec.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/subrec.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/text/word2vec.cc" "src/CMakeFiles/subrec.dir/text/word2vec.cc.o" "gcc" "src/CMakeFiles/subrec.dir/text/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

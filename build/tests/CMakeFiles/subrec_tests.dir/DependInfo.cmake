@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autodiff_test.cc" "tests/CMakeFiles/subrec_tests.dir/autodiff_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/autodiff_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/subrec_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/subrec_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/subrec_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/subrec_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/subrec_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/subrec_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/subrec_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/la_test.cc" "tests/CMakeFiles/subrec_tests.dir/la_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/la_test.cc.o.d"
+  "/root/repo/tests/labeling_test.cc" "tests/CMakeFiles/subrec_tests.dir/labeling_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/labeling_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/subrec_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/subrec_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rec_test.cc" "tests/CMakeFiles/subrec_tests.dir/rec_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/rec_test.cc.o.d"
+  "/root/repo/tests/rules_test.cc" "tests/CMakeFiles/subrec_tests.dir/rules_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/rules_test.cc.o.d"
+  "/root/repo/tests/subspace_test.cc" "tests/CMakeFiles/subrec_tests.dir/subspace_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/subspace_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/subrec_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/subrec_tests.dir/text_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/subrec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
