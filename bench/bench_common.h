@@ -1,6 +1,8 @@
 #ifndef SUBREC_BENCH_BENCH_COMMON_H_
 #define SUBREC_BENCH_BENCH_COMMON_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

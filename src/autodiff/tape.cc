@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "la/check_finite.h"
 #include "la/ops.h"
 
 namespace subrec::autodiff {
@@ -32,6 +33,7 @@ void Tape::Accumulate(VarId id, const Matrix& g) {
   Node& n = node(id);
   if (!n.requires_grad) return;
   SUBREC_CHECK(n.grad.SameShape(g));
+  SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
   la::Axpy(1.0, g, n.grad);
 }
 
@@ -338,6 +340,7 @@ void Tape::Backward(VarId root) {
   SUBREC_CHECK(nodes_[root].value.rows() == 1 &&
                nodes_[root].value.cols() == 1)
       << "Backward root must be a 1x1 loss";
+  SUBREC_CHECK_FINITE(nodes_[root].value(0, 0), "autodiff backward root loss");
   // (Re)initialize grads.
   for (Node& n : nodes_) {
     if (n.requires_grad) {

@@ -6,6 +6,7 @@
 
 #include "cluster/kmeans.h"
 #include "common/check.h"
+#include "la/check_finite.h"
 
 namespace subrec::cluster {
 namespace {
@@ -121,8 +122,11 @@ Status GaussianMixture::Fit(const la::Matrix& data) {
         variances_(c, j) = std::max(var / nc, options_.min_variance);
       }
     }
+    SUBREC_CHECK_FINITE(means_, "GMM means after M-step");
+    SUBREC_CHECK_FINITE(variances_, "GMM variances after M-step");
     iterations_ = iter + 1;
     const double avg_ll = total_ll / static_cast<double>(n);
+    SUBREC_CHECK_FINITE(avg_ll, "GMM E-step average log-likelihood");
     if (avg_ll - prev_avg_ll < options_.tolerance && iter > 0) break;
     prev_avg_ll = avg_ll;
   }

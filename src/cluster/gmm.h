@@ -1,6 +1,7 @@
 #ifndef SUBREC_CLUSTER_GMM_H_
 #define SUBREC_CLUSTER_GMM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,9 +1,13 @@
 #ifndef SUBREC_COMMON_CHECK_H_
 #define SUBREC_COMMON_CHECK_H_
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 namespace subrec::internal_check {
 
@@ -30,6 +34,43 @@ class CheckFailure {
   std::ostringstream stream_;
 };
 
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& v) { os << v; };
+
+/// Renders an operand for a failure message; falls back for types without
+/// operator<< so SUBREC_CHECK_EQ stays usable on any equality-comparable type.
+template <typename T>
+std::string FormatOperand(const T& v) {
+  if constexpr (Streamable<T>) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+/// Holds both operands of a binary check so each side is evaluated exactly
+/// once and its value can be printed on failure.
+template <typename A, typename B>
+struct Operands {
+  A lhs;
+  B rhs;
+};
+
+template <typename A, typename B>
+Operands<std::decay_t<A>, std::decay_t<B>> Capture(A&& a, B&& b) {
+  return {std::forward<A>(a), std::forward<B>(b)};
+}
+
+/// Operands of SUBREC_CHECK_NEAR. NaN on either side fails the check.
+struct NearOperands {
+  double lhs;
+  double rhs;
+  double tolerance;
+  bool ok() const { return std::fabs(lhs - rhs) <= tolerance; }
+};
+
 }  // namespace subrec::internal_check
 
 /// Aborts with a message when `cond` is false. Supports streaming extra
@@ -38,11 +79,69 @@ class CheckFailure {
   while (!(cond))                                                        \
   ::subrec::internal_check::CheckFailure(__FILE__, __LINE__, #cond)
 
-#define SUBREC_CHECK_EQ(a, b) SUBREC_CHECK((a) == (b))
-#define SUBREC_CHECK_NE(a, b) SUBREC_CHECK((a) != (b))
-#define SUBREC_CHECK_LT(a, b) SUBREC_CHECK((a) < (b))
-#define SUBREC_CHECK_LE(a, b) SUBREC_CHECK((a) <= (b))
-#define SUBREC_CHECK_GT(a, b) SUBREC_CHECK((a) > (b))
-#define SUBREC_CHECK_GE(a, b) SUBREC_CHECK((a) >= (b))
+/// Binary checks print both operand values on failure:
+///   CHECK failed at f.cc:12: a == b (3 vs 7)
+#define SUBREC_CHECK_OP_(opstr, op, a, b)                                   \
+  if (auto subrec_check_ops_ =                                              \
+          ::subrec::internal_check::Capture((a), (b));                      \
+      subrec_check_ops_.lhs op subrec_check_ops_.rhs) {                     \
+  } else /* NOLINT(readability-braces-around-statements) */                 \
+    ::subrec::internal_check::CheckFailure(__FILE__, __LINE__,              \
+                                           #a " " opstr " " #b)             \
+        << "("                                                              \
+        << ::subrec::internal_check::FormatOperand(subrec_check_ops_.lhs)   \
+        << " vs "                                                           \
+        << ::subrec::internal_check::FormatOperand(subrec_check_ops_.rhs)   \
+        << ") "
+
+#define SUBREC_CHECK_EQ(a, b) SUBREC_CHECK_OP_("==", ==, a, b)
+#define SUBREC_CHECK_NE(a, b) SUBREC_CHECK_OP_("!=", !=, a, b)
+#define SUBREC_CHECK_LT(a, b) SUBREC_CHECK_OP_("<", <, a, b)
+#define SUBREC_CHECK_LE(a, b) SUBREC_CHECK_OP_("<=", <=, a, b)
+#define SUBREC_CHECK_GT(a, b) SUBREC_CHECK_OP_(">", >, a, b)
+#define SUBREC_CHECK_GE(a, b) SUBREC_CHECK_OP_(">=", >=, a, b)
+
+/// |a - b| <= tol, with all three values printed on failure. Fails on NaN.
+#define SUBREC_CHECK_NEAR(a, b, tol)                                        \
+  if (::subrec::internal_check::NearOperands subrec_check_near_{            \
+          static_cast<double>(a), static_cast<double>(b),                   \
+          static_cast<double>(tol)};                                        \
+      subrec_check_near_.ok()) {                                            \
+  } else /* NOLINT(readability-braces-around-statements) */                 \
+    ::subrec::internal_check::CheckFailure(__FILE__, __LINE__,              \
+                                           #a " ~= " #b)                    \
+        << "(" << subrec_check_near_.lhs << " vs " << subrec_check_near_.rhs \
+        << ", tol " << subrec_check_near_.tolerance << ") "
+
+/// Debug-only checks: active when NDEBUG is unset (or SUBREC_FORCE_DCHECK is
+/// defined, which lets sanitizer builds of any build type keep them on). In
+/// release builds the condition is NOT evaluated — no side effects, no cost.
+#if !defined(NDEBUG) || defined(SUBREC_FORCE_DCHECK)
+#define SUBREC_DCHECK_IS_ON 1
+#else
+#define SUBREC_DCHECK_IS_ON 0
+#endif
+
+#if SUBREC_DCHECK_IS_ON
+#define SUBREC_DCHECK(cond) SUBREC_CHECK(cond)
+#define SUBREC_DCHECK_EQ(a, b) SUBREC_CHECK_EQ(a, b)
+#define SUBREC_DCHECK_NE(a, b) SUBREC_CHECK_NE(a, b)
+#define SUBREC_DCHECK_LT(a, b) SUBREC_CHECK_LT(a, b)
+#define SUBREC_DCHECK_LE(a, b) SUBREC_CHECK_LE(a, b)
+#define SUBREC_DCHECK_GT(a, b) SUBREC_CHECK_GT(a, b)
+#define SUBREC_DCHECK_GE(a, b) SUBREC_CHECK_GE(a, b)
+#else
+// `false && (cond)` keeps the condition type-checked but never evaluated,
+// and the dead loop body (including streamed operands) folds away entirely.
+#define SUBREC_DCHECK(cond)                                              \
+  while (false && static_cast<bool>(cond))                               \
+  ::subrec::internal_check::CheckFailure(__FILE__, __LINE__, #cond)
+#define SUBREC_DCHECK_EQ(a, b) SUBREC_DCHECK((a) == (b))
+#define SUBREC_DCHECK_NE(a, b) SUBREC_DCHECK((a) != (b))
+#define SUBREC_DCHECK_LT(a, b) SUBREC_DCHECK((a) < (b))
+#define SUBREC_DCHECK_LE(a, b) SUBREC_DCHECK((a) <= (b))
+#define SUBREC_DCHECK_GT(a, b) SUBREC_DCHECK((a) > (b))
+#define SUBREC_DCHECK_GE(a, b) SUBREC_DCHECK((a) >= (b))
+#endif  // SUBREC_DCHECK_IS_ON
 
 #endif  // SUBREC_COMMON_CHECK_H_

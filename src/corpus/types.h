@@ -2,6 +2,7 @@
 #define SUBREC_CORPUS_TYPES_H_
 
 #include <array>
+#include <cstddef>
 #include <string>
 #include <vector>
 

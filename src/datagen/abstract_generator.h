@@ -2,6 +2,7 @@
 #define SUBREC_DATAGEN_ABSTRACT_GENERATOR_H_
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"

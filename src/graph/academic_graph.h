@@ -1,6 +1,7 @@
 #ifndef SUBREC_GRAPH_ACADEMIC_GRAPH_H_
 #define SUBREC_GRAPH_ACADEMIC_GRAPH_H_
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <vector>

@@ -1,0 +1,38 @@
+#ifndef SUBREC_LA_CHECK_FINITE_H_
+#define SUBREC_LA_CHECK_FINITE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace subrec::la {
+
+/// True when every entry of `m` is finite (no NaN / +-inf).
+bool AllFinite(const Matrix& m);
+bool AllFinite(const std::vector<double>& v);
+
+/// Aborts with `label` and the position/value of the first non-finite entry.
+/// The label should name the tensor at its producer ("Adam step value",
+/// "GMM means after M-step") so a poisoned pipeline is caught at the joint
+/// that produced the bad value, not thousands of ops downstream.
+void CheckFinite(const Matrix& m, const char* label);
+void CheckFinite(const std::vector<double>& v, const char* label);
+void CheckFinite(double x, const char* label);
+
+}  // namespace subrec::la
+
+/// Numeric-sanity guards at hot pipeline joints (optimizer steps, autodiff
+/// backward, GMM E/M, SEM loss, NPRec propagation). Compiled in when the
+/// CMake option SUBREC_NUMERIC_CHECKS is ON (the default for dev and
+/// sanitizer builds); the `release` preset compiles them out so production
+/// binaries pay nothing.
+#if defined(SUBREC_NUMERIC_CHECKS) && SUBREC_NUMERIC_CHECKS
+#define SUBREC_CHECK_FINITE(value, label) \
+  ::subrec::la::CheckFinite((value), (label))
+#else
+#define SUBREC_CHECK_FINITE(value, label) \
+  static_cast<void>(sizeof((value), (label), 0))
+#endif
+
+#endif  // SUBREC_LA_CHECK_FINITE_H_

@@ -64,14 +64,27 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
-  /// Flat element access (row-major).
-  double& operator[](size_t i) { return data_[i]; }
-  double operator[](size_t i) const { return data_[i]; }
+  /// Flat element access (row-major). Bounds-checked in debug builds only:
+  /// this is the innermost-loop access path, so release builds stay raw.
+  double& operator[](size_t i) {
+    SUBREC_DCHECK_LT(i, data_.size());
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    SUBREC_DCHECK_LT(i, data_.size());
+    return data_[i];
+  }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
-  double* row_data(size_t r) { return data_.data() + r * cols_; }
-  const double* row_data(size_t r) const { return data_.data() + r * cols_; }
+  double* row_data(size_t r) {
+    SUBREC_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row_data(size_t r) const {
+    SUBREC_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
 
   /// Copies row r into a std::vector.
   std::vector<double> RowToVector(size_t r) const;

@@ -1,6 +1,7 @@
 #ifndef SUBREC_LABELING_TRAINER_H_
 #define SUBREC_LABELING_TRAINER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,6 +1,7 @@
 #ifndef SUBREC_NN_DENSE_H_
 #define SUBREC_NN_DENSE_H_
 
+#include <cstddef>
 #include <string>
 
 #include "autodiff/tape.h"

@@ -1,6 +1,8 @@
 #ifndef SUBREC_NN_INIT_H_
 #define SUBREC_NN_INIT_H_
 
+#include <cstddef>
+
 #include "common/rng.h"
 #include "la/matrix.h"
 

@@ -3,12 +3,15 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "la/check_finite.h"
 
 namespace subrec::nn {
 
 void Optimizer::Step(const std::vector<Parameter*>& params) {
   for (Parameter* p : params) {
+    SUBREC_CHECK_FINITE(p->grad, "optimizer step gradient");
     Update(p);
+    SUBREC_CHECK_FINITE(p->value, "optimizer step parameter");
     p->grad.Fill(0.0);
   }
 }

@@ -1,6 +1,7 @@
 #ifndef SUBREC_NN_PARAMETER_H_
 #define SUBREC_NN_PARAMETER_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <utility>

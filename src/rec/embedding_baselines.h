@@ -1,6 +1,7 @@
 #ifndef SUBREC_REC_EMBEDDING_BASELINES_H_
 #define SUBREC_REC_EMBEDDING_BASELINES_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"

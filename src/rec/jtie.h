@@ -2,6 +2,7 @@
 #define SUBREC_REC_JTIE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rec/recommender.h"

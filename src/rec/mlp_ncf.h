@@ -1,8 +1,10 @@
 #ifndef SUBREC_REC_MLP_NCF_H_
 #define SUBREC_REC_MLP_NCF_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef SUBREC_REC_NBCF_H_
 #define SUBREC_REC_NBCF_H_
 
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "graph/neighborhood.h"
+#include "la/check_finite.h"
 #include "la/ops.h"
 #include "nn/init.h"
 #include "nn/loss.h"
@@ -319,6 +320,7 @@ Status NPRec::Fit(const RecContext& ctx) {
                                   options_.lambda);
       tape.Backward(loss);
       binding.PullGradients();
+      SUBREC_CHECK_FINITE(tape.value(loss)(0, 0), "NPRec pair loss");
       epoch_loss += tape.value(loss)(0, 0);
       if (++in_batch >= options_.batch_size) {
         nn::ClipGradNorm(params, options_.clip_norm);
@@ -393,6 +395,12 @@ void NPRec::ComputeFinalVectors(const RecContext& ctx) {
     for (int h = 0; h < options_.depth; ++h) {
       prev_i = propagate(prev_i, /*influence_side=*/false, h);
       prev_f = propagate(prev_f, /*influence_side=*/true, h);
+#if defined(SUBREC_NUMERIC_CHECKS) && SUBREC_NUMERIC_CHECKS
+      for (size_t i = 0; i < n; ++i) {
+        la::CheckFinite(prev_i[i], "NPRec interest propagation layer");
+        la::CheckFinite(prev_f[i], "NPRec influence propagation layer");
+      }
+#endif
     }
     gi = std::move(prev_i);
     gf = std::move(prev_f);

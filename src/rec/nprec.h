@@ -2,6 +2,8 @@
 #define SUBREC_REC_NPREC_H_
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>

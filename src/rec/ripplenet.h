@@ -2,6 +2,7 @@
 #define SUBREC_REC_RIPPLENET_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_set>
 #include <vector>
 

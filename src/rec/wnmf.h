@@ -1,7 +1,9 @@
 #ifndef SUBREC_REC_WNMF_H_
 #define SUBREC_REC_WNMF_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 

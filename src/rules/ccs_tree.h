@@ -1,6 +1,7 @@
 #ifndef SUBREC_RULES_CCS_TREE_H_
 #define SUBREC_RULES_CCS_TREE_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

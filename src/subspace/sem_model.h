@@ -1,6 +1,7 @@
 #ifndef SUBREC_SUBSPACE_SEM_MODEL_H_
 #define SUBREC_SUBSPACE_SEM_MODEL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"

@@ -1,6 +1,7 @@
 #ifndef SUBREC_SUBSPACE_SUBSPACE_ENCODER_H_
 #define SUBREC_SUBSPACE_SUBSPACE_ENCODER_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "autodiff/tape.h"

@@ -1,6 +1,7 @@
 #include "subspace/trainer.h"
 
 #include "common/rng.h"
+#include "la/check_finite.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 
@@ -52,6 +53,7 @@ Result<SemTrainStats> TrainTwinNetwork(
                                   options.lambda);
       tape.Backward(loss);
       binding.PullGradients();
+      SUBREC_CHECK_FINITE(tape.value(loss)(0, 0), "SEM trainer triplet loss");
       epoch_loss += tape.value(loss)(0, 0);
       if (++in_batch >= options.batch_size) {
         nn::ClipGradNorm(params, options.clip_norm);

@@ -1,6 +1,8 @@
 #ifndef SUBREC_SUBSPACE_TWIN_NETWORK_H_
 #define SUBREC_SUBSPACE_TWIN_NETWORK_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "autodiff/tape.h"

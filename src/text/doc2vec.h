@@ -1,6 +1,7 @@
 #ifndef SUBREC_TEXT_DOC2VEC_H_
 #define SUBREC_TEXT_DOC2VEC_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

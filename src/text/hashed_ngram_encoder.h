@@ -1,6 +1,7 @@
 #ifndef SUBREC_TEXT_HASHED_NGRAM_ENCODER_H_
 #define SUBREC_TEXT_HASHED_NGRAM_ENCODER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

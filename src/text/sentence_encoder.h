@@ -1,6 +1,7 @@
 #ifndef SUBREC_TEXT_SENTENCE_ENCODER_H_
 #define SUBREC_TEXT_SENTENCE_ENCODER_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef SUBREC_TEXT_TFIDF_H_
 #define SUBREC_TEXT_TFIDF_H_
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <vector>

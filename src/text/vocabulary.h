@@ -1,6 +1,7 @@
 #ifndef SUBREC_TEXT_VOCABULARY_H_
 #define SUBREC_TEXT_VOCABULARY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>

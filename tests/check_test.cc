@@ -1,0 +1,92 @@
+// Death tests for the SUBREC_CHECK* / SUBREC_DCHECK* macros: failure
+// messages must carry both operand values, NEAR must respect the tolerance,
+// and DCHECKs must vanish (condition unevaluated) in NDEBUG builds.
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "gtest/gtest.h"
+#include "la/matrix.h"
+
+namespace {
+
+TEST(CheckDeathTest, CheckFailsWithExpressionAndContext) {
+  EXPECT_DEATH(SUBREC_CHECK(1 == 2) << "extra context", "1 == 2.*extra context");
+}
+
+TEST(CheckDeathTest, BinaryChecksPrintBothOperandValues) {
+  const int a = 3;
+  const int b = 7;
+  EXPECT_DEATH(SUBREC_CHECK_EQ(a, b), "a == b \\(3 vs 7\\)");
+  EXPECT_DEATH(SUBREC_CHECK_GT(a, b), "a > b \\(3 vs 7\\)");
+  const std::string s = "left";
+  const std::string t = "right";
+  EXPECT_DEATH(SUBREC_CHECK_EQ(s, t), "left vs right");
+}
+
+TEST(CheckDeathTest, BinaryChecksSupportStreamedContext) {
+  const size_t n = 2;
+  EXPECT_DEATH(SUBREC_CHECK_LT(5u, n) << "idx out of range",
+               "\\(5 vs 2\\).*idx out of range");
+}
+
+TEST(CheckTest, PassingChecksEvaluateOperandsOnce) {
+  int evals = 0;
+  auto bump = [&evals] { return ++evals; };
+  SUBREC_CHECK_GE(bump(), 1);
+  EXPECT_EQ(evals, 1);
+  SUBREC_CHECK_NE(bump(), 0);
+  EXPECT_EQ(evals, 2);
+}
+
+TEST(CheckTest, CheckNearAcceptsWithinTolerance) {
+  SUBREC_CHECK_NEAR(1.0, 1.0 + 1e-9, 1e-6);
+  SUBREC_CHECK_NEAR(-2.5, -2.5, 0.0);
+}
+
+TEST(CheckDeathTest, CheckNearRejectsBeyondToleranceAndNan) {
+  EXPECT_DEATH(SUBREC_CHECK_NEAR(1.0, 1.5, 1e-3), "1 vs 1.5, tol 0.001");
+  const double nan = std::nan("");
+  EXPECT_DEATH(SUBREC_CHECK_NEAR(nan, 0.0, 1.0), "nan vs 0");
+}
+
+#if SUBREC_DCHECK_IS_ON
+TEST(CheckDeathTest, DchecksFireInDebugBuilds) {
+  EXPECT_DEATH(SUBREC_DCHECK(false) << "dbg", "false.*dbg");
+  EXPECT_DEATH(SUBREC_DCHECK_EQ(1, 2), "\\(1 vs 2\\)");
+}
+
+TEST(MatrixBoundsDeathTest, FlatIndexAndRowDataAreChecked) {
+  subrec::la::Matrix m(2, 3);
+  EXPECT_DEATH((void)m[6], "i < ");
+  EXPECT_DEATH((void)m.row_data(2), "r < ");
+  const subrec::la::Matrix& cm = m;
+  EXPECT_DEATH((void)cm[100], "i < ");
+}
+#else
+TEST(CheckTest, DchecksCompileOutWithoutEvaluatingOperands) {
+  int evals = 0;
+  auto bump = [&evals] { return ++evals; };
+  SUBREC_DCHECK(bump() < 0) << "never printed";
+  SUBREC_DCHECK_EQ(bump(), -1);
+  SUBREC_DCHECK_LT(bump(), -1);
+  EXPECT_EQ(evals, 0);
+}
+
+TEST(MatrixBoundsTest, ReleaseBuildsKeepFlatAccessRaw) {
+  // In NDEBUG builds operator[] must stay unchecked; valid accesses only.
+  subrec::la::Matrix m(2, 3);
+  m[5] = 4.5;
+  EXPECT_EQ(m[5], 4.5);
+  EXPECT_EQ(m.row_data(1)[2], 4.5);
+}
+#endif  // SUBREC_DCHECK_IS_ON
+
+TEST(MatrixBoundsTest, ValidAccessUnaffected) {
+  subrec::la::Matrix m(2, 2);
+  m[3] = 1.5;
+  EXPECT_EQ(m.row_data(1)[1], 1.5);
+  EXPECT_EQ(m(1, 1), 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Verifies the SUBREC_NUMERIC_CHECKS guard layer: a NaN injected at a hot
+// joint (optimizer step, autodiff backward) aborts with a labeled message
+// instead of silently poisoning downstream metrics.
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "gtest/gtest.h"
+#include "la/check_finite.h"
+#include "la/matrix.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+
+namespace {
+
+using subrec::la::Matrix;
+
+TEST(CheckFiniteTest, AllFiniteDetectsNanAndInf) {
+  Matrix m(2, 2, 1.0);
+  EXPECT_TRUE(subrec::la::AllFinite(m));
+  m(1, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(subrec::la::AllFinite(m));
+  m(1, 0) = std::nan("");
+  EXPECT_FALSE(subrec::la::AllFinite(m));
+  EXPECT_TRUE(subrec::la::AllFinite(std::vector<double>{0.0, -1.5}));
+  EXPECT_FALSE(
+      subrec::la::AllFinite(std::vector<double>{0.0, std::nan("")}));
+}
+
+TEST(CheckFiniteDeathTest, ReportsLabelAndPosition) {
+  Matrix m(2, 3);
+  m(1, 2) = std::nan("");
+  EXPECT_DEATH(subrec::la::CheckFinite(m, "unit test tensor"),
+               "unit test tensor.*\\(1,2\\)");
+  EXPECT_DEATH(subrec::la::CheckFinite(std::nan(""), "unit test scalar"),
+               "unit test scalar");
+}
+
+#if defined(SUBREC_NUMERIC_CHECKS) && SUBREC_NUMERIC_CHECKS
+
+TEST(NumericGuardDeathTest, OptimizerStepCatchesNanGradient) {
+  subrec::nn::ParameterStore store;
+  subrec::nn::Parameter* p = store.Create("w", Matrix(2, 2, 0.5));
+  p->grad(0, 1) = std::nan("");
+  subrec::nn::Sgd sgd(0.1);
+  EXPECT_DEATH(sgd.Step(store.params()), "optimizer step gradient");
+}
+
+TEST(NumericGuardDeathTest, OptimizerStepCatchesInfParameter) {
+  subrec::nn::ParameterStore store;
+  subrec::nn::Parameter* p = store.Create("w", Matrix(1, 2, 1.0));
+  // A huge gradient with a huge learning rate overflows the parameter to
+  // inf inside Update(); the post-update guard must catch it.
+  p->grad(0, 0) = std::numeric_limits<double>::max();
+  subrec::nn::Sgd sgd(std::numeric_limits<double>::max());
+  EXPECT_DEATH(sgd.Step(store.params()), "optimizer step parameter");
+}
+
+TEST(NumericGuardDeathTest, BackwardCatchesNanLoss) {
+  subrec::autodiff::Tape tape;
+  Matrix bad(1, 1);
+  bad(0, 0) = std::nan("");
+  const subrec::autodiff::VarId loss =
+      tape.Input(bad, /*requires_grad=*/true);
+  EXPECT_DEATH(tape.Backward(loss), "autodiff backward root loss");
+}
+
+#else
+
+TEST(NumericGuardTest, GuardsCompiledOutLeaveNanUntouched) {
+  subrec::nn::ParameterStore store;
+  subrec::nn::Parameter* p = store.Create("w", Matrix(1, 1, 0.5));
+  p->grad(0, 0) = std::nan("");
+  subrec::nn::Sgd sgd(0.1);
+  sgd.Step(store.params());
+  EXPECT_TRUE(std::isnan(p->value(0, 0)));
+}
+
+#endif  // SUBREC_NUMERIC_CHECKS
+
+}  // namespace

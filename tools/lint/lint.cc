@@ -1,0 +1,428 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace subrec::lint {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+SourceFile MakeSourceFile(const std::string& logical_path,
+                          const std::string& content) {
+  SourceFile f;
+  f.path = logical_path;
+  f.is_header = EndsWith(logical_path, ".h");
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string raw, code, comments;
+  auto emit = [&](char r, char c, char m) {
+    raw += r;
+    code += c;
+    comments += m;
+  };
+  auto flush_line = [&] {
+    f.lines.push_back(raw);
+    f.code.push_back(code);
+    f.comments.push_back(comments);
+    raw.clear();
+    code.clear();
+    comments.clear();
+  };
+
+  const size_t n = content.size();
+  size_t i = 0;
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      flush_line();
+      if (state == State::kLineComment) state = State::kCode;
+      ++i;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          emit('/', ' ', ' ');
+          emit('/', ' ', ' ');
+          i += 2;
+          state = State::kLineComment;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          emit('/', ' ', ' ');
+          emit('*', ' ', ' ');
+          i += 2;
+          state = State::kBlockComment;
+        } else if (c == '"') {
+          emit('"', '"', ' ');
+          ++i;
+          state = State::kString;
+        } else if (c == '\'') {
+          emit('\'', '\'', ' ');
+          ++i;
+          state = State::kChar;
+        } else {
+          emit(c, c, ' ');
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        emit(c, ' ', c);
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          emit('*', ' ', ' ');
+          emit('/', ' ', ' ');
+          i += 2;
+          state = State::kCode;
+        } else {
+          emit(c, ' ', c);
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          emit('\\', ' ', ' ');
+          emit(content[i + 1], ' ', ' ');
+          i += 2;
+        } else if (c == '"') {
+          emit('"', '"', ' ');
+          ++i;
+          state = State::kCode;
+        } else {
+          emit(c, ' ', ' ');
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          emit('\\', ' ', ' ');
+          emit(content[i + 1], ' ', ' ');
+          i += 2;
+        } else if (c == '\'') {
+          emit('\'', '\'', ' ');
+          ++i;
+          state = State::kCode;
+        } else {
+          emit(c, ' ', ' ');
+          ++i;
+        }
+        break;
+    }
+  }
+  if (!raw.empty()) flush_line();
+  return f;
+}
+
+SourceFile LoadFileAs(const std::string& disk_path,
+                      const std::string& logical_path) {
+  std::ifstream in(disk_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "subrec_lint: cannot read " << disk_path << std::endl;
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return MakeSourceFile(logical_path, buf.str());
+}
+
+namespace {
+
+/// Declarative per-line regex rule over the code or comments view.
+class RegexRule final : public Rule {
+ public:
+  explicit RegexRule(RegexRuleSpec spec)
+      : spec_(std::move(spec)), re_(spec_.pattern) {}
+
+  const std::string& name() const override { return spec_.name; }
+
+  void Check(const SourceFile& file,
+             std::vector<Violation>* out) const override {
+    if (spec_.headers_only && !file.is_header) return;
+    if (!spec_.path_prefix.empty() &&
+        !StartsWith(file.path, spec_.path_prefix)) {
+      return;
+    }
+    for (const std::string& exempt : spec_.exempt_prefixes) {
+      if (StartsWith(file.path, exempt)) return;
+    }
+    const std::vector<std::string>& view =
+        spec_.comments_view ? file.comments : file.code;
+    for (size_t i = 0; i < view.size(); ++i) {
+      if (std::regex_search(view[i], re_)) {
+        out->push_back({file.path, i + 1, spec_.name, spec_.message});
+      }
+    }
+  }
+
+ private:
+  RegexRuleSpec spec_;
+  std::regex re_;
+};
+
+/// Header guards must spell the repo path: src/la/matrix.h uses
+/// SUBREC_LA_MATRIX_H_, bench/bench_common.h uses SUBREC_BENCH_BENCH_COMMON_H_
+/// (the src/ prefix is dropped, everything else is kept).
+class IncludeGuardRule final : public Rule {
+ public:
+  const std::string& name() const override { return name_; }
+
+  static std::string ExpectedGuard(const std::string& path) {
+    std::string p = path;
+    if (StartsWith(p, "src/")) p = p.substr(4);
+    std::string guard = "SUBREC_";
+    for (char c : p) {
+      if (c == '/' || c == '.' || c == '-') {
+        guard += '_';
+      } else {
+        guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+    }
+    guard += '_';
+    return guard;
+  }
+
+  void Check(const SourceFile& file,
+             std::vector<Violation>* out) const override {
+    if (!file.is_header) return;
+    const std::string expected = ExpectedGuard(file.path);
+    static const std::regex ifndef_re("^\\s*#ifndef\\s+(\\S+)");
+    static const std::regex define_re("^\\s*#define\\s+(\\S+)");
+    std::smatch m;
+    size_t ifndef_line = 0;
+    std::string got;
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      if (std::regex_search(file.code[i], m, ifndef_re)) {
+        ifndef_line = i + 1;
+        got = m[1];
+        break;
+      }
+    }
+    if (ifndef_line == 0) {
+      out->push_back({file.path, 1, name_, "missing include guard #ifndef"});
+      return;
+    }
+    if (got != expected) {
+      out->push_back({file.path, ifndef_line, name_,
+                      "include guard '" + got + "' should be '" + expected +
+                          "' (derived from the file path)"});
+      return;
+    }
+    for (size_t i = ifndef_line; i < file.code.size(); ++i) {
+      if (std::regex_search(file.code[i], m, define_re)) {
+        if (m[1] != expected) {
+          out->push_back({file.path, i + 1, name_,
+                          "guard #define '" + std::string(m[1]) +
+                              "' does not match #ifndef '" + expected + "'"});
+        }
+        return;
+      }
+    }
+    out->push_back(
+        {file.path, ifndef_line, name_, "include guard missing #define"});
+  }
+
+ private:
+  std::string name_ = "include-guard";
+};
+
+/// Comment-view TODO lines must carry an owner: TODO(name): message.
+class TodoFormatRule final : public Rule {
+ public:
+  const std::string& name() const override { return name_; }
+
+  void Check(const SourceFile& file,
+             std::vector<Violation>* out) const override {
+    static const std::regex todo_re("\\bTODO\\b");
+    static const std::regex ok_re("TODO\\([A-Za-z0-9_.-]+\\):");
+    for (size_t i = 0; i < file.comments.size(); ++i) {
+      if (std::regex_search(file.comments[i], todo_re) &&
+          !std::regex_search(file.comments[i], ok_re)) {
+        out->push_back({file.path, i + 1, name_,
+                        "format as TODO(name): description"});
+      }
+    }
+  }
+
+ private:
+  std::string name_ = "todo-format";
+};
+
+/// Headers must directly #include the standard header providing each symbol
+/// they use, for a checked list of common symbols. Extending the list is one
+/// table row.
+class IncludeHygieneRule final : public Rule {
+ public:
+  const std::string& name() const override { return name_; }
+
+  void Check(const SourceFile& file,
+             std::vector<Violation>* out) const override {
+    if (!file.is_header) return;
+    struct Entry {
+      const char* pattern;
+      std::vector<const char*> providers;
+    };
+    static const std::vector<Entry> kEntries = {
+        {"std::vector<", {"<vector>"}},
+        {"std::string\\b", {"<string>"}},
+        {"std::(o|i)?stringstream\\b", {"<sstream>"}},
+        {"std::ostream\\b", {"<ostream>", "<iostream>", "<sstream>"}},
+        {"std::unordered_map<", {"<unordered_map>"}},
+        {"std::unordered_set<", {"<unordered_set>"}},
+        {"std::function<", {"<functional>"}},
+        {"std::(unique_ptr|shared_ptr|make_unique|make_shared)<",
+         {"<memory>"}},
+        {"std::array<", {"<array>"}},
+        {"std::(pair<|move\\(|forward<)", {"<utility>"}},
+        {"std::optional<", {"<optional>"}},
+        {"\\bu?int(8|16|32|64)_t\\b", {"<cstdint>"}},
+        {"\\bsize_t\\b", {"<cstddef>"}},
+    };
+    for (const Entry& e : kEntries) {
+      const std::regex sym_re(e.pattern);
+      size_t first_use = 0;
+      for (size_t i = 0; i < file.code.size(); ++i) {
+        if (std::regex_search(file.code[i], sym_re)) {
+          first_use = i + 1;
+          break;
+        }
+      }
+      if (first_use == 0) continue;
+      bool included = false;
+      for (const char* provider : e.providers) {
+        const std::string inc = std::string("#include ") + provider;
+        for (const std::string& line : file.code) {
+          if (line.find(inc) != std::string::npos) {
+            included = true;
+            break;
+          }
+        }
+        if (included) break;
+      }
+      if (!included) {
+        out->push_back({file.path, first_use, name_,
+                        std::string("uses a symbol matching '") + e.pattern +
+                            "' but does not include " + e.providers[0]});
+      }
+    }
+  }
+
+ private:
+  std::string name_ = "include-hygiene";
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> BuildDefaultRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<IncludeGuardRule>());
+  rules.push_back(std::make_unique<RegexRule>(RegexRuleSpec{
+      "no-std-rand",
+      "std::rand\\b|\\bsrand\\s*\\(",
+      "use subrec::Rng (common/rng.h); global C RNG state breaks "
+      "reproducibility",
+      /*headers_only=*/false,
+      /*comments_view=*/false,
+      /*path_prefix=*/"",
+      /*exempt_prefixes=*/{}}));
+  rules.push_back(std::make_unique<RegexRule>(RegexRuleSpec{
+      "no-using-namespace-header",
+      "\\busing\\s+namespace\\b",
+      "headers must not inject namespaces into every includer",
+      /*headers_only=*/true,
+      /*comments_view=*/false,
+      /*path_prefix=*/"",
+      /*exempt_prefixes=*/{}}));
+  rules.push_back(std::make_unique<RegexRule>(RegexRuleSpec{
+      "no-raw-stdio",
+      "std::cout\\b|std::cerr\\b",
+      "library code logs through SUBREC_LOG / SUBREC_CHECK, not raw streams",
+      /*headers_only=*/false,
+      /*comments_view=*/false,
+      /*path_prefix=*/"src/",
+      /*exempt_prefixes=*/{"src/common/logging", "src/common/check"}}));
+  rules.push_back(std::make_unique<RegexRule>(RegexRuleSpec{
+      "no-float",
+      "\\bfloat\\b",
+      "numeric code is double-only; float silently halves precision",
+      /*headers_only=*/false,
+      /*comments_view=*/false,
+      /*path_prefix=*/"src/",
+      /*exempt_prefixes=*/{}}));
+  rules.push_back(std::make_unique<TodoFormatRule>());
+  rules.push_back(std::make_unique<IncludeHygieneRule>());
+  return rules;
+}
+
+std::vector<std::string> CollectSourceFiles(
+    const std::string& repo_root, const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(repo_root) / dir;
+    if (!fs::exists(base)) continue;
+    for (fs::recursive_directory_iterator it(base), end; it != end; ++it) {
+      const fs::path& p = it->path();
+      const std::string fname = p.filename().string();
+      if (it->is_directory()) {
+        if (fname == "testdata" || StartsWith(fname, "build") ||
+            StartsWith(fname, ".")) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = p.extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      out.push_back(fs::relative(p, repo_root).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Violation> RunRules(const std::vector<std::unique_ptr<Rule>>& rules,
+                                const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const SourceFile& f : files) {
+    for (const auto& rule : rules) rule->Check(f, &out);
+  }
+  return out;
+}
+
+std::vector<Violation> LintTree(const std::string& repo_root,
+                                const std::vector<std::string>& dirs) {
+  std::vector<SourceFile> files;
+  for (const std::string& rel : CollectSourceFiles(repo_root, dirs)) {
+    files.push_back(LoadFileAs(repo_root + "/" + rel, rel));
+  }
+  return RunRules(BuildDefaultRules(), files);
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream os;
+  os << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
+  return os.str();
+}
+
+}  // namespace subrec::lint

@@ -1,0 +1,43 @@
+// subrec_lint: enforces repo invariants over the C++ tree. Registered as the
+// `lint` ctest case; exits non-zero when any rule fires.
+//
+// Usage: subrec_lint <repo_root> [dir ...]   (default dirs: src tests bench
+// examples tools)
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: subrec_lint <repo_root> [dir ...]" << std::endl;
+    return 2;
+  }
+  const std::string repo_root = argv[1];
+  std::vector<std::string> dirs;
+  for (int i = 2; i < argc; ++i) dirs.push_back(argv[i]);
+  if (dirs.empty()) dirs = {"src", "tests", "bench", "examples", "tools"};
+
+  const std::vector<subrec::lint::Violation> violations =
+      subrec::lint::LintTree(repo_root, dirs);
+  for (const auto& v : violations) {
+    std::cout << subrec::lint::FormatViolation(v) << "\n";
+  }
+  const size_t files =
+      subrec::lint::CollectSourceFiles(repo_root, dirs).size();
+  if (files == 0) {
+    // Zero files means the root or every dir was wrong; a typo'd CI path
+    // must not read as a clean pass.
+    std::cerr << "subrec_lint: no source files found under '" << repo_root
+              << "' (wrong repo root?)" << std::endl;
+    return 2;
+  }
+  if (!violations.empty()) {
+    std::cout << "subrec_lint: " << violations.size() << " violation(s) in "
+              << files << " files" << std::endl;
+    return 1;
+  }
+  std::cout << "subrec_lint: clean over " << files << " files" << std::endl;
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Self-test for subrec_lint: parses fixture files with known violations and
+// asserts that every rule in the default set fires where expected, and that
+// a clean fixture stays clean.
+#include "lint.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace subrec::lint {
+namespace {
+
+std::vector<Violation> LintFixtureAs(const std::string& fixture,
+                                     const std::string& logical_path) {
+  const std::string disk =
+      std::string(SUBREC_LINT_TESTDATA_DIR) + "/" + fixture;
+  std::vector<SourceFile> files = {LoadFileAs(disk, logical_path)};
+  return RunRules(BuildDefaultRules(), files);
+}
+
+std::set<std::string> FiredRules(const std::vector<Violation>& vs) {
+  std::set<std::string> names;
+  for (const Violation& v : vs) names.insert(v.rule);
+  return names;
+}
+
+TEST(LintViews, BlanksCommentsAndStrings) {
+  SourceFile f = MakeSourceFile(
+      "src/x/y.h",
+      "int a = 1;  // trailing comment\n"
+      "const char* s = \"std::rand inside a string\";\n"
+      "/* block\n   spanning */ int b;\n");
+  ASSERT_EQ(f.code.size(), 4u);
+  EXPECT_EQ(f.code[0].find("trailing"), std::string::npos);
+  EXPECT_EQ(f.code[1].find("std::rand"), std::string::npos);
+  EXPECT_EQ(f.code[2].find("block"), std::string::npos);
+  EXPECT_NE(f.code[3].find("int b;"), std::string::npos);
+  EXPECT_NE(f.comments[0].find("trailing comment"), std::string::npos);
+  EXPECT_EQ(f.comments[1].find("string"), std::string::npos);
+  EXPECT_NE(f.comments[2].find("block"), std::string::npos);
+}
+
+TEST(LintSelfTest, EveryRuleFiresOnBadFixture) {
+  const std::vector<Violation> vs =
+      LintFixtureAs("bad_header.h", "src/bad/bad_header.h");
+  const std::set<std::string> fired = FiredRules(vs);
+  const std::vector<std::string> expected = {
+      "include-guard",    "no-std-rand",  "no-using-namespace-header",
+      "no-raw-stdio",     "no-float",     "todo-format",
+      "include-hygiene"};
+  for (const std::string& rule : expected) {
+    EXPECT_TRUE(fired.count(rule)) << "rule did not fire: " << rule;
+  }
+}
+
+TEST(LintSelfTest, ViolationsCarryLinesAndMessages) {
+  const std::vector<Violation> vs =
+      LintFixtureAs("bad_header.h", "src/bad/bad_header.h");
+  for (const Violation& v : vs) {
+    EXPECT_GT(v.line, 0u) << FormatViolation(v);
+    EXPECT_FALSE(v.message.empty());
+    EXPECT_EQ(v.file, "src/bad/bad_header.h");
+  }
+  const auto guard = std::find_if(vs.begin(), vs.end(), [](const Violation& v) {
+    return v.rule == "include-guard";
+  });
+  ASSERT_NE(guard, vs.end());
+  EXPECT_NE(guard->message.find("SUBREC_BAD_BAD_HEADER_H_"),
+            std::string::npos)
+      << guard->message;
+}
+
+TEST(LintSelfTest, GoodFixtureIsClean) {
+  const std::vector<Violation> vs =
+      LintFixtureAs("good_header.h", "src/good/good_header.h");
+  for (const Violation& v : vs) ADD_FAILURE() << FormatViolation(v);
+}
+
+TEST(LintSelfTest, RulesScopeByPath) {
+  // The same bad content outside src/ is exempt from the src/-only rules
+  // (raw stdio, float) but still subject to the global ones.
+  const std::vector<Violation> vs =
+      LintFixtureAs("bad_header.h", "tools/bad/bad_header.h");
+  const std::set<std::string> fired = FiredRules(vs);
+  EXPECT_FALSE(fired.count("no-raw-stdio"));
+  EXPECT_FALSE(fired.count("no-float"));
+  EXPECT_TRUE(fired.count("no-std-rand"));
+  EXPECT_TRUE(fired.count("no-using-namespace-header"));
+}
+
+TEST(LintCollect, SkipsTestdataAndNonSources) {
+  // Collecting over tools/ must not pick up the fixtures this test lints.
+  const std::vector<std::string> files =
+      CollectSourceFiles(SUBREC_LINT_REPO_ROOT, {"tools"});
+  EXPECT_FALSE(files.empty());
+  for (const std::string& f : files) {
+    EXPECT_EQ(f.find("testdata"), std::string::npos) << f;
+  }
+}
+
+}  // namespace
+}  // namespace subrec::lint

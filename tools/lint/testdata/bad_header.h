@@ -1,0 +1,14 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+// TODO fix the precision loss someday
+using namespace std;
+
+inline float HalfPrecision() {
+  std::vector<int> v;
+  (void)v;
+  std::cout << std::rand();
+  return 0.0f;
+}
+
+#endif  // WRONG_GUARD_H

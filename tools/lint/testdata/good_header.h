@@ -1,0 +1,18 @@
+#ifndef SUBREC_GOOD_GOOD_HEADER_H_
+#define SUBREC_GOOD_GOOD_HEADER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace subrec::good {
+
+// TODO(alice): widen to a strided view once the batch API lands.
+inline double SumAll(const std::vector<double>& v) {
+  double total = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) total += v[i];
+  return total;
+}
+
+}  // namespace subrec::good
+
+#endif  // SUBREC_GOOD_GOOD_HEADER_H_
