@@ -1,12 +1,21 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
+
+#ifndef SUBREC_GIT_DESCRIBE
+#define SUBREC_GIT_DESCRIBE "unknown"
+#endif
 
 namespace subrec::bench {
 
@@ -164,6 +173,50 @@ std::string Row(const std::string& name, const std::vector<double>& values) {
 
 void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string Slug(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c))
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+               : '_';
+  }
+  return out;
+}
+
+bool SmokeMode() {
+  const char* env = std::getenv("SUBREC_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+obs::RunReport OpenReport(const std::string& name, bool enable_tracing) {
+  obs::RunReport report(name);
+  report.set_build_id(SUBREC_GIT_DESCRIBE);
+  if (SmokeMode()) report.AddString("mode", "smoke");
+  obs::MetricsRegistry::Global().Reset();
+  if (enable_tracing) obs::TraceRecorder::Global().Enable();
+  return report;
+}
+
+void WriteReport(obs::RunReport* report) {
+  report->AddScalar("wall_seconds", report->ElapsedSeconds());
+  report->CaptureMetrics();
+  report->CaptureSpans();
+  std::string path;
+  const Status status = report->WriteFile("", &path);
+  SUBREC_CHECK(status.ok()) << status.ToString();
+  std::printf("report: %s\n", path.c_str());
+  const char* dump = std::getenv("SUBREC_TRACE_DUMP");
+  if (dump != nullptr && dump[0] != '\0' && dump[0] != '0' &&
+      obs::TraceRecorder::Global().enabled()) {
+    const std::string trace_path = "TRACE_" + report->name() + ".json";
+    std::ofstream out(trace_path, std::ios::trunc);
+    SUBREC_CHECK(out.is_open()) << "cannot open " << trace_path;
+    out << obs::TraceRecorder::Global().ChromeTraceJson() << "\n";
+    std::printf("trace: %s\n", trace_path.c_str());
+  }
+  obs::TraceRecorder::Global().Disable();
 }
 
 }  // namespace subrec::bench

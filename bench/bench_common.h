@@ -12,6 +12,7 @@
 #include "datagen/split.h"
 #include "graph/academic_graph.h"
 #include "labeling/trainer.h"
+#include "obs/run_report.h"
 #include "rec/candidate_sets.h"
 #include "rec/recommender.h"
 #include "rec/sampler.h"
@@ -95,6 +96,28 @@ std::string Row(const std::string& name, const std::vector<double>& values);
 
 /// Prints a separator + title header for one experiment.
 void PrintHeader(const std::string& title);
+
+/// Lowercases and replaces non-alphanumerics with '_' so a model/dataset
+/// name ("KGCN-LS") is safe inside a report scalar key ("kgcn_ls").
+std::string Slug(const std::string& name);
+
+/// True when SUBREC_BENCH_SMOKE is set in the environment: benches should
+/// shrink to a CI-friendly scale (one seed, small corpus) while exercising
+/// the full pipeline.
+bool SmokeMode();
+
+/// Starts the standard experiment record for a bench binary: stamps the
+/// configure-time git describe, resets the metrics registry so the report
+/// covers only this run, and (unless `enable_tracing` is false) turns on
+/// the global trace recorder.
+obs::RunReport OpenReport(const std::string& name, bool enable_tracing = true);
+
+/// Finishes a bench report: captures the metrics snapshot + per-span
+/// totals, records elapsed wall time as scalar "wall_seconds", writes
+/// BENCH_<name>.json (to SUBREC_REPORT_DIR or the working directory), and
+/// — when SUBREC_TRACE_DUMP is set — also dumps TRACE_<name>.json in Chrome
+/// trace_event format.
+void WriteReport(obs::RunReport* report);
 
 }  // namespace subrec::bench
 

@@ -34,6 +34,8 @@ double LofCitationCorrelation(const la::Matrix& rows, size_t num_fresh,
 int main() {
   bench::PrintHeader(
       "Fig. 2: paper outlier vs citations, by embedding method (Scopus)");
+  obs::RunReport report = bench::OpenReport("fig2_embedding_ablation");
+  report.set_dataset("scopus-like/small");
 
   auto corpus_options =
       datagen::ScopusLikeOptions(datagen::DatasetScale::kSmall, 101);
@@ -103,10 +105,18 @@ int main() {
 
   std::printf("%-12s  %8s  %8s  %8s\n", "Method", "CompSci", "Medicine",
               "Sociology");
-  for (size_t m = 0; m < names.size(); ++m)
+  const char* disciplines[3] = {"cs", "medicine", "sociology"};
+  for (size_t m = 0; m < names.size(); ++m) {
     std::printf("%s\n", bench::Row(names[m], table[m]).c_str());
+    for (size_t d = 0; d < table[m].size() && d < 3; ++d) {
+      report.AddScalar(
+          "spearman." + bench::Slug(names[m]) + "." + disciplines[d],
+          table[m][d]);
+    }
+  }
   std::printf(
       "\npaper (Fig. 2, approximate bar heights): SHPE ~.3/.25/.3  Doc2Vec "
       "~.25/.2/.25  BERT ~.1/.1/.1  SEM ~.85/.7/.65\n");
+  bench::WriteReport(&report);
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -43,6 +44,8 @@ double PairAgreement(const std::vector<int>& a, const std::vector<int>& b) {
 
 int main() {
   bench::PrintHeader("Fig. 3: subspace outliers vs citations + clustering");
+  obs::RunReport report = bench::OpenReport("fig3_subspace_outliers");
+  report.set_dataset("scopus-like+acm-like/small");
 
   // Left panels: Scopus disciplines.
   {
@@ -75,6 +78,8 @@ int main() {
         citations.push_back(std::log1p(
             static_cast<double>(corpus.paper(id).citation_count)));
 
+      const std::string disc =
+          bench::Slug(corpus.discipline_names[static_cast<size_t>(d)]);
       std::printf("%-16s", corpus.discipline_names[static_cast<size_t>(d)].c_str());
       for (int k = 0; k < 3; ++k) {
         const la::Matrix emb =
@@ -89,6 +94,10 @@ int main() {
         // slope of LOF on citations, as in the figure's regression lines.
         const eval::LinearFit fit = eval::FitLine(citations, norm);
         std::printf("  %8.4f (r=%+.2f)", fit.slope, fit.r);
+        const std::string prefix =
+            "slope." + disc + "." + bench::Slug(corpus::SubspaceRoleName(k));
+        report.AddScalar(prefix, fit.slope);
+        report.AddScalar(prefix + ".r", fit.r);
       }
       std::printf("\n");
     }
@@ -119,6 +128,9 @@ int main() {
       auto gmm = cluster::FitGmmWithBic(emb, 2, 6);
       SUBREC_CHECK(gmm.ok());
       assignments.push_back(gmm.value().Predict(emb));
+      report.AddScalar(
+          "gmm.clusters." + bench::Slug(corpus::SubspaceRoleName(k)),
+          gmm.value().num_components());
       auto coords = cluster::Tsne(emb, [] {
         cluster::TsneOptions o;
         o.iterations = 250;
@@ -141,6 +153,13 @@ int main() {
         PairAgreement(assignments[0], assignments[1]),
         PairAgreement(assignments[0], assignments[2]),
         PairAgreement(assignments[1], assignments[2]));
+    report.AddScalar("agreement.b_m",
+                     PairAgreement(assignments[0], assignments[1]));
+    report.AddScalar("agreement.b_r",
+                     PairAgreement(assignments[0], assignments[2]));
+    report.AddScalar("agreement.m_r",
+                     PairAgreement(assignments[1], assignments[2]));
   }
+  bench::WriteReport(&report);
   return 0;
 }

@@ -50,6 +50,8 @@ double CohesionRatio(const std::vector<std::vector<double>>& vecs,
 
 int main() {
   bench::PrintHeader("Fig. 5: author & paper combined embeddings (NPRec)");
+  obs::RunReport report = bench::OpenReport("fig5_embedding_visualization");
+  report.set_dataset("acm-like/small");
 
   auto world = bench::BuildRecWorld(
       bench::BuildSemWorld(
@@ -118,6 +120,11 @@ int main() {
       CohesionRatio(author_text, team_of),
       CohesionRatio(author_interest, team_of),
       CohesionRatio(author_influence, team_of));
+  report.AddScalar("cohesion.team.text", CohesionRatio(author_text, team_of));
+  report.AddScalar("cohesion.team.interest",
+                   CohesionRatio(author_interest, team_of));
+  report.AddScalar("cohesion.team.influence",
+                   CohesionRatio(author_influence, team_of));
 
   // Prolific/high-cited author cohesion (group = prolific flag; ratio of
   // their mutual distances to global).
@@ -132,6 +139,10 @@ int main() {
       "(<1 = authoritative authors cluster, Fig. 5c/5e)\n",
       CohesionRatio(author_interest, prolific_group),
       CohesionRatio(author_influence, prolific_group));
+  report.AddScalar("cohesion.prolific.interest",
+                   CohesionRatio(author_interest, prolific_group));
+  report.AddScalar("cohesion.prolific.influence",
+                   CohesionRatio(author_influence, prolific_group));
 
   // (b/d/f): take the highest-cited paper; its 20 text-nearest neighbors;
   // how many remain among its 20 nearest in interest / influence space?
@@ -172,6 +183,8 @@ int main() {
         "space, Fig. 5b/5d/5f)\n",
         star, corpus.paper(star).citation_count, overlap(text_nn, int_nn),
         overlap(text_nn, inf_nn));
+    report.AddScalar("overlap.text_interest", overlap(text_nn, int_nn));
+    report.AddScalar("overlap.text_influence", overlap(text_nn, inf_nn));
   }
 
   // 2-D coordinates for replotting Fig. 5a (first 40 analyzed authors).
@@ -190,5 +203,7 @@ int main() {
                   coords.value()(i, 1));
     }
   }
+  report.AddScalar("authors_analyzed", static_cast<double>(author_text.size()));
+  bench::WriteReport(&report);
   return 0;
 }

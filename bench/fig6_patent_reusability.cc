@@ -27,6 +27,8 @@ using namespace subrec;
 
 int main() {
   bench::PrintHeader("Fig. 6: patent (low-resource) recommendation");
+  obs::RunReport report = bench::OpenReport("fig6_patent_reusability");
+  report.set_dataset("patent-like/small");
 
   auto corpus_options =
       datagen::PatentLikeOptions(datagen::DatasetScale::kSmall, 606);
@@ -67,11 +69,14 @@ int main() {
       total += rec::EvaluateRecommender(world->ctx, *model, sets, 20).ndcg;
     }
     std::printf("%s\n", bench::Row(model->name(), {total / 3.0}).c_str());
+    report.AddScalar("ndcg." + bench::Slug(model->name()) + ".k20",
+                     total / 3.0);
   }
 
   std::printf(
       "\npaper (Fig. 6, approximate): SVD ~.55, WNMF ~.66, NBCF ~.67, MLP "
       "~.7, JTIE ~.72, KGCN ~.74, KGCN-LS ~.76, RippleNet ~.78, NPRec "
       "~.85\n");
+  bench::WriteReport(&report);
   return 0;
 }

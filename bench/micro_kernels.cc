@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "autodiff/tape.h"
+#include "bench_common.h"
 #include "cluster/gmm.h"
 #include "cluster/lof.h"
 #include "common/rng.h"
@@ -107,6 +111,38 @@ void BM_CorpusGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusGeneration);
 
+/// Console reporter that also records each benchmark's adjusted real time
+/// into the run report, so BENCH_micro_kernels.json carries one scalar per
+/// benchmark for regression tracking.
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(obs::RunReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_->AddScalar("time_ns." + bench::Slug(run.benchmark_name()),
+                         run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::RunReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Tracing stays off here: these loops are the ones the <2% tracing
+  // overhead budget is measured against.
+  obs::RunReport report =
+      bench::OpenReport("micro_kernels", /*enable_tracing=*/false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ReportingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  bench::WriteReport(&report);
+  return 0;
+}

@@ -34,8 +34,11 @@ std::vector<double> CitationsOf(const corpus::Corpus& corpus,
 int main() {
   bench::PrintHeader(
       "Table I: correlation between paper difference and citations (Scopus)");
+  obs::RunReport report = bench::OpenReport("table1_sem_correlation");
+  report.set_dataset("scopus-like/small");
 
-  const std::vector<uint64_t> seeds = {101, 202};
+  std::vector<uint64_t> seeds = {101, 202};
+  if (bench::SmokeMode()) seeds.resize(1);
   std::vector<std::vector<double>> table(6, std::vector<double>(3, 0.0));
 
   for (uint64_t seed : seeds) {
@@ -43,6 +46,10 @@ int main() {
         datagen::ScopusLikeOptions(datagen::DatasetScale::kSmall, seed);
     corpus_options.papers_per_year = 600;  // 200 new papers per discipline
     corpus_options.num_authors = 500;
+    if (bench::SmokeMode()) {
+      corpus_options.papers_per_year = 150;
+      corpus_options.num_authors = 150;
+    }
     auto world = bench::BuildSemWorld(corpus_options, {});
     const corpus::Corpus& corpus = world->dataset.corpus;
     std::printf("seed %llu: %zu papers, labeler accuracy %.3f\n",
@@ -102,5 +109,16 @@ int main() {
       "\npaper reports (Tab. I): CLT .27/.21/.39  CSJ .20/.16/.08  "
       "HP .33/.39/.31  SEM-B .56/.49/.62  SEM-M .87/.31/.68  "
       "SEM-R .72/.70/.51\n");
+
+  const char* disciplines[3] = {"cs", "medicine", "sociology"};
+  const char* model_keys[6] = {"clt", "csj", "hp", "sem_b", "sem_m", "sem_r"};
+  for (int m = 0; m < 6; ++m) {
+    for (int d = 0; d < 3; ++d) {
+      report.AddScalar(std::string("spearman.") + model_keys[m] + "." +
+                           disciplines[d],
+                       table[static_cast<size_t>(m)][static_cast<size_t>(d)]);
+    }
+  }
+  bench::WriteReport(&report);
   return 0;
 }

@@ -22,6 +22,8 @@ using namespace subrec;
 
 int main() {
   bench::PrintHeader("Table II: subspace outliers, high vs low citation (ACM)");
+  obs::RunReport report = bench::OpenReport("table2_topic_outliers");
+  report.set_dataset("acm-like/small");
 
   auto corpus_options =
       datagen::AcmLikeOptions(datagen::DatasetScale::kSmall, 303);
@@ -82,6 +84,11 @@ int main() {
                   k == 0 ? field_names[field] : "",
                   corpus::SubspaceRoleName(k), low_mean, high_mean,
                   high_mean > low_mean ? "" : "   (!)");
+      const std::string prefix = "lof." + bench::Slug(field_names[field]) +
+                                 "." +
+                                 bench::Slug(corpus::SubspaceRoleName(k));
+      report.AddScalar(prefix + ".low", low_mean);
+      report.AddScalar(prefix + ".high", high_mean);
     }
   }
 
@@ -90,5 +97,6 @@ int main() {
       "3.85->4.91, R 1.98->2.15; Theory B 2.65->2.73, M 3.56->4.01, R "
       "1.06->2.58; GenLit B 1.66->2.97, M 3.24->4.15, R 2.45->2.68; Hardware "
       "B 2.53->2.87, M 2.74->3.05, R 1.90->2.71\n");
+  bench::WriteReport(&report);
   return 0;
 }

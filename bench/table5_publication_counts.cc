@@ -31,6 +31,8 @@ rec::NPRecOptions BenchNPRecOptions() {
 int main() {
   bench::PrintHeader(
       "Table V: comparison on different publication numbers (#rp)");
+  obs::RunReport report = bench::OpenReport("table5_publication_counts");
+  report.set_dataset("acm-like+scopus-like/small");
 
   // ACM world carries the nDCG/MRR/MAP columns; Scopus adds nDCG@20.
   auto acm = bench::BuildRecWorld(
@@ -103,6 +105,13 @@ int main() {
                            {acm3.ndcg, acm5.ndcg, acm5.mrr, acm5.map,
                             sco3.ndcg, sco5.ndcg})
                     .c_str());
+    const std::string slug = bench::Slug(models[i]->name());
+    report.AddScalar("ndcg.acm_like." + slug + ".rp3", acm3.ndcg);
+    report.AddScalar("ndcg.acm_like." + slug + ".rp5", acm5.ndcg);
+    report.AddScalar("mrr.acm_like." + slug + ".rp5", acm5.mrr);
+    report.AddScalar("map.acm_like." + slug + ".rp5", acm5.map);
+    report.AddScalar("ndcg.scopus_like." + slug + ".rp3", sco3.ndcg);
+    report.AddScalar("ndcg.scopus_like." + slug + ".rp5", sco5.ndcg);
   }
 
   std::printf(
@@ -110,5 +119,6 @@ int main() {
       " NBCF .77/.82/.21/.40  MLP .85/.87/.24/.44  JTIE .86/.87/.35/.53  "
       "KGCN .88/.89/.36/.65  KGCN-LS .92/.92/.46/.67  RippleNet "
       ".92/.93/.58/.71  NPRec .97/.98/.71/.82\n");
+  bench::WriteReport(&report);
   return 0;
 }

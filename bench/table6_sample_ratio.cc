@@ -51,15 +51,17 @@ std::unique_ptr<rec::Recommender> MakeModel(const std::string& name, int ratio,
   return std::make_unique<rec::NPRec>(base, subs);
 }
 
-void RunDataset(const char* tag, bench::RecWorld* world) {
+void RunDataset(const char* tag, bench::RecWorld* world,
+                obs::RunReport* report) {
   std::printf("\n--- %s ---\n%-12s  %8s  %8s  %8s\n", tag, "nDCG@20", "1:1",
               "1:10", "1:50");
   const auto sets =
       bench::BuildCandidateSets(world->ctx, world->users, 20, 11);
+  const int ratios[3] = {1, 10, 50};
   for (const char* name : {"WNMF", "NBCF", "MLP", "JTIE", "KGCN", "KGCN-LS",
                            "RippleNet", "NPRec"}) {
     std::vector<double> row;
-    for (int ratio : {1, 10, 50}) {
+    for (int ratio : ratios) {
       auto model = MakeModel(name, ratio, &world->subspace);
       const Status status = model->Fit(world->ctx);
       SUBREC_CHECK(status.ok()) << name << ": " << status.ToString();
@@ -67,6 +69,11 @@ void RunDataset(const char* tag, bench::RecWorld* world) {
           rec::EvaluateRecommender(world->ctx, *model, sets, 20).ndcg);
     }
     std::printf("%s\n", bench::Row(name, row).c_str());
+    for (int i = 0; i < 3; ++i) {
+      report->AddScalar("ndcg." + bench::Slug(tag) + "." + bench::Slug(name) +
+                            ".ratio" + std::to_string(ratios[i]),
+                        row[static_cast<size_t>(i)]);
+    }
   }
 }
 
@@ -75,6 +82,8 @@ void RunDataset(const char* tag, bench::RecWorld* world) {
 int main() {
   bench::PrintHeader(
       "Table VI: comparison on positive:negative sample ratios");
+  obs::RunReport report = bench::OpenReport("table6_sample_ratio");
+  report.set_dataset("acm-like+scopus-like/small");
 
   auto acm = bench::BuildRecWorld(
       bench::BuildSemWorld(
@@ -84,7 +93,7 @@ int main() {
         o.max_users = 120;
         return o;
       }());
-  RunDataset("ACM-like", acm.get());
+  RunDataset("ACM-like", acm.get(), &report);
 
   auto scopus = bench::BuildRecWorld(
       bench::BuildSemWorld(
@@ -94,11 +103,12 @@ int main() {
         o.max_users = 100;
         return o;
       }());
-  RunDataset("Scopus-like", scopus.get());
+  RunDataset("Scopus-like", scopus.get(), &report);
 
   std::printf(
       "\npaper reports (Tab. VI, ACM 1:1/1:10/1:50): WNMF .76/.79/.77  NBCF "
       ".78/.81/.80  MLP .82/.86/.82  JTIE .87/.91/.89  KGCN .85/.88/.86  "
       "KGCN-LS .88/.90/.88  RippleNet .88/.93/.90  NPRec .95/.97/.96\n");
+  bench::WriteReport(&report);
   return 0;
 }

@@ -40,6 +40,8 @@ double Run(rec::NPRecOptions options, bench::RecWorld* world,
 
 int main() {
   bench::PrintHeader("Table VII: model variants vs neighbor count K");
+  obs::RunReport report = bench::OpenReport("table7_ablation_k");
+  report.set_dataset("acm-like/small");
 
   auto world = bench::BuildRecWorld(
       bench::BuildSemWorld(
@@ -64,6 +66,7 @@ int main() {
     o.use_graph = false;
     const double v = Run(o, world.get(), sets);
     std::printf("%-12s  %8.4f  (K-independent)\n", "NPRec+SC", v);
+    report.AddScalar("ndcg.nprec_sc.k20", v);
   }
   struct Variant {
     const char* name;
@@ -83,11 +86,17 @@ int main() {
       row.push_back(Run(o, world.get(), sets));
     }
     std::printf("%s\n", bench::Row(variant.name, row).c_str());
+    for (size_t i = 0; i < ks.size(); ++i) {
+      report.AddScalar("ndcg." + bench::Slug(variant.name) + ".K" +
+                           std::to_string(ks[i]),
+                       row[i]);
+    }
   }
 
   std::printf(
       "\npaper reports (Tab. VII, K=2..32): +SC .898 (K-independent)  +SN "
       ".900/.886/.892/.884/.904  +CN .918/.919/.919/.943/.908  NPRec "
       ".952/.958/.968/.974/.947\n");
+  bench::WriteReport(&report);
   return 0;
 }

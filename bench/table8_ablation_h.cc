@@ -41,6 +41,8 @@ double Run(rec::NPRecOptions options, bench::RecWorld* world,
 
 int main() {
   bench::PrintHeader("Table VIII: model variants vs GCN depth H");
+  obs::RunReport report = bench::OpenReport("table8_ablation_h");
+  report.set_dataset("acm-like/small");
 
   auto world = bench::BuildRecWorld(
       bench::BuildSemWorld(
@@ -64,6 +66,7 @@ int main() {
     o.use_graph = false;
     const double v = Run(o, world.get(), sets);
     std::printf("%-12s  %8.4f  (H-independent)\n", "NPRec+SC", v);
+    report.AddScalar("ndcg.nprec_sc.k20", v);
   }
   struct Variant {
     const char* name;
@@ -83,11 +86,17 @@ int main() {
       row.push_back(Run(o, world.get(), sets));
     }
     std::printf("%s\n", bench::Row(variant.name, row).c_str());
+    for (size_t i = 0; i < hs.size(); ++i) {
+      report.AddScalar("ndcg." + bench::Slug(variant.name) + ".H" +
+                           std::to_string(hs[i]),
+                       row[i]);
+    }
   }
 
   std::printf(
       "\npaper reports (Tab. VIII, H=1..4): +SC .898 (H-independent)  +SN "
       ".882/.896/.871/.897  +CN .934/.949/.897/.881  NPRec "
       ".961/.968/.946/.951\n");
+  bench::WriteReport(&report);
   return 0;
 }

@@ -7,6 +7,8 @@
 #include "cluster/kmeans.h"
 #include "common/check.h"
 #include "la/check_finite.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace subrec::cluster {
 namespace {
@@ -43,6 +45,12 @@ double GaussianMixture::LogJoint(const la::Matrix& data, size_t i,
 }
 
 Status GaussianMixture::Fit(const la::Matrix& data) {
+  SUBREC_TRACE_SPAN("gmm/fit");
+  static obs::Counter* const fits =
+      obs::MetricsRegistry::Global().GetCounter("gmm.fits");
+  static obs::Counter* const iters =
+      obs::MetricsRegistry::Global().GetCounter("gmm.iterations");
+  fits->Increment();
   const size_t n = data.rows();
   const size_t d = data.cols();
   const size_t k = static_cast<size_t>(options_.num_components);
@@ -94,14 +102,18 @@ Status GaussianMixture::Fit(const la::Matrix& data) {
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     // E-step.
     double total_ll = 0.0;
-    std::vector<double> joint(k);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
-      const double lse = LogSumExp(joint);
-      total_ll += lse;
-      for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(joint[c] - lse);
+    {
+      SUBREC_TRACE_SPAN("gmm/e_step");
+      std::vector<double> joint(k);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
+        const double lse = LogSumExp(joint);
+        total_ll += lse;
+        for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(joint[c] - lse);
+      }
     }
     // M-step.
+    SUBREC_TRACE_SPAN("gmm/m_step");
     for (size_t c = 0; c < k; ++c) {
       double nc = 0.0;
       for (size_t i = 0; i < n; ++i) nc += resp(i, c);
@@ -125,6 +137,7 @@ Status GaussianMixture::Fit(const la::Matrix& data) {
     SUBREC_CHECK_FINITE(means_, "GMM means after M-step");
     SUBREC_CHECK_FINITE(variances_, "GMM variances after M-step");
     iterations_ = iter + 1;
+    iters->Increment();
     const double avg_ll = total_ll / static_cast<double>(n);
     SUBREC_CHECK_FINITE(avg_ll, "GMM E-step average log-likelihood");
     if (avg_ll - prev_avg_ll < options_.tolerance && iter > 0) break;

@@ -4,9 +4,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace subrec::cluster {
 
 Result<std::vector<double>> LocalOutlierFactor(const la::Matrix& data, int k) {
+  SUBREC_TRACE_SPAN("lof/score");
+  static obs::Counter* const calls =
+      obs::MetricsRegistry::Global().GetCounter("lof.calls");
+  calls->Increment();
   const size_t n = data.rows();
   const size_t d = data.cols();
   if (k <= 0) return Status::InvalidArgument("LOF: k must be positive");
@@ -15,16 +22,19 @@ Result<std::vector<double>> LocalOutlierFactor(const la::Matrix& data, int k) {
 
   // Pairwise distances.
   la::Matrix dist(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      double s = 0.0;
-      for (size_t c = 0; c < d; ++c) {
-        const double diff = data(i, c) - data(j, c);
-        s += diff * diff;
+  {
+    SUBREC_TRACE_SPAN("lof/pairwise_distances");
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (size_t c = 0; c < d; ++c) {
+          const double diff = data(i, c) - data(j, c);
+          s += diff * diff;
+        }
+        const double dv = std::sqrt(s);
+        dist(i, j) = dv;
+        dist(j, i) = dv;
       }
-      const double dv = std::sqrt(s);
-      dist(i, j) = dv;
-      dist(j, i) = dv;
     }
   }
 
@@ -32,21 +42,27 @@ Result<std::vector<double>> LocalOutlierFactor(const la::Matrix& data, int k) {
   const size_t ks = static_cast<size_t>(k);
   std::vector<std::vector<size_t>> neighbors(n);
   std::vector<double> k_distance(n);
-  std::vector<size_t> order;
-  order.reserve(n - 1);
-  for (size_t i = 0; i < n; ++i) {
-    order.clear();
-    for (size_t j = 0; j < n; ++j)
-      if (j != i) order.push_back(j);
-    std::nth_element(order.begin(), order.begin() + static_cast<long>(ks - 1),
-                     order.end(), [&](size_t a, size_t b) {
-                       return dist(i, a) < dist(i, b);
-                     });
-    neighbors[i].assign(order.begin(), order.begin() + static_cast<long>(ks));
-    k_distance[i] = 0.0;
-    for (size_t nb : neighbors[i])
-      k_distance[i] = std::max(k_distance[i], dist(i, nb));
+  {
+    SUBREC_TRACE_SPAN("lof/knn");
+    std::vector<size_t> order;
+    order.reserve(n - 1);
+    for (size_t i = 0; i < n; ++i) {
+      order.clear();
+      for (size_t j = 0; j < n; ++j)
+        if (j != i) order.push_back(j);
+      std::nth_element(order.begin(), order.begin() + static_cast<long>(ks - 1),
+                       order.end(), [&](size_t a, size_t b) {
+                         return dist(i, a) < dist(i, b);
+                       });
+      neighbors[i].assign(order.begin(),
+                          order.begin() + static_cast<long>(ks));
+      k_distance[i] = 0.0;
+      for (size_t nb : neighbors[i])
+        k_distance[i] = std::max(k_distance[i], dist(i, nb));
+    }
   }
+
+  SUBREC_TRACE_SPAN("lof/density");
 
   // Local reachability density.
   std::vector<double> lrd(n);

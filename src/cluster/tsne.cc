@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace subrec::cluster {
 namespace {
@@ -67,34 +69,37 @@ Result<la::Matrix> Tsne(const la::Matrix& data, const TsneOptions& options) {
 
   // Pairwise squared distances in input space.
   la::Matrix sqdist(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      double s = 0.0;
-      for (size_t c = 0; c < data.cols(); ++c) {
-        const double diff = data(i, c) - data(j, c);
-        s += diff * diff;
-      }
-      sqdist(i, j) = s;
-      sqdist(j, i) = s;
-    }
-  }
-
-  // Symmetrized affinities P.
   la::Matrix p(n, n);
   {
-    std::vector<double> row(n);
+    SUBREC_TRACE_SPAN("tsne/affinities");
     for (size_t i = 0; i < n; ++i) {
-      ComputeRowAffinities(sqdist, i, perplexity, row);
-      for (size_t j = 0; j < n; ++j) p(i, j) = row[j];
+      for (size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (size_t c = 0; c < data.cols(); ++c) {
+          const double diff = data(i, c) - data(j, c);
+          s += diff * diff;
+        }
+        sqdist(i, j) = s;
+        sqdist(j, i) = s;
+      }
     }
-  }
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      const double v = (p(i, j) + p(j, i)) / (2.0 * static_cast<double>(n));
-      p(i, j) = std::max(v, 1e-12);
-      p(j, i) = p(i, j);
+
+    // Symmetrized affinities P.
+    {
+      std::vector<double> row(n);
+      for (size_t i = 0; i < n; ++i) {
+        ComputeRowAffinities(sqdist, i, perplexity, row);
+        for (size_t j = 0; j < n; ++j) p(i, j) = row[j];
+      }
     }
-    p(i, i) = 1e-12;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double v = (p(i, j) + p(j, i)) / (2.0 * static_cast<double>(n));
+        p(i, j) = std::max(v, 1e-12);
+        p(j, i) = p(i, j);
+      }
+      p(i, i) = 1e-12;
+    }
   }
 
   // Gradient descent on the embedding.
@@ -105,7 +110,11 @@ Result<la::Matrix> Tsne(const la::Matrix& data, const TsneOptions& options) {
   la::Matrix grad(n, od);
   la::Matrix q(n, n);
 
+  static obs::Counter* const iterations =
+      obs::MetricsRegistry::Global().GetCounter("tsne.iterations");
   for (int iter = 0; iter < options.iterations; ++iter) {
+    SUBREC_TRACE_SPAN("tsne/iteration");
+    iterations->Increment();
     const double exaggeration =
         iter < options.exaggeration_iters ? options.exaggeration : 1.0;
     // Student-t low-dim affinities.

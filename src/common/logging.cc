@@ -1,13 +1,30 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <utility>
 
 namespace subrec {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serializes line emission so concurrent SUBREC_LOG statements never
+/// interleave, and guards the sink pointer swap.
+std::mutex& EmitMutex() {
+  static std::mutex* const mu = new std::mutex();
+  return *mu;
+}
+
+/// Active sink; an empty function means "write to stderr". Guarded by
+/// EmitMutex().
+LogSink& ActiveSink() {
+  static LogSink* const sink = new LogSink();
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,6 +45,21 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+/// Monotonic seconds since the first log statement in this process.
+double SecondsSinceStart() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Small dense id for the calling thread (mirrors obs::DenseThreadId, but
+/// common/ must not depend on obs/).
+int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -38,19 +70,51 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  LogSink previous = std::move(ActiveSink());
+  ActiveSink() = std::move(sink);
+  return previous;
+}
+
+LogCapture::LogCapture() : state_(std::make_shared<State>()) {
+  std::shared_ptr<State> state = state_;
+  previous_ = SetLogSink([state](LogLevel, const std::string& line) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->lines.push_back(line);
+  });
+}
+
+LogCapture::~LogCapture() { SetLogSink(std::move(previous_)); }
+
+std::vector<std::string> LogCapture::lines() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->lines;
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
-               g_min_level.load(std::memory_order_relaxed)) {
+               g_min_level.load(std::memory_order_relaxed)),
+      level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "[%10.6f T%02d %s ",
+                  SecondsSinceStart(), LogThreadId(), LevelName(level));
+    stream_ << prefix << Basename(file) << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << "\n";
+  if (!enabled_) return;
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  if (ActiveSink()) {
+    ActiveSink()(level_, line);
+  } else {
+    std::cerr << line << "\n";
+  }
 }
 
 }  // namespace internal_logging

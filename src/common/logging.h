@@ -1,8 +1,12 @@
 #ifndef SUBREC_COMMON_LOGGING_H_
 #define SUBREC_COMMON_LOGGING_H_
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace subrec {
 
@@ -12,9 +16,45 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Receives one fully formatted log line (no trailing newline). Called under
+/// the global emission mutex, so lines never interleave and the sink needs no
+/// locking of its own — but it must not log back into SUBREC_LOG.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the process-wide log sink and returns the previous one. Passing
+/// nullptr restores the default sink (stderr). Thread-safe.
+LogSink SetLogSink(LogSink sink);
+
+/// RAII helper that captures log lines for the duration of a test scope,
+/// restoring the previous sink on destruction:
+///
+///   LogCapture capture;
+///   SUBREC_LOG(Warning) << "boom";
+///   EXPECT_NE(capture.lines()[0].find("boom"), std::string::npos);
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  /// Snapshot of the lines captured so far (formatted, prefix included).
+  std::vector<std::string> lines() const;
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::vector<std::string> lines;
+  };
+  std::shared_ptr<State> state_;
+  LogSink previous_;
+};
+
 namespace internal_logging {
 
-/// One log statement; flushes a single line to stderr on destruction.
+/// One log statement; on destruction hands a single formatted line — prefixed
+/// with monotonic seconds since first log, dense thread id, level, and
+/// file:line — to the active sink under the emission mutex.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -28,6 +68,7 @@ class LogMessage {
 
  private:
   bool enabled_;
+  LogLevel level_;
   std::ostringstream stream_;
 };
 

@@ -1,0 +1,145 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace subrec::obs {
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    SUBREC_CHECK(out_.empty()) << "JsonWriter: two top-level values";
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    SUBREC_CHECK(pending_key_) << "JsonWriter: value inside object needs Key";
+    pending_key_ = false;
+    return;  // the comma was emitted by Key()
+  }
+  if (counts_.back() > 0) out_ += ',';
+  ++counts_.back();
+}
+
+void JsonWriter::Escape(std::string_view v) {
+  out_ += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  SUBREC_CHECK(!stack_.empty() && stack_.back() == Frame::kObject)
+      << "JsonWriter: EndObject without open object";
+  SUBREC_CHECK(!pending_key_) << "JsonWriter: key without value";
+  out_ += '}';
+  stack_.pop_back();
+  counts_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  SUBREC_CHECK(!stack_.empty() && stack_.back() == Frame::kArray)
+      << "JsonWriter: EndArray without open array";
+  out_ += ']';
+  stack_.pop_back();
+  counts_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  SUBREC_CHECK(!stack_.empty() && stack_.back() == Frame::kObject)
+      << "JsonWriter: Key outside object";
+  SUBREC_CHECK(!pending_key_) << "JsonWriter: two keys in a row";
+  if (counts_.back() > 0) out_ += ',';
+  ++counts_.back();
+  Escape(name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  Escape(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  SUBREC_CHECK(balanced()) << "JsonWriter: str() on unbalanced document";
+  return out_;
+}
+
+}  // namespace subrec::obs

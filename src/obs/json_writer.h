@@ -1,0 +1,62 @@
+#ifndef SUBREC_OBS_JSON_WRITER_H_
+#define SUBREC_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subrec::obs {
+
+/// Minimal dependency-free streaming JSON writer shared by the trace dumper
+/// and the run-report emitter. Commas and key/value structure are handled by
+/// a state stack; strings are escaped per RFC 8259; non-finite numbers
+/// (which JSON cannot represent) are emitted as null. Misuse — a value where
+/// a key is required, unbalanced End calls — trips a SUBREC_CHECK.
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("name").String("gmm").Key("iters").Int(12)
+///    .Key("loss").Number(0.5).EndObject();
+///   w.str();  // {"name":"gmm","iters":12,"loss":0.5}
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value (or
+  /// container). Only legal directly inside an object.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Number(double v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  /// The serialized document. Valid once every Begin has been balanced by
+  /// its End (checked).
+  const std::string& str() const;
+
+  /// True when no container is open (the document is complete or empty).
+  bool balanced() const { return stack_.empty() && !pending_key_; }
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  /// Emits the separator/indentation state for one new value and validates
+  /// key/value alternation.
+  void BeforeValue();
+  void Escape(std::string_view v);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  /// Count of values already emitted at each open nesting level.
+  std::vector<int> counts_;
+  bool pending_key_ = false;
+};
+
+}  // namespace subrec::obs
+
+#endif  // SUBREC_OBS_JSON_WRITER_H_

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "obs/json_writer.h"
+
+namespace subrec::obs {
+namespace {
+
+/// Portable atomic double accumulation: C++20 fetch_add on atomic<double>
+/// is not universally available, so spin a compare-exchange.
+void AtomicAdd(std::atomic<double>* target, double v) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + v,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SUBREC_CHECK(!bounds_.empty()) << "Histogram needs at least one bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SUBREC_CHECK(bounds_[i - 1] < bounds_[i])
+        << "Histogram bounds must be strictly increasing";
+  }
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  // Linear scan: bucket vectors here are small (<= ~20 edges) and the scan
+  // is branch-predictable, so it beats binary search at this size.
+  size_t idx = bounds_.size();  // overflow bucket by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      idx = i;
+      break;
+    }
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+void MetricsSnapshot::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) {
+    w->Key(name).Int(value);
+  }
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) {
+    w->Key(name).Number(value);
+  }
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w->Key(name).BeginObject();
+    w->Key("bounds").BeginArray();
+    for (const double b : h.bounds) w->Number(b);
+    w->EndArray();
+    w->Key("buckets").BeginArray();
+    for (const int64_t c : h.buckets) w->Int(c);
+    w->EndArray();
+    w->Key("count").Int(h.count);
+    w->Key("sum").Number(h.sum);
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.buckets = h->bucket_counts();
+    data.count = h->count();
+    data.sum = h->sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+size_t MetricsRegistry::NumInstruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace subrec::obs

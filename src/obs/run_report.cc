@@ -1,0 +1,97 @@
+#include "obs/run_report.h"
+
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <utility>
+
+#include "obs/json_writer.h"
+
+namespace subrec::obs {
+
+RunReport::RunReport(std::string name)
+    : name_(std::move(name)), start_ns_(NowNs()) {}
+
+void RunReport::AddScalar(const std::string& name, double value) {
+  scalars_[name] = value;
+}
+
+void RunReport::AddString(const std::string& key, const std::string& value) {
+  strings_[key] = value;
+}
+
+void RunReport::CaptureMetrics() {
+  metrics_ = MetricsRegistry::Global().Snapshot();
+  has_metrics_ = true;
+}
+
+void RunReport::CaptureSpans() {
+  spans_ = TraceRecorder::Global().AggregateTotals();
+  has_spans_ = true;
+}
+
+double RunReport::ElapsedSeconds() const {
+  return static_cast<double>(NowNs() - start_ns_) / 1e9;
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("report").String(name_);
+  w.Key("schema_version").Int(1);
+  w.Key("build").String(build_id_);
+  w.Key("dataset").String(dataset_);
+  w.Key("unix_time").Int(static_cast<int64_t>(std::time(nullptr)));
+  w.Key("elapsed_seconds").Number(ElapsedSeconds());
+  w.Key("scalars").BeginObject();
+  for (const auto& [name, value] : scalars_) w.Key(name).Number(value);
+  w.EndObject();
+  w.Key("strings").BeginObject();
+  for (const auto& [key, value] : strings_) w.Key(key).String(value);
+  w.EndObject();
+  if (has_metrics_) {
+    w.Key("metrics");
+    metrics_.WriteJson(&w);
+  }
+  if (has_spans_) {
+    w.Key("spans").BeginArray();
+    for (const SpanTotal& s : spans_) {
+      w.BeginObject();
+      w.Key("name").String(s.name);
+      w.Key("count").Int(s.count);
+      w.Key("total_ms").Number(static_cast<double>(s.total_ns) / 1e6);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Status RunReport::WriteFile(const std::string& dir,
+                            std::string* out_path) const {
+  std::string target_dir = dir;
+  if (target_dir.empty()) {
+    const char* env = std::getenv("SUBREC_REPORT_DIR");
+    if (env != nullptr && env[0] != '\0') target_dir = env;
+  }
+  std::string path;
+  if (!target_dir.empty()) {
+    path = target_dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("RunReport: cannot open " + path + " for write");
+  }
+  out << ToJson() << "\n";
+  out.close();
+  if (out.fail()) {
+    return Status::Internal("RunReport: short write to " + path);
+  }
+  if (out_path != nullptr) *out_path = path;
+  return Status::Ok();
+}
+
+}  // namespace subrec::obs

@@ -1,0 +1,72 @@
+#ifndef SUBREC_OBS_RUN_REPORT_H_
+#define SUBREC_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace subrec::obs {
+
+/// Machine-readable record of one experiment run, written as
+/// BENCH_<name>.json so the perf trajectory of every bench is diffable
+/// across commits. Typical bench flow:
+///
+///   obs::RunReport report("table1_sem_correlation");
+///   report.set_build_id(kGitDescribe);
+///   ... run the experiment, AddScalar("spearman.sem.cs", 0.81) ...
+///   report.CaptureMetrics();
+///   report.CaptureSpans();
+///   report.WriteFile().ok();
+class RunReport {
+ public:
+  explicit RunReport(std::string name);
+
+  void set_build_id(std::string build_id) { build_id_ = std::move(build_id); }
+  void set_dataset(std::string dataset) { dataset_ = std::move(dataset); }
+
+  /// Headline numbers (nDCG, Spearman, wall seconds, ...). Re-adding a name
+  /// overwrites.
+  void AddScalar(const std::string& name, double value);
+  /// Free-form annotations (preset names, modes).
+  void AddString(const std::string& key, const std::string& value);
+
+  /// Snapshots the global metrics registry into the report.
+  void CaptureMetrics();
+  /// Captures per-span totals from the global trace recorder.
+  void CaptureSpans();
+
+  /// Serializes the full report as a JSON object.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into `dir`; empty dir means the
+  /// SUBREC_REPORT_DIR environment variable, falling back to the current
+  /// directory. Returns the written path via `out_path` when non-null.
+  Status WriteFile(const std::string& dir = "",
+                   std::string* out_path = nullptr) const;
+
+  const std::string& name() const { return name_; }
+  /// Seconds since this report was constructed (monotonic clock).
+  double ElapsedSeconds() const;
+
+ private:
+  std::string name_;
+  std::string build_id_;
+  std::string dataset_;
+  int64_t start_ns_ = 0;
+  std::map<std::string, double> scalars_;
+  std::map<std::string, std::string> strings_;
+  MetricsSnapshot metrics_;
+  bool has_metrics_ = false;
+  std::vector<SpanTotal> spans_;
+  bool has_spans_ = false;
+};
+
+}  // namespace subrec::obs
+
+#endif  // SUBREC_OBS_RUN_REPORT_H_

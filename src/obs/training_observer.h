@@ -1,0 +1,29 @@
+#ifndef SUBREC_OBS_TRAINING_OBSERVER_H_
+#define SUBREC_OBS_TRAINING_OBSERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace subrec::obs {
+
+/// Progress snapshot delivered once per training epoch by every trainer that
+/// accepts a TrainingObserver (SEM twin-network trainer, NPRec).
+struct TrainingEvent {
+  /// Which trainer produced the event, e.g. "sem" or "nprec".
+  std::string model;
+  int epoch = 0;        ///< One-based index of the epoch just finished.
+  int total_epochs = 0;
+  double loss = 0.0;    ///< Mean loss over the epoch's samples.
+  int64_t samples = 0;  ///< Samples processed this epoch.
+  double elapsed_seconds = 0.0;  ///< Wall time since training started.
+};
+
+/// Per-epoch progress callback. Invoked synchronously from the training
+/// loop's thread; keep it cheap. An empty std::function means "no observer"
+/// and costs one bool check per epoch.
+using TrainingObserver = std::function<void(const TrainingEvent&)>;
+
+}  // namespace subrec::obs
+
+#endif  // SUBREC_OBS_TRAINING_OBSERVER_H_

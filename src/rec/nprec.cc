@@ -12,6 +12,8 @@
 #include "nn/init.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace subrec::rec {
 
@@ -271,13 +273,31 @@ Status NPRec::Fit(const RecContext& ctx) {
   if (ctx.train_papers.empty())
     return Status::InvalidArgument("NPRec: no training papers");
 
+  SUBREC_TRACE_SPAN("nprec/fit");
   if (PriorEnabled()) ComputePriorFeatures(ctx);
-  BuildParameters(ctx);
-  if (options_.use_graph) PrecomputeSamples(ctx);
+  {
+    SUBREC_TRACE_SPAN("nprec/build_parameters");
+    BuildParameters(ctx);
+  }
+  if (options_.use_graph) {
+    SUBREC_TRACE_SPAN("nprec/precompute_samples");
+    PrecomputeSamples(ctx);
+  }
 
   DefuzzSampler sampler(options_.sampler);
   const std::vector<TrainingPair> pairs = sampler.BuildPairs(ctx, subspace_);
   if (pairs.empty()) return Status::InvalidArgument("NPRec: no training pairs");
+
+  train_stats_ = NPRecTrainStats();
+  train_stats_.num_pairs = pairs.size();
+  for (const TrainingPair& pair : pairs) {
+    if (pair.label > 0.5) ++train_stats_.num_positives;
+  }
+  const int64_t train_start_ns = obs::NowNs();
+  static obs::Counter* const epochs_counter =
+      obs::MetricsRegistry::Global().GetCounter("nprec.epochs");
+  static obs::Counter* const pair_steps =
+      obs::MetricsRegistry::Global().GetCounter("nprec.pair_steps");
 
   // Regularize only the dense weights; entity embeddings are too many for a
   // global L2 term to be cheap, and Adam keeps them bounded.
@@ -296,6 +316,9 @@ Status NPRec::Fit(const RecContext& ctx) {
   const std::vector<nn::Parameter*> params = store_.params();
   int in_batch = 0;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    SUBREC_TRACE_SPAN("nprec/epoch");
+    epochs_counter->Increment();
+    pair_steps->Increment(static_cast<int64_t>(pairs.size()));
     double epoch_loss = 0.0;
     for (const TrainingPair& pair : pairs) {
       Tape tape;
@@ -333,11 +356,28 @@ Status NPRec::Fit(const RecContext& ctx) {
       optimizer.Step(params);
       in_batch = 0;
     }
-    SUBREC_LOG(Debug) << name() << " epoch " << epoch << " loss "
-                      << epoch_loss / static_cast<double>(pairs.size());
+    const double mean_loss = epoch_loss / static_cast<double>(pairs.size());
+    train_stats_.epoch_loss.push_back(mean_loss);
+    SUBREC_LOG(Debug) << name() << " epoch " << epoch << " loss " << mean_loss;
+    if (options_.observer) {
+      obs::TrainingEvent ev;
+      ev.model = "nprec";
+      ev.epoch = epoch + 1;
+      ev.total_epochs = options_.epochs;
+      ev.loss = mean_loss;
+      ev.samples = static_cast<int64_t>(pairs.size());
+      ev.elapsed_seconds =
+          static_cast<double>(obs::NowNs() - train_start_ns) / 1e9;
+      options_.observer(ev);
+    }
   }
+  train_stats_.train_seconds =
+      static_cast<double>(obs::NowNs() - train_start_ns) / 1e9;
 
-  ComputeFinalVectors(ctx);
+  {
+    SUBREC_TRACE_SPAN("nprec/final_vectors");
+    ComputeFinalVectors(ctx);
+  }
   fitted_ = true;
   return Status::Ok();
 }

@@ -12,6 +12,7 @@
 #include "autodiff/tape.h"
 #include "nn/dense.h"
 #include "nn/parameter.h"
+#include "obs/training_observer.h"
 #include "rec/recommender.h"
 #include "rec/sampler.h"
 
@@ -60,6 +61,22 @@ struct NPRecOptions {
   double clip_norm = 5.0;
   uint64_t seed = 77;
   std::string display_name = "NPRec";
+  /// Optional per-epoch progress callback (model = "nprec"). Invoked from
+  /// the training thread after each epoch; empty means no reporting.
+  obs::TrainingObserver observer;
+};
+
+/// Progress of one NPRec training run, mirroring SemTrainStats. Retrieved
+/// via NPRec::train_stats() after Fit (the Recommender interface fixes the
+/// Fit signature, so the stats travel on the model).
+struct NPRecTrainStats {
+  /// Mean pairwise BCE loss per epoch.
+  std::vector<double> epoch_loss;
+  /// Training pairs per epoch (positives + sampled negatives).
+  size_t num_pairs = 0;
+  size_t num_positives = 0;
+  /// Wall time of the optimization loop (excludes final propagation).
+  double train_seconds = 0.0;
 };
 
 /// New Paper Recommendation model: combines the fused subspace text
@@ -90,6 +107,9 @@ class NPRec final : public Recommender {
   std::vector<double> PaperTextVector(corpus::PaperId p) const;
 
   const NPRecOptions& options() const { return options_; }
+
+  /// Per-epoch training telemetry populated by the last Fit call.
+  const NPRecTrainStats& train_stats() const { return train_stats_; }
 
  private:
   using VarId = autodiff::VarId;
@@ -146,6 +166,7 @@ class NPRec final : public Recommender {
   // Post-fit plain vectors.
   std::vector<std::vector<double>> paper_interest_;   // by PaperId
   std::vector<std::vector<double>> paper_influence_;  // by PaperId
+  NPRecTrainStats train_stats_;
   bool fitted_ = false;
 };
 

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "la/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace subrec::rec {
 
@@ -25,6 +27,13 @@ std::vector<double> DefuzzSampler::SubspaceDistances(
 
 std::vector<TrainingPair> DefuzzSampler::BuildPairs(
     const RecContext& ctx, const SubspaceEmbeddings* subspace) const {
+  SUBREC_TRACE_SPAN("sampler/build_pairs");
+  static obs::Counter* const positives_counter =
+      obs::MetricsRegistry::Global().GetCounter("sampler.positives");
+  static obs::Counter* const negatives_counter =
+      obs::MetricsRegistry::Global().GetCounter("sampler.negatives");
+  static obs::Counter* const defuzz_rejected =
+      obs::MetricsRegistry::Global().GetCounter("sampler.defuzz_rejected");
   const corpus::Corpus& corpus = *ctx.corpus;
   Rng rng(options_.seed);
 
@@ -92,12 +101,17 @@ std::vector<TrainingPair> DefuzzSampler::BuildPairs(
             break;
           }
         }
-        if (!all_far && guard % options_.max_attempts != 0) continue;
+        if (!all_far && guard % options_.max_attempts != 0) {
+          defuzz_rejected->Increment();
+          continue;
+        }
       }
       pairs.push_back({p, neg, 0.0});
       ++produced;
+      negatives_counter->Increment();
     }
   }
+  positives_counter->Increment(static_cast<int64_t>(positives.size()));
   rng.Shuffle(pairs);
   return pairs;
 }

@@ -1,6 +1,7 @@
 #include "subspace/sem_model.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace subrec::subspace {
 
@@ -14,11 +15,15 @@ Result<SemTrainStats> SemModel::Fit(
     const std::vector<corpus::PaperId>& train_ids,
     const std::vector<rules::PaperContentFeatures>& features,
     const rules::ExpertRuleEngine& engine) {
+  SUBREC_TRACE_SPAN("sem/fit");
   for (int k = 0; k < options_.encoder.num_subspaces; ++k)
     SUBREC_RETURN_NOT_OK(fusion_.SetWeights(k, options_.rule_weights));
-  SUBREC_RETURN_NOT_OK(CalibrateFusion(corpus, train_ids, features, engine,
-                                       options_.calibration_pairs,
-                                       options_.seed + 1, &fusion_));
+  {
+    SUBREC_TRACE_SPAN("sem/calibrate_fusion");
+    SUBREC_RETURN_NOT_OK(CalibrateFusion(corpus, train_ids, features, engine,
+                                         options_.calibration_pairs,
+                                         options_.seed + 1, &fusion_));
+  }
   const std::vector<Triplet> triplets = MineTriplets(
       corpus, train_ids, features, engine, fusion_, options_.miner);
   SUBREC_LOG(Info) << "SemModel: mined " << triplets.size() << " triplets";

@@ -4,6 +4,8 @@
 #include "la/check_finite.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace subrec::subspace {
 
@@ -23,6 +25,13 @@ Result<SemTrainStats> TrainTwinNetwork(
       return Status::InvalidArgument("TrainTwinNetwork: bad subspace");
   }
 
+  SUBREC_TRACE_SPAN("sem/train");
+  static obs::Counter* const steps =
+      obs::MetricsRegistry::Global().GetCounter("sem.trainer_steps");
+  static obs::Histogram* const loss_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "sem.triplet_loss", {0.01, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0});
+  const int64_t train_start_ns = obs::NowNs();
   nn::Adam optimizer(options.learning_rate);
   const std::vector<nn::Parameter*> params = net->store()->params();
   Rng rng(options.seed);
@@ -31,6 +40,7 @@ Result<SemTrainStats> TrainTwinNetwork(
 
   SemTrainStats stats;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    SUBREC_TRACE_SPAN("sem/epoch");
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     int in_batch = 0;
@@ -55,18 +65,33 @@ Result<SemTrainStats> TrainTwinNetwork(
       binding.PullGradients();
       SUBREC_CHECK_FINITE(tape.value(loss)(0, 0), "SEM trainer triplet loss");
       epoch_loss += tape.value(loss)(0, 0);
+      loss_hist->Observe(tape.value(loss)(0, 0));
       if (++in_batch >= options.batch_size) {
         nn::ClipGradNorm(params, options.clip_norm);
         optimizer.Step(params);
+        steps->Increment();
         in_batch = 0;
       }
     }
     if (in_batch > 0) {
       nn::ClipGradNorm(params, options.clip_norm);
       optimizer.Step(params);
+      steps->Increment();
     }
-    stats.epoch_loss.push_back(epoch_loss /
-                               static_cast<double>(triplets.size()));
+    const double mean_loss =
+        epoch_loss / static_cast<double>(triplets.size());
+    stats.epoch_loss.push_back(mean_loss);
+    if (options.observer) {
+      obs::TrainingEvent ev;
+      ev.model = "sem";
+      ev.epoch = epoch + 1;
+      ev.total_epochs = options.epochs;
+      ev.loss = mean_loss;
+      ev.samples = static_cast<int64_t>(triplets.size());
+      ev.elapsed_seconds =
+          static_cast<double>(obs::NowNs() - train_start_ns) / 1e9;
+      options.observer(ev);
+    }
   }
 
   // Order accuracy: does D(anchor, positive) exceed D(anchor, negative)?

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/training_observer.h"
 #include "rules/expert_rules.h"
 #include "subspace/triplet_miner.h"
 #include "subspace/twin_network.h"
@@ -25,6 +26,9 @@ struct SemTrainerOptions {
   double lambda = 1e-5;
   double clip_norm = 5.0;
   uint64_t seed = 23;
+  /// Optional per-epoch progress callback (model = "sem"). Invoked from the
+  /// training thread after each epoch; empty means no reporting.
+  obs::TrainingObserver observer;
 };
 
 /// Progress of one training run.

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace subrec::subspace {
 
@@ -13,6 +15,7 @@ std::vector<Triplet> MineTriplets(
     const std::vector<rules::PaperContentFeatures>& features,
     const rules::ExpertRuleEngine& engine, const rules::RuleFusion& fusion,
     const TripletMinerOptions& options) {
+  SUBREC_TRACE_SPAN("sem/mine_triplets");
   SUBREC_CHECK_GE(paper_ids.size(), 3u);
   Rng rng(options.seed);
   std::vector<Triplet> triplets;
@@ -49,6 +52,9 @@ std::vector<Triplet> MineTriplets(
       triplets.push_back(t);
     }
   }
+  static obs::Counter* const mined =
+      obs::MetricsRegistry::Global().GetCounter("sem.triplets_mined");
+  mined->Increment(static_cast<int64_t>(triplets.size()));
   return triplets;
 }
 

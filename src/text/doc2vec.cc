@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace subrec::text {
 namespace {
@@ -63,7 +65,14 @@ Status Doc2Vec::Train(const std::vector<std::vector<std::string>>& documents) {
       static_cast<int64_t>(options_.epochs) * total_tokens;
   int64_t step = 0;
   std::vector<double> grad_doc(d);
+  static obs::Counter* const epochs =
+      obs::MetricsRegistry::Global().GetCounter("doc2vec.epochs");
+  static obs::Counter* const tokens =
+      obs::MetricsRegistry::Global().GetCounter("doc2vec.tokens");
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    SUBREC_TRACE_SPAN("doc2vec/epoch");
+    epochs->Increment();
+    tokens->Increment(total_tokens);
     for (size_t doc_id = 0; doc_id < ids.size(); ++doc_id) {
       double* dv = doc_.data() + doc_id * d;
       for (int word : ids[doc_id]) {

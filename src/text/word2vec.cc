@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace subrec::text {
 namespace {
@@ -69,7 +71,14 @@ Status Word2Vec::Train(const std::vector<std::vector<std::string>>& sentences) {
       static_cast<int64_t>(options_.epochs) * total_tokens;
   int64_t step = 0;
   std::vector<double> grad_in(d);
+  static obs::Counter* const epochs =
+      obs::MetricsRegistry::Global().GetCounter("word2vec.epochs");
+  static obs::Counter* const tokens =
+      obs::MetricsRegistry::Global().GetCounter("word2vec.tokens");
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    SUBREC_TRACE_SPAN("word2vec/epoch");
+    epochs->Increment();
+    tokens->Increment(total_tokens);
     for (const auto& sentence : ids) {
       const int n = static_cast<int>(sentence.size());
       for (int center = 0; center < n; ++center) {

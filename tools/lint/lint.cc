@@ -356,8 +356,9 @@ std::vector<std::unique_ptr<Rule>> BuildDefaultRules() {
       /*exempt_prefixes=*/{}}));
   rules.push_back(std::make_unique<RegexRule>(RegexRuleSpec{
       "no-raw-stdio",
-      "std::cout\\b|std::cerr\\b",
-      "library code logs through SUBREC_LOG / SUBREC_CHECK, not raw streams",
+      "std::cout\\b|std::cerr\\b|\\b(std::)?(v?f?printf|puts|fputs|putchar)\\s*\\(",
+      "library code emits through SUBREC_LOG / obs::JsonWriter, not raw "
+      "streams or printf",
       /*headers_only=*/false,
       /*comments_view=*/false,
       /*path_prefix=*/"src/",

@@ -67,7 +67,7 @@ struct RegexRuleSpec {
 ///   include-guard     guards must spell the file path (SUBREC_LA_MATRIX_H_)
 ///   no-std-rand       std::rand/srand banned (use common/rng)
 ///   no-using-namespace-header
-///   no-raw-stdio      std::cout/std::cerr in src/ outside logging/check
+///   no-raw-stdio      std::cout/std::cerr/printf in src/ outside logging/check
 ///   no-float          float in numeric code (src/), doubles only
 ///   todo-format       TODO(name): with owner
 ///   include-hygiene   headers directly include what they use (checked list)

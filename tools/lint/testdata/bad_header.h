@@ -8,6 +8,7 @@ inline float HalfPrecision() {
   std::vector<int> v;
   (void)v;
   std::cout << std::rand();
+  std::printf("raw stdio\n");
   return 0.0f;
 }
 
