@@ -1,0 +1,35 @@
+#include "common/file_util.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace subrec {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read failed: " + path);
+  }
+  return std::move(buf).str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for write: " + path);
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace subrec

@@ -1,0 +1,25 @@
+#ifndef SUBREC_COMMON_FILE_UTIL_H_
+#define SUBREC_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace subrec {
+
+/// Reads the whole file at `path` into a string (binary mode, no newline
+/// translation). NotFound when the file cannot be opened, Internal on a read
+/// failure mid-stream. Never aborts — snapshot loading feeds untrusted bytes
+/// through here.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path` (binary mode, truncating). The write is not
+/// atomic; callers that need crash-safe publication should write to a
+/// temporary path and rename. Internal on open/write failure.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace subrec
+
+#endif  // SUBREC_COMMON_FILE_UTIL_H_

@@ -46,13 +46,21 @@ class Result {
   Status status_;
 };
 
+#define SUBREC_RESULT_CONCAT_INNER_(a, b) a##b
+#define SUBREC_RESULT_CONCAT_(a, b) SUBREC_RESULT_CONCAT_INNER_(a, b)
+
+#define SUBREC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
 /// Assigns the value of a Result expression to `lhs`, or propagates its error
-/// Status out of the enclosing Status-returning function.
-#define SUBREC_ASSIGN_OR_RETURN(lhs, expr)           \
-  auto _subrec_result_##__LINE__ = (expr);           \
-  if (!_subrec_result_##__LINE__.ok())               \
-    return _subrec_result_##__LINE__.status();       \
-  lhs = std::move(_subrec_result_##__LINE__).value()
+/// Status out of the enclosing Status- (or Result-) returning function.
+/// __LINE__ is expanded before pasting, so one function can use the macro on
+/// several lines without temporaries colliding.
+#define SUBREC_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  SUBREC_ASSIGN_OR_RETURN_IMPL_(                                           \
+      SUBREC_RESULT_CONCAT_(subrec_result_tmp_, __LINE__), lhs, expr)
 
 }  // namespace subrec
 

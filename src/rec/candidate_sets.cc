@@ -45,6 +45,7 @@ RecEvalResult EvaluateRecommender(const RecContext& ctx,
                                   const Recommender& rec,
                                   const std::vector<CandidateSet>& sets,
                                   int k, int max_profile_papers) {
+  DCheckValidContext(ctx);
   RecEvalResult result;
   double ndcg = 0.0, mrr = 0.0, map = 0.0;
   for (const CandidateSet& set : sets) {

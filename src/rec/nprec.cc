@@ -28,6 +28,14 @@ NPRec::NPRec(const NPRecOptions& options, const SubspaceEmbeddings* subspace)
       << "NPRec needs at least one of text/graph";
   SUBREC_CHECK_GT(options_.depth, 0);
   SUBREC_CHECK_GT(options_.neighbor_samples, 0);
+  // `subspace` is a non-owning pointer the options make load-bearing; fail
+  // at construction in dev builds rather than at first Fit in production.
+  if (options_.use_text || options_.sampler.use_defuzzing) {
+    SUBREC_DCHECK(subspace_ != nullptr)
+        << "NPRec with use_text/defuzzing needs subspace embeddings";
+    SUBREC_DCHECK(subspace_ == nullptr || !subspace_->empty())
+        << "NPRec given an empty SubspaceEmbeddings table";
+  }
 }
 
 Matrix NPRec::FusedText(corpus::PaperId p) const {
@@ -265,6 +273,7 @@ void NPRec::ComputePriorFeatures(const RecContext& ctx) {
 }
 
 Status NPRec::Fit(const RecContext& ctx) {
+  DCheckValidContext(ctx);
   if (options_.use_graph && ctx.graph == nullptr)
     return Status::InvalidArgument("NPRec: graph required but missing");
   if ((options_.use_text || options_.sampler.use_defuzzing) &&
@@ -522,6 +531,20 @@ std::vector<double> NPRec::PaperTextVector(corpus::PaperId p) const {
   SUBREC_CHECK(fitted_);
   if (!options_.use_text) return {};
   return FusedText(p).RowToVector(0);
+}
+
+NPRecFrozenVectors NPRec::ExportFrozenVectors() const {
+  SUBREC_CHECK(fitted_) << "ExportFrozenVectors before Fit";
+  NPRecFrozenVectors out;
+  out.interest = paper_interest_;
+  out.influence = paper_influence_;
+  if (options_.use_text) {
+    out.text.reserve(paper_interest_.size());
+    for (size_t p = 0; p < paper_interest_.size(); ++p)
+      out.text.push_back(
+          FusedText(static_cast<corpus::PaperId>(p)).RowToVector(0));
+  }
+  return out;
 }
 
 }  // namespace subrec::rec

@@ -79,6 +79,16 @@ struct NPRecTrainStats {
   double train_seconds = 0.0;
 };
 
+/// Forward-only export of a fitted NPRec for the serving layer: the
+/// post-fit per-paper vectors that PairScore consumes, plus the fused text
+/// vectors (empty when use_text is off). Everything needed to reproduce
+/// Score() without the tape, the graph, or the trainables.
+struct NPRecFrozenVectors {
+  std::vector<std::vector<double>> interest;   // by PaperId
+  std::vector<std::vector<double>> influence;  // by PaperId
+  std::vector<std::vector<double>> text;       // by PaperId; may be empty
+};
+
 /// New Paper Recommendation model: combines the fused subspace text
 /// embedding c_p with GCN embeddings over the heterogeneous academic
 /// network, modeling user interest (out-citations + two-way relations) and
@@ -110,6 +120,10 @@ class NPRec final : public Recommender {
 
   /// Per-epoch training telemetry populated by the last Fit call.
   const NPRecTrainStats& train_stats() const { return train_stats_; }
+
+  /// Snapshot export hook (post-fit): copies the final propagation vectors
+  /// out of the model so serve::SnapshotWriter can freeze them.
+  NPRecFrozenVectors ExportFrozenVectors() const;
 
  private:
   using VarId = autodiff::VarId;

@@ -2,7 +2,38 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace subrec::rec {
+
+void DCheckValidContext(const RecContext& ctx) {
+#if SUBREC_DCHECK_IS_ON
+  SUBREC_CHECK(ctx.corpus != nullptr) << "RecContext: corpus is null";
+  const size_t num_papers = ctx.corpus->papers.size();
+  if (ctx.graph != nullptr) {
+    SUBREC_CHECK_EQ(ctx.graph->paper_nodes.size(), num_papers)
+        << "RecContext: graph built for a different corpus";
+  }
+  if (ctx.paper_text != nullptr) {
+    SUBREC_CHECK_EQ(ctx.paper_text->size(), num_papers)
+        << "RecContext: paper_text sized for a different corpus";
+  }
+  for (corpus::PaperId pid : ctx.train_papers) {
+    SUBREC_CHECK(pid >= 0 && static_cast<size_t>(pid) < num_papers)
+        << "RecContext: train paper id out of range: " << pid;
+    SUBREC_CHECK_LE(ctx.corpus->paper(pid).year, ctx.split_year)
+        << "RecContext: train paper " << pid << " is post-split";
+  }
+  for (corpus::PaperId pid : ctx.test_papers) {
+    SUBREC_CHECK(pid >= 0 && static_cast<size_t>(pid) < num_papers)
+        << "RecContext: test paper id out of range: " << pid;
+    SUBREC_CHECK_GT(ctx.corpus->paper(pid).year, ctx.split_year)
+        << "RecContext: test paper " << pid << " is pre-split";
+  }
+#else
+  (void)ctx;
+#endif
+}
 
 std::unordered_set<corpus::PaperId> UserInteractions(const RecContext& ctx,
                                                      corpus::AuthorId user) {

@@ -13,7 +13,9 @@
 namespace subrec::rec {
 
 /// Shared evaluation context handed to every recommender. Non-owning
-/// pointers must outlive the recommender.
+/// pointers must outlive the recommender; DCheckValidContext makes wiring
+/// mistakes (dangling/null pointers, mismatched array sizes) fail loudly
+/// in dev builds instead of silently corrupting scores.
 struct RecContext {
   const corpus::Corpus* corpus = nullptr;
   /// Academic network built with citation edges cut at split_year; null for
@@ -49,6 +51,12 @@ class Recommender {
       const RecContext& ctx, const UserQuery& query,
       const std::vector<corpus::PaperId>& candidates) const = 0;
 };
+
+/// DCHECK-backed structural validation of a RecContext: corpus present,
+/// graph node map and paper_text sized to the corpus, train/test paper ids
+/// in range. Recommenders call this at Fit entry and evaluation drivers at
+/// loop entry; compiled out in release builds.
+void DCheckValidContext(const RecContext& ctx);
 
 /// The set of training-time papers a user interacted with: their own
 /// pre-split publications plus the papers those publications cite. The

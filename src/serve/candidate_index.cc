@@ -1,0 +1,80 @@
+#include "serve/candidate_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace subrec::serve {
+
+CandidateIndex::CandidateIndex(const SnapshotData& data,
+                               const CandidateIndexOptions& options) {
+  const size_t n = data.years.size();
+  SUBREC_CHECK_EQ(data.disciplines.size(), n);
+  SUBREC_CHECK_EQ(data.topics.size(), n);
+
+  int32_t max_topic = -1;
+  for (size_t p = 0; p < n; ++p) {
+    if (data.years[p] > options.min_year && data.years[p] <= options.max_year)
+      new_papers_.push_back(static_cast<int32_t>(p));
+    max_topic = std::max(max_topic, data.topics[p]);
+  }
+  by_topic_.resize(static_cast<size_t>(max_topic + 1));
+  for (int32_t p : new_papers_) {
+    const int32_t t = data.topics[static_cast<size_t>(p)];
+    if (t >= 0) by_topic_[static_cast<size_t>(t)].push_back(p);
+  }
+
+  per_user_.resize(data.profiles.size());
+  for (size_t u = 0; u < data.profiles.size(); ++u) {
+    const std::vector<int32_t>& profile = data.profiles[u];
+    if (profile.empty()) {
+      per_user_[u] = new_papers_;
+      continue;
+    }
+    std::unordered_set<int32_t> disciplines, topics;
+    for (int32_t pid : profile) {
+      disciplines.insert(data.disciplines[static_cast<size_t>(pid)]);
+      const int32_t t = data.topics[static_cast<size_t>(pid)];
+      if (t >= 0) topics.insert(t);
+    }
+    auto discipline_ok = [&](int32_t p) {
+      return !options.filter_disciplines ||
+             disciplines.count(data.disciplines[static_cast<size_t>(p)]) > 0;
+    };
+    std::vector<int32_t> chosen;
+    if (options.prune_topics && !topics.empty()) {
+      // Union of the user's topic postings, discipline-filtered.
+      for (int32_t t : topics)
+        if (static_cast<size_t>(t) < by_topic_.size())
+          for (int32_t p : by_topic_[static_cast<size_t>(t)])
+            if (discipline_ok(p)) chosen.push_back(p);
+      std::sort(chosen.begin(), chosen.end());
+      chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    }
+    if (chosen.empty()) {
+      for (int32_t p : new_papers_)
+        if (discipline_ok(p)) chosen.push_back(p);
+    }
+    // A profile whose disciplines vanished from the window still needs
+    // something to rank: fall back to the unfiltered pool.
+    if (chosen.empty()) chosen = new_papers_;
+    per_user_[u] = std::move(chosen);
+  }
+}
+
+const std::vector<int32_t>& CandidateIndex::CandidatesFor(
+    int32_t user) const {
+  if (user < 0 || static_cast<size_t>(user) >= per_user_.size())
+    return new_papers_;
+  return per_user_[static_cast<size_t>(user)];
+}
+
+const std::vector<int32_t>& CandidateIndex::PapersForTopic(
+    int32_t topic) const {
+  if (topic < 0 || static_cast<size_t>(topic) >= by_topic_.size())
+    return empty_;
+  return by_topic_[static_cast<size_t>(topic)];
+}
+
+}  // namespace subrec::serve

@@ -1,0 +1,57 @@
+#ifndef SUBREC_SERVE_CANDIDATE_INDEX_H_
+#define SUBREC_SERVE_CANDIDATE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/snapshot.h"
+
+namespace subrec::serve {
+
+struct CandidateIndexOptions {
+  /// Candidates are "new" papers: year strictly greater than this (the
+  /// snapshot's split year by convention). INT32_MIN disables the floor.
+  int32_t min_year = 0;
+  /// Inclusive upper year bound — the serving-time recency window.
+  int32_t max_year = INT32_MAX;
+  /// Keep only candidates whose discipline appears in the user's profile.
+  bool filter_disciplines = true;
+  /// Prune via the inverted topic index: keep only candidates sharing a
+  /// topic with the user's profile. Users whose pruned set would be empty
+  /// fall back to the discipline-filtered set.
+  bool prune_topics = true;
+};
+
+/// Precomputed per-user candidate sets over the frozen corpus — the online
+/// analogue of what rec::BuildCandidateSet assembles offline per eval run.
+/// A coarse inverted topic index drives pruning; users with no usable
+/// profile fall back to the full new-paper pool. Immutable after build.
+class CandidateIndex {
+ public:
+  CandidateIndex(const SnapshotData& data,
+                 const CandidateIndexOptions& options);
+
+  /// The precomputed candidate list of `user` (ascending paper ids).
+  /// Unknown users get the full new-paper pool.
+  const std::vector<int32_t>& CandidatesFor(int32_t user) const;
+
+  /// All in-window new papers, ascending.
+  const std::vector<int32_t>& AllNewPapers() const { return new_papers_; }
+
+  /// Inverted index: in-window new papers of one topic, ascending.
+  const std::vector<int32_t>& PapersForTopic(int32_t topic) const;
+
+  size_t num_users() const { return per_user_.size(); }
+  size_t num_new_papers() const { return new_papers_.size(); }
+
+ private:
+  std::vector<int32_t> new_papers_;
+  std::vector<std::vector<int32_t>> by_topic_;
+  std::vector<std::vector<int32_t>> per_user_;
+  std::vector<int32_t> empty_;
+};
+
+}  // namespace subrec::serve
+
+#endif  // SUBREC_SERVE_CANDIDATE_INDEX_H_

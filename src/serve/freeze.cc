@@ -1,0 +1,45 @@
+#include "serve/freeze.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace subrec::serve {
+
+SnapshotData FreezeNPRec(const rec::RecContext& ctx, const rec::NPRec& model,
+                         const std::string& dataset_name,
+                         int max_profile_papers) {
+  rec::DCheckValidContext(ctx);
+  SUBREC_CHECK(ctx.corpus != nullptr);
+  const corpus::Corpus& corpus = *ctx.corpus;
+
+  SnapshotData data;
+  data.model_name = model.name();
+  data.dataset = dataset_name;
+  data.split_year = ctx.split_year;
+
+  rec::NPRecFrozenVectors vectors = model.ExportFrozenVectors();
+  SUBREC_CHECK_EQ(vectors.interest.size(), corpus.papers.size());
+  data.interest = std::move(vectors.interest);
+  data.influence = std::move(vectors.influence);
+  data.text = std::move(vectors.text);
+
+  data.years.reserve(corpus.papers.size());
+  data.disciplines.reserve(corpus.papers.size());
+  data.topics.reserve(corpus.papers.size());
+  for (const corpus::Paper& p : corpus.papers) {
+    data.years.push_back(p.year);
+    data.disciplines.push_back(p.discipline);
+    data.topics.push_back(p.topic);
+  }
+
+  data.profiles.reserve(corpus.authors.size());
+  for (const corpus::Author& a : corpus.authors) {
+    const std::vector<corpus::PaperId> profile =
+        rec::UserProfile(ctx, a.id, max_profile_papers);
+    data.profiles.emplace_back(profile.begin(), profile.end());
+  }
+  return data;
+}
+
+}  // namespace subrec::serve

@@ -1,0 +1,24 @@
+#ifndef SUBREC_SERVE_FREEZE_H_
+#define SUBREC_SERVE_FREEZE_H_
+
+#include <string>
+
+#include "rec/nprec.h"
+#include "rec/recommender.h"
+#include "serve/snapshot.h"
+
+namespace subrec::serve {
+
+/// Freezes a fitted NPRec plus its RecContext into self-contained
+/// SnapshotData: the model's forward-only vectors, the per-paper attributes
+/// the CandidateIndex filters on, and one serving profile per author
+/// (pre-split publications, most recent first, truncated to
+/// `max_profile_papers`; -1 keeps all). The result has no pointers into the
+/// corpus or the model — the offline/online cut happens here.
+SnapshotData FreezeNPRec(const rec::RecContext& ctx, const rec::NPRec& model,
+                         const std::string& dataset_name,
+                         int max_profile_papers = -1);
+
+}  // namespace subrec::serve
+
+#endif  // SUBREC_SERVE_FREEZE_H_

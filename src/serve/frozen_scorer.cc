@@ -1,0 +1,69 @@
+#include "serve/frozen_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "la/ops.h"
+
+namespace subrec::serve {
+
+FrozenScorer::FrozenScorer(const SnapshotData& data)
+    : interest_(data.interest),
+      influence_(data.influence),
+      text_(data.text) {
+  SUBREC_CHECK_EQ(interest_.size(), influence_.size());
+  SUBREC_CHECK(text_.empty() || text_.size() == interest_.size());
+}
+
+double FrozenScorer::PairScore(int32_t p, int32_t q) const {
+  SUBREC_DCHECK_GE(p, 0);
+  SUBREC_DCHECK_LT(static_cast<size_t>(p), interest_.size());
+  SUBREC_DCHECK_GE(q, 0);
+  SUBREC_DCHECK_LT(static_cast<size_t>(q), influence_.size());
+  const double logit = la::Dot(interest_[static_cast<size_t>(p)],
+                               influence_[static_cast<size_t>(q)]);
+  return 1.0 / (1.0 + std::exp(-logit));
+}
+
+std::vector<double> FrozenScorer::Score(
+    const std::vector<int32_t>& profile,
+    const std::vector<int32_t>& candidates) const {
+  std::vector<double> scores(candidates.size(), 0.0);
+  if (profile.empty()) return scores;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    double total = 0.0;
+    for (int32_t p : profile) total += PairScore(p, candidates[c]);
+    scores[c] = total / static_cast<double>(profile.size());
+  }
+  return scores;
+}
+
+std::vector<ScoredPaper> FrozenScorer::TopN(
+    const std::vector<int32_t>& profile,
+    const std::vector<int32_t>& candidates, int n) const {
+  const std::vector<double> scores = Score(profile, candidates);
+  std::vector<ScoredPaper> ranked(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i)
+    ranked[i] = {candidates[i], scores[i]};
+  const size_t keep = std::min(ranked.size(), static_cast<size_t>(
+                                                  n < 0 ? 0 : n));
+  auto better = [](const ScoredPaper& a, const ScoredPaper& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.paper < b.paper;
+  };
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<ptrdiff_t>(keep),
+                    ranked.end(), better);
+  ranked.resize(keep);
+  return ranked;
+}
+
+const std::vector<double>& FrozenScorer::TextVector(int32_t p) const {
+  if (text_.empty()) return empty_;
+  SUBREC_DCHECK_GE(p, 0);
+  SUBREC_DCHECK_LT(static_cast<size_t>(p), text_.size());
+  return text_[static_cast<size_t>(p)];
+}
+
+}  // namespace subrec::serve

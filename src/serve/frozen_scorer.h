@@ -1,0 +1,61 @@
+#ifndef SUBREC_SERVE_FROZEN_SCORER_H_
+#define SUBREC_SERVE_FROZEN_SCORER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/snapshot.h"
+
+namespace subrec::serve {
+
+/// One ranked recommendation.
+struct ScoredPaper {
+  int32_t paper = -1;
+  double score = 0.0;
+};
+
+/// Immutable forward-only scorer over frozen NPRec vectors. PairScore and
+/// Score reproduce the live model's post-fit math operation-for-operation
+/// (sigmoid of the interest/influence dot product, mean over the profile),
+/// so frozen top-N lists are bit-exact against NPRec::Score on the same
+/// candidates. Thread-safe by construction: all state is const after build.
+class FrozenScorer {
+ public:
+  /// Takes the vector arrays out of `data` (attribute arrays are left for
+  /// the caller — CandidateIndex consumes those).
+  explicit FrozenScorer(const SnapshotData& data);
+
+  size_t num_papers() const { return interest_.size(); }
+  size_t dim() const {
+    return interest_.empty() ? 0 : interest_.front().size();
+  }
+
+  /// Pairwise correlation score y_hat(p,q) (Eq. 22): sigmoid of the
+  /// interest(p) . influence(q) dot product.
+  double PairScore(int32_t p, int32_t q) const;
+
+  /// Mean PairScore of each candidate against the profile — exactly
+  /// NPRec::Score. Zeros when the profile is empty.
+  std::vector<double> Score(const std::vector<int32_t>& profile,
+                            const std::vector<int32_t>& candidates) const;
+
+  /// The top `n` candidates by score, descending; ties break toward the
+  /// lower paper id so rankings are deterministic across runs.
+  std::vector<ScoredPaper> TopN(const std::vector<int32_t>& profile,
+                                const std::vector<int32_t>& candidates,
+                                int n) const;
+
+  /// Fused text vector c_p; empty when the model ran text-free.
+  const std::vector<double>& TextVector(int32_t p) const;
+
+ private:
+  std::vector<std::vector<double>> interest_;
+  std::vector<std::vector<double>> influence_;
+  std::vector<std::vector<double>> text_;
+  std::vector<double> empty_;
+};
+
+}  // namespace subrec::serve
+
+#endif  // SUBREC_SERVE_FROZEN_SCORER_H_

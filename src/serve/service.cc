@@ -1,0 +1,181 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace subrec::serve {
+namespace {
+
+obs::Histogram* LatencyHistogram() {
+  static obs::Histogram* const h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.latency_us", {10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+                           10000, 25000, 50000, 100000});
+  return h;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ServingState>> ServingState::FromSnapshot(
+    SnapshotData data, CandidateIndexOptions index_options) {
+  if (data.interest.empty())
+    return Status::InvalidArgument("snapshot has no papers to serve");
+  if (index_options.min_year == 0) index_options.min_year = data.split_year;
+  auto state = std::make_shared<ServingState>(ServingState{
+      FrozenScorer(data), CandidateIndex(data, index_options),
+      std::move(data.profiles), std::move(data.model_name),
+      std::move(data.dataset), data.split_year});
+  return std::shared_ptr<const ServingState>(std::move(state));
+}
+
+RecommendService::RecommendService(const ServeOptions& options)
+    : options_(options), pool_(options.num_threads) {
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
+                                           options_.cache_shards);
+  }
+}
+
+Status RecommendService::LoadSnapshotFile(const std::string& path) {
+  SUBREC_ASSIGN_OR_RETURN(SnapshotData data, SnapshotReader::ReadFile(path));
+  SUBREC_ASSIGN_OR_RETURN(std::shared_ptr<const ServingState> state,
+                          ServingState::FromSnapshot(std::move(data),
+                                                     options_.index));
+  Swap(std::move(state));
+  return Status::Ok();
+}
+
+void RecommendService::Swap(std::shared_ptr<const ServingState> state) {
+  SUBREC_CHECK(state != nullptr);
+  static obs::Counter* const swaps =
+      obs::MetricsRegistry::Global().GetCounter("serve.swaps");
+  // Publish the state BEFORE bumping the generation: a request that reads
+  // the new generation number is then guaranteed to also see the new state,
+  // so a stale result can never be cached under the new generation. (The
+  // benign converse — a fresh result under the old generation — only wastes
+  // one cache slot.)
+  state_.store(std::move(state));
+  generation_.fetch_add(1);
+  if (cache_) cache_->Clear();
+  swaps->Increment();
+}
+
+std::shared_ptr<const ServingState> RecommendService::state() const {
+  return state_.load();
+}
+
+RecResponse RecommendService::TopN(int32_t user, int n) {
+  static obs::Counter* const requests =
+      obs::MetricsRegistry::Global().GetCounter("serve.requests");
+  static obs::Counter* const cache_hit_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache_hit");
+  static obs::Counter* const cache_miss_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache_miss");
+
+  RecResponse response;
+  response.enqueue_ns = obs::NowNs();
+  requests->Increment();
+
+  // Generation first, then state — pairs with the store order in Swap.
+  const uint64_t generation = generation_.load();
+  const std::shared_ptr<const ServingState> state = state_.load();
+  if (state == nullptr) {
+    response.status =
+        Status::FailedPrecondition("RecommendService: no snapshot loaded");
+    response.done_ns = obs::NowNs();
+    return response;
+  }
+  if (n < 0 || user < 0 ||
+      static_cast<size_t>(user) >= state->profiles.size()) {
+    response.status = Status::InvalidArgument(
+        "RecommendService: unknown user " + std::to_string(user));
+    response.done_ns = obs::NowNs();
+    return response;
+  }
+
+  // Cache key: generation | user | n, all range-checked so distinct
+  // requests can never alias to the same slot.
+  SUBREC_DCHECK_LT(n, 1 << 16);
+  const uint64_t key = ((generation & 0xFFFFu) << 48) |
+                       (static_cast<uint64_t>(static_cast<uint32_t>(user))
+                        << 16) |
+                       (static_cast<uint64_t>(n) & 0xFFFFu);
+  if (cache_) {
+    if (auto cached = cache_->Get(key); cached.has_value()) {
+      cache_hit_counter->Increment();
+      response.items = std::move(*cached);
+      response.cache_hit = true;
+      response.done_ns = obs::NowNs();
+      LatencyHistogram()->Observe(
+          static_cast<double>(response.done_ns - response.enqueue_ns) / 1e3);
+      return response;
+    }
+    cache_miss_counter->Increment();
+  }
+
+  {
+    SUBREC_TRACE_SPAN("serve/score");
+    const std::vector<int32_t>& profile =
+        state->profiles[static_cast<size_t>(user)];
+    const std::vector<int32_t>& candidates = state->index.CandidatesFor(user);
+    response.items = state->scorer.TopN(profile, candidates, n);
+  }
+  if (cache_) cache_->Put(key, response.items);
+  response.done_ns = obs::NowNs();
+  LatencyHistogram()->Observe(
+      static_cast<double>(response.done_ns - response.enqueue_ns) / 1e3);
+  return response;
+}
+
+std::future<std::vector<RecResponse>> RecommendService::SubmitBatch(
+    std::vector<RecRequest> requests) {
+  const size_t batch = options_.batch_size > 0 ? options_.batch_size : 1;
+  const size_t num_chunks = (requests.size() + batch - 1) / batch;
+  if (num_chunks <= 1) {
+    return pool_.SubmitWithResult(
+        [this, requests = std::move(requests)]() {
+          std::vector<RecResponse> out;
+          out.reserve(requests.size());
+          for (const RecRequest& r : requests) out.push_back(TopN(r.user, r.n));
+          return out;
+        });
+  }
+  // Fan the chunks out across workers; aggregation is a deferred task that
+  // runs on whichever thread calls get(), so no worker (and no extra
+  // thread) ever blocks waiting on chunk futures.
+  auto chunk_futures = std::make_shared<
+      std::vector<std::future<std::vector<RecResponse>>>>();
+  chunk_futures->reserve(num_chunks);
+  for (size_t start = 0; start < requests.size(); start += batch) {
+    const size_t end = std::min(requests.size(), start + batch);
+    std::vector<RecRequest> chunk(
+        requests.begin() + static_cast<ptrdiff_t>(start),
+        requests.begin() + static_cast<ptrdiff_t>(end));
+    chunk_futures->push_back(pool_.SubmitWithResult(
+        [this, chunk = std::move(chunk)]() {
+          std::vector<RecResponse> out;
+          out.reserve(chunk.size());
+          for (const RecRequest& r : chunk) out.push_back(TopN(r.user, r.n));
+          return out;
+        }));
+  }
+  return std::async(std::launch::deferred, [chunk_futures]() {
+    std::vector<RecResponse> all;
+    for (auto& f : *chunk_futures) {
+      std::vector<RecResponse> part = f.get();
+      for (RecResponse& r : part) all.push_back(std::move(r));
+    }
+    return all;
+  });
+}
+
+std::vector<RecResponse> RecommendService::TopNBatch(
+    const std::vector<RecRequest>& requests) {
+  return SubmitBatch(requests).get();
+}
+
+}  // namespace subrec::serve

@@ -1,0 +1,111 @@
+#ifndef SUBREC_SERVE_SERVICE_H_
+#define SUBREC_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/candidate_index.h"
+#include "serve/frozen_scorer.h"
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+#include "serve/thread_pool.h"
+
+namespace subrec::serve {
+
+/// One immutable generation of serving data: scorer + candidate index +
+/// user profiles, built from one snapshot. Shared read-only across worker
+/// threads; replaced wholesale on hot reload.
+struct ServingState {
+  FrozenScorer scorer;
+  CandidateIndex index;
+  std::vector<std::vector<int32_t>> profiles;
+  std::string model_name;
+  std::string dataset;
+  int32_t split_year = 0;
+
+  /// Builds a state from parsed snapshot data. `index_options.min_year`
+  /// of 0 is auto-filled with the snapshot's split year.
+  static Result<std::shared_ptr<const ServingState>> FromSnapshot(
+      SnapshotData data, CandidateIndexOptions index_options);
+};
+
+struct ServeOptions {
+  size_t num_threads = 4;
+  /// Total entries across all cache shards; 0 disables the result cache.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 16;
+  /// Requests grouped into one pool task by SubmitBatch/TopNBatch.
+  size_t batch_size = 8;
+  CandidateIndexOptions index;
+};
+
+struct RecRequest {
+  int32_t user = -1;
+  int n = 10;
+};
+
+struct RecResponse {
+  Status status;
+  std::vector<ScoredPaper> items;
+  bool cache_hit = false;
+  /// Monotonic timestamps for load-generator latency accounting:
+  /// enqueue (SubmitBatch call / TopN entry) and completion.
+  int64_t enqueue_ns = 0;
+  int64_t done_ns = 0;
+};
+
+/// Online top-N recommendation front end: a bounded thread pool executes
+/// batched requests against the current ServingState, memoizing per-user
+/// result lists in a sharded LRU cache. Snapshot swap is one atomic
+/// shared_ptr store — in-flight requests finish on the old generation,
+/// new requests see the new one, and the cache is invalidated explicitly.
+/// Metrics flow through the global obs registry ("serve.*").
+class RecommendService {
+ public:
+  explicit RecommendService(const ServeOptions& options);
+
+  /// Reads, parses, and swaps in the snapshot at `path`.
+  Status LoadSnapshotFile(const std::string& path);
+
+  /// Hot reload: atomically publishes `state` and invalidates the cache.
+  void Swap(std::shared_ptr<const ServingState> state);
+
+  /// The current generation's state (nullptr before the first swap).
+  std::shared_ptr<const ServingState> state() const;
+
+  /// Scores one request synchronously on the calling thread. Thread-safe.
+  RecResponse TopN(int32_t user, int n);
+
+  /// Enqueues `requests` on the pool as batch_size-grouped tasks; the
+  /// future resolves when the whole batch is done, responses in order.
+  std::future<std::vector<RecResponse>> SubmitBatch(
+      std::vector<RecRequest> requests);
+
+  /// SubmitBatch + wait.
+  std::vector<RecResponse> TopNBatch(const std::vector<RecRequest>& requests);
+
+  int64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
+  int64_t cache_misses() const { return cache_ ? cache_->misses() : 0; }
+  uint64_t generation() const { return generation_.load(); }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  using ResultCache = ShardedLruCache<uint64_t, std::vector<ScoredPaper>>;
+
+  ServeOptions options_;
+  ThreadPool pool_;
+  std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
+  std::atomic<std::shared_ptr<const ServingState>> state_;
+  std::atomic<uint64_t> generation_{0};
+};
+
+}  // namespace subrec::serve
+
+#endif  // SUBREC_SERVE_SERVICE_H_

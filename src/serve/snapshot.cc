@@ -1,0 +1,361 @@
+#include "serve/snapshot.h"
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <utility>
+
+#include "common/file_util.h"
+
+namespace subrec::serve {
+namespace {
+
+// "SUBRSNP1" read as a little-endian u64.
+constexpr uint64_t kMagic = 0x31504E5352425553ULL;
+constexpr uint32_t kVersion = 1;
+// Header: magic u64 + version u32 + section_count u32 + payload_size u64.
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 8;
+constexpr size_t kFooterSize = 4;  // payload crc32
+
+enum SectionTag : uint32_t {
+  kMetaTag = 1,
+  kInterestTag = 2,
+  kInfluenceTag = 3,
+  kTextTag = 4,
+  kYearsTag = 5,
+  kDisciplinesTag = 6,
+  kTopicsTag = 7,
+  kProfilesTag = 8,
+};
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void AppendI32(std::string* out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendDouble(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void AppendI32Vector(std::string* out, const std::vector<int32_t>& v) {
+  AppendU64(out, v.size());
+  for (int32_t x : v) AppendI32(out, x);
+}
+
+/// Uniform-width double matrix: rows u64, cols u64, row-major values.
+Status EncodeMatrix(const std::vector<std::vector<double>>& rows,
+                    std::string* out) {
+  const size_t cols = rows.empty() ? 0 : rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != cols)
+      return Status::InvalidArgument("snapshot matrix rows are ragged");
+  }
+  AppendU64(out, rows.size());
+  AppendU64(out, cols);
+  for (const auto& row : rows)
+    for (double v : row) AppendDouble(out, v);
+  return Status::Ok();
+}
+
+/// Bounds-checked sequential reader over untrusted snapshot bytes.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ReadU32(uint32_t* out) {
+    SUBREC_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status ReadU64(uint64_t* out) {
+    SUBREC_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    pos_ += 8;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status ReadI32(int32_t* out) {
+    uint32_t v = 0;
+    SUBREC_RETURN_NOT_OK(ReadU32(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::Ok();
+  }
+
+  Status ReadDouble(double* out) {
+    uint64_t v = 0;
+    SUBREC_RETURN_NOT_OK(ReadU64(&v));
+    *out = std::bit_cast<double>(v);
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    SUBREC_RETURN_NOT_OK(ReadU32(&len));
+    SUBREC_RETURN_NOT_OK(Need(len));
+    out->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  /// A length-checked sub-view for one section's bytes.
+  Status ReadView(uint64_t len, std::string_view* out) {
+    SUBREC_RETURN_NOT_OK(Need(len));
+    *out = data_.substr(pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return Status::Ok();
+  }
+
+ private:
+  Status Need(uint64_t n) const {
+    if (n > data_.size() - pos_)
+      return Status::OutOfRange("snapshot truncated: need " +
+                                std::to_string(n) + " bytes, have " +
+                                std::to_string(data_.size() - pos_));
+    return Status::Ok();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status DecodeMatrix(std::string_view bytes,
+                    std::vector<std::vector<double>>* out) {
+  Cursor c(bytes);
+  uint64_t rows = 0, cols = 0;
+  SUBREC_RETURN_NOT_OK(c.ReadU64(&rows));
+  SUBREC_RETURN_NOT_OK(c.ReadU64(&cols));
+  // Guard rows*cols against overflowing the section before allocating.
+  if (cols != 0 && rows > c.remaining() / (8 * cols))
+    return Status::OutOfRange("snapshot matrix larger than its section");
+  out->assign(static_cast<size_t>(rows), std::vector<double>(cols));
+  for (auto& row : *out)
+    for (double& v : row) SUBREC_RETURN_NOT_OK(c.ReadDouble(&v));
+  return Status::Ok();
+}
+
+Status DecodeI32Vector(std::string_view bytes, std::vector<int32_t>* out) {
+  Cursor c(bytes);
+  uint64_t n = 0;
+  SUBREC_RETURN_NOT_OK(c.ReadU64(&n));
+  if (n > c.remaining() / 4)
+    return Status::OutOfRange("snapshot int array larger than its section");
+  out->resize(static_cast<size_t>(n));
+  for (int32_t& v : *out) SUBREC_RETURN_NOT_OK(c.ReadI32(&v));
+  return Status::Ok();
+}
+
+/// Structural consistency of a parsed snapshot: every per-paper array must
+/// agree on the paper count and the score dot product must be well-formed.
+Status ValidateData(const SnapshotData& d) {
+  const size_t n = d.interest.size();
+  if (d.influence.size() != n)
+    return Status::InvalidArgument("snapshot: interest/influence size skew");
+  if (n > 0 && d.interest.front().size() != d.influence.front().size())
+    return Status::InvalidArgument("snapshot: interest/influence dim skew");
+  if (!d.text.empty() && d.text.size() != n)
+    return Status::InvalidArgument("snapshot: text vector count skew");
+  if (d.years.size() != n || d.disciplines.size() != n ||
+      d.topics.size() != n) {
+    return Status::InvalidArgument("snapshot: attribute array size skew");
+  }
+  for (const auto& profile : d.profiles) {
+    for (int32_t pid : profile) {
+      if (pid < 0 || static_cast<size_t>(pid) >= n)
+        return Status::InvalidArgument("snapshot: profile paper out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  // Table-driven reflected CRC-32 (poly 0xEDB88320), computed lazily once.
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+SnapshotWriter::SnapshotWriter(const SnapshotData& data) {
+  std::string payload;
+  uint32_t sections = 0;
+  auto add_section = [&](uint32_t tag, const std::string& body) {
+    AppendU32(&payload, tag);
+    AppendU64(&payload, body.size());
+    payload.append(body);
+    ++sections;
+  };
+
+  {
+    std::string body;
+    AppendString(&body, data.model_name);
+    AppendString(&body, data.dataset);
+    AppendI32(&body, data.split_year);
+    add_section(kMetaTag, body);
+  }
+  auto add_matrix = [&](uint32_t tag,
+                        const std::vector<std::vector<double>>& m) {
+    std::string body;
+    const Status s = EncodeMatrix(m, &body);
+    SUBREC_CHECK(s.ok()) << s.ToString();
+    add_section(tag, body);
+  };
+  add_matrix(kInterestTag, data.interest);
+  add_matrix(kInfluenceTag, data.influence);
+  add_matrix(kTextTag, data.text);
+  auto add_ints = [&](uint32_t tag, const std::vector<int32_t>& v) {
+    std::string body;
+    AppendI32Vector(&body, v);
+    add_section(tag, body);
+  };
+  add_ints(kYearsTag, data.years);
+  add_ints(kDisciplinesTag, data.disciplines);
+  add_ints(kTopicsTag, data.topics);
+  {
+    std::string body;
+    AppendU64(&body, data.profiles.size());
+    for (const auto& profile : data.profiles) AppendI32Vector(&body, profile);
+    add_section(kProfilesTag, body);
+  }
+
+  bytes_.reserve(kHeaderSize + payload.size() + kFooterSize);
+  AppendU64(&bytes_, kMagic);
+  AppendU32(&bytes_, kVersion);
+  AppendU32(&bytes_, sections);
+  AppendU64(&bytes_, payload.size());
+  bytes_.append(payload);
+  AppendU32(&bytes_, Crc32(payload));
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  return WriteStringToFile(path, bytes_);
+}
+
+Result<SnapshotData> SnapshotReader::Parse(std::string_view bytes) {
+  Cursor header(bytes);
+  uint64_t magic = 0, payload_size = 0;
+  uint32_t version = 0, section_count = 0;
+  SUBREC_RETURN_NOT_OK(header.ReadU64(&magic));
+  if (magic != kMagic)
+    return Status::InvalidArgument("snapshot: bad magic (not a snapshot?)");
+  SUBREC_RETURN_NOT_OK(header.ReadU32(&version));
+  if (version != kVersion)
+    return Status::InvalidArgument("snapshot: unsupported version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kVersion) + ")");
+  SUBREC_RETURN_NOT_OK(header.ReadU32(&section_count));
+  SUBREC_RETURN_NOT_OK(header.ReadU64(&payload_size));
+  std::string_view payload;
+  SUBREC_RETURN_NOT_OK(header.ReadView(payload_size, &payload));
+  uint32_t stored_crc = 0;
+  SUBREC_RETURN_NOT_OK(header.ReadU32(&stored_crc));
+  const uint32_t actual_crc = Crc32(payload);
+  if (stored_crc != actual_crc)
+    return Status::InvalidArgument("snapshot: checksum mismatch (corrupt)");
+
+  SnapshotData data;
+  Cursor c(payload);
+  for (uint32_t s = 0; s < section_count; ++s) {
+    uint32_t tag = 0;
+    uint64_t size = 0;
+    SUBREC_RETURN_NOT_OK(c.ReadU32(&tag));
+    SUBREC_RETURN_NOT_OK(c.ReadU64(&size));
+    std::string_view body;
+    SUBREC_RETURN_NOT_OK(c.ReadView(size, &body));
+    switch (tag) {
+      case kMetaTag: {
+        Cursor m(body);
+        SUBREC_RETURN_NOT_OK(m.ReadString(&data.model_name));
+        SUBREC_RETURN_NOT_OK(m.ReadString(&data.dataset));
+        SUBREC_RETURN_NOT_OK(m.ReadI32(&data.split_year));
+        break;
+      }
+      case kInterestTag:
+        SUBREC_RETURN_NOT_OK(DecodeMatrix(body, &data.interest));
+        break;
+      case kInfluenceTag:
+        SUBREC_RETURN_NOT_OK(DecodeMatrix(body, &data.influence));
+        break;
+      case kTextTag:
+        SUBREC_RETURN_NOT_OK(DecodeMatrix(body, &data.text));
+        break;
+      case kYearsTag:
+        SUBREC_RETURN_NOT_OK(DecodeI32Vector(body, &data.years));
+        break;
+      case kDisciplinesTag:
+        SUBREC_RETURN_NOT_OK(DecodeI32Vector(body, &data.disciplines));
+        break;
+      case kTopicsTag:
+        SUBREC_RETURN_NOT_OK(DecodeI32Vector(body, &data.topics));
+        break;
+      case kProfilesTag: {
+        Cursor p(body);
+        uint64_t users = 0;
+        SUBREC_RETURN_NOT_OK(p.ReadU64(&users));
+        if (users > body.size() / 8)
+          return Status::OutOfRange("snapshot: profile count implausible");
+        data.profiles.resize(static_cast<size_t>(users));
+        for (auto& profile : data.profiles) {
+          uint64_t len = 0;
+          SUBREC_RETURN_NOT_OK(p.ReadU64(&len));
+          if (len > p.remaining() / 4)
+            return Status::OutOfRange("snapshot: profile longer than section");
+          profile.resize(static_cast<size_t>(len));
+          for (int32_t& pid : profile) SUBREC_RETURN_NOT_OK(p.ReadI32(&pid));
+        }
+        break;
+      }
+      default:
+        // Unknown section from a newer writer: skip, stay compatible.
+        break;
+    }
+  }
+  SUBREC_RETURN_NOT_OK(ValidateData(data));
+  return data;
+}
+
+Result<SnapshotData> SnapshotReader::ReadFile(const std::string& path) {
+  SUBREC_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  return Parse(bytes);
+}
+
+}  // namespace subrec::serve

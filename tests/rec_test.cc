@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "datagen/corpus_generator.h"
 #include "datagen/datasets.h"
@@ -239,9 +240,36 @@ TEST_F(RecWorld, NPRecAblationVariantsFit) {
 
 TEST_F(RecWorld, NPRecRequiresDependencies) {
   NPRecOptions o = FastNPRecOptions();
+#if SUBREC_DCHECK_IS_ON
+  // Dev builds fail loudly at construction: text wanted, no subspace.
+  EXPECT_DEATH(NPRec(o, nullptr), "subspace");
+#else
   NPRec model(o, nullptr);  // text wanted but no subspace embeddings
   EXPECT_FALSE(model.Fit(*ctx_).ok());
+#endif
 }
+
+#if SUBREC_DCHECK_IS_ON
+/// The non-owning RecContext pointers are guarded: dangling or mismatched
+/// context members die at the recommender boundary instead of corrupting
+/// training silently.
+TEST_F(RecWorld, InvalidContextDiesInDevBuilds) {
+  RecContext bad = *ctx_;
+  bad.corpus = nullptr;
+  EXPECT_DEATH(DCheckValidContext(bad), "corpus");
+
+  RecContext wrong_text = *ctx_;
+  std::vector<std::vector<double>> short_text(1);
+  wrong_text.paper_text = &short_text;
+  EXPECT_DEATH(DCheckValidContext(wrong_text), "paper_text");
+
+  RecContext leaky = *ctx_;
+  std::vector<corpus::PaperId> future_train = leaky.train_papers;
+  future_train.push_back(leaky.test_papers.front());  // post-split leak
+  leaky.train_papers = future_train;
+  EXPECT_DEATH(DCheckValidContext(leaky), "split");
+}
+#endif
 
 TEST_F(RecWorld, KgcnVariantsConfigure) {
   const NPRecOptions base = FastNPRecOptions();

@@ -1,0 +1,654 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file_util.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "graph/academic_graph.h"
+#include "rec/nprec.h"
+#include "rec/recommender.h"
+#include "serve/candidate_index.h"
+#include "serve/freeze.h"
+#include "serve/frozen_scorer.h"
+#include "serve/lru_cache.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/thread_pool.h"
+#include "text/hashed_ngram_encoder.h"
+
+namespace subrec::serve {
+namespace {
+
+constexpr int kSplitYear = 2014;
+
+/// A tiny trained world: corpus, graph, naive frozen-encoder subspace
+/// embeddings (as in rec_test), and a fitted fast NPRec — everything
+/// FreezeNPRec needs, for any dataset preset.
+struct TestWorld {
+  datagen::GeneratedDataset dataset;
+  graph::GraphIndex graph;
+  rec::SubspaceEmbeddings subspace;
+  std::vector<std::vector<double>> text;
+  rec::RecContext ctx;
+  std::unique_ptr<rec::NPRec> model;
+};
+
+std::unique_ptr<TestWorld> BuildWorld(
+    const datagen::CorpusGeneratorOptions& corpus_options) {
+  auto world = std::make_unique<TestWorld>();
+  auto generated = datagen::GenerateCorpus(corpus_options);
+  SUBREC_CHECK(generated.ok()) << generated.status().ToString();
+  world->dataset = std::move(generated).value();
+  const corpus::Corpus& corpus = world->dataset.corpus;
+  const auto split = datagen::SplitByYear(corpus, kSplitYear);
+  SUBREC_CHECK(!split.train.empty());
+  SUBREC_CHECK(!split.test.empty());
+
+  graph::GraphBuildOptions graph_options;
+  graph_options.citation_year_cutoff = kSplitYear;
+  world->graph = graph::BuildAcademicGraph(corpus, graph_options);
+
+  text::HashedNgramEncoderOptions enc_options;
+  enc_options.dim = 16;
+  text::HashedNgramEncoder encoder(enc_options);
+  for (const auto& p : corpus.papers) {
+    std::vector<std::vector<double>> subs(3, std::vector<double>(16, 0.0));
+    std::vector<int> counts(3, 0);
+    for (const auto& s : p.abstract_sentences) {
+      const size_t role =
+          s.role >= 0 && s.role < 3 ? static_cast<size_t>(s.role) : 0;
+      const auto v = encoder.Encode(s.text);
+      for (size_t j = 0; j < v.size(); ++j) subs[role][j] += v[j];
+      ++counts[role];
+    }
+    std::vector<double> fused(16, 0.0);
+    for (size_t k = 0; k < 3; ++k) {
+      if (counts[k] > 0)
+        for (double& x : subs[k]) x /= counts[k];
+      for (size_t j = 0; j < 16; ++j) fused[j] += subs[k][j] / 3.0;
+    }
+    world->subspace.push_back(std::move(subs));
+    world->text.push_back(std::move(fused));
+  }
+
+  world->ctx.corpus = &corpus;
+  world->ctx.graph = &world->graph;
+  world->ctx.split_year = kSplitYear;
+  world->ctx.train_papers = split.train;
+  world->ctx.test_papers = split.test;
+  world->ctx.paper_text = &world->text;
+
+  rec::NPRecOptions options;
+  options.embed_dim = 12;
+  options.neighbor_samples = 4;
+  options.epochs = 1;
+  options.sampler.max_positives = 120;
+  options.sampler.negatives_per_positive = 3;
+  world->model = std::make_unique<rec::NPRec>(options, &world->subspace);
+  const Status fit = world->model->Fit(world->ctx);
+  SUBREC_CHECK(fit.ok()) << fit.ToString();
+  return world;
+}
+
+/// A handcrafted 4-paper, 2-user snapshot for format/index tests.
+SnapshotData TinyData() {
+  SnapshotData d;
+  d.model_name = "NPRec";
+  d.dataset = "tiny";
+  d.split_year = 2014;
+  d.interest = {{1.0, 0.0}, {0.5, 0.5}, {0.0, 1.0}, {0.25, -0.75}};
+  d.influence = {{0.2, 0.1}, {-0.5, 1.0}, {1.0, 1.0}, {0.0, 0.0}};
+  d.text = {{0.1}, {0.2}, {0.3}, {0.4}};
+  d.years = {2012, 2013, 2015, 2016};
+  d.disciplines = {0, 1, 0, 1};
+  d.topics = {0, 1, 0, 1};
+  d.profiles = {{0}, {1, 0}};
+  return d;
+}
+
+// --- CRC and file I/O -----------------------------------------------------
+
+TEST(Crc32, KnownAnswer) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(FileUtil, RoundTripsBinaryContent) {
+  const std::string path = ::testing::TempDir() + "/subrec_file_util_test.bin";
+  std::string content = "hello";
+  content.push_back('\0');
+  content += "\n\r binary \x01\xff tail";
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  const auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), content);
+}
+
+TEST(FileUtil, MissingFileIsNotFound) {
+  const auto read = ReadFileToString("/nonexistent/subrec/nope.bin");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+// --- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 500; ++i)
+      pool.Submit([&count] { count.fetch_add(1); });
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ReturnsResultsThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i)
+    futures.push_back(pool.SubmitWithResult([i] { return i * i; }));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionsLandInTheFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.SubmitWithResult(
+      []() -> int { throw std::runtime_error("task failed"); });
+  auto good = pool.SubmitWithResult([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 7);  // the worker survived the throwing task
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPool, ManyProducersOnePool) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 8; ++t) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < 200; ++i)
+        pool.Submit([&count] { count.fetch_add(1); });
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 1600);
+}
+
+// --- ShardedLruCache ------------------------------------------------------
+
+TEST(LruCache, PutGetOverwrite) {
+  ShardedLruCache<int, std::string> cache(8, 2);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  EXPECT_EQ(cache.Get(1).value(), "a");
+  cache.Put(1, "a2");
+  EXPECT_EQ(cache.Get(1).value(), "a2");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  // One shard so the recency order is global and deterministic.
+  ShardedLruCache<int, int> cache(2, 1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_TRUE(cache.Get(1).has_value());  // refresh 1; 2 is now oldest
+  cache.Put(3, 30);                       // evicts 2
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+}
+
+TEST(LruCache, ClearInvalidatesEverything) {
+  ShardedLruCache<int, int> cache(64, 4);
+  for (int i = 0; i < 32; ++i) cache.Put(i, i);
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(5).has_value());
+}
+
+/// ThreadPool + cache hammer: concurrent Get/Put/Clear across shards. Run
+/// under the tsan preset this is the serving-path race detector.
+TEST(LruCache, ConcurrentHammer) {
+  ShardedLruCache<uint64_t, std::vector<int>> cache(256, 8);
+  ThreadPool pool(8);
+  std::atomic<int> done{0};
+  for (int t = 0; t < 16; ++t) {
+    pool.Submit([&cache, &done, t] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        const uint64_t key = (static_cast<uint64_t>(t) << 32) | (i % 97);
+        if (i % 3 == 0) cache.Put(key, std::vector<int>{t, static_cast<int>(i)});
+        auto hit = cache.Get(key);
+        if (hit.has_value()) {
+          ASSERT_EQ(hit->size(), 2u);
+          ASSERT_EQ((*hit)[0], t);
+        }
+        if (i % 251 == 0) cache.Clear();
+      }
+      done.fetch_add(1);
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(done.load(), 16);
+  EXPECT_GT(cache.hits() + cache.misses(), 0);
+}
+
+// --- Snapshot format ------------------------------------------------------
+
+TEST(Snapshot, RoundTripsTinyDataExactly) {
+  const SnapshotData data = TinyData();
+  SnapshotWriter writer(data);
+  const auto parsed = SnapshotReader::Parse(writer.bytes());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const SnapshotData& out = parsed.value();
+  EXPECT_EQ(out.model_name, data.model_name);
+  EXPECT_EQ(out.dataset, data.dataset);
+  EXPECT_EQ(out.split_year, data.split_year);
+  EXPECT_EQ(out.interest, data.interest);  // bit-exact doubles
+  EXPECT_EQ(out.influence, data.influence);
+  EXPECT_EQ(out.text, data.text);
+  EXPECT_EQ(out.years, data.years);
+  EXPECT_EQ(out.disciplines, data.disciplines);
+  EXPECT_EQ(out.topics, data.topics);
+  EXPECT_EQ(out.profiles, data.profiles);
+}
+
+TEST(Snapshot, RoundTripsThroughAFile) {
+  const std::string path = ::testing::TempDir() + "/subrec_snapshot_test.snap";
+  SnapshotWriter writer(TinyData());
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  const auto parsed = SnapshotReader::ReadFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().interest, TinyData().interest);
+}
+
+TEST(Snapshot, RejectsCorruptInputWithoutCrashing) {
+  SnapshotWriter writer(TinyData());
+  const std::string& good = writer.bytes();
+
+  EXPECT_FALSE(SnapshotReader::Parse("").ok());
+  EXPECT_FALSE(SnapshotReader::Parse("short").ok());
+  // Truncated mid-header and mid-payload.
+  EXPECT_FALSE(SnapshotReader::Parse(good.substr(0, 10)).ok());
+  EXPECT_FALSE(SnapshotReader::Parse(good.substr(0, good.size() - 3)).ok());
+
+  // Bad magic.
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(SnapshotReader::Parse(bad_magic).ok());
+
+  // Unsupported version (byte 8 is the version LSB).
+  std::string bad_version = good;
+  bad_version[8] = 99;
+  const auto version_result = SnapshotReader::Parse(bad_version);
+  ASSERT_FALSE(version_result.ok());
+  EXPECT_NE(version_result.status().message().find("version"),
+            std::string::npos);
+
+  // Every single-byte payload corruption must trip the checksum.
+  const size_t header_size = 24;
+  for (size_t pos = header_size; pos < good.size() - 4; pos += 37) {
+    std::string corrupt = good;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x5A);
+    EXPECT_FALSE(SnapshotReader::Parse(corrupt).ok()) << "at byte " << pos;
+  }
+}
+
+TEST(Snapshot, RejectsLyingSectionLengths) {
+  // Hand-assemble a snapshot whose (checksummed) payload declares a section
+  // far larger than the payload: the CRC passes, the cursor must not.
+  auto append_u32 = [](std::string* s, uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      s->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  auto append_u64 = [](std::string* s, uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      s->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  std::string payload;
+  append_u32(&payload, 2);                    // interest section tag
+  append_u64(&payload, 1ULL << 40);           // absurd section size
+  std::string bytes;
+  append_u64(&bytes, 0x31504E5352425553ULL);  // magic
+  append_u32(&bytes, 1);                      // version
+  append_u32(&bytes, 1);                      // section count
+  append_u64(&bytes, payload.size());
+  bytes += payload;
+  append_u32(&bytes, Crc32(payload));
+  const auto parsed = SnapshotReader::Parse(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Snapshot, RejectsInconsistentArrays) {
+  SnapshotData skew = TinyData();
+  skew.years.pop_back();
+  SnapshotWriter writer(skew);
+  EXPECT_FALSE(SnapshotReader::Parse(writer.bytes()).ok());
+
+  SnapshotData bad_profile = TinyData();
+  bad_profile.profiles[0][0] = 99;  // paper id out of range
+  SnapshotWriter writer2(bad_profile);
+  EXPECT_FALSE(SnapshotReader::Parse(writer2.bytes()).ok());
+}
+
+// --- CandidateIndex -------------------------------------------------------
+
+TEST(CandidateIndex, FiltersByYearWindowDisciplineAndTopic) {
+  const SnapshotData data = TinyData();  // papers 2,3 are post-2014
+  CandidateIndexOptions options;
+  options.min_year = 2014;
+  CandidateIndex index(data, options);
+  EXPECT_EQ(index.num_new_papers(), 2u);
+  EXPECT_EQ(index.AllNewPapers(), (std::vector<int32_t>{2, 3}));
+
+  // User 0's profile {0}: discipline 0, topic 0 -> candidate 2 only.
+  EXPECT_EQ(index.CandidatesFor(0), (std::vector<int32_t>{2}));
+  // User 1's profile {1,0}: both disciplines and topics -> both papers.
+  EXPECT_EQ(index.CandidatesFor(1), (std::vector<int32_t>{2, 3}));
+  // Unknown user falls back to the full pool.
+  EXPECT_EQ(index.CandidatesFor(7), (std::vector<int32_t>{2, 3}));
+  EXPECT_EQ(index.CandidatesFor(-1), (std::vector<int32_t>{2, 3}));
+
+  // Inverted topic index covers only in-window papers.
+  EXPECT_EQ(index.PapersForTopic(0), (std::vector<int32_t>{2}));
+  EXPECT_EQ(index.PapersForTopic(1), (std::vector<int32_t>{3}));
+  EXPECT_TRUE(index.PapersForTopic(9).empty());
+}
+
+TEST(CandidateIndex, YearWindowAndFilterToggles) {
+  const SnapshotData data = TinyData();
+  CandidateIndexOptions narrow;
+  narrow.min_year = 2014;
+  narrow.max_year = 2015;
+  EXPECT_EQ(CandidateIndex(data, narrow).AllNewPapers(),
+            (std::vector<int32_t>{2}));
+
+  CandidateIndexOptions open;
+  open.min_year = 2014;
+  open.filter_disciplines = false;
+  open.prune_topics = false;
+  CandidateIndex index(data, open);
+  EXPECT_EQ(index.CandidatesFor(0), (std::vector<int32_t>{2, 3}));
+}
+
+// --- FrozenScorer ---------------------------------------------------------
+
+TEST(FrozenScorer, TopNIsSortedAndDeterministic) {
+  FrozenScorer scorer(TinyData());
+  const std::vector<int32_t> profile = {0, 1};
+  const std::vector<int32_t> candidates = {2, 3, 0, 1};
+  const auto scores = scorer.Score(profile, candidates);
+  ASSERT_EQ(scores.size(), 4u);
+  const auto top2 = scorer.TopN(profile, candidates, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_GE(top2[0].score, top2[1].score);
+  const auto all = scorer.TopN(profile, candidates, 100);
+  EXPECT_EQ(all.size(), 4u);  // n clamps to the candidate count
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_TRUE(all[i - 1].score > all[i].score ||
+                (all[i - 1].score == all[i].score &&
+                 all[i - 1].paper < all[i].paper));
+  }
+  // Empty profile scores zero everywhere but stays well-formed.
+  const auto cold = scorer.TopN({}, candidates, 3);
+  ASSERT_EQ(cold.size(), 3u);
+  EXPECT_EQ(cold[0].score, 0.0);
+}
+
+// --- End-to-end: every dataset preset round-trips bit-exactly -------------
+
+struct PresetCase {
+  const char* name;
+  datagen::CorpusGeneratorOptions options;
+};
+
+std::vector<PresetCase> AllPresets() {
+  using datagen::DatasetScale;
+  return {
+      {"acm", datagen::AcmLikeOptions(DatasetScale::kTiny, 51)},
+      {"scopus", datagen::ScopusLikeOptions(DatasetScale::kTiny, 52)},
+      {"pubmed", datagen::PubmedRctLikeOptions(DatasetScale::kTiny, 53)},
+      {"patent", datagen::PatentLikeOptions(DatasetScale::kTiny, 54)},
+  };
+}
+
+TEST(SnapshotEndToEnd, FrozenScoresMatchLiveNPRecOnEveryPreset) {
+  for (const PresetCase& preset : AllPresets()) {
+    SCOPED_TRACE(preset.name);
+    auto world = BuildWorld(preset.options);
+
+    SnapshotData data = FreezeNPRec(world->ctx, *world->model, preset.name);
+    SnapshotWriter writer(data);
+    auto parsed = SnapshotReader::Parse(writer.bytes());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+    FrozenScorer scorer(parsed.value());
+    CandidateIndexOptions index_options;
+    index_options.min_year = kSplitYear;
+    CandidateIndex index(parsed.value(), index_options);
+    ASSERT_GT(index.num_new_papers(), 0u);
+
+    // Every user with a profile must score candidates identically to the
+    // live model — bit-exact, since the snapshot stores raw double bits
+    // and the frozen forward pass repeats the same operations.
+    int compared_users = 0;
+    const auto& corpus = world->dataset.corpus;
+    for (const corpus::Author& author : corpus.authors) {
+      if (compared_users >= 8) break;
+      const std::vector<corpus::PaperId> profile =
+          rec::UserProfile(world->ctx, author.id);
+      if (profile.empty()) continue;
+      const std::vector<int32_t>& candidates = index.CandidatesFor(author.id);
+      if (candidates.empty()) continue;
+
+      rec::UserQuery query{author.id, profile};
+      const std::vector<corpus::PaperId> live_candidates(candidates.begin(),
+                                                         candidates.end());
+      const std::vector<double> live =
+          world->model->Score(world->ctx, query, live_candidates);
+      const std::vector<int32_t> frozen_profile(profile.begin(),
+                                                profile.end());
+      const std::vector<double> frozen =
+          scorer.Score(frozen_profile, candidates);
+      ASSERT_EQ(live.size(), frozen.size());
+      for (size_t i = 0; i < live.size(); ++i)
+        EXPECT_EQ(live[i], frozen[i]) << "candidate " << candidates[i];
+
+      // Top-N order agrees with ranking the live scores.
+      const auto top = scorer.TopN(frozen_profile, candidates, 10);
+      for (size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].score, top[i].score);
+      ++compared_users;
+    }
+    EXPECT_GT(compared_users, 0) << "preset produced no scoreable users";
+  }
+}
+
+// --- RecommendService -----------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = BuildWorld(
+        datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 99)).release();
+    snapshot_path_ = new std::string(::testing::TempDir() +
+                                     "/subrec_service_test.snap");
+    SnapshotWriter writer(FreezeNPRec(world_->ctx, *world_->model, "scopus"));
+    SUBREC_CHECK(writer.WriteFile(*snapshot_path_).ok());
+  }
+
+  /// A user with a non-empty serving profile.
+  static int32_t AUser() {
+    for (const corpus::Author& a : world_->dataset.corpus.authors) {
+      if (!rec::UserProfile(world_->ctx, a.id).empty()) return a.id;
+    }
+    SUBREC_CHECK(false) << "no user with a profile";
+    return -1;
+  }
+
+  static TestWorld* world_;
+  static std::string* snapshot_path_;
+};
+
+TestWorld* ServiceTest::world_ = nullptr;
+std::string* ServiceTest::snapshot_path_ = nullptr;
+
+TEST_F(ServiceTest, RequiresASnapshotBeforeServing) {
+  RecommendService service(ServeOptions{});
+  const RecResponse response = service.TopN(0, 5);
+  ASSERT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServiceTest, ServesSortedTopNWithCaching) {
+  ServeOptions options;
+  options.num_threads = 2;
+  RecommendService service(options);
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+  ASSERT_NE(service.state(), nullptr);
+  EXPECT_EQ(service.state()->dataset, "scopus");
+
+  const int32_t user = AUser();
+  const RecResponse first = service.TopN(user, 5);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+  ASSERT_LE(first.items.size(), 5u);
+  ASSERT_FALSE(first.items.empty());
+  for (size_t i = 1; i < first.items.size(); ++i)
+    EXPECT_GE(first.items[i - 1].score, first.items[i].score);
+  EXPECT_GE(first.done_ns, first.enqueue_ns);
+
+  const RecResponse second = service.TopN(user, 5);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  ASSERT_EQ(second.items.size(), first.items.size());
+  for (size_t i = 0; i < first.items.size(); ++i) {
+    EXPECT_EQ(second.items[i].paper, first.items[i].paper);
+    EXPECT_EQ(second.items[i].score, first.items[i].score);
+  }
+  // A different n is a different cache entry.
+  EXPECT_FALSE(service.TopN(user, 3).cache_hit);
+}
+
+TEST_F(ServiceTest, RejectsUnknownUsers) {
+  RecommendService service(ServeOptions{});
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+  EXPECT_EQ(service.TopN(-5, 5).status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.TopN(1 << 29, 5).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, CacheCanBeDisabled) {
+  ServeOptions options;
+  options.cache_capacity = 0;
+  RecommendService service(options);
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+  const int32_t user = AUser();
+  EXPECT_FALSE(service.TopN(user, 5).cache_hit);
+  EXPECT_FALSE(service.TopN(user, 5).cache_hit);
+  EXPECT_EQ(service.cache_hits(), 0);
+}
+
+TEST_F(ServiceTest, SwapInvalidatesCacheAndBumpsGeneration) {
+  RecommendService service(ServeOptions{});
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+  const uint64_t generation = service.generation();
+  const int32_t user = AUser();
+  const RecResponse before = service.TopN(user, 5);
+  ASSERT_TRUE(service.TopN(user, 5).cache_hit);
+
+  // Hot reload the same snapshot: new generation, cold cache, same answers.
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+  EXPECT_EQ(service.generation(), generation + 1);
+  const RecResponse after = service.TopN(user, 5);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+  ASSERT_EQ(after.items.size(), before.items.size());
+  for (size_t i = 0; i < after.items.size(); ++i)
+    EXPECT_EQ(after.items[i].score, before.items[i].score);
+}
+
+TEST_F(ServiceTest, BatchMatchesIndividualRequests) {
+  ServeOptions options;
+  options.num_threads = 4;
+  options.batch_size = 3;
+  RecommendService service(options);
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+
+  std::vector<RecRequest> requests;
+  const size_t num_users = service.state()->profiles.size();
+  for (size_t u = 0; u < num_users && requests.size() < 20; ++u)
+    requests.push_back({static_cast<int32_t>(u), 4});
+  const std::vector<RecResponse> batch = service.TopNBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const RecResponse individual =
+        service.TopN(requests[i].user, requests[i].n);
+    ASSERT_EQ(batch[i].status.ok(), individual.status.ok());
+    if (!individual.status.ok()) continue;
+    ASSERT_EQ(batch[i].items.size(), individual.items.size());
+    for (size_t j = 0; j < individual.items.size(); ++j) {
+      EXPECT_EQ(batch[i].items[j].paper, individual.items[j].paper);
+      EXPECT_EQ(batch[i].items[j].score, individual.items[j].score);
+    }
+  }
+}
+
+/// Concurrent batches + a mid-flight hot reload; under the tsan preset this
+/// is the end-to-end serving race detector.
+TEST_F(ServiceTest, ConcurrentBatchesSurviveHotReload) {
+  ServeOptions options;
+  options.num_threads = 4;
+  options.batch_size = 4;
+  RecommendService service(options);
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+
+  const int32_t user = AUser();
+  std::vector<std::future<std::vector<RecResponse>>> inflight;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<RecRequest> requests;
+    for (int i = 0; i < 12; ++i)
+      requests.push_back({user, 1 + (i % 5)});
+    inflight.push_back(service.SubmitBatch(std::move(requests)));
+    if (round == 5) {
+      ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+    }
+  }
+  size_t completed = 0;
+  for (auto& f : inflight) {
+    for (const RecResponse& r : f.get()) {
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_FALSE(r.items.empty());
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, 120u);
+}
+
+}  // namespace
+}  // namespace subrec::serve

@@ -371,6 +371,15 @@ std::vector<std::unique_ptr<Rule>> BuildDefaultRules() {
       /*comments_view=*/false,
       /*path_prefix=*/"src/",
       /*exempt_prefixes=*/{}}));
+  rules.push_back(std::make_unique<RegexRule>(RegexRuleSpec{
+      "no-thread-sleep",
+      "std::this_thread::sleep_(for|until)\\b",
+      "library code must not sleep: serving hot paths block on condvars or "
+      "futures; benches and tests pace themselves outside src/",
+      /*headers_only=*/false,
+      /*comments_view=*/false,
+      /*path_prefix=*/"src/",
+      /*exempt_prefixes=*/{}}));
   rules.push_back(std::make_unique<TodoFormatRule>());
   rules.push_back(std::make_unique<IncludeHygieneRule>());
   return rules;

@@ -69,6 +69,8 @@ struct RegexRuleSpec {
 ///   no-using-namespace-header
 ///   no-raw-stdio      std::cout/std::cerr/printf in src/ outside logging/check
 ///   no-float          float in numeric code (src/), doubles only
+///   no-thread-sleep   std::this_thread::sleep_for/until in src/ (serving
+///                     code blocks on condvars/futures, never naps)
 ///   todo-format       TODO(name): with owner
 ///   include-hygiene   headers directly include what they use (checked list)
 std::vector<std::unique_ptr<Rule>> BuildDefaultRules();

@@ -49,8 +49,8 @@ TEST(LintSelfTest, EveryRuleFiresOnBadFixture) {
   const std::set<std::string> fired = FiredRules(vs);
   const std::vector<std::string> expected = {
       "include-guard",    "no-std-rand",  "no-using-namespace-header",
-      "no-raw-stdio",     "no-float",     "todo-format",
-      "include-hygiene"};
+      "no-raw-stdio",     "no-float",     "no-thread-sleep",
+      "todo-format",      "include-hygiene"};
   for (const std::string& rule : expected) {
     EXPECT_TRUE(fired.count(rule)) << "rule did not fire: " << rule;
   }
@@ -87,6 +87,7 @@ TEST(LintSelfTest, RulesScopeByPath) {
   const std::set<std::string> fired = FiredRules(vs);
   EXPECT_FALSE(fired.count("no-raw-stdio"));
   EXPECT_FALSE(fired.count("no-float"));
+  EXPECT_FALSE(fired.count("no-thread-sleep"));
   EXPECT_TRUE(fired.count("no-std-rand"));
   EXPECT_TRUE(fired.count("no-using-namespace-header"));
 }

@@ -9,6 +9,7 @@ inline float HalfPrecision() {
   (void)v;
   std::cout << std::rand();
   std::printf("raw stdio\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
   return 0.0f;
 }
 
