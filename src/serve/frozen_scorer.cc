@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "la/ops.h"
@@ -12,6 +13,14 @@ FrozenScorer::FrozenScorer(const SnapshotData& data)
     : interest_(data.interest),
       influence_(data.influence),
       text_(data.text) {
+  SUBREC_CHECK_EQ(interest_.size(), influence_.size());
+  SUBREC_CHECK(text_.empty() || text_.size() == interest_.size());
+}
+
+FrozenScorer::FrozenScorer(SnapshotData&& data)
+    : interest_(std::move(data.interest)),
+      influence_(std::move(data.influence)),
+      text_(std::move(data.text)) {
   SUBREC_CHECK_EQ(interest_.size(), influence_.size());
   SUBREC_CHECK(text_.empty() || text_.size() == interest_.size());
 }

@@ -22,9 +22,14 @@ struct ScoredPaper {
 /// candidates. Thread-safe by construction: all state is const after build.
 class FrozenScorer {
  public:
-  /// Takes the vector arrays out of `data` (attribute arrays are left for
-  /// the caller — CandidateIndex consumes those).
+  /// Copies the vector arrays from `data`, which stays intact.
   explicit FrozenScorer(const SnapshotData& data);
+
+  /// Moves the vector arrays out of `data`, avoiding a transient second
+  /// copy of the largest allocations in the model. The attribute arrays
+  /// (years/disciplines/topics/profiles) are left untouched for the
+  /// caller — CandidateIndex consumes those.
+  explicit FrozenScorer(SnapshotData&& data);
 
   size_t num_papers() const { return interest_.size(); }
   size_t dim() const {

@@ -25,10 +25,17 @@ Result<std::shared_ptr<const ServingState>> ServingState::FromSnapshot(
   if (data.interest.empty())
     return Status::InvalidArgument("snapshot has no papers to serve");
   if (index_options.min_year == 0) index_options.min_year = data.split_year;
+  // Build the index first (it reads only the attribute arrays), pull the
+  // small members out, then let FrozenScorer move the three big matrices
+  // instead of copying them — snapshot load never doubles peak memory.
+  CandidateIndex index(data, index_options);
+  std::vector<std::vector<int32_t>> profiles = std::move(data.profiles);
+  std::string model_name = std::move(data.model_name);
+  std::string dataset = std::move(data.dataset);
+  const int32_t split_year = data.split_year;
   auto state = std::make_shared<ServingState>(ServingState{
-      FrozenScorer(data), CandidateIndex(data, index_options),
-      std::move(data.profiles), std::move(data.model_name),
-      std::move(data.dataset), data.split_year});
+      FrozenScorer(std::move(data)), std::move(index), std::move(profiles),
+      std::move(model_name), std::move(dataset), split_year});
   return std::shared_ptr<const ServingState>(std::move(state));
 }
 
@@ -39,6 +46,8 @@ RecommendService::RecommendService(const ServeOptions& options)
                                            options_.cache_shards);
   }
 }
+
+RecommendService::~RecommendService() { pool_.Shutdown(); }
 
 Status RecommendService::LoadSnapshotFile(const std::string& path) {
   SUBREC_ASSIGN_OR_RETURN(SnapshotData data, SnapshotReader::ReadFile(path));
@@ -58,14 +67,18 @@ void RecommendService::Swap(std::shared_ptr<const ServingState> state) {
   // so a stale result can never be cached under the new generation. (The
   // benign converse — a fresh result under the old generation — only wastes
   // one cache slot.)
-  state_.store(std::move(state));
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = std::move(state);
+  }
   generation_.fetch_add(1);
   if (cache_) cache_->Clear();
   swaps->Increment();
 }
 
 std::shared_ptr<const ServingState> RecommendService::state() const {
-  return state_.load();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
 }
 
 RecResponse RecommendService::TopN(int32_t user, int n) {
@@ -82,7 +95,7 @@ RecResponse RecommendService::TopN(int32_t user, int n) {
 
   // Generation first, then state — pairs with the store order in Swap.
   const uint64_t generation = generation_.load();
-  const std::shared_ptr<const ServingState> state = state_.load();
+  const std::shared_ptr<const ServingState> state = this->state();
   if (state == nullptr) {
     response.status =
         Status::FailedPrecondition("RecommendService: no snapshot loaded");
@@ -96,10 +109,18 @@ RecResponse RecommendService::TopN(int32_t user, int n) {
     response.done_ns = obs::NowNs();
     return response;
   }
+  // n gets 16 bits in the cache key, so larger values must be rejected in
+  // every build mode — a masked key would alias distinct list lengths.
+  if (n >= (1 << 16)) {
+    response.status = Status::InvalidArgument(
+        "RecommendService: n too large (" + std::to_string(n) +
+        " >= 65536)");
+    response.done_ns = obs::NowNs();
+    return response;
+  }
 
   // Cache key: generation | user | n, all range-checked so distinct
   // requests can never alias to the same slot.
-  SUBREC_DCHECK_LT(n, 1 << 16);
   const uint64_t key = ((generation & 0xFFFFu) << 48) |
                        (static_cast<uint64_t>(static_cast<uint32_t>(user))
                         << 16) |

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,18 +64,22 @@ struct RecResponse {
 
 /// Online top-N recommendation front end: a bounded thread pool executes
 /// batched requests against the current ServingState, memoizing per-user
-/// result lists in a sharded LRU cache. Snapshot swap is one atomic
-/// shared_ptr store — in-flight requests finish on the old generation,
-/// new requests see the new one, and the cache is invalidated explicitly.
-/// Metrics flow through the global obs registry ("serve.*").
+/// result lists in a sharded LRU cache. Snapshot swap is one shared_ptr
+/// store under a light mutex — in-flight requests finish on the old
+/// generation, new requests see the new one, and the cache is invalidated
+/// explicitly. Metrics flow through the global obs registry ("serve.*").
 class RecommendService {
  public:
   explicit RecommendService(const ServeOptions& options);
 
+  /// Shuts the pool down first so queued SubmitBatch tasks finish while
+  /// cache_ and state_ are still alive.
+  ~RecommendService();
+
   /// Reads, parses, and swaps in the snapshot at `path`.
   Status LoadSnapshotFile(const std::string& path);
 
-  /// Hot reload: atomically publishes `state` and invalidates the cache.
+  /// Hot reload: publishes `state` in one step and invalidates the cache.
   void Swap(std::shared_ptr<const ServingState> state);
 
   /// The current generation's state (nullptr before the first swap).
@@ -100,10 +105,18 @@ class RecommendService {
   using ResultCache = ShardedLruCache<uint64_t, std::vector<ScoredPaper>>;
 
   ServeOptions options_;
-  ThreadPool pool_;
   std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
-  std::atomic<std::shared_ptr<const ServingState>> state_;
+  // A plain mutex-guarded pointer rather than std::atomic<shared_ptr>:
+  // libstdc++'s specialization spins on a hidden lock bit anyway (it is
+  // not lock-free) and its internals trip TSan, so the explicit mutex is
+  // equally cheap and sanitizer-clean. Readers only copy the pointer
+  // under the lock — scoring never holds it.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ServingState> state_;  // guarded by state_mu_
   std::atomic<uint64_t> generation_{0};
+  // Declared last: the pool's destructor drains queued tasks that call
+  // TopN, which must still see a live cache_ and state_.
+  ThreadPool pool_;
 };
 
 }  // namespace subrec::serve

@@ -152,10 +152,24 @@ Status DecodeMatrix(std::string_view bytes,
   uint64_t rows = 0, cols = 0;
   SUBREC_RETURN_NOT_OK(c.ReadU64(&rows));
   SUBREC_RETURN_NOT_OK(c.ReadU64(&cols));
-  // Guard rows*cols against overflowing the section before allocating.
-  if (cols != 0 && rows > c.remaining() / (8 * cols))
+  // Bound the dimensions by the section size BEFORE any allocation or
+  // arithmetic on them: cols first, so that 8*cols below cannot wrap (a
+  // crafted cols of 2^61 would otherwise divide by zero) and so the
+  // per-row fill constructor can never allocate more than the section
+  // actually carries — even when rows == 0. A zero-width matrix has no
+  // payload bytes to bound rows with, so rows gets an explicit cap there.
+  if (cols > c.remaining() / 8)
+    return Status::OutOfRange("snapshot matrix wider than its section");
+  if (cols == 0) {
+    constexpr uint64_t kMaxZeroWidthRows = uint64_t{1} << 24;
+    if (rows > kMaxZeroWidthRows)
+      return Status::OutOfRange(
+          "snapshot zero-width matrix row count implausible");
+  } else if (rows > c.remaining() / (8 * cols)) {
     return Status::OutOfRange("snapshot matrix larger than its section");
-  out->assign(static_cast<size_t>(rows), std::vector<double>(cols));
+  }
+  out->assign(static_cast<size_t>(rows),
+              std::vector<double>(static_cast<size_t>(cols)));
   for (auto& row : *out)
     for (double& v : row) SUBREC_RETURN_NOT_OK(c.ReadDouble(&v));
   return Status::Ok();

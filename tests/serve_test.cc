@@ -344,6 +344,56 @@ TEST(Snapshot, RejectsLyingSectionLengths) {
   EXPECT_EQ(parsed.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(Snapshot, RejectsCraftedMatrixDimensionsWithoutCrashing) {
+  // Valid-CRC snapshots whose interest-matrix header lies about its
+  // dimensions. Each must come back as an error Status — not a SIGFPE
+  // from 8*cols wrapping to zero, not a bad_alloc from a giant fill.
+  auto append_u32 = [](std::string* s, uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      s->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  auto append_u64 = [](std::string* s, uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      s->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  auto craft = [&](uint64_t rows, uint64_t cols) {
+    std::string payload;
+    append_u32(&payload, 2);  // interest section tag
+    append_u64(&payload, 16);  // section body: just the two dimension words
+    append_u64(&payload, rows);
+    append_u64(&payload, cols);
+    std::string bytes;
+    append_u64(&bytes, 0x31504E5352425553ULL);  // magic
+    append_u32(&bytes, 1);                      // version
+    append_u32(&bytes, 1);                      // section count
+    append_u64(&bytes, payload.size());
+    bytes += payload;
+    append_u32(&bytes, Crc32(payload));
+    return bytes;
+  };
+
+  // cols == 2^61 makes 8*cols wrap to 0 in a naive guard.
+  auto r = SnapshotReader::Parse(craft(1, uint64_t{1} << 61));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  // rows == 0 must not admit an arbitrary cols (fill-temporary alloc).
+  r = SnapshotReader::Parse(craft(0, uint64_t{1} << 40));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  // cols == 0 must not admit an arbitrary rows (empty-row flood).
+  r = SnapshotReader::Parse(craft(uint64_t{1} << 50, 0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  // Plausible dimensions with no value bytes behind them: truncated.
+  EXPECT_FALSE(SnapshotReader::Parse(craft(2, 2)).ok());
+  // The degenerate-but-honest 0x0 matrix must still get past the
+  // dimension guards (every other array is consistently empty too, so
+  // the whole snapshot parses).
+  r = SnapshotReader::Parse(craft(0, 0));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().interest.empty());
+}
+
 TEST(Snapshot, RejectsInconsistentArrays) {
   SnapshotData skew = TinyData();
   skew.years.pop_back();
@@ -561,6 +611,38 @@ TEST_F(ServiceTest, RejectsUnknownUsers) {
   EXPECT_EQ(service.TopN(-5, 5).status.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(service.TopN(1 << 29, 5).status.code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, RejectsOversizedNInEveryBuildMode) {
+  RecommendService service(ServeOptions{});
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+  const int32_t user = AUser();
+  // n gets 16 bits in the cache key: 70000 and 70000 & 0xFFFF (= 4464)
+  // would alias, so anything >= 2^16 must be an error, never a masked key.
+  EXPECT_EQ(service.TopN(user, 70000).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.TopN(user, 1 << 16).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(service.TopN(user, (1 << 16) - 1).status.ok());
+}
+
+TEST_F(ServiceTest, DestructionWithQueuedBatchesIsSafe) {
+  // Tear the service down while SubmitBatch work is still queued and the
+  // returned futures have been dropped: the pool must drain before the
+  // cache and state die (ASan/TSan presets make this a hard gate).
+  const int32_t user = AUser();
+  {
+    ServeOptions options;
+    options.num_threads = 2;
+    options.batch_size = 2;
+    RecommendService service(options);
+    ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+    for (int round = 0; round < 50; ++round) {
+      std::vector<RecRequest> requests;
+      for (int i = 0; i < 8; ++i) requests.push_back({user, 1 + (i % 7)});
+      service.SubmitBatch(std::move(requests));  // future dropped on purpose
+    }
+  }
 }
 
 TEST_F(ServiceTest, CacheCanBeDisabled) {
