@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,14 +19,23 @@
 #include "datagen/datasets.h"
 #include "labeling/trainer.h"
 #include "la/ops.h"
+#include "par/parallel.h"
 #include "text/hashed_ngram_encoder.h"
 
 namespace {
 
 using namespace subrec;
 
+// The parallel kernels take a trailing `threads` argument: 1 pins the
+// shared runtime to serial execution, 0 leaves the SUBREC_NUM_THREADS /
+// hardware default in place. The ratio of the two is the scaling factor
+// recorded in BENCH_micro_kernels.json.
+constexpr int64_t kSerial = 1;
+constexpr int64_t kDefaultThreads = 0;
+
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  par::ScopedNumThreads scoped(static_cast<size_t>(state.range(1)));
   Rng rng(1);
   la::Matrix a = la::Matrix::Random(n, n, rng);
   la::Matrix b = la::Matrix::Random(n, n, rng);
@@ -35,7 +45,13 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n * n * n));
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)
+    ->Args({32, kSerial})
+    ->Args({64, kSerial})
+    ->Args({128, kSerial})
+    ->Args({32, kDefaultThreads})
+    ->Args({64, kDefaultThreads})
+    ->Args({128, kDefaultThreads});
 
 void BM_TapeMlpForwardBackward(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
@@ -80,6 +96,7 @@ void BM_CrfViterbi(benchmark::State& state) {
 BENCHMARK(BM_CrfViterbi);
 
 void BM_GmmFit(benchmark::State& state) {
+  par::ScopedNumThreads scoped(static_cast<size_t>(state.range(0)));
   Rng rng(4);
   la::Matrix data(300, 8);
   for (size_t i = 0; i < data.size(); ++i) data[i] = rng.Gaussian();
@@ -88,19 +105,27 @@ void BM_GmmFit(benchmark::State& state) {
                                                      .max_iterations = 20});
     benchmark::DoNotOptimize(gmm.Fit(data));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 300);
 }
-BENCHMARK(BM_GmmFit);
+BENCHMARK(BM_GmmFit)->Arg(kSerial)->Arg(kDefaultThreads);
 
 void BM_Lof(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  par::ScopedNumThreads scoped(static_cast<size_t>(state.range(1)));
   Rng rng(5);
   la::Matrix data(n, 16);
   for (size_t i = 0; i < data.size(); ++i) data[i] = rng.Gaussian();
   for (auto _ : state) {
     benchmark::DoNotOptimize(cluster::LocalOutlierFactor(data, 10));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
 }
-BENCHMARK(BM_Lof)->Arg(200)->Arg(600);
+BENCHMARK(BM_Lof)
+    ->Args({200, kSerial})
+    ->Args({600, kSerial})
+    ->Args({200, kDefaultThreads})
+    ->Args({600, kDefaultThreads});
 
 void BM_CorpusGeneration(benchmark::State& state) {
   for (auto _ : state) {
@@ -112,23 +137,29 @@ void BM_CorpusGeneration(benchmark::State& state) {
 BENCHMARK(BM_CorpusGeneration);
 
 /// Console reporter that also records each benchmark's adjusted real time
-/// into the run report, so BENCH_micro_kernels.json carries one scalar per
-/// benchmark for regression tracking.
+/// into the run report (and a side map for derived scalars), so
+/// BENCH_micro_kernels.json carries one scalar per benchmark for
+/// regression tracking.
 class ReportingReporter : public benchmark::ConsoleReporter {
  public:
-  explicit ReportingReporter(obs::RunReport* report) : report_(report) {}
+  ReportingReporter(obs::RunReport* report,
+                    std::map<std::string, double>* times)
+      : report_(report), times_(times) {}
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.error_occurred) continue;
-      report_->AddScalar("time_ns." + bench::Slug(run.benchmark_name()),
-                         run.GetAdjustedRealTime());
+      const std::string slug = bench::Slug(run.benchmark_name());
+      const double t = run.GetAdjustedRealTime();
+      report_->AddScalar("time_ns." + slug, t);
+      (*times_)[slug] = t;
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
   }
 
  private:
   obs::RunReport* report_;
+  std::map<std::string, double>* times_;
 };
 
 }  // namespace
@@ -140,9 +171,41 @@ int main(int argc, char** argv) {
       bench::OpenReport("micro_kernels", /*enable_tracing=*/false);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ReportingReporter reporter(&report);
+  std::map<std::string, double> times;
+  ReportingReporter reporter(&report, &times);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  // Host parallelism context: with how many threads did the "/0" (default)
+  // variants actually run?
+  report.AddScalar("host.hardware_concurrency",
+                   static_cast<double>(par::HardwareThreads()));
+  report.AddScalar("par.num_threads", static_cast<double>(par::NumThreads()));
+
+  // Derived scalars: serial-over-default scaling ratios (> 1 means the
+  // parallel default is faster) and kernel throughput at the default
+  // thread count.
+  const auto time_of = [&](const std::string& slug) {
+    const auto it = times.find(slug);
+    return it == times.end() ? 0.0 : it->second;
+  };
+  const auto add_ratio = [&](const std::string& key,
+                             const std::string& serial,
+                             const std::string& parallel) {
+    const double ts = time_of(serial), tp = time_of(parallel);
+    if (ts > 0.0 && tp > 0.0) report.AddScalar(key, ts / tp);
+  };
+  add_ratio("scaling.matmul_n128", "bm_matmul_128_1", "bm_matmul_128_0");
+  add_ratio("scaling.gmm_fit", "bm_gmmfit_1", "bm_gmmfit_0");
+  add_ratio("scaling.lof_n600", "bm_lof_600_1", "bm_lof_600_0");
+  const double t_mm = time_of("bm_matmul_128_0");
+  if (t_mm > 0.0)
+    report.AddScalar("gflops.matmul_n128", 2.0 * 128.0 * 128.0 * 128.0 / t_mm);
+  const double t_gmm = time_of("bm_gmmfit_0");
+  if (t_gmm > 0.0) report.AddScalar("items_per_s.gmm_fit", 300.0 * 1e9 / t_gmm);
+  const double t_lof = time_of("bm_lof_600_0");
+  if (t_lof > 0.0) report.AddScalar("items_per_s.lof_n600", 600.0 * 1e9 / t_lof);
+
   bench::WriteReport(&report);
   return 0;
 }

@@ -9,11 +9,17 @@
 #include "la/check_finite.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 
 namespace subrec::cluster {
 namespace {
 
 constexpr double kLogTwoPi = 1.8378770664093454835606594728112;
+
+// Rows per parallel chunk in the per-point loops (E-step, Predict*). A
+// fixed grain keeps the chunk grid a function of n alone, so per-chunk
+// work is identical for every thread count.
+constexpr size_t kRowGrain = 64;
 
 double LogSumExp(const std::vector<double>& v) {
   const double mx = *std::max_element(v.begin(), v.end());
@@ -100,40 +106,49 @@ Status GaussianMixture::Fit(const la::Matrix& data) {
   double prev_avg_ll = -std::numeric_limits<double>::max();
   la::Matrix resp(n, k);
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    // E-step.
+    // E-step: rows are independent given the frozen parameters. Each row's
+    // log-likelihood lands in a buffer and is summed serially in row order
+    // afterwards, reproducing the sequential accumulation bit for bit.
     double total_ll = 0.0;
     {
       SUBREC_TRACE_SPAN("gmm/e_step");
-      std::vector<double> joint(k);
-      for (size_t i = 0; i < n; ++i) {
-        for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
-        const double lse = LogSumExp(joint);
-        total_ll += lse;
-        for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(joint[c] - lse);
-      }
-    }
-    // M-step.
-    SUBREC_TRACE_SPAN("gmm/m_step");
-    for (size_t c = 0; c < k; ++c) {
-      double nc = 0.0;
-      for (size_t i = 0; i < n; ++i) nc += resp(i, c);
-      nc = std::max(nc, 1e-10);
-      weights_[c] = nc / static_cast<double>(n);
-      for (size_t j = 0; j < d; ++j) {
-        double mean = 0.0;
-        for (size_t i = 0; i < n; ++i) mean += resp(i, c) * data(i, j);
-        mean /= nc;
-        means_(c, j) = mean;
-      }
-      for (size_t j = 0; j < d; ++j) {
-        double var = 0.0;
-        for (size_t i = 0; i < n; ++i) {
-          const double diff = data(i, j) - means_(c, j);
-          var += resp(i, c) * diff * diff;
+      std::vector<double> row_ll(n);
+      par::ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
+        std::vector<double> joint(k);
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
+          const double lse = LogSumExp(joint);
+          row_ll[i] = lse;
+          for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(joint[c] - lse);
         }
-        variances_(c, j) = std::max(var / nc, options_.min_variance);
-      }
+      });
+      for (size_t i = 0; i < n; ++i) total_ll += row_ll[i];
     }
+    // M-step: each component owns its weight/mean/variance rows, so the
+    // per-component accumulations parallelize without changing any order.
+    SUBREC_TRACE_SPAN("gmm/m_step");
+    par::ParallelFor(k, 1, [&](size_t c_begin, size_t c_end) {
+      for (size_t c = c_begin; c < c_end; ++c) {
+        double nc = 0.0;
+        for (size_t i = 0; i < n; ++i) nc += resp(i, c);
+        nc = std::max(nc, 1e-10);
+        weights_[c] = nc / static_cast<double>(n);
+        for (size_t j = 0; j < d; ++j) {
+          double mean = 0.0;
+          for (size_t i = 0; i < n; ++i) mean += resp(i, c) * data(i, j);
+          mean /= nc;
+          means_(c, j) = mean;
+        }
+        for (size_t j = 0; j < d; ++j) {
+          double var = 0.0;
+          for (size_t i = 0; i < n; ++i) {
+            const double diff = data(i, j) - means_(c, j);
+            var += resp(i, c) * diff * diff;
+          }
+          variances_(c, j) = std::max(var / nc, options_.min_variance);
+        }
+      }
+    });
     SUBREC_CHECK_FINITE(means_, "GMM means after M-step");
     SUBREC_CHECK_FINITE(variances_, "GMM variances after M-step");
     iterations_ = iter + 1;
@@ -150,18 +165,20 @@ std::vector<int> GaussianMixture::Predict(const la::Matrix& data) const {
   SUBREC_CHECK(fitted_);
   std::vector<int> out(data.rows());
   const size_t k = static_cast<size_t>(options_.num_components);
-  for (size_t i = 0; i < data.rows(); ++i) {
-    double best = -std::numeric_limits<double>::max();
-    int best_c = 0;
-    for (size_t c = 0; c < k; ++c) {
-      const double lj = LogJoint(data, i, c);
-      if (lj > best) {
-        best = lj;
-        best_c = static_cast<int>(c);
+  par::ParallelFor(data.rows(), kRowGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double best = -std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double lj = LogJoint(data, i, c);
+        if (lj > best) {
+          best = lj;
+          best_c = static_cast<int>(c);
+        }
       }
+      out[i] = best_c;
     }
-    out[i] = best_c;
-  }
+  });
   return out;
 }
 
@@ -169,24 +186,32 @@ la::Matrix GaussianMixture::PredictProba(const la::Matrix& data) const {
   SUBREC_CHECK(fitted_);
   const size_t k = static_cast<size_t>(options_.num_components);
   la::Matrix resp(data.rows(), k);
-  std::vector<double> joint(k);
-  for (size_t i = 0; i < data.rows(); ++i) {
-    for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
-    const double lse = LogSumExp(joint);
-    for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(joint[c] - lse);
-  }
+  par::ParallelFor(data.rows(), kRowGrain, [&](size_t begin, size_t end) {
+    std::vector<double> joint(k);
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
+      const double lse = LogSumExp(joint);
+      for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(joint[c] - lse);
+    }
+  });
   return resp;
 }
 
 double GaussianMixture::LogLikelihood(const la::Matrix& data) const {
   SUBREC_CHECK(fitted_);
   const size_t k = static_cast<size_t>(options_.num_components);
+  // Buffer-then-ordered-sum keeps the total bit-identical to the serial
+  // row-order accumulation regardless of thread count.
+  std::vector<double> row_ll(data.rows());
+  par::ParallelFor(data.rows(), kRowGrain, [&](size_t begin, size_t end) {
+    std::vector<double> joint(k);
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
+      row_ll[i] = LogSumExp(joint);
+    }
+  });
   double total = 0.0;
-  std::vector<double> joint(k);
-  for (size_t i = 0; i < data.rows(); ++i) {
-    for (size_t c = 0; c < k; ++c) joint[c] = LogJoint(data, i, c);
-    total += LogSumExp(joint);
-  }
+  for (size_t i = 0; i < data.rows(); ++i) total += row_ll[i];
   return total;
 }
 

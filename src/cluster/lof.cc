@@ -6,8 +6,17 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 
 namespace subrec::cluster {
+namespace {
+
+// Fixed chunk grain for the per-point loops; every output below is
+// indexed by the point, so chunking only spreads the work — no
+// accumulation order changes with the thread count.
+constexpr size_t kPointGrain = 32;
+
+}  // namespace
 
 Result<std::vector<double>> LocalOutlierFactor(const la::Matrix& data, int k) {
   SUBREC_TRACE_SPAN("lof/score");
@@ -24,18 +33,22 @@ Result<std::vector<double>> LocalOutlierFactor(const la::Matrix& data, int k) {
   la::Matrix dist(n, n);
   {
     SUBREC_TRACE_SPAN("lof/pairwise_distances");
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        double s = 0.0;
-        for (size_t c = 0; c < d; ++c) {
-          const double diff = data(i, c) - data(j, c);
-          s += diff * diff;
+    // Each (i, j) pair is computed exactly once and writes two distinct
+    // cells, so the upper-triangle rows can be chunked freely.
+    par::ParallelFor(n, kPointGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          double s = 0.0;
+          for (size_t c = 0; c < d; ++c) {
+            const double diff = data(i, c) - data(j, c);
+            s += diff * diff;
+          }
+          const double dv = std::sqrt(s);
+          dist(i, j) = dv;
+          dist(j, i) = dv;
         }
-        const double dv = std::sqrt(s);
-        dist(i, j) = dv;
-        dist(j, i) = dv;
       }
-    }
+    });
   }
 
   // k nearest neighbors and k-distance for each point.
@@ -44,44 +57,51 @@ Result<std::vector<double>> LocalOutlierFactor(const la::Matrix& data, int k) {
   std::vector<double> k_distance(n);
   {
     SUBREC_TRACE_SPAN("lof/knn");
-    std::vector<size_t> order;
-    order.reserve(n - 1);
-    for (size_t i = 0; i < n; ++i) {
-      order.clear();
-      for (size_t j = 0; j < n; ++j)
-        if (j != i) order.push_back(j);
-      std::nth_element(order.begin(), order.begin() + static_cast<long>(ks - 1),
-                       order.end(), [&](size_t a, size_t b) {
-                         return dist(i, a) < dist(i, b);
-                       });
-      neighbors[i].assign(order.begin(),
-                          order.begin() + static_cast<long>(ks));
-      k_distance[i] = 0.0;
-      for (size_t nb : neighbors[i])
-        k_distance[i] = std::max(k_distance[i], dist(i, nb));
-    }
+    par::ParallelFor(n, kPointGrain, [&](size_t begin, size_t end) {
+      std::vector<size_t> order;
+      order.reserve(n - 1);
+      for (size_t i = begin; i < end; ++i) {
+        order.clear();
+        for (size_t j = 0; j < n; ++j)
+          if (j != i) order.push_back(j);
+        std::nth_element(order.begin(),
+                         order.begin() + static_cast<long>(ks - 1),
+                         order.end(), [&](size_t a, size_t b) {
+                           return dist(i, a) < dist(i, b);
+                         });
+        neighbors[i].assign(order.begin(),
+                            order.begin() + static_cast<long>(ks));
+        k_distance[i] = 0.0;
+        for (size_t nb : neighbors[i])
+          k_distance[i] = std::max(k_distance[i], dist(i, nb));
+      }
+    });
   }
 
   SUBREC_TRACE_SPAN("lof/density");
 
   // Local reachability density.
   std::vector<double> lrd(n);
-  for (size_t i = 0; i < n; ++i) {
-    double reach_sum = 0.0;
-    for (size_t nb : neighbors[i])
-      reach_sum += std::max(k_distance[nb], dist(i, nb));
-    lrd[i] = reach_sum > 0.0
-                 ? static_cast<double>(ks) / reach_sum
-                 : 1e12;  // duplicate points: effectively infinite density
-  }
+  par::ParallelFor(n, kPointGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double reach_sum = 0.0;
+      for (size_t nb : neighbors[i])
+        reach_sum += std::max(k_distance[nb], dist(i, nb));
+      lrd[i] = reach_sum > 0.0
+                   ? static_cast<double>(ks) / reach_sum
+                   : 1e12;  // duplicate points: effectively infinite density
+    }
+  });
 
   // LOF: mean neighbor lrd over own lrd.
   std::vector<double> lof(n);
-  for (size_t i = 0; i < n; ++i) {
-    double sum = 0.0;
-    for (size_t nb : neighbors[i]) sum += lrd[nb];
-    lof[i] = sum / (static_cast<double>(ks) * lrd[i]);
-  }
+  par::ParallelFor(n, kPointGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double sum = 0.0;
+      for (size_t nb : neighbors[i]) sum += lrd[nb];
+      lof[i] = sum / (static_cast<double>(ks) * lrd[i]);
+    }
+  });
   return lof;
 }
 

@@ -6,9 +6,14 @@
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 
 namespace subrec::cluster {
 namespace {
+
+// Fixed row grain for the per-point loops: the chunk grid depends on n
+// only, so results are bit-identical for every thread count.
+constexpr size_t kRowGrain = 32;
 
 /// Row-conditional affinities p_{j|i} with bandwidth tuned so the row
 /// entropy matches log(perplexity).
@@ -72,26 +77,28 @@ Result<la::Matrix> Tsne(const la::Matrix& data, const TsneOptions& options) {
   la::Matrix p(n, n);
   {
     SUBREC_TRACE_SPAN("tsne/affinities");
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        double s = 0.0;
-        for (size_t c = 0; c < data.cols(); ++c) {
-          const double diff = data(i, c) - data(j, c);
-          s += diff * diff;
+    par::ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          double s = 0.0;
+          for (size_t c = 0; c < data.cols(); ++c) {
+            const double diff = data(i, c) - data(j, c);
+            s += diff * diff;
+          }
+          sqdist(i, j) = s;
+          sqdist(j, i) = s;
         }
-        sqdist(i, j) = s;
-        sqdist(j, i) = s;
       }
-    }
+    });
 
-    // Symmetrized affinities P.
-    {
+    // Symmetrized affinities P: the bandwidth search is per-row.
+    par::ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
       std::vector<double> row(n);
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         ComputeRowAffinities(sqdist, i, perplexity, row);
         for (size_t j = 0; j < n; ++j) p(i, j) = row[j];
       }
-    }
+    });
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
         const double v = (p(i, j) + p(j, i)) / (2.0 * static_cast<double>(n));
@@ -117,35 +124,45 @@ Result<la::Matrix> Tsne(const la::Matrix& data, const TsneOptions& options) {
     iterations->Increment();
     const double exaggeration =
         iter < options.exaggeration_iters ? options.exaggeration : 1.0;
-    // Student-t low-dim affinities.
-    double q_sum = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        double s = 0.0;
-        for (size_t c = 0; c < od; ++c) {
-          const double diff = y(i, c) - y(j, c);
-          s += diff * diff;
+    // Student-t low-dim affinities. Each row's weight total goes into a
+    // buffer; the grand total is then summed in row order so it does not
+    // depend on the thread count.
+    std::vector<double> row_w(n, 0.0);
+    par::ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        double wsum = 0.0;
+        for (size_t j = i + 1; j < n; ++j) {
+          double s = 0.0;
+          for (size_t c = 0; c < od; ++c) {
+            const double diff = y(i, c) - y(j, c);
+            s += diff * diff;
+          }
+          const double w = 1.0 / (1.0 + s);
+          q(i, j) = w;
+          q(j, i) = w;
+          wsum += 2.0 * w;
         }
-        const double w = 1.0 / (1.0 + s);
-        q(i, j) = w;
-        q(j, i) = w;
-        q_sum += 2.0 * w;
+        row_w[i] = wsum;
+        q(i, i) = 0.0;
       }
-      q(i, i) = 0.0;
-    }
+    });
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) q_sum += row_w[i];
     q_sum = std::max(q_sum, 1e-300);
 
     grad.Fill(0.0);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const double w = q(i, j);
-        const double mult =
-            4.0 * (exaggeration * p(i, j) - w / q_sum) * w;
-        for (size_t c = 0; c < od; ++c)
-          grad(i, c) += mult * (y(i, c) - y(j, c));
+    par::ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const double w = q(i, j);
+          const double mult =
+              4.0 * (exaggeration * p(i, j) - w / q_sum) * w;
+          for (size_t c = 0; c < od; ++c)
+            grad(i, c) += mult * (y(i, c) - y(j, c));
+        }
       }
-    }
+    });
     const double momentum = iter < 100 ? options.initial_momentum
                                        : options.final_momentum;
     for (size_t i = 0; i < n; ++i) {

@@ -1,0 +1,17 @@
+#include "la/gemm.h"
+
+#include <cstddef>
+
+#define SUBREC_GEMM_NS gemm_generic
+#include "la/gemm_kernel.h"  // NOLINT(build/include)
+#undef SUBREC_GEMM_NS
+
+namespace subrec::la::internal {
+
+void GemmRowRangeGeneric(const double* a, size_t lda, const double* b,
+                         size_t ldb, double* c, size_t ldc, size_t row0,
+                         size_t row_end, size_t k, size_t n) {
+  gemm_generic::GemmRowBlock(a, lda, b, ldb, c, ldc, row0, row_end, k, n);
+}
+
+}  // namespace subrec::la::internal

@@ -1,0 +1,141 @@
+#ifndef SUBREC_LA_GEMM_KERNEL_H_
+#define SUBREC_LA_GEMM_KERNEL_H_
+
+// Textual kernel body shared by the per-ISA GEMM translation units. Each
+// TU defines SUBREC_GEMM_NS to a unique namespace before including this
+// header, then gets the identical source compiled under its own ISA flags
+// (gemm.cc: baseline; gemm_avx2.cc: -mavx2 -mfma). There are no
+// intrinsics — the tile is expressed with GNU vector types, which the
+// compiler lowers to whatever SIMD width the TU's flags allow (a plain
+// scalar path covers non-GNU toolchains).
+
+#include <algorithm>
+#include <cstddef>
+
+#ifndef SUBREC_GEMM_NS
+#error "define SUBREC_GEMM_NS before including la/gemm_kernel.h"
+#endif
+
+namespace subrec::la::internal {
+namespace SUBREC_GEMM_NS {
+
+// 4x8 register tile: 8 vector accumulators stay live across the whole k
+// loop, so C traffic happens once per tile instead of once per k step,
+// and each loaded B vector serves four output rows. Every C(i,j) element
+// — tile or edge path — receives its k products strictly in ascending-k
+// order, one (possibly fused) multiply-add at a time, which makes the
+// result independent of how rows are grouped or split across threads.
+inline constexpr size_t kMr = 4;
+inline constexpr size_t kNr = 8;
+
+// The vector-typed tile needs 32-byte vectors to be a native ABI type, so
+// it is only compiled into TUs built with AVX (passing them around without
+// AVX draws -Wpsabi and would be emulated anyway). Other TUs keep the
+// scalar tile: they are the fallback for pre-AVX2 hardware, where the
+// cache blocking still pays but peak FLOPs are not the point.
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__AVX__)
+
+typedef double Vec4 __attribute__((vector_size(32)));
+
+inline Vec4 LoadVec4(const double* p) {
+  Vec4 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreVec4(double* p, Vec4 v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+inline Vec4 Splat4(double x) { return Vec4{x, x, x, x}; }
+
+inline void GemmTile4x8(const double* a, size_t lda, const double* b,
+                        size_t ldb, double* c, size_t ldc, size_t i, size_t j,
+                        size_t k) {
+  double* cr0 = c + (i + 0) * ldc + j;
+  double* cr1 = c + (i + 1) * ldc + j;
+  double* cr2 = c + (i + 2) * ldc + j;
+  double* cr3 = c + (i + 3) * ldc + j;
+  Vec4 c00 = LoadVec4(cr0), c01 = LoadVec4(cr0 + 4);
+  Vec4 c10 = LoadVec4(cr1), c11 = LoadVec4(cr1 + 4);
+  Vec4 c20 = LoadVec4(cr2), c21 = LoadVec4(cr2 + 4);
+  Vec4 c30 = LoadVec4(cr3), c31 = LoadVec4(cr3 + 4);
+  const double* a0 = a + (i + 0) * lda;
+  const double* a1 = a + (i + 1) * lda;
+  const double* a2 = a + (i + 2) * lda;
+  const double* a3 = a + (i + 3) * lda;
+  for (size_t p = 0; p < k; ++p) {
+    const double* bp = b + p * ldb + j;
+    const Vec4 b0 = LoadVec4(bp);
+    const Vec4 b1 = LoadVec4(bp + 4);
+    const Vec4 w0 = Splat4(a0[p]);
+    const Vec4 w1 = Splat4(a1[p]);
+    const Vec4 w2 = Splat4(a2[p]);
+    const Vec4 w3 = Splat4(a3[p]);
+    c00 += w0 * b0;
+    c01 += w0 * b1;
+    c10 += w1 * b0;
+    c11 += w1 * b1;
+    c20 += w2 * b0;
+    c21 += w2 * b1;
+    c30 += w3 * b0;
+    c31 += w3 * b1;
+  }
+  StoreVec4(cr0, c00);
+  StoreVec4(cr0 + 4, c01);
+  StoreVec4(cr1, c10);
+  StoreVec4(cr1 + 4, c11);
+  StoreVec4(cr2, c20);
+  StoreVec4(cr2 + 4, c21);
+  StoreVec4(cr3, c30);
+  StoreVec4(cr3 + 4, c31);
+}
+
+#else  // scalar fallback: same tile, plain arrays
+
+inline void GemmTile4x8(const double* a, size_t lda, const double* b,
+                        size_t ldb, double* c, size_t ldc, size_t i, size_t j,
+                        size_t k) {
+  double acc[kMr][kNr];
+  for (size_t r = 0; r < kMr; ++r)
+    for (size_t q = 0; q < kNr; ++q) acc[r][q] = c[(i + r) * ldc + j + q];
+  for (size_t p = 0; p < k; ++p) {
+    const double* bp = b + p * ldb + j;
+    for (size_t r = 0; r < kMr; ++r) {
+      const double w = a[(i + r) * lda + p];
+      for (size_t q = 0; q < kNr; ++q) acc[r][q] += w * bp[q];
+    }
+  }
+  for (size_t r = 0; r < kMr; ++r)
+    for (size_t q = 0; q < kNr; ++q) c[(i + r) * ldc + j + q] = acc[r][q];
+}
+
+#endif
+
+inline void GemmRowBlock(const double* a, size_t lda, const double* b,
+                         size_t ldb, double* c, size_t ldc, size_t row0,
+                         size_t row_end, size_t k, size_t n) {
+  for (size_t i = row0; i < row_end; i += kMr) {
+    const size_t mr = std::min(kMr, row_end - i);
+    for (size_t j = 0; j < n; j += kNr) {
+      const size_t nr = std::min(kNr, n - j);
+      if (mr == kMr && nr == kNr) {
+        GemmTile4x8(a, lda, b, ldb, c, ldc, i, j, k);
+      } else {
+        // Edge tiles: same ascending-k single multiply-add per element.
+        for (size_t r = 0; r < mr; ++r) {
+          const double* ar = a + (i + r) * lda;
+          double* cr = c + (i + r) * ldc + j;
+          for (size_t q = 0; q < nr; ++q) {
+            double s = cr[q];
+            for (size_t p = 0; p < k; ++p) s += ar[p] * b[p * ldb + j + q];
+            cr[q] = s;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace SUBREC_GEMM_NS
+}  // namespace subrec::la::internal
+
+#endif  // SUBREC_LA_GEMM_KERNEL_H_

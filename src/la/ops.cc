@@ -4,11 +4,66 @@
 #include <cmath>
 #include <numeric>
 
+#include "la/gemm.h"
+#include "par/parallel.h"
+
 namespace subrec::la {
+namespace {
+
+// Size routing for the three matmul entry points, in units of m*n*k.
+// Below kGemmBlockedMinWork the original scalar loops run — the autodiff
+// tapes issue thousands of tiny products and those must stay bit-identical
+// to the seed code (and free of dispatch overhead). At or above it the
+// register-tiled kernel takes over, and from kGemmParallelMinWork the row
+// blocks are spread over the par runtime. Chunk grain is derived from the
+// problem shape only, so the split is the same for every thread count.
+constexpr size_t kGemmBlockedMinWork = size_t{32} * 1024;
+constexpr size_t kGemmParallelMinWork = size_t{1} << 21;
+constexpr size_t kGemmChunkWork = size_t{1} << 18;
+
+using GemmFn = void (*)(const double*, size_t, const double*, size_t, double*,
+                        size_t, size_t, size_t, size_t, size_t);
+
+GemmFn ActiveGemm() {
+  static const GemmFn fn = internal::GemmAvx2Available()
+                               ? internal::GemmRowRangeAvx2
+                               : internal::GemmRowRangeGeneric;
+  return fn;
+}
+
+// Blocked path body shared by MatMul and the transposed wrappers. `c` must
+// be zero-initialized; all dims are >= 1 here (work >= kGemmBlockedMinWork).
+void BlockedGemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  const size_t work = m * n * k;
+  const GemmFn fn = ActiveGemm();
+  const size_t blocks = (m + internal::kGemmMr - 1) / internal::kGemmMr;
+  size_t grain = blocks;  // single chunk -> runs inline on the caller
+  if (work >= kGemmParallelMinWork) {
+    const size_t block_work = internal::kGemmMr * n * k;
+    grain = std::clamp<size_t>(kGemmChunkWork / std::max<size_t>(block_work, 1),
+                               1, blocks);
+  }
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c->data();
+  par::ParallelFor(blocks, grain, [&](size_t b0, size_t b1) {
+    fn(pa, k, pb, n, pc, n, b0 * internal::kGemmMr,
+       std::min(m, b1 * internal::kGemmMr), k, n);
+  });
+}
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   SUBREC_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
   Matrix c(a.rows(), b.cols());
+  if (a.rows() * a.cols() * b.cols() >= kGemmBlockedMinWork) {
+    BlockedGemm(a, b, &c);
+    return c;
+  }
   // ikj loop order: streams over b and c rows for cache friendliness.
   for (size_t i = 0; i < a.rows(); ++i) {
     double* crow = c.row_data(i);
@@ -25,6 +80,10 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   SUBREC_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA shape mismatch";
+  if (a.rows() * a.cols() * b.cols() >= kGemmBlockedMinWork) {
+    // One cheap O(k*m) transpose buys the blocked kernel's row layout.
+    return MatMul(Transpose(a), b);
+  }
   Matrix c(a.cols(), b.cols());
   for (size_t k = 0; k < a.rows(); ++k) {
     const double* arow = a.row_data(k);
@@ -41,6 +100,11 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   SUBREC_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransB shape mismatch";
+  if (a.rows() * a.cols() * b.rows() >= kGemmBlockedMinWork) {
+    // The dot-product form below defeats vectorization (FP reductions
+    // can't be reassociated); transposing B recovers the streaming kernel.
+    return MatMul(a, Transpose(b));
+  }
   Matrix c(a.rows(), b.rows());
   for (size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.row_data(i);
@@ -129,6 +193,9 @@ Matrix Exp(const Matrix& a) {
 
 Matrix RowSoftmax(const Matrix& a) {
   Matrix c = a;
+  // A 0-column matrix has no row[0] to seed the max scan with; every row
+  // is an empty softmax, so the copy is already the answer.
+  if (a.cols() == 0) return c;
   for (size_t i = 0; i < a.rows(); ++i) {
     double* row = c.row_data(i);
     double mx = row[0];

@@ -1,0 +1,193 @@
+#include "par/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
+
+namespace subrec::par {
+namespace {
+
+/// Set while the thread is executing chunks of some region; nested
+/// ParallelFor calls observe it and run inline instead of re-entering the
+/// pool (which could deadlock: every worker waiting on child regions).
+thread_local bool tls_in_region = false;
+
+struct RegionFlag {
+  bool prev;
+  RegionFlag() : prev(tls_in_region) { tls_in_region = true; }
+  ~RegionFlag() { tls_in_region = prev; }
+};
+
+/// Lazily built process-wide pool. The pool holds NumThreads()-1 workers;
+/// the thread that opens a region participates as the final lane. The
+/// pool is only torn down / resized between regions (active_regions == 0),
+/// so a raw pointer handed to an open region stays valid until release.
+struct Runtime {
+  std::mutex mu;
+  size_t override_threads = 0;  // 0 = env/hardware resolution
+  size_t pool_threads = 0;      // team size the current pool was built for
+  size_t active_regions = 0;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+Runtime& GlobalRuntime() {
+  static Runtime runtime;
+  return runtime;
+}
+
+size_t EnvThreads() {
+  const char* env = std::getenv("SUBREC_NUM_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1) return 0;
+  return static_cast<size_t>(v);
+}
+
+ThreadPool* AcquirePool(size_t team_size) {
+  Runtime& rt = GlobalRuntime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  if (rt.pool != nullptr && rt.pool_threads != team_size &&
+      rt.active_regions == 0) {
+    rt.pool.reset();  // workers are idle between regions; join is cheap
+  }
+  if (rt.pool == nullptr) {
+    rt.pool = std::make_unique<ThreadPool>(team_size - 1);
+    rt.pool_threads = team_size;
+  }
+  ++rt.active_regions;
+  return rt.pool.get();
+}
+
+void ReleasePool() {
+  Runtime& rt = GlobalRuntime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  SUBREC_CHECK_GT(rt.active_regions, 0u);
+  --rt.active_regions;
+}
+
+/// Shared per-region scoreboard. Chunks are claimed from an atomic ticket
+/// counter; the ticket IS the chunk index, so the begin/end a body sees
+/// never depends on which thread claimed it.
+struct RegionState {
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  size_t n = 0;
+  size_t grain = 0;
+  size_t chunks = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t helpers_done = 0;
+  size_t first_error_chunk = std::numeric_limits<size_t>::max();
+  std::exception_ptr error;
+};
+
+void DrainChunks(RegionState* s) {
+  RegionFlag flag;
+  for (;;) {
+    const size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= s->chunks || s->abort.load(std::memory_order_relaxed)) return;
+    const size_t begin = c * s->grain;
+    const size_t end = std::min(s->n, begin + s->grain);
+    try {
+      (*s->body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (c < s->first_error_chunk) {
+        s->first_error_chunk = c;
+        s->error = std::current_exception();
+      }
+      s->abort.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+size_t HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? size_t{1} : static_cast<size_t>(hc);
+}
+
+size_t NumThreads() {
+  // Env is read once: the knob is a process-start setting, and caching it
+  // keeps NumThreads() cheap enough to call per region.
+  static const size_t env_default = EnvThreads();
+  Runtime& rt = GlobalRuntime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  if (rt.override_threads > 0) return rt.override_threads;
+  return env_default > 0 ? env_default : HardwareThreads();
+}
+
+size_t SetNumThreads(size_t n) {
+  Runtime& rt = GlobalRuntime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  const size_t prev = rt.override_threads;
+  rt.override_threads = n;
+  return prev;
+}
+
+bool InParallelRegion() { return tls_in_region; }
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  const size_t g = grain == 0 ? size_t{1} : grain;
+  const size_t chunks = (n + g - 1) / g;
+  const size_t threads = NumThreads();
+  if (threads <= 1 || chunks <= 1 || tls_in_region) {
+    RegionFlag flag;
+    for (size_t c = 0; c < chunks; ++c) body(c * g, std::min(n, c * g + g));
+    return;
+  }
+
+  static obs::Counter* const regions =
+      obs::MetricsRegistry::Global().GetCounter("par.regions");
+  static obs::Counter* const chunk_count =
+      obs::MetricsRegistry::Global().GetCounter("par.chunks");
+  regions->Increment();
+  chunk_count->Increment(static_cast<int64_t>(chunks));
+
+  RegionState state;
+  state.body = &body;
+  state.n = n;
+  state.grain = g;
+  state.chunks = chunks;
+
+  ThreadPool* pool = AcquirePool(threads);
+  // The caller is one lane of the team, so at most chunks-1 helpers can
+  // ever do useful work.
+  const size_t helpers = std::min(pool->num_threads(), chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([&state] {
+      DrainChunks(&state);
+      std::lock_guard<std::mutex> lock(state.mu);
+      ++state.helpers_done;
+      state.cv.notify_all();
+    });
+  }
+  DrainChunks(&state);
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&state, helpers] {
+      return state.helpers_done == helpers;
+    });
+  }
+  ReleasePool();
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace subrec::par

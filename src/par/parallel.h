@@ -1,0 +1,84 @@
+#ifndef SUBREC_PAR_PARALLEL_H_
+#define SUBREC_PAR_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace subrec::par {
+
+/// Thread count the process-wide runtime will use for parallel regions.
+/// Resolution order: SetNumThreads override (if non-zero), then the
+/// SUBREC_NUM_THREADS environment variable (read once, first call wins),
+/// then std::thread::hardware_concurrency(). Always >= 1; a value of 1
+/// means every region runs inline on the calling thread and no pool is
+/// ever spun up.
+size_t NumThreads();
+
+/// hardware_concurrency() clamped to >= 1.
+size_t HardwareThreads();
+
+/// Overrides NumThreads() process-wide; `n == 0` clears the override and
+/// falls back to env/hardware resolution. Returns the previous override
+/// (0 if none was set). Takes effect for regions started afterwards.
+size_t SetNumThreads(size_t n);
+
+/// True while the calling thread is executing inside a ParallelFor body.
+/// Nested regions run inline on the calling thread (no pool re-entry).
+bool InParallelRegion();
+
+/// RAII thread-count override for tests and benchmarks.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(size_t n) : prev_(SetNumThreads(n)) {}
+  ~ScopedNumThreads() { SetNumThreads(prev_); }
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  size_t prev_;
+};
+
+/// Runs body(begin, end) over [0, n) split into deterministic static
+/// chunks. The chunk boundaries are a function of n and grain ONLY —
+/// chunk c covers [c*grain, min(n, (c+1)*grain)) — never of the thread
+/// count, so any per-chunk side effects land in the same places
+/// regardless of SUBREC_NUM_THREADS. Chunks execute concurrently (in
+/// unspecified order) on the shared pool; with 1 thread, a single chunk,
+/// or when called from inside another region, everything runs inline in
+/// ascending chunk order on the calling thread.
+///
+/// If a body throws, no new chunks are started, the exception from the
+/// lowest-indexed failing chunk is rethrown on the caller, and chunks
+/// already running are allowed to finish first.
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Deterministic parallel reduction: map(begin, end) produces one partial
+/// per chunk (same chunk grid as ParallelFor), and partials are combined
+/// serially in ascending chunk order as
+///   acc = combine(acc, partial[0]); acc = combine(acc, partial[1]); ...
+/// starting from `init`. Because both the chunk grid and the combination
+/// order are independent of the thread count, floating-point results are
+/// bit-identical for any SUBREC_NUM_THREADS.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t n, size_t grain, T init, const MapFn& map,
+                 const CombineFn& combine) {
+  if (n == 0) return init;
+  const size_t g = grain == 0 ? size_t{1} : grain;
+  const size_t chunks = (n + g - 1) / g;
+  std::vector<T> partials(chunks, init);
+  ParallelFor(n, g, [&partials, g, &map](size_t begin, size_t end) {
+    partials[begin / g] = map(begin, end);
+  });
+  T acc = std::move(init);
+  for (size_t c = 0; c < chunks; ++c)
+    acc = combine(std::move(acc), std::move(partials[c]));
+  return acc;
+}
+
+}  // namespace subrec::par
+
+#endif  // SUBREC_PAR_PARALLEL_H_

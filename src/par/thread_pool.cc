@@ -1,8 +1,8 @@
-#include "serve/thread_pool.h"
+#include "par/thread_pool.h"
 
 #include "common/check.h"
 
-namespace subrec::serve {
+namespace subrec::par {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   SUBREC_CHECK_GT(num_threads, 0u);
@@ -54,4 +54,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace subrec::serve
+}  // namespace subrec::par

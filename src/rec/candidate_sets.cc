@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "common/check.h"
 #include "datagen/split.h"
 #include "eval/ranking.h"
+#include "par/parallel.h"
 
 namespace subrec::rec {
 
@@ -47,19 +49,37 @@ RecEvalResult EvaluateRecommender(const RecContext& ctx,
                                   int k, int max_profile_papers) {
   DCheckValidContext(ctx);
   RecEvalResult result;
+  // Score each candidate set in parallel into its own slot; the metric
+  // sums are then accumulated serially in set order, so the result is
+  // bit-identical for any thread count.
+  struct SetMetrics {
+    double ndcg = 0.0, mrr = 0.0, map = 0.0;
+    bool evaluated = false;
+  };
+  std::vector<SetMetrics> per_set(sets.size());
+  par::ParallelFor(sets.size(), 1, [&](size_t s_begin, size_t s_end) {
+    for (size_t s = s_begin; s < s_end; ++s) {
+      const CandidateSet& set = sets[s];
+      if (set.papers.empty()) continue;
+      UserQuery query;
+      query.user = set.user;
+      query.profile = UserProfile(ctx, set.user, max_profile_papers);
+      const std::vector<double> scores = rec.Score(ctx, query, set.papers);
+      SUBREC_CHECK_EQ(scores.size(), set.papers.size());
+      const std::vector<bool> ranked =
+          eval::ReorderByRanking(scores, set.relevant);
+      per_set[s].ndcg = eval::NdcgAtK(ranked, k);
+      per_set[s].mrr = eval::ReciprocalRank(ranked, k);
+      per_set[s].map = eval::AveragePrecision(ranked);
+      per_set[s].evaluated = true;
+    }
+  });
   double ndcg = 0.0, mrr = 0.0, map = 0.0;
-  for (const CandidateSet& set : sets) {
-    if (set.papers.empty()) continue;
-    UserQuery query;
-    query.user = set.user;
-    query.profile = UserProfile(ctx, set.user, max_profile_papers);
-    const std::vector<double> scores = rec.Score(ctx, query, set.papers);
-    SUBREC_CHECK_EQ(scores.size(), set.papers.size());
-    const std::vector<bool> ranked =
-        eval::ReorderByRanking(scores, set.relevant);
-    ndcg += eval::NdcgAtK(ranked, k);
-    mrr += eval::ReciprocalRank(ranked, k);
-    map += eval::AveragePrecision(ranked);
+  for (const SetMetrics& m : per_set) {
+    if (!m.evaluated) continue;
+    ndcg += m.ndcg;
+    mrr += m.mrr;
+    map += m.map;
     ++result.users_evaluated;
   }
   if (result.users_evaluated > 0) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -14,6 +15,7 @@
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 
 namespace subrec::rec {
 
@@ -21,6 +23,27 @@ using autodiff::Tape;
 using graph::Edge;
 using graph::NodeId;
 using la::Matrix;
+
+namespace {
+
+// Chunk grains for the per-node/per-paper/per-candidate loops. Every
+// iteration writes only its own slot, so the grain only spreads work —
+// results cannot depend on the thread count.
+constexpr size_t kNodeGrain = 8;
+constexpr size_t kPaperGrain = 16;
+constexpr size_t kCandidateGrain = 16;
+
+/// One training pair's forward/backward state, built in parallel within a
+/// batch. Parameters only change at the optimizer step (a batch boundary),
+/// so per-pair tapes read frozen values; gradients are pulled serially in
+/// pair order, matching the sequential schedule bit for bit.
+struct PairWork {
+  std::unique_ptr<Tape> tape;
+  std::unique_ptr<nn::TapeBinding> binding;
+  autodiff::VarId loss = 0;
+};
+
+}  // namespace
 
 NPRec::NPRec(const NPRecOptions& options, const SubspaceEmbeddings* subspace)
     : options_(options), subspace_(subspace) {
@@ -323,47 +346,61 @@ Status NPRec::Fit(const RecContext& ctx) {
   nn::Adam optimizer(options_.learning_rate, 0.9, 0.999, 1e-8,
                      options_.weight_decay);
   const std::vector<nn::Parameter*> params = store_.params();
-  int in_batch = 0;
+  const size_t batch =
+      options_.batch_size > 0 ? static_cast<size_t>(options_.batch_size) : 1;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     SUBREC_TRACE_SPAN("nprec/epoch");
     epochs_counter->Increment();
     pair_steps->Increment(static_cast<int64_t>(pairs.size()));
     double epoch_loss = 0.0;
-    for (const TrainingPair& pair : pairs) {
-      Tape tape;
-      nn::TapeBinding binding(&tape);
-      std::unordered_map<uint64_t, VarId> memo;
-      VarId vp = PaperVecOnTape(&tape, &binding, ctx, pair.citing,
-                                /*influence_side=*/false, &memo);
-      VarId vq = PaperVecOnTape(&tape, &binding, ctx, pair.cited,
-                                /*influence_side=*/true, &memo);
-      VarId logit = tape.MatMulTransB(vp, vq);  // Eq. 22
-      VarId loss = tape.SigmoidBce(logit, Matrix(1, 1, pair.label));
-      if (options_.label_smoothness > 0.0 && pair.label > 0.5 &&
-          options_.use_graph) {
-        VarId lp = binding.Use(node_embed_[static_cast<size_t>(
-            ctx.graph->paper_nodes[static_cast<size_t>(pair.citing)])]);
-        VarId lq = binding.Use(node_embed_[static_cast<size_t>(
-            ctx.graph->paper_nodes[static_cast<size_t>(pair.cited)])]);
-        loss = tape.Add(loss, tape.Scale(tape.SumSquares(tape.Sub(lp, lq)),
+    for (size_t b0 = 0; b0 < pairs.size(); b0 += batch) {
+      const size_t b1 = std::min(pairs.size(), b0 + batch);
+      // Forward/backward for each batch pair on its own tape; parameter
+      // values are frozen until the step below, so the pairs are
+      // independent and chunking cannot change any result.
+      std::vector<PairWork> work(b1 - b0);
+      par::ParallelFor(b1 - b0, 1, [&](size_t w_begin, size_t w_end) {
+        for (size_t w = w_begin; w < w_end; ++w) {
+          const TrainingPair& pair = pairs[b0 + w];
+          auto tape = std::make_unique<Tape>();
+          auto binding = std::make_unique<nn::TapeBinding>(tape.get());
+          std::unordered_map<uint64_t, VarId> memo;
+          VarId vp = PaperVecOnTape(tape.get(), binding.get(), ctx,
+                                    pair.citing,
+                                    /*influence_side=*/false, &memo);
+          VarId vq = PaperVecOnTape(tape.get(), binding.get(), ctx,
+                                    pair.cited,
+                                    /*influence_side=*/true, &memo);
+          VarId logit = tape->MatMulTransB(vp, vq);  // Eq. 22
+          VarId loss = tape->SigmoidBce(logit, Matrix(1, 1, pair.label));
+          if (options_.label_smoothness > 0.0 && pair.label > 0.5 &&
+              options_.use_graph) {
+            VarId lp = binding->Use(node_embed_[static_cast<size_t>(
+                ctx.graph->paper_nodes[static_cast<size_t>(pair.citing)])]);
+            VarId lq = binding->Use(node_embed_[static_cast<size_t>(
+                ctx.graph->paper_nodes[static_cast<size_t>(pair.cited)])]);
+            loss = tape->Add(loss,
+                             tape->Scale(tape->SumSquares(tape->Sub(lp, lq)),
                                          options_.label_smoothness));
+          }
+          loss = nn::AddL2Regularizer(tape.get(), binding.get(), loss,
+                                      reg_params, options_.lambda);
+          tape->Backward(loss);
+          work[w].tape = std::move(tape);
+          work[w].binding = std::move(binding);
+          work[w].loss = loss;
+        }
+      });
+      // Gradient accumulation stays serial and in pair order — the same
+      // floating-point addition sequence the sequential loop performs.
+      for (PairWork& pw : work) {
+        pw.binding->PullGradients();
+        const double lv = pw.tape->value(pw.loss)(0, 0);
+        SUBREC_CHECK_FINITE(lv, "NPRec pair loss");
+        epoch_loss += lv;
       }
-      loss = nn::AddL2Regularizer(&tape, &binding, loss, reg_params,
-                                  options_.lambda);
-      tape.Backward(loss);
-      binding.PullGradients();
-      SUBREC_CHECK_FINITE(tape.value(loss)(0, 0), "NPRec pair loss");
-      epoch_loss += tape.value(loss)(0, 0);
-      if (++in_batch >= options_.batch_size) {
-        nn::ClipGradNorm(params, options_.clip_norm);
-        optimizer.Step(params);
-        in_batch = 0;
-      }
-    }
-    if (in_batch > 0) {
       nn::ClipGradNorm(params, options_.clip_norm);
       optimizer.Step(params);
-      in_batch = 0;
     }
     const double mean_loss = epoch_loss / static_cast<double>(pairs.size());
     train_stats_.epoch_loss.push_back(mean_loss);
@@ -409,36 +446,41 @@ void NPRec::ComputeFinalVectors(const RecContext& ctx) {
                          bool influence_side, int layer) {
       std::vector<std::vector<double>> next(n);
       const nn::Dense& dense = layers_[static_cast<size_t>(layer)];
-      for (size_t i = 0; i < n; ++i) {
-        const std::vector<Edge>& nbrs =
-            SampledNeighbors(static_cast<NodeId>(i), influence_side);
-        std::vector<double> sum = prev[i];
-        if (!nbrs.empty()) {
-          const std::vector<double> self_leaf =
-              node_embed_[i]->value.RowToVector(0);
-          std::vector<double> pis(nbrs.size());
-          for (size_t e = 0; e < nbrs.size(); ++e) {
-            const auto leaf =
-                node_embed_[static_cast<size_t>(nbrs[e].dst)]->value
-                    .RowToVector(0);
-            const auto rel =
-                rel_embed_[static_cast<size_t>(static_cast<int>(nbrs[e].rel))]
-                    ->value.RowToVector(0);
-            double dot = 0.0;
-            for (size_t j = 0; j < d; ++j)
-              dot += self_leaf[j] * leaf[j] * rel[j];
-            pis[e] = dot;
+      // Each node reads the frozen prev layer and writes only next[i].
+      par::ParallelFor(n, kNodeGrain, [&](size_t i_begin, size_t i_end) {
+        for (size_t i = i_begin; i < i_end; ++i) {
+          const std::vector<Edge>& nbrs =
+              SampledNeighbors(static_cast<NodeId>(i), influence_side);
+          std::vector<double> sum = prev[i];
+          if (!nbrs.empty()) {
+            const std::vector<double> self_leaf =
+                node_embed_[i]->value.RowToVector(0);
+            std::vector<double> pis(nbrs.size());
+            for (size_t e = 0; e < nbrs.size(); ++e) {
+              const auto leaf =
+                  node_embed_[static_cast<size_t>(nbrs[e].dst)]->value
+                      .RowToVector(0);
+              const auto rel =
+                  rel_embed_[static_cast<size_t>(
+                                 static_cast<int>(nbrs[e].rel))]
+                      ->value.RowToVector(0);
+              double dot = 0.0;
+              for (size_t j = 0; j < d; ++j)
+                dot += self_leaf[j] * leaf[j] * rel[j];
+              pis[e] = dot;
+            }
+            la::SoftmaxInPlace(pis);
+            for (size_t e = 0; e < nbrs.size(); ++e)
+              la::AxpyVec(pis[e], prev[static_cast<size_t>(nbrs[e].dst)],
+                          sum);
           }
-          la::SoftmaxInPlace(pis);
-          for (size_t e = 0; e < nbrs.size(); ++e)
-            la::AxpyVec(pis[e], prev[static_cast<size_t>(nbrs[e].dst)], sum);
+          // y = tanh(x W + b)
+          Matrix x = Matrix::RowVector(sum);
+          Matrix y = la::Tanh(la::AddRowBroadcast(
+              la::MatMul(x, dense.weight()->value), dense.bias()->value));
+          next[i] = y.RowToVector(0);
         }
-        // y = tanh(x W + b)
-        Matrix x = Matrix::RowVector(sum);
-        Matrix y = la::Tanh(la::AddRowBroadcast(
-            la::MatMul(x, dense.weight()->value), dense.bias()->value));
-        next[i] = y.RowToVector(0);
-      }
+      });
       return next;
     };
     for (int h = 0; h < options_.depth; ++h) {
@@ -457,39 +499,42 @@ void NPRec::ComputeFinalVectors(const RecContext& ctx) {
 
   paper_interest_.assign(num_papers, {});
   paper_influence_.assign(num_papers, {});
-  for (size_t p = 0; p < num_papers; ++p) {
-    std::vector<double> vi, vf;
-    if (options_.use_text) {
-      const Matrix fused = FusedText(static_cast<corpus::PaperId>(p));
-      auto project = [&](const nn::Dense& dense) {
-        Matrix y = la::Tanh(la::AddRowBroadcast(
-            la::MatMul(fused, dense.weight()->value), dense.bias()->value));
-        return y.RowToVector(0);
-      };
-      vi = project(*text_proj_interest_);
-      vf = project(*text_proj_influence_);
-      if (options_.use_raw_text_channel) {
-        std::vector<double> unit = fused.RowToVector(0);
-        la::NormalizeL2(unit);
-        const double gain = raw_text_gain_->value(0, 0);
-        for (double x : unit) vi.push_back(gain * x);
-        vf.insert(vf.end(), unit.begin(), unit.end());
+  par::ParallelFor(num_papers, kPaperGrain, [&](size_t p_begin,
+                                                size_t p_end) {
+    for (size_t p = p_begin; p < p_end; ++p) {
+      std::vector<double> vi, vf;
+      if (options_.use_text) {
+        const Matrix fused = FusedText(static_cast<corpus::PaperId>(p));
+        auto project = [&](const nn::Dense& dense) {
+          Matrix y = la::Tanh(la::AddRowBroadcast(
+              la::MatMul(fused, dense.weight()->value), dense.bias()->value));
+          return y.RowToVector(0);
+        };
+        vi = project(*text_proj_interest_);
+        vf = project(*text_proj_influence_);
+        if (options_.use_raw_text_channel) {
+          std::vector<double> unit = fused.RowToVector(0);
+          la::NormalizeL2(unit);
+          const double gain = raw_text_gain_->value(0, 0);
+          for (double x : unit) vi.push_back(gain * x);
+          vf.insert(vf.end(), unit.begin(), unit.end());
+        }
       }
+      if (options_.use_graph) {
+        const size_t node = static_cast<size_t>(ctx.graph->paper_nodes[p]);
+        vi.insert(vi.end(), gi[node].begin(), gi[node].end());
+        vf.insert(vf.end(), gf[node].begin(), gf[node].end());
+      }
+      if (PriorEnabled()) {
+        vi.push_back(prior_weight_->value(0, 0));
+        vi.push_back(prior_weight_->value(0, 1));
+        vf.push_back(prior_features_(p, 0));
+        vf.push_back(prior_features_(p, 1));
+      }
+      paper_interest_[p] = std::move(vi);
+      paper_influence_[p] = std::move(vf);
     }
-    if (options_.use_graph) {
-      const size_t node = static_cast<size_t>(ctx.graph->paper_nodes[p]);
-      vi.insert(vi.end(), gi[node].begin(), gi[node].end());
-      vf.insert(vf.end(), gf[node].begin(), gf[node].end());
-    }
-    if (PriorEnabled()) {
-      vi.push_back(prior_weight_->value(0, 0));
-      vi.push_back(prior_weight_->value(0, 1));
-      vf.push_back(prior_features_(p, 0));
-      vf.push_back(prior_features_(p, 1));
-    }
-    paper_interest_[p] = std::move(vi);
-    paper_influence_[p] = std::move(vf);
-  }
+  });
 }
 
 double NPRec::PairScore(corpus::PaperId p, corpus::PaperId q) const {
@@ -506,12 +551,19 @@ std::vector<double> NPRec::Score(
   SUBREC_CHECK(fitted_);
   std::vector<double> scores(candidates.size(), 0.0);
   if (query.profile.empty()) return scores;
-  for (size_t c = 0; c < candidates.size(); ++c) {
-    double total = 0.0;
-    for (corpus::PaperId p : query.profile)
-      total += PairScore(p, candidates[c]);
-    scores[c] = total / static_cast<double>(query.profile.size());
-  }
+  // Each candidate writes only its own slot; the per-candidate profile sum
+  // runs in profile order regardless of chunking.
+  par::ParallelFor(candidates.size(), kCandidateGrain,
+                   [&](size_t c_begin, size_t c_end) {
+                     for (size_t c = c_begin; c < c_end; ++c) {
+                       double total = 0.0;
+                       for (corpus::PaperId p : query.profile)
+                         total += PairScore(p, candidates[c]);
+                       scores[c] =
+                           total /
+                           static_cast<double>(query.profile.size());
+                     }
+                   });
   return scores;
 }
 

@@ -1,65 +1,15 @@
 #ifndef SUBREC_SERVE_THREAD_POOL_H_
 #define SUBREC_SERVE_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <type_traits>
-#include <utility>
-#include <vector>
+#include "par/thread_pool.h"
 
 namespace subrec::serve {
 
-/// Bounded worker pool over one shared FIFO queue (deliberately simple: no
-/// work stealing, no priorities). Workers block on a condition variable —
-/// never a sleep loop. Destruction (or Shutdown) drains every queued task,
-/// then joins; tasks submitted through Submit must not throw, while
-/// SubmitWithResult wraps the callable in a packaged_task so an exception
-/// lands in the returned future instead of killing a worker.
-class ThreadPool {
- public:
-  explicit ThreadPool(size_t num_threads);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues a fire-and-forget task. Must not be called after Shutdown.
-  void Submit(std::function<void()> task);
-
-  /// Enqueues `fn` and returns a future for its result (or its exception).
-  template <typename F>
-  auto SubmitWithResult(F fn) -> std::future<std::invoke_result_t<F>> {
-    using R = std::invoke_result_t<F>;
-    // shared_ptr because std::function requires copyable callables.
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
-    std::future<R> result = task->get_future();
-    Submit([task]() { (*task)(); });
-    return result;
-  }
-
-  /// Drains the queue, joins every worker. Idempotent.
-  void Shutdown();
-
-  size_t num_threads() const { return workers_.size(); }
-
-  /// Tasks currently waiting (excludes tasks being executed).
-  size_t QueueDepth() const;
-
- private:
-  void WorkerLoop();
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool shutdown_ = false;
-};
+/// The drain-on-shutdown pool started life here and was promoted to the
+/// shared par runtime; serve code keeps its unqualified spelling.
+/// RecommendService still owns a dedicated instance (declared last, shut
+/// down explicitly) so its destruction-order semantics are unchanged.
+using ThreadPool = par::ThreadPool;
 
 }  // namespace subrec::serve
 

@@ -1,13 +1,30 @@
 #include "subspace/trainer.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "common/rng.h"
 #include "la/check_finite.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 
 namespace subrec::subspace {
+namespace {
+
+/// One triplet's forward/backward state, built in parallel within a batch.
+/// Parameters only change at the optimizer step (a batch boundary), so the
+/// per-item tapes read frozen values; gradients are pulled serially in item
+/// order afterwards, reproducing the sequential schedule bit for bit.
+struct TripletWork {
+  std::unique_ptr<autodiff::Tape> tape;
+  std::unique_ptr<nn::TapeBinding> binding;
+  autodiff::VarId loss = 0;
+};
+
+}  // namespace
 
 Result<SemTrainStats> TrainTwinNetwork(
     const std::vector<rules::PaperContentFeatures>& features,
@@ -43,37 +60,51 @@ Result<SemTrainStats> TrainTwinNetwork(
     SUBREC_TRACE_SPAN("sem/epoch");
     rng.Shuffle(order);
     double epoch_loss = 0.0;
-    int in_batch = 0;
-    for (size_t idx : order) {
-      const Triplet& t = triplets[idx];
-      autodiff::Tape tape;
-      nn::TapeBinding binding(&tape);
-      const auto cp = net->EmbedOnTape(
-          &tape, &binding, features[static_cast<size_t>(t.anchor)]);
-      const auto cq = net->EmbedOnTape(
-          &tape, &binding, features[static_cast<size_t>(t.positive)]);
-      const auto cq2 = net->EmbedOnTape(
-          &tape, &binding, features[static_cast<size_t>(t.negative)]);
-      const size_t k = static_cast<size_t>(t.subspace);
-      autodiff::VarId d_pos = net->DistanceOnTape(&tape, cp[k], cq[k]);
-      autodiff::VarId d_neg = net->DistanceOnTape(&tape, cp[k], cq2[k]);
-      autodiff::VarId loss =
-          nn::TripletHingeLoss(&tape, d_pos, d_neg, options.margin);
-      loss = nn::AddL2Regularizer(&tape, &binding, loss, params,
-                                  options.lambda);
-      tape.Backward(loss);
-      binding.PullGradients();
-      SUBREC_CHECK_FINITE(tape.value(loss)(0, 0), "SEM trainer triplet loss");
-      epoch_loss += tape.value(loss)(0, 0);
-      loss_hist->Observe(tape.value(loss)(0, 0));
-      if (++in_batch >= options.batch_size) {
-        nn::ClipGradNorm(params, options.clip_norm);
-        optimizer.Step(params);
-        steps->Increment();
-        in_batch = 0;
+    const size_t batch =
+        options.batch_size > 0 ? static_cast<size_t>(options.batch_size) : 1;
+    for (size_t b0 = 0; b0 < order.size(); b0 += batch) {
+      const size_t b1 = std::min(order.size(), b0 + batch);
+      // Forward/backward for each batch item on its own tape. Parameter
+      // values are frozen until the step below, so the items are
+      // independent and the chunking cannot change any result.
+      std::vector<TripletWork> work(b1 - b0);
+      par::ParallelFor(b1 - b0, 1, [&](size_t w_begin, size_t w_end) {
+        for (size_t w = w_begin; w < w_end; ++w) {
+          const Triplet& t = triplets[order[b0 + w]];
+          auto tape = std::make_unique<autodiff::Tape>();
+          auto binding = std::make_unique<nn::TapeBinding>(tape.get());
+          const auto cp = net->EmbedOnTape(
+              tape.get(), binding.get(),
+              features[static_cast<size_t>(t.anchor)]);
+          const auto cq = net->EmbedOnTape(
+              tape.get(), binding.get(),
+              features[static_cast<size_t>(t.positive)]);
+          const auto cq2 = net->EmbedOnTape(
+              tape.get(), binding.get(),
+              features[static_cast<size_t>(t.negative)]);
+          const size_t k = static_cast<size_t>(t.subspace);
+          autodiff::VarId d_pos = net->DistanceOnTape(tape.get(), cp[k], cq[k]);
+          autodiff::VarId d_neg =
+              net->DistanceOnTape(tape.get(), cp[k], cq2[k]);
+          autodiff::VarId loss =
+              nn::TripletHingeLoss(tape.get(), d_pos, d_neg, options.margin);
+          loss = nn::AddL2Regularizer(tape.get(), binding.get(), loss, params,
+                                      options.lambda);
+          tape->Backward(loss);
+          work[w].tape = std::move(tape);
+          work[w].binding = std::move(binding);
+          work[w].loss = loss;
+        }
+      });
+      // Gradient accumulation stays serial and in item order — the same
+      // floating-point addition sequence the sequential trainer performs.
+      for (TripletWork& tw : work) {
+        tw.binding->PullGradients();
+        const double lv = tw.tape->value(tw.loss)(0, 0);
+        SUBREC_CHECK_FINITE(lv, "SEM trainer triplet loss");
+        epoch_loss += lv;
+        loss_hist->Observe(lv);
       }
-    }
-    if (in_batch > 0) {
       nn::ClipGradNorm(params, options.clip_norm);
       optimizer.Step(params);
       steps->Increment();

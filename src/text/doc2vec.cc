@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
+#include "text/row_overlay.h"
 
 namespace subrec::text {
 namespace {
@@ -15,6 +17,38 @@ double FastSigmoid(double x) {
   if (x > 8.0) return 1.0;
   if (x < -8.0) return 0.0;
   return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// Contiguous document span trained as one unit; cut from token counts
+/// alone so the plan is a fixed function of the corpus (see word2vec.cc —
+/// same deterministic sharding, documents instead of sentences).
+struct SgdChunk {
+  size_t first = 0;
+  size_t last = 0;
+  int64_t token_offset = 0;
+};
+
+constexpr int64_t kChunkTokens = 2048;
+
+std::vector<SgdChunk> PlanChunks(const std::vector<std::vector<int>>& ids) {
+  std::vector<SgdChunk> chunks;
+  size_t first = 0;
+  int64_t offset = 0, count = 0;
+  for (size_t s = 0; s < ids.size(); ++s) {
+    count += static_cast<int64_t>(ids[s].size());
+    if (count >= kChunkTokens || s + 1 == ids.size()) {
+      chunks.push_back({first, s + 1, offset});
+      offset += count;
+      first = s + 1;
+      count = 0;
+    }
+  }
+  return chunks;
+}
+
+uint64_t ChunkSeed(uint64_t seed, int epoch, size_t num_chunks, size_t chunk) {
+  return seed + 0x9E3779B97F4A7C15ULL *
+                    (static_cast<uint64_t>(epoch) * num_chunks + chunk + 1);
 }
 
 }  // namespace
@@ -63,47 +97,65 @@ Status Doc2Vec::Train(const std::vector<std::vector<std::string>>& documents) {
 
   const int64_t total_steps =
       static_cast<int64_t>(options_.epochs) * total_tokens;
-  int64_t step = 0;
-  std::vector<double> grad_doc(d);
   static obs::Counter* const epochs =
       obs::MetricsRegistry::Global().GetCounter("doc2vec.epochs");
   static obs::Counter* const tokens =
       obs::MetricsRegistry::Global().GetCounter("doc2vec.tokens");
+
+  // Deterministic chunk-sharded epochs (see word2vec.cc for the scheme).
+  // Document vectors are exclusive to their chunk and train in place; the
+  // shared output table goes through per-chunk overlays merged in chunk
+  // order at the epoch barrier. Bit-identical for any thread count.
+  const std::vector<SgdChunk> chunks = PlanChunks(ids);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     SUBREC_TRACE_SPAN("doc2vec/epoch");
     epochs->Increment();
     tokens->Increment(total_tokens);
-    for (size_t doc_id = 0; doc_id < ids.size(); ++doc_id) {
-      double* dv = doc_.data() + doc_id * d;
-      for (int word : ids[doc_id]) {
-        const double progress =
-            static_cast<double>(step++) / static_cast<double>(total_steps);
-        const double lr =
-            options_.learning_rate * std::max(1.0 - progress, 1e-2);
-        std::fill(grad_doc.begin(), grad_doc.end(), 0.0);
-        for (int k = 0; k <= options_.negatives; ++k) {
-          int target;
-          double label;
-          if (k == 0) {
-            target = word;
-            label = 1.0;
-          } else {
-            target = sample_negative(rng);
-            if (target == word) continue;
-            label = 0.0;
-          }
-          double* wo = out_.data() + static_cast<size_t>(target) * d;
-          double dot = 0.0;
-          for (size_t j = 0; j < d; ++j) dot += dv[j] * wo[j];
-          const double g = (label - FastSigmoid(dot)) * lr;
-          for (size_t j = 0; j < d; ++j) {
-            grad_doc[j] += g * wo[j];
-            wo[j] += g * dv[j];
+    std::vector<RowOverlay> out_ov;
+    out_ov.reserve(chunks.size());
+    for (size_t c = 0; c < chunks.size(); ++c) out_ov.emplace_back(out_, d);
+    par::ParallelFor(chunks.size(), 1, [&](size_t c_begin, size_t c_end) {
+      for (size_t c = c_begin; c < c_end; ++c) {
+        Rng crng(ChunkSeed(options_.seed, epoch, chunks.size(), c));
+        RowOverlay& oov = out_ov[c];
+        std::vector<double> grad_doc(d);
+        int64_t step = static_cast<int64_t>(epoch) * total_tokens +
+                       chunks[c].token_offset;
+        for (size_t doc_id = chunks[c].first; doc_id < chunks[c].last;
+             ++doc_id) {
+          double* dv = doc_.data() + doc_id * d;
+          for (int word : ids[doc_id]) {
+            const double progress =
+                static_cast<double>(step++) / static_cast<double>(total_steps);
+            const double lr =
+                options_.learning_rate * std::max(1.0 - progress, 1e-2);
+            std::fill(grad_doc.begin(), grad_doc.end(), 0.0);
+            for (int k = 0; k <= options_.negatives; ++k) {
+              int target;
+              double label;
+              if (k == 0) {
+                target = word;
+                label = 1.0;
+              } else {
+                target = sample_negative(crng);
+                if (target == word) continue;
+                label = 0.0;
+              }
+              double* wo = oov.Row(target);
+              double dot = 0.0;
+              for (size_t j = 0; j < d; ++j) dot += dv[j] * wo[j];
+              const double g = (label - FastSigmoid(dot)) * lr;
+              for (size_t j = 0; j < d; ++j) {
+                grad_doc[j] += g * wo[j];
+                wo[j] += g * dv[j];
+              }
+            }
+            for (size_t j = 0; j < d; ++j) dv[j] += grad_doc[j];
           }
         }
-        for (size_t j = 0; j < d; ++j) dv[j] += grad_doc[j];
       }
-    }
+    });
+    for (size_t c = 0; c < chunks.size(); ++c) out_ov[c].MergeInto(&out_);
   }
   trained_ = true;
   return Status::Ok();

@@ -1,0 +1,60 @@
+#ifndef SUBREC_TEXT_ROW_OVERLAY_H_
+#define SUBREC_TEXT_ROW_OVERLAY_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace subrec::text {
+
+/// Copy-on-first-touch view over the rows of a flat row-major embedding
+/// table, used to shard SGD epochs into deterministic chunks: each chunk
+/// trains against a private overlay seeded from the epoch-start table,
+/// then the per-chunk deltas are folded back serially in chunk order.
+/// Both the overlay contents (driven only by the chunk's own work) and the
+/// merge order are independent of the thread count, so training is
+/// bit-identical for any SUBREC_NUM_THREADS.
+class RowOverlay {
+ public:
+  /// `global` must outlive the overlay and stay unmodified until merge.
+  RowOverlay(const std::vector<double>& global, size_t dim)
+      : global_(&global), d_(dim) {}
+
+  /// Mutable overlay row for `id`, copied from the global table on first
+  /// touch. The pointer is invalidated by the next first-touch Row() call.
+  double* Row(int id) {
+    auto [it, inserted] = index_.emplace(id, touched_.size());
+    if (inserted) {
+      touched_.push_back(id);
+      const double* src = global_->data() + static_cast<size_t>(id) * d_;
+      base_.insert(base_.end(), src, src + d_);
+      cur_.insert(cur_.end(), src, src + d_);
+    }
+    return cur_.data() + it->second * d_;
+  }
+
+  /// Adds (current - base) for every touched row into `global`, in
+  /// first-touch order — a fixed function of the chunk's own work.
+  void MergeInto(std::vector<double>* global) const {
+    for (size_t t = 0; t < touched_.size(); ++t) {
+      double* dst = global->data() + static_cast<size_t>(touched_[t]) * d_;
+      const double* from = base_.data() + t * d_;
+      const double* to = cur_.data() + t * d_;
+      for (size_t j = 0; j < d_; ++j) dst[j] += to[j] - from[j];
+    }
+  }
+
+  size_t touched() const { return touched_.size(); }
+
+ private:
+  const std::vector<double>* global_;
+  size_t d_;
+  std::unordered_map<int, size_t> index_;
+  std::vector<int> touched_;     // ids in first-touch order
+  std::vector<double> base_;     // epoch-start copies, touched-order blocks
+  std::vector<double> cur_;      // trained values, same layout
+};
+
+}  // namespace subrec::text
+
+#endif  // SUBREC_TEXT_ROW_OVERLAY_H_

@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
+#include "text/row_overlay.h"
 
 namespace subrec::text {
 namespace {
@@ -15,6 +17,39 @@ double FastSigmoid(double x) {
   if (x > 8.0) return 1.0;
   if (x < -8.0) return 0.0;
   return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// Contiguous sentence span trained as one unit. The spans are cut from
+/// token counts alone, so the plan — and with it every chunk's RNG stream
+/// and learning-rate schedule — is a fixed function of the corpus.
+struct SgdChunk {
+  size_t first = 0;          // first sentence (inclusive)
+  size_t last = 0;           // last sentence (exclusive)
+  int64_t token_offset = 0;  // corpus tokens before this chunk
+};
+
+constexpr int64_t kChunkTokens = 2048;
+
+std::vector<SgdChunk> PlanChunks(const std::vector<std::vector<int>>& ids) {
+  std::vector<SgdChunk> chunks;
+  size_t first = 0;
+  int64_t offset = 0, count = 0;
+  for (size_t s = 0; s < ids.size(); ++s) {
+    count += static_cast<int64_t>(ids[s].size());
+    if (count >= kChunkTokens || s + 1 == ids.size()) {
+      chunks.push_back({first, s + 1, offset});
+      offset += count;
+      first = s + 1;
+      count = 0;
+    }
+  }
+  return chunks;
+}
+
+uint64_t ChunkSeed(uint64_t seed, int epoch, size_t num_chunks, size_t chunk) {
+  // Golden-ratio spacing keeps per-(epoch, chunk) streams disjoint.
+  return seed + 0x9E3779B97F4A7C15ULL *
+                    (static_cast<uint64_t>(epoch) * num_chunks + chunk + 1);
 }
 
 }  // namespace
@@ -69,55 +104,84 @@ Status Word2Vec::Train(const std::vector<std::vector<std::string>>& sentences) {
 
   const int64_t total_steps =
       static_cast<int64_t>(options_.epochs) * total_tokens;
-  int64_t step = 0;
-  std::vector<double> grad_in(d);
   static obs::Counter* const epochs =
       obs::MetricsRegistry::Global().GetCounter("word2vec.epochs");
   static obs::Counter* const tokens =
       obs::MetricsRegistry::Global().GetCounter("word2vec.tokens");
+
+  // Epochs are sharded into deterministic sentence chunks rather than
+  // trained hogwild: each chunk runs sequential SGD against a private
+  // copy-on-touch overlay of the epoch-start tables with its own seeded
+  // RNG, and the per-chunk deltas are folded back in chunk order at the
+  // epoch barrier. Every quantity involved — chunk plan, RNG streams,
+  // learning-rate positions, merge order — is a function of the corpus
+  // and options only, so the result is bit-identical for any thread count.
+  const std::vector<SgdChunk> chunks = PlanChunks(ids);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     SUBREC_TRACE_SPAN("word2vec/epoch");
     epochs->Increment();
     tokens->Increment(total_tokens);
-    for (const auto& sentence : ids) {
-      const int n = static_cast<int>(sentence.size());
-      for (int center = 0; center < n; ++center) {
-        const double progress =
-            static_cast<double>(step++) / static_cast<double>(total_steps);
-        const double lr =
-            options_.learning_rate * std::max(1.0 - progress, 1e-2);
-        const int win = 1 + static_cast<int>(rng.UniformInt(
-                                static_cast<uint64_t>(options_.window)));
-        const int lo = std::max(0, center - win);
-        const int hi = std::min(n - 1, center + win);
-        double* wi = in_.data() + static_cast<size_t>(sentence[center]) * d;
-        for (int ctx = lo; ctx <= hi; ++ctx) {
-          if (ctx == center) continue;
-          std::fill(grad_in.begin(), grad_in.end(), 0.0);
-          // One positive + `negatives` sampled targets.
-          for (int k = 0; k <= options_.negatives; ++k) {
-            int target;
-            double label;
-            if (k == 0) {
-              target = sentence[ctx];
-              label = 1.0;
-            } else {
-              target = sample_negative(rng);
-              if (target == sentence[ctx]) continue;
-              label = 0.0;
-            }
-            double* wo = out_.data() + static_cast<size_t>(target) * d;
-            double dot = 0.0;
-            for (size_t j = 0; j < d; ++j) dot += wi[j] * wo[j];
-            const double g = (label - FastSigmoid(dot)) * lr;
-            for (size_t j = 0; j < d; ++j) {
-              grad_in[j] += g * wo[j];
-              wo[j] += g * wi[j];
+    std::vector<RowOverlay> in_ov, out_ov;
+    in_ov.reserve(chunks.size());
+    out_ov.reserve(chunks.size());
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      in_ov.emplace_back(in_, d);
+      out_ov.emplace_back(out_, d);
+    }
+    par::ParallelFor(chunks.size(), 1, [&](size_t c_begin, size_t c_end) {
+      for (size_t c = c_begin; c < c_end; ++c) {
+        Rng crng(ChunkSeed(options_.seed, epoch, chunks.size(), c));
+        RowOverlay& iov = in_ov[c];
+        RowOverlay& oov = out_ov[c];
+        std::vector<double> grad_in(d);
+        int64_t step = static_cast<int64_t>(epoch) * total_tokens +
+                       chunks[c].token_offset;
+        for (size_t s = chunks[c].first; s < chunks[c].last; ++s) {
+          const std::vector<int>& sentence = ids[s];
+          const int n = static_cast<int>(sentence.size());
+          for (int center = 0; center < n; ++center) {
+            const double progress =
+                static_cast<double>(step++) / static_cast<double>(total_steps);
+            const double lr =
+                options_.learning_rate * std::max(1.0 - progress, 1e-2);
+            const int win = 1 + static_cast<int>(crng.UniformInt(
+                                    static_cast<uint64_t>(options_.window)));
+            const int lo = std::max(0, center - win);
+            const int hi = std::min(n - 1, center + win);
+            double* wi = iov.Row(sentence[center]);
+            for (int ctx = lo; ctx <= hi; ++ctx) {
+              if (ctx == center) continue;
+              std::fill(grad_in.begin(), grad_in.end(), 0.0);
+              // One positive + `negatives` sampled targets.
+              for (int k = 0; k <= options_.negatives; ++k) {
+                int target;
+                double label;
+                if (k == 0) {
+                  target = sentence[ctx];
+                  label = 1.0;
+                } else {
+                  target = sample_negative(crng);
+                  if (target == sentence[ctx]) continue;
+                  label = 0.0;
+                }
+                double* wo = oov.Row(target);
+                double dot = 0.0;
+                for (size_t j = 0; j < d; ++j) dot += wi[j] * wo[j];
+                const double g = (label - FastSigmoid(dot)) * lr;
+                for (size_t j = 0; j < d; ++j) {
+                  grad_in[j] += g * wo[j];
+                  wo[j] += g * wi[j];
+                }
+              }
+              for (size_t j = 0; j < d; ++j) wi[j] += grad_in[j];
             }
           }
-          for (size_t j = 0; j < d; ++j) wi[j] += grad_in[j];
         }
       }
+    });
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      in_ov[c].MergeInto(&in_);
+      out_ov[c].MergeInto(&out_);
     }
   }
   trained_ = true;

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 #include "la/matrix.h"
 #include "la/ops.h"
+#include "par/parallel.h"
 
 namespace subrec::la {
 namespace {
@@ -179,6 +182,104 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapes,
                                            std::make_tuple(2, 3, 4),
                                            std::make_tuple(5, 1, 7),
                                            std::make_tuple(8, 8, 8)));
+
+// ---- Blocked GEMM: the cache-blocked/register-tiled path kicks in above
+// a work cutoff; validate it against the naive triple loop on shapes that
+// straddle the cutoff, including odd sizes that exercise the edge tiles.
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t k = 0; k < a.cols(); ++k)
+      for (size_t j = 0; j < b.cols(); ++j)
+        c(i, j) += a(i, k) * b(k, j);
+  return c;
+}
+
+class BlockedGemmShapes
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(BlockedGemmShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(1234);
+  Matrix a = Matrix::Random(m, k, rng);
+  Matrix b = Matrix::Random(k, n, rng);
+  const Matrix ref = NaiveMatMul(a, b);
+  const Matrix c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), ref.rows());
+  ASSERT_EQ(c.cols(), ref.cols());
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-9);
+  // Transposed variants route through the same kernel above the cutoff.
+  const Matrix ta = MatMulTransA(Transpose(a), b);
+  const Matrix tb = MatMulTransB(a, Transpose(b));
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(ta[i], ref[i], 1e-9);
+    EXPECT_NEAR(tb[i], ref[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedGemmShapes,
+    ::testing::Values(std::make_tuple(31, 33, 29),    // below cutoff, odd
+                      std::make_tuple(32, 32, 32),    // at the boundary
+                      std::make_tuple(64, 64, 64),    // blocked, full tiles
+                      std::make_tuple(67, 61, 59),    // blocked, edge tiles
+                      std::make_tuple(128, 37, 77),   // tall-skinny-wide
+                      std::make_tuple(1, 4096, 64),   // single-row blocked
+                      std::make_tuple(129, 129, 129)  // all edges at once
+                      ));
+
+TEST(BlockedGemm, BitIdenticalAcrossThreadCounts) {
+  Rng rng(77);
+  Matrix a = Matrix::Random(150, 130, rng);
+  Matrix b = Matrix::Random(130, 140, rng);
+  std::vector<Matrix> outs;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    par::ScopedNumThreads scoped(threads);
+    outs.push_back(MatMul(a, b));
+  }
+  for (size_t v = 1; v < outs.size(); ++v) {
+    ASSERT_EQ(outs[0].size(), outs[v].size());
+    for (size_t i = 0; i < outs[0].size(); ++i)
+      ASSERT_EQ(outs[0][i], outs[v][i]) << "flat index " << i;
+  }
+}
+
+// ---- Degenerate shapes: zero-dimension inputs must not read out of
+// bounds or divide by zero anywhere in the op layer.
+
+TEST(OpsDegenerate, ZeroDimMatMulShapes) {
+  Matrix a(0, 5);
+  Matrix b(5, 3);
+  const Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 3u);
+
+  Matrix d(4, 0);
+  Matrix e(0, 3);
+  const Matrix f = MatMul(d, e);  // inner dimension zero: all-zero result
+  EXPECT_EQ(f.rows(), 4u);
+  EXPECT_EQ(f.cols(), 3u);
+  for (size_t i = 0; i < f.size(); ++i) EXPECT_EQ(f[i], 0.0);
+
+  Matrix g(2, 4);
+  Matrix h(4, 0);
+  const Matrix i = MatMul(g, h);
+  EXPECT_EQ(i.rows(), 2u);
+  EXPECT_EQ(i.cols(), 0u);
+}
+
+TEST(OpsDegenerate, RowSoftmaxZeroColumns) {
+  Matrix a(3, 0);
+  const Matrix s = RowSoftmax(a);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_EQ(s.cols(), 0u);
+}
+
+TEST(OpsDegenerate, ColMeanZeroRowsDies) {
+  Matrix a(0, 4);
+  EXPECT_DEATH(ColMean(a), "rows");
+}
 
 }  // namespace
 }  // namespace subrec::la

@@ -1,0 +1,363 @@
+// Bit-exactness gate for the shared parallel runtime: every parallelized
+// fit must produce byte-identical results for SUBREC_NUM_THREADS in
+// {1, 2, 4}. The deterministic-chunking contract (fixed chunk grids,
+// ordered reductions, chunk-sharded SGD) makes this an equality test, not
+// a tolerance test.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/gmm.h"
+#include "cluster/lof.h"
+#include "cluster/tsne.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "graph/academic_graph.h"
+#include "la/matrix.h"
+#include "par/parallel.h"
+#include "rec/candidate_sets.h"
+#include "rec/nprec.h"
+#include "rules/expert_rules.h"
+#include "subspace/trainer.h"
+#include "subspace/twin_network.h"
+#include "text/doc2vec.h"
+#include "text/hashed_ngram_encoder.h"
+#include "text/word2vec.h"
+
+namespace subrec {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 4};
+
+void ExpectBitEqual(const la::Matrix& a, const la::Matrix& b,
+                    const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " at flat index " << i;
+}
+
+void ExpectBitEqual(const std::vector<double>& a, const std::vector<double>& b,
+                    const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " at index " << i;
+}
+
+la::Matrix GaussianData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix data(n, d);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = rng.Gaussian();
+  return data;
+}
+
+TEST(ParDeterminism, GmmFitBitIdenticalAcrossThreadCounts) {
+  const la::Matrix data = GaussianData(150, 6, 31);
+  struct Out {
+    la::Matrix means, variances, proba;
+    std::vector<double> weights;
+    double ll = 0.0;
+  };
+  std::vector<Out> outs;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    cluster::GaussianMixture gmm(
+        cluster::GmmOptions{.num_components = 3, .max_iterations = 25});
+    ASSERT_TRUE(gmm.Fit(data).ok());
+    outs.push_back(Out{gmm.means(), gmm.variances(), gmm.PredictProba(data),
+                       gmm.weights(), gmm.LogLikelihood(data)});
+  }
+  for (size_t i = 1; i < outs.size(); ++i) {
+    ExpectBitEqual(outs[0].means, outs[i].means, "gmm means");
+    ExpectBitEqual(outs[0].variances, outs[i].variances, "gmm variances");
+    ExpectBitEqual(outs[0].proba, outs[i].proba, "gmm responsibilities");
+    ExpectBitEqual(outs[0].weights, outs[i].weights, "gmm weights");
+    ASSERT_EQ(outs[0].ll, outs[i].ll) << "gmm log-likelihood";
+  }
+}
+
+TEST(ParDeterminism, LofBitIdenticalAcrossThreadCounts) {
+  const la::Matrix data = GaussianData(160, 8, 33);
+  std::vector<std::vector<double>> outs;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    auto lof = cluster::LocalOutlierFactor(data, 9);
+    ASSERT_TRUE(lof.ok());
+    outs.push_back(std::move(lof).value());
+  }
+  for (size_t i = 1; i < outs.size(); ++i)
+    ExpectBitEqual(outs[0], outs[i], "lof scores");
+}
+
+TEST(ParDeterminism, TsneBitIdenticalAcrossThreadCounts) {
+  const la::Matrix data = GaussianData(48, 6, 35);
+  cluster::TsneOptions options;
+  options.iterations = 40;
+  options.exaggeration_iters = 10;
+  std::vector<la::Matrix> outs;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    auto y = cluster::Tsne(data, options);
+    ASSERT_TRUE(y.ok());
+    outs.push_back(std::move(y).value());
+  }
+  for (size_t i = 1; i < outs.size(); ++i)
+    ExpectBitEqual(outs[0], outs[i], "tsne embedding");
+}
+
+std::vector<std::vector<std::string>> SyntheticSentences() {
+  // Enough repeated structure for a stable vocabulary, enough sentences to
+  // span several SGD chunks per epoch once tokens accumulate.
+  const std::vector<std::string> topics = {
+      "graph", "embedding", "subspace", "recommendation", "citation",
+      "attention", "network", "cluster", "outlier", "paper"};
+  Rng rng(71);
+  std::vector<std::vector<std::string>> sentences(60);
+  for (auto& s : sentences) {
+    const size_t len = 6 + rng.UniformInt(6);
+    for (size_t i = 0; i < len; ++i)
+      s.push_back(topics[rng.UniformInt(topics.size())]);
+  }
+  return sentences;
+}
+
+TEST(ParDeterminism, Word2VecBitIdenticalAcrossThreadCounts) {
+  const auto sentences = SyntheticSentences();
+  text::Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 2;
+  std::vector<std::vector<double>> outs;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    text::Word2Vec w2v(options);
+    ASSERT_TRUE(w2v.Train(sentences).ok());
+    std::vector<double> flat;
+    for (const char* word : {"graph", "subspace", "outlier", "paper"}) {
+      const auto v = w2v.Embedding(word);
+      flat.insert(flat.end(), v.begin(), v.end());
+    }
+    outs.push_back(std::move(flat));
+  }
+  for (size_t i = 1; i < outs.size(); ++i)
+    ExpectBitEqual(outs[0], outs[i], "word2vec embeddings");
+}
+
+TEST(ParDeterminism, Doc2VecBitIdenticalAcrossThreadCounts) {
+  const auto documents = SyntheticSentences();
+  text::Doc2VecOptions options;
+  options.dim = 16;
+  options.epochs = 2;
+  std::vector<std::vector<double>> outs;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    text::Doc2Vec d2v(options);
+    ASSERT_TRUE(d2v.Train(documents).ok());
+    std::vector<double> flat;
+    for (size_t doc : {size_t{0}, size_t{17}, size_t{59}}) {
+      const auto v = d2v.DocumentVector(doc);
+      flat.insert(flat.end(), v.begin(), v.end());
+    }
+    outs.push_back(std::move(flat));
+  }
+  for (size_t i = 1; i < outs.size(); ++i)
+    ExpectBitEqual(outs[0], outs[i], "doc2vec document vectors");
+}
+
+/// Shared tiny worlds for the model-level fits (mirrors the
+/// subspace_test / rec_test fixtures; built once per suite).
+class ParModelWorld : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = datagen::GenerateCorpus(
+        datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 4242));
+    SUBREC_CHECK(result.ok());
+    dataset_ = new datagen::GeneratedDataset(std::move(result).value());
+
+    text::HashedNgramEncoderOptions enc_options;
+    enc_options.dim = 24;
+    encoder_ = new text::HashedNgramEncoder(enc_options);
+    engine_ =
+        new rules::ExpertRuleEngine(&dataset_->ccs, encoder_, nullptr);
+    features_ = new std::vector<rules::PaperContentFeatures>();
+    for (const auto& p : dataset_->corpus.papers) {
+      std::vector<int> roles;
+      for (const auto& s : p.abstract_sentences) roles.push_back(s.role);
+      features_->push_back(engine_->ComputeFeatures(p, roles));
+    }
+
+    const auto split = datagen::SplitByYear(dataset_->corpus, 2014);
+    graph::GraphBuildOptions graph_options;
+    graph_options.citation_year_cutoff = 2014;
+    index_ = new graph::GraphIndex(
+        graph::BuildAcademicGraph(dataset_->corpus, graph_options));
+
+    subspace_ = new rec::SubspaceEmbeddings();
+    text_ = new std::vector<std::vector<double>>();
+    for (const auto& p : dataset_->corpus.papers) {
+      std::vector<std::vector<double>> subs(3, std::vector<double>(24, 0.0));
+      std::vector<int> counts(3, 0);
+      for (const auto& s : p.abstract_sentences) {
+        const auto v = encoder_->Encode(s.text);
+        for (size_t j = 0; j < v.size(); ++j)
+          subs[static_cast<size_t>(s.role)][j] += v[j];
+        ++counts[static_cast<size_t>(s.role)];
+      }
+      std::vector<double> fused(24, 0.0);
+      for (int k = 0; k < 3; ++k) {
+        if (counts[static_cast<size_t>(k)] > 0)
+          for (double& x : subs[static_cast<size_t>(k)])
+            x /= counts[static_cast<size_t>(k)];
+        for (size_t j = 0; j < 24; ++j)
+          fused[j] += subs[static_cast<size_t>(k)][j] / 3.0;
+      }
+      subspace_->push_back(std::move(subs));
+      text_->push_back(std::move(fused));
+    }
+
+    ctx_ = new rec::RecContext();
+    ctx_->corpus = &dataset_->corpus;
+    ctx_->graph = index_;
+    ctx_->split_year = 2014;
+    ctx_->train_papers = split.train;
+    ctx_->test_papers = split.test;
+    ctx_->paper_text = text_;
+
+    users_ = new std::vector<corpus::AuthorId>(
+        datagen::SelectUsers(dataset_->corpus, 2014, 2));
+    SUBREC_CHECK(!users_->empty());
+    Rng rng(1);
+    sets_ = new std::vector<rec::CandidateSet>();
+    for (corpus::AuthorId u : *users_)
+      sets_->push_back(rec::BuildCandidateSet(*ctx_, u, 20, rng));
+  }
+
+  static datagen::GeneratedDataset* dataset_;
+  static text::HashedNgramEncoder* encoder_;
+  static rules::ExpertRuleEngine* engine_;
+  static std::vector<rules::PaperContentFeatures>* features_;
+  static graph::GraphIndex* index_;
+  static rec::SubspaceEmbeddings* subspace_;
+  static std::vector<std::vector<double>>* text_;
+  static rec::RecContext* ctx_;
+  static std::vector<corpus::AuthorId>* users_;
+  static std::vector<rec::CandidateSet>* sets_;
+};
+
+datagen::GeneratedDataset* ParModelWorld::dataset_ = nullptr;
+text::HashedNgramEncoder* ParModelWorld::encoder_ = nullptr;
+rules::ExpertRuleEngine* ParModelWorld::engine_ = nullptr;
+std::vector<rules::PaperContentFeatures>* ParModelWorld::features_ = nullptr;
+graph::GraphIndex* ParModelWorld::index_ = nullptr;
+rec::SubspaceEmbeddings* ParModelWorld::subspace_ = nullptr;
+std::vector<std::vector<double>>* ParModelWorld::text_ = nullptr;
+rec::RecContext* ParModelWorld::ctx_ = nullptr;
+std::vector<corpus::AuthorId>* ParModelWorld::users_ = nullptr;
+std::vector<rec::CandidateSet>* ParModelWorld::sets_ = nullptr;
+
+TEST_F(ParModelWorld, SemTrainerBitIdenticalAcrossThreadCounts) {
+  subspace::SubspaceEncoderOptions enc;
+  enc.input_dim = 24;
+  enc.hidden_dim = 8;
+  enc.residual = false;
+  enc.attention_dim = 6;
+  enc.mlp_layers = 2;
+
+  std::vector<subspace::Triplet> triplets;
+  const int n = static_cast<int>(features_->size());
+  ASSERT_GE(n, 3);
+  for (int i = 0; i < 24; ++i) {
+    subspace::Triplet t;
+    t.anchor = i % n;
+    t.positive = (i + 1) % n;
+    t.negative = (i + 2) % n;
+    t.subspace = i % 3;
+    t.gap = 1.0;
+    triplets.push_back(t);
+  }
+  subspace::SemTrainerOptions options;
+  options.epochs = 2;
+  options.batch_size = 5;  // deliberately not a divisor: partial batches
+
+  struct Out {
+    std::vector<la::Matrix> params;
+    std::vector<double> epoch_loss;
+    double order_accuracy = 0.0;
+  };
+  std::vector<Out> outs;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    subspace::TwinNetwork net(enc, 7);
+    auto stats = TrainTwinNetwork(*features_, triplets, options, &net);
+    ASSERT_TRUE(stats.ok());
+    Out out;
+    for (nn::Parameter* p : net.store()->params())
+      out.params.push_back(p->value);
+    out.epoch_loss = stats.value().epoch_loss;
+    out.order_accuracy = stats.value().final_order_accuracy;
+    outs.push_back(std::move(out));
+  }
+  for (size_t i = 1; i < outs.size(); ++i) {
+    ASSERT_EQ(outs[0].params.size(), outs[i].params.size());
+    for (size_t pidx = 0; pidx < outs[0].params.size(); ++pidx)
+      ExpectBitEqual(outs[0].params[pidx], outs[i].params[pidx],
+                     "sem param " + std::to_string(pidx));
+    ExpectBitEqual(outs[0].epoch_loss, outs[i].epoch_loss, "sem epoch loss");
+    ASSERT_EQ(outs[0].order_accuracy, outs[i].order_accuracy);
+  }
+}
+
+TEST_F(ParModelWorld, NPRecAndEvalBitIdenticalAcrossThreadCounts) {
+  rec::NPRecOptions options;
+  options.embed_dim = 12;
+  options.neighbor_samples = 4;
+  options.epochs = 1;
+  options.sampler.max_positives = 150;
+  options.sampler.negatives_per_positive = 3;
+
+  struct Out {
+    std::vector<double> vectors;
+    std::vector<double> epoch_loss;
+    double ndcg = 0.0, mrr = 0.0, map = 0.0;
+  };
+  std::vector<Out> outs;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    rec::NPRec model(options, subspace_);
+    ASSERT_TRUE(model.Fit(*ctx_).ok());
+    Out out;
+    for (size_t p = 0; p < ctx_->corpus->papers.size(); p += 7) {
+      const auto& vi =
+          model.PaperInterestVector(static_cast<corpus::PaperId>(p));
+      const auto& vf =
+          model.PaperInfluenceVector(static_cast<corpus::PaperId>(p));
+      out.vectors.insert(out.vectors.end(), vi.begin(), vi.end());
+      out.vectors.insert(out.vectors.end(), vf.begin(), vf.end());
+    }
+    out.epoch_loss = model.train_stats().epoch_loss;
+    const rec::RecEvalResult eval =
+        rec::EvaluateRecommender(*ctx_, model, *sets_, 20);
+    out.ndcg = eval.ndcg;
+    out.mrr = eval.mrr;
+    out.map = eval.map;
+    outs.push_back(std::move(out));
+  }
+  for (size_t i = 1; i < outs.size(); ++i) {
+    ExpectBitEqual(outs[0].vectors, outs[i].vectors, "nprec paper vectors");
+    ExpectBitEqual(outs[0].epoch_loss, outs[i].epoch_loss,
+                   "nprec epoch loss");
+    ASSERT_EQ(outs[0].ndcg, outs[i].ndcg) << "eval ndcg";
+    ASSERT_EQ(outs[0].mrr, outs[i].mrr) << "eval mrr";
+    ASSERT_EQ(outs[0].map, outs[i].map) << "eval map";
+  }
+}
+
+}  // namespace
+}  // namespace subrec
