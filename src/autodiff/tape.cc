@@ -1,218 +1,260 @@
 #include "autodiff/tape.h"
 
+#include <algorithm>
 #include <cmath>
-#include <utility>
+#include <functional>
 
 #include "la/check_finite.h"
 #include "la/ops.h"
+#include "obs/metrics.h"
 
 namespace subrec::autodiff {
 
 using la::Matrix;
 
-VarId Tape::Input(Matrix value, bool requires_grad) {
-  return AddNode(std::move(value), requires_grad, nullptr);
-}
+namespace {
+bool g_tape_legacy_mode = false;
+}  // namespace
 
-VarId Tape::AddNode(Matrix value, bool requires_grad,
-                    std::function<void(Tape*)> backward) {
-  Node n;
-  n.value = std::move(value);
-  n.requires_grad = requires_grad;
-  n.backward = std::move(backward);
-  nodes_.push_back(std::move(n));
-  return nodes_.size() - 1;
+void SetTapeLegacyMode(bool on) {
+  g_tape_legacy_mode = on;
+  // The pre-rewrite baseline also means the pre-rewrite matmul path:
+  // AVX2 kernel ceiling and fresh transposed copies (la layer can't see
+  // this flag, so mirror it down).
+  la::SetLegacyKernelMode(on);
+}
+bool TapeLegacyMode() { return g_tape_legacy_mode; }
+
+Tape::~Tape() { FlushStats(); }
+
+VarId Tape::NewNode(Op op, bool requires_grad, VarId a, VarId b) {
+  ++nodes_built_;
+  if (live_nodes_ < nodes_.size()) {
+    // Recycle the record left behind by a previous pass: its value/grad
+    // matrices keep their heap blocks, so filling a same-shaped result is
+    // allocation-free.
+    Node& n = nodes_[live_nodes_];
+    if (n.value.capacity() > 0 || n.grad.capacity() > 0) ++slab_reuse_hits_;
+    n.value.ClearKeepCapacity();
+    n.grad.ClearKeepCapacity();
+    n.ext = nullptr;
+    n.op = op;
+    n.requires_grad = requires_grad;
+    n.a = a;
+    n.b = b;
+    n.alpha = 0.0;
+    n.extra_begin = 0;
+    n.extra_count = 0;
+  } else {
+    nodes_.emplace_back();
+    Node& n = nodes_.back();
+    n.op = op;
+    n.requires_grad = requires_grad;
+    n.a = a;
+    n.b = b;
+  }
+  return live_nodes_++;
 }
 
 Tape::Node& Tape::node(VarId id) {
-  SUBREC_CHECK_LT(id, nodes_.size());
+  SUBREC_CHECK_LT(id, live_nodes_);
   return nodes_[id];
 }
 
-void Tape::Accumulate(VarId id, const Matrix& g) {
+void Tape::StoreOperands(Node* n, const std::vector<VarId>& parts) {
+  n->extra_begin = static_cast<uint32_t>(live_operands_);
+  n->extra_count = static_cast<uint32_t>(parts.size());
+  if (live_operands_ + parts.size() <= operands_.size()) {
+    std::copy(parts.begin(), parts.end(), operands_.begin() + live_operands_);
+  } else {
+    operands_.resize(live_operands_);
+    operands_.insert(operands_.end(), parts.begin(), parts.end());
+  }
+  live_operands_ += parts.size();
+}
+
+VarId Tape::Input(const Matrix& value, bool requires_grad) {
+  VarId id = NewNode(Op::kLeaf, requires_grad);
+  nodes_[id].value.CopyFrom(value);
+  return id;
+}
+
+VarId Tape::InputRef(const Matrix* value, bool requires_grad) {
+  SUBREC_CHECK(value != nullptr);
+  VarId id = NewNode(Op::kLeaf, requires_grad);
+  nodes_[id].ext = value;
+  return id;
+}
+
+void Tape::AccumulateScaled(VarId id, double alpha, const Matrix& g) {
   Node& n = node(id);
   if (!n.requires_grad) return;
   SUBREC_CHECK(n.grad.SameShape(g));
   SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
-  la::Axpy(1.0, g, n.grad);
+  double* a = n.grad.data();
+  const double* b = g.data();
+  const size_t m = n.grad.size();
+  for (size_t k = 0; k < m; ++k) a[k] += alpha * b[k];
+}
+
+void Tape::AccumulateHadamard(VarId id, const Matrix& g, const Matrix& v) {
+  Node& n = node(id);
+  if (!n.requires_grad) return;
+  SUBREC_CHECK(n.grad.SameShape(g));
+  SUBREC_DCHECK(g.SameShape(v));
+  SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+  double* a = n.grad.data();
+  const double* gp = g.data();
+  const double* vp = v.data();
+  const size_t m = n.grad.size();
+  for (size_t k = 0; k < m; ++k) a[k] += gp[k] * vp[k];
 }
 
 const Matrix& Tape::value(VarId id) const {
-  SUBREC_CHECK_LT(id, nodes_.size());
-  return nodes_[id].value;
+  SUBREC_CHECK_LT(id, live_nodes_);
+  const Node& n = nodes_[id];
+  return n.ext != nullptr ? *n.ext : n.value;
 }
 
 const Matrix& Tape::grad(VarId id) const {
-  SUBREC_CHECK_LT(id, nodes_.size());
+  SUBREC_CHECK_LT(id, live_nodes_);
   return nodes_[id].grad;
 }
 
-void Tape::Reset() { nodes_.clear(); }
+void Tape::Reset() {
+  if (TapeLegacyMode()) {
+    // The closure tape's Reset() destroyed every node (and with it every
+    // value/grad slab); reproduce that so legacy benchmark runs pay the
+    // same reallocation cost on the next pass.
+    nodes_.clear();
+    operands_.clear();
+    scratch_ = Matrix();
+  }
+  live_nodes_ = 0;
+  live_operands_ = 0;
+  FlushStats();
+}
+
+size_t Tape::bytes_reserved() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node) +
+                 operands_.capacity() * sizeof(VarId) +
+                 scratch_.capacity() * sizeof(double);
+  for (const Node& n : nodes_) {
+    bytes += (n.value.capacity() + n.grad.capacity()) * sizeof(double);
+  }
+  return bytes;
+}
+
+void Tape::FlushStats() {
+  namespace obs = subrec::obs;
+  static obs::Counter* built =
+      obs::MetricsRegistry::Global().GetCounter("tape.nodes_built");
+  static obs::Counter* reuse =
+      obs::MetricsRegistry::Global().GetCounter("tape.slab_reuse_hits");
+  static obs::Gauge* arena =
+      obs::MetricsRegistry::Global().GetGauge("tape.arena_bytes");
+  if (nodes_built_ != flushed_nodes_built_) {
+    built->Increment(static_cast<int64_t>(nodes_built_ - flushed_nodes_built_));
+    flushed_nodes_built_ = nodes_built_;
+  }
+  if (slab_reuse_hits_ != flushed_slab_reuse_hits_) {
+    reuse->Increment(
+        static_cast<int64_t>(slab_reuse_hits_ - flushed_slab_reuse_hits_));
+    flushed_slab_reuse_hits_ = slab_reuse_hits_;
+  }
+  // Gauge semantics: footprint of the most recently reset tape. Steady
+  // state shows a flat value because every pass reuses the same slabs.
+  arena->Set(static_cast<double>(bytes_reserved()));
+}
+
+// --- op construction ---------------------------------------------------
+//
+// Pattern: read the `requires_grad` bits first, then NewNode (which may
+// reallocate nodes_), and only then take matrix references for the *Into
+// call — references into nodes_ obtained before NewNode would dangle.
 
 VarId Tape::Add(VarId a, VarId b) {
-  Matrix v = la::Add(value(a), value(b));
-  bool rg = node(a).requires_grad || node(b).requires_grad;
-  VarId out = AddNode(std::move(v), rg, nullptr);
-  nodes_[out].backward = [a, b, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    t->Accumulate(a, g);
-    t->Accumulate(b, g);
-  };
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = NewNode(Op::kAdd, rg, a, b);
+  la::AddInto(value(a), value(b), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::Sub(VarId a, VarId b) {
-  Matrix v = la::Sub(value(a), value(b));
-  bool rg = node(a).requires_grad || node(b).requires_grad;
-  VarId out = AddNode(std::move(v), rg, nullptr);
-  nodes_[out].backward = [a, b, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    t->Accumulate(a, g);
-    t->Accumulate(b, la::Scale(g, -1.0));
-  };
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = NewNode(Op::kSub, rg, a, b);
+  la::SubInto(value(a), value(b), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::Mul(VarId a, VarId b) {
-  Matrix v = la::Hadamard(value(a), value(b));
-  bool rg = node(a).requires_grad || node(b).requires_grad;
-  VarId out = AddNode(std::move(v), rg, nullptr);
-  nodes_[out].backward = [a, b, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    t->Accumulate(a, la::Hadamard(g, t->value(b)));
-    t->Accumulate(b, la::Hadamard(g, t->value(a)));
-  };
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = NewNode(Op::kMul, rg, a, b);
+  la::HadamardInto(value(a), value(b), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::Scale(VarId a, double alpha) {
-  Matrix v = la::Scale(value(a), alpha);
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, alpha, out](Tape* t) {
-    t->Accumulate(a, la::Scale(t->nodes_[out].grad, alpha));
-  };
+  VarId out = NewNode(Op::kScale, node(a).requires_grad, a);
+  nodes_[out].alpha = alpha;
+  la::ScaleInto(value(a), alpha, &nodes_[out].value);
   return out;
 }
 
 VarId Tape::MatMul(VarId a, VarId b) {
-  Matrix v = la::MatMul(value(a), value(b));
-  bool rg = node(a).requires_grad || node(b).requires_grad;
-  VarId out = AddNode(std::move(v), rg, nullptr);
-  nodes_[out].backward = [a, b, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    // dA = G * B^T ; dB = A^T * G
-    t->Accumulate(a, la::MatMulTransB(g, t->value(b)));
-    t->Accumulate(b, la::MatMulTransA(t->value(a), g));
-  };
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = NewNode(Op::kMatMul, rg, a, b);
+  la::MatMulInto(value(a), value(b), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::MatMulTransB(VarId a, VarId b) {
-  Matrix v = la::MatMulTransB(value(a), value(b));
-  bool rg = node(a).requires_grad || node(b).requires_grad;
-  VarId out = AddNode(std::move(v), rg, nullptr);
-  nodes_[out].backward = [a, b, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    // c = a b^T  =>  dA = G * B ; dB = G^T * A
-    t->Accumulate(a, la::MatMul(g, t->value(b)));
-    t->Accumulate(b, la::MatMulTransA(g, t->value(a)));
-  };
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  VarId out = NewNode(Op::kMatMulTransB, rg, a, b);
+  la::MatMulTransBInto(value(a), value(b), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::AddRowBroadcast(VarId a, VarId bias) {
-  Matrix v = la::AddRowBroadcast(value(a), value(bias));
-  bool rg = node(a).requires_grad || node(bias).requires_grad;
-  VarId out = AddNode(std::move(v), rg, nullptr);
-  nodes_[out].backward = [a, bias, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    t->Accumulate(a, g);
-    Matrix gb(1, g.cols());
-    for (size_t i = 0; i < g.rows(); ++i)
-      for (size_t j = 0; j < g.cols(); ++j) gb(0, j) += g(i, j);
-    t->Accumulate(bias, gb);
-  };
+  const bool rg = node(a).requires_grad || node(bias).requires_grad;
+  VarId out = NewNode(Op::kAddRowBroadcast, rg, a, bias);
+  la::AddRowBroadcastInto(value(a), value(bias), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::Tanh(VarId a) {
-  Matrix v = la::Tanh(value(a));
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    const Matrix& y = t->nodes_[out].value;
-    Matrix da = g;
-    for (size_t i = 0; i < da.size(); ++i) da[i] *= (1.0 - y[i] * y[i]);
-    t->Accumulate(a, da);
-  };
+  VarId out = NewNode(Op::kTanh, node(a).requires_grad, a);
+  la::TanhInto(value(a), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::Sigmoid(VarId a) {
-  Matrix v = la::Sigmoid(value(a));
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    const Matrix& y = t->nodes_[out].value;
-    Matrix da = g;
-    for (size_t i = 0; i < da.size(); ++i) da[i] *= y[i] * (1.0 - y[i]);
-    t->Accumulate(a, da);
-  };
+  VarId out = NewNode(Op::kSigmoid, node(a).requires_grad, a);
+  la::SigmoidInto(value(a), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::Relu(VarId a) {
-  Matrix v = la::Relu(value(a));
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    const Matrix& x = t->value(a);
-    Matrix da = g;
-    for (size_t i = 0; i < da.size(); ++i) da[i] = x[i] > 0.0 ? da[i] : 0.0;
-    t->Accumulate(a, da);
-  };
+  VarId out = NewNode(Op::kRelu, node(a).requires_grad, a);
+  la::ReluInto(value(a), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::RowSoftmax(VarId a) {
-  Matrix v = la::RowSoftmax(value(a));
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    const Matrix& y = t->nodes_[out].value;
-    Matrix da(g.rows(), g.cols());
-    for (size_t i = 0; i < g.rows(); ++i) {
-      double dot = 0.0;
-      for (size_t j = 0; j < g.cols(); ++j) dot += g(i, j) * y(i, j);
-      for (size_t j = 0; j < g.cols(); ++j)
-        da(i, j) = y(i, j) * (g(i, j) - dot);
-    }
-    t->Accumulate(a, da);
-  };
+  VarId out = NewNode(Op::kRowSoftmax, node(a).requires_grad, a);
+  la::RowSoftmaxInto(value(a), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::Transpose(VarId a) {
-  Matrix v = la::Transpose(value(a));
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, out](Tape* t) {
-    t->Accumulate(a, la::Transpose(t->nodes_[out].grad));
-  };
+  VarId out = NewNode(Op::kTranspose, node(a).requires_grad, a);
+  la::TransposeInto(value(a), &nodes_[out].value);
   return out;
 }
 
 VarId Tape::RowMean(VarId a) {
-  Matrix v = la::ColMean(value(a));
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    const Matrix& x = t->value(a);
-    const double inv = 1.0 / static_cast<double>(x.rows());
-    Matrix da(x.rows(), x.cols());
-    for (size_t i = 0; i < x.rows(); ++i)
-      for (size_t j = 0; j < x.cols(); ++j) da(i, j) = g(0, j) * inv;
-    t->Accumulate(a, da);
-  };
+  VarId out = NewNode(Op::kRowMean, node(a).requires_grad, a);
+  la::ColMeanInto(value(a), &nodes_[out].value);
   return out;
 }
 
@@ -226,25 +268,16 @@ VarId Tape::ConcatRows(const std::vector<VarId>& parts) {
     rows += value(p).rows();
     rg = rg || node(p).requires_grad;
   }
-  Matrix v(rows, cols);
+  VarId out = NewNode(Op::kConcatRows, rg);
+  StoreOperands(&nodes_[out], parts);
+  Matrix& v = nodes_[out].value;
+  v.ResizeZero(rows, cols);
   size_t r = 0;
   for (VarId p : parts) {
     const Matrix& pv = value(p);
     for (size_t i = 0; i < pv.rows(); ++i, ++r)
       for (size_t j = 0; j < cols; ++j) v(r, j) = pv(i, j);
   }
-  VarId out = AddNode(std::move(v), rg, nullptr);
-  nodes_[out].backward = [parts, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    size_t r = 0;
-    for (VarId p : parts) {
-      const Matrix& pv = t->value(p);
-      Matrix gp(pv.rows(), pv.cols());
-      for (size_t i = 0; i < pv.rows(); ++i, ++r)
-        for (size_t j = 0; j < pv.cols(); ++j) gp(i, j) = g(r, j);
-      t->Accumulate(p, gp);
-    }
-  };
   return out;
 }
 
@@ -258,102 +291,481 @@ VarId Tape::ConcatCols(const std::vector<VarId>& parts) {
     cols += value(p).cols();
     rg = rg || node(p).requires_grad;
   }
-  Matrix v(rows, cols);
+  VarId out = NewNode(Op::kConcatCols, rg);
+  StoreOperands(&nodes_[out], parts);
+  Matrix& v = nodes_[out].value;
+  v.ResizeZero(rows, cols);
   size_t c = 0;
   for (VarId p : parts) {
     const Matrix& pv = value(p);
     for (size_t j = 0; j < pv.cols(); ++j, ++c)
       for (size_t i = 0; i < rows; ++i) v(i, c) = pv(i, j);
   }
-  VarId out = AddNode(std::move(v), rg, nullptr);
-  nodes_[out].backward = [parts, out](Tape* t) {
-    const Matrix& g = t->nodes_[out].grad;
-    size_t c = 0;
-    for (VarId p : parts) {
-      const Matrix& pv = t->value(p);
-      Matrix gp(pv.rows(), pv.cols());
-      for (size_t j = 0; j < pv.cols(); ++j, ++c)
-        for (size_t i = 0; i < pv.rows(); ++i) gp(i, j) = g(i, c);
-      t->Accumulate(p, gp);
-    }
-  };
   return out;
 }
 
 VarId Tape::Sum(VarId a) {
-  Matrix v(1, 1);
+  VarId out = NewNode(Op::kSum, node(a).requires_grad, a);
+  Matrix& v = nodes_[out].value;
+  v.ResizeZero(1, 1);
   v(0, 0) = la::Sum(value(a));
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, out](Tape* t) {
-    const double g = t->nodes_[out].grad(0, 0);
-    const Matrix& x = t->value(a);
-    t->Accumulate(a, Matrix(x.rows(), x.cols(), g));
-  };
   return out;
 }
 
 VarId Tape::SumSquares(VarId a) {
+  VarId out = NewNode(Op::kSumSquares, node(a).requires_grad, a);
   const Matrix& x = value(a);
-  Matrix v(1, 1);
   double s = 0.0;
   for (size_t i = 0; i < x.size(); ++i) s += x[i] * x[i];
+  Matrix& v = nodes_[out].value;
+  v.ResizeZero(1, 1);
   v(0, 0) = s;
-  VarId out = AddNode(std::move(v), node(a).requires_grad, nullptr);
-  nodes_[out].backward = [a, out](Tape* t) {
-    const double g = t->nodes_[out].grad(0, 0);
-    t->Accumulate(a, la::Scale(t->value(a), 2.0 * g));
-  };
   return out;
 }
 
 VarId Tape::SigmoidBce(VarId logits, const Matrix& targets) {
+  SUBREC_CHECK(value(logits).SameShape(targets));
+  SUBREC_CHECK_GT(value(logits).size(), 0u);
+  // The targets live on the tape as a hidden gradient-free leaf so the
+  // backward rule can reach them without a captured copy.
+  VarId t = Input(targets, /*requires_grad=*/false);
+  VarId out = NewNode(Op::kSigmoidBce, node(logits).requires_grad, logits, t);
   const Matrix& x = value(logits);
-  SUBREC_CHECK(x.SameShape(targets));
-  SUBREC_CHECK_GT(x.size(), 0u);
+  const Matrix& y = value(t);
   // mean over entries of: max(x,0) - x*y + log(1 + exp(-|x|))
   double loss = 0.0;
   for (size_t i = 0; i < x.size(); ++i) {
     const double xi = x[i];
-    loss += std::max(xi, 0.0) - xi * targets[i] +
+    loss += std::max(xi, 0.0) - xi * y[i] +
             std::log1p(std::exp(-std::fabs(xi)));
   }
-  Matrix v(1, 1);
+  Matrix& v = nodes_[out].value;
+  v.ResizeZero(1, 1);
   v(0, 0) = loss / static_cast<double>(x.size());
-  VarId out = AddNode(std::move(v), node(logits).requires_grad, nullptr);
-  Matrix y = targets;
-  nodes_[out].backward = [logits, y, out](Tape* t) {
-    const double g = t->nodes_[out].grad(0, 0);
-    const Matrix& x = t->value(logits);
-    const double inv = g / static_cast<double>(x.size());
-    Matrix dx(x.rows(), x.cols());
-    for (size_t i = 0; i < x.size(); ++i) {
-      const double sig = 1.0 / (1.0 + std::exp(-x[i]));
-      dx[i] = (sig - y[i]) * inv;
-    }
-    t->Accumulate(logits, dx);
-  };
   return out;
 }
 
+// --- backward ----------------------------------------------------------
+
+void Tape::BackwardNode(size_t i) {
+  Node& n = nodes_[i];
+  const Matrix& g = n.grad;
+  switch (n.op) {
+    case Op::kLeaf:
+      return;
+    case Op::kAdd:
+      AccumulateScaled(n.a, 1.0, g);
+      AccumulateScaled(n.b, 1.0, g);
+      return;
+    case Op::kSub:
+      AccumulateScaled(n.a, 1.0, g);
+      AccumulateScaled(n.b, -1.0, g);
+      return;
+    case Op::kMul:
+      AccumulateHadamard(n.a, g, value(n.b));
+      AccumulateHadamard(n.b, g, value(n.a));
+      return;
+    case Op::kScale:
+      AccumulateScaled(n.a, n.alpha, g);
+      return;
+    case Op::kMatMul:
+      // dA = G * B^T ; dB = A^T * G. Computed into the shared scratch and
+      // added in one axpy — the same temp-then-single-add rounding as the
+      // closure tape, without a fresh allocation in steady state.
+      if (nodes_[n.a].requires_grad) {
+        la::MatMulTransBInto(g, value(n.b), &scratch_);
+        AccumulateScaled(n.a, 1.0, scratch_);
+      }
+      if (nodes_[n.b].requires_grad) {
+        la::MatMulTransAInto(value(n.a), g, &scratch_);
+        AccumulateScaled(n.b, 1.0, scratch_);
+      }
+      return;
+    case Op::kMatMulTransB:
+      // c = a b^T  =>  dA = G * B ; dB = G^T * A
+      if (nodes_[n.a].requires_grad) {
+        la::MatMulInto(g, value(n.b), &scratch_);
+        AccumulateScaled(n.a, 1.0, scratch_);
+      }
+      if (nodes_[n.b].requires_grad) {
+        la::MatMulTransAInto(g, value(n.a), &scratch_);
+        AccumulateScaled(n.b, 1.0, scratch_);
+      }
+      return;
+    case Op::kAddRowBroadcast: {
+      AccumulateScaled(n.a, 1.0, g);
+      if (nodes_[n.b].requires_grad) {
+        scratch_.ResizeZero(1, g.cols());
+        for (size_t r = 0; r < g.rows(); ++r)
+          for (size_t j = 0; j < g.cols(); ++j) scratch_(0, j) += g(r, j);
+        AccumulateScaled(n.b, 1.0, scratch_);
+      }
+      return;
+    }
+    case Op::kTanh: {
+      Node& an = node(n.a);
+      if (!an.requires_grad) return;
+      SUBREC_CHECK(an.grad.SameShape(g));
+      SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+      const Matrix& y = n.value;
+      double* da = an.grad.data();
+      for (size_t k = 0; k < g.size(); ++k)
+        da[k] += g[k] * (1.0 - y[k] * y[k]);
+      return;
+    }
+    case Op::kSigmoid: {
+      Node& an = node(n.a);
+      if (!an.requires_grad) return;
+      SUBREC_CHECK(an.grad.SameShape(g));
+      SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+      const Matrix& y = n.value;
+      double* da = an.grad.data();
+      for (size_t k = 0; k < g.size(); ++k)
+        da[k] += g[k] * (y[k] * (1.0 - y[k]));
+      return;
+    }
+    case Op::kRelu: {
+      Node& an = node(n.a);
+      if (!an.requires_grad) return;
+      SUBREC_CHECK(an.grad.SameShape(g));
+      SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+      const Matrix& x = value(n.a);
+      double* da = an.grad.data();
+      // Adds an explicit 0.0 on the inactive side (instead of skipping the
+      // store) so a -0.0 in the accumulator flips to +0.0 exactly as the
+      // closure tape's dense axpy did.
+      for (size_t k = 0; k < g.size(); ++k)
+        da[k] += x[k] > 0.0 ? g[k] : 0.0;
+      return;
+    }
+    case Op::kRowSoftmax: {
+      Node& an = node(n.a);
+      if (!an.requires_grad) return;
+      SUBREC_CHECK(an.grad.SameShape(g));
+      SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+      const Matrix& y = n.value;
+      Matrix& da = an.grad;
+      for (size_t r = 0; r < g.rows(); ++r) {
+        double dot = 0.0;
+        for (size_t j = 0; j < g.cols(); ++j) dot += g(r, j) * y(r, j);
+        for (size_t j = 0; j < g.cols(); ++j)
+          da(r, j) += y(r, j) * (g(r, j) - dot);
+      }
+      return;
+    }
+    case Op::kTranspose: {
+      Node& an = node(n.a);
+      if (!an.requires_grad) return;
+      SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+      Matrix& da = an.grad;
+      SUBREC_CHECK(da.rows() == g.cols() && da.cols() == g.rows());
+      for (size_t r = 0; r < g.rows(); ++r)
+        for (size_t j = 0; j < g.cols(); ++j) da(j, r) += g(r, j);
+      return;
+    }
+    case Op::kRowMean: {
+      Node& an = node(n.a);
+      if (!an.requires_grad) return;
+      SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+      Matrix& da = an.grad;
+      const double inv = 1.0 / static_cast<double>(da.rows());
+      for (size_t r = 0; r < da.rows(); ++r)
+        for (size_t j = 0; j < da.cols(); ++j) da(r, j) += g(0, j) * inv;
+      return;
+    }
+    case Op::kConcatRows: {
+      SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+      size_t r = 0;
+      for (uint32_t s = 0; s < n.extra_count; ++s) {
+        const VarId p = operands_[n.extra_begin + s];
+        Node& pn = node(p);
+        const Matrix& pv = value(p);
+        if (!pn.requires_grad) {
+          r += pv.rows();
+          continue;
+        }
+        Matrix& gp = pn.grad;
+        for (size_t i = 0; i < pv.rows(); ++i, ++r)
+          for (size_t j = 0; j < pv.cols(); ++j) gp(i, j) += g(r, j);
+      }
+      return;
+    }
+    case Op::kConcatCols: {
+      SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+      size_t c = 0;
+      for (uint32_t s = 0; s < n.extra_count; ++s) {
+        const VarId p = operands_[n.extra_begin + s];
+        Node& pn = node(p);
+        const Matrix& pv = value(p);
+        if (!pn.requires_grad) {
+          c += pv.cols();
+          continue;
+        }
+        Matrix& gp = pn.grad;
+        for (size_t j = 0; j < pv.cols(); ++j, ++c)
+          for (size_t i = 0; i < pv.rows(); ++i) gp(i, j) += g(i, c);
+      }
+      return;
+    }
+    case Op::kSum: {
+      Node& an = node(n.a);
+      if (!an.requires_grad) return;
+      const double gs = g(0, 0);
+      SUBREC_CHECK_FINITE(gs, "autodiff backward gradient");
+      double* da = an.grad.data();
+      for (size_t k = 0; k < an.grad.size(); ++k) da[k] += gs;
+      return;
+    }
+    case Op::kSumSquares:
+      AccumulateScaled(n.a, 2.0 * g(0, 0), value(n.a));
+      return;
+    case Op::kSigmoidBce: {
+      Node& an = node(n.a);
+      if (!an.requires_grad) return;
+      const double gs = g(0, 0);
+      SUBREC_CHECK_FINITE(gs, "autodiff backward gradient");
+      const Matrix& x = value(n.a);
+      const Matrix& y = value(n.b);
+      const double inv = gs / static_cast<double>(x.size());
+      double* da = an.grad.data();
+      for (size_t k = 0; k < x.size(); ++k) {
+        const double sig = 1.0 / (1.0 + std::exp(-x[k]));
+        da[k] += (sig - y[k]) * inv;
+      }
+      return;
+    }
+  }
+}
+
+void Tape::LegacyAccumulate(VarId id, const Matrix& g) {
+  Node& n = node(id);
+  if (!n.requires_grad) return;
+  SUBREC_CHECK(n.grad.SameShape(g));
+  SUBREC_CHECK_FINITE(g, "autodiff backward gradient");
+  la::Axpy(1.0, g, n.grad);
+}
+
+void Tape::LegacyBackwardNode(size_t i) {
+  Node& n = nodes_[i];
+  const Matrix& g = n.grad;
+  switch (n.op) {
+    case Op::kLeaf:
+      return;
+    case Op::kAdd:
+      LegacyAccumulate(n.a, g);
+      LegacyAccumulate(n.b, g);
+      return;
+    case Op::kSub:
+      LegacyAccumulate(n.a, g);
+      LegacyAccumulate(n.b, la::Scale(g, -1.0));
+      return;
+    case Op::kMul:
+      LegacyAccumulate(n.a, la::Hadamard(g, value(n.b)));
+      LegacyAccumulate(n.b, la::Hadamard(g, value(n.a)));
+      return;
+    case Op::kScale:
+      LegacyAccumulate(n.a, la::Scale(g, n.alpha));
+      return;
+    case Op::kMatMul:
+      LegacyAccumulate(n.a, la::MatMulTransB(g, value(n.b)));
+      LegacyAccumulate(n.b, la::MatMulTransA(value(n.a), g));
+      return;
+    case Op::kMatMulTransB:
+      LegacyAccumulate(n.a, la::MatMul(g, value(n.b)));
+      LegacyAccumulate(n.b, la::MatMulTransA(g, value(n.a)));
+      return;
+    case Op::kAddRowBroadcast: {
+      LegacyAccumulate(n.a, g);
+      Matrix gb(1, g.cols());
+      for (size_t r = 0; r < g.rows(); ++r)
+        for (size_t j = 0; j < g.cols(); ++j) gb(0, j) += g(r, j);
+      LegacyAccumulate(n.b, gb);
+      return;
+    }
+    case Op::kTanh: {
+      const Matrix& y = n.value;
+      Matrix da = g;
+      for (size_t k = 0; k < da.size(); ++k) da[k] *= (1.0 - y[k] * y[k]);
+      LegacyAccumulate(n.a, da);
+      return;
+    }
+    case Op::kSigmoid: {
+      const Matrix& y = n.value;
+      Matrix da = g;
+      for (size_t k = 0; k < da.size(); ++k) da[k] *= y[k] * (1.0 - y[k]);
+      LegacyAccumulate(n.a, da);
+      return;
+    }
+    case Op::kRelu: {
+      const Matrix& x = value(n.a);
+      Matrix da = g;
+      for (size_t k = 0; k < da.size(); ++k)
+        da[k] = x[k] > 0.0 ? da[k] : 0.0;
+      LegacyAccumulate(n.a, da);
+      return;
+    }
+    case Op::kRowSoftmax: {
+      const Matrix& y = n.value;
+      Matrix da(g.rows(), g.cols());
+      for (size_t r = 0; r < g.rows(); ++r) {
+        double dot = 0.0;
+        for (size_t j = 0; j < g.cols(); ++j) dot += g(r, j) * y(r, j);
+        for (size_t j = 0; j < g.cols(); ++j)
+          da(r, j) = y(r, j) * (g(r, j) - dot);
+      }
+      LegacyAccumulate(n.a, da);
+      return;
+    }
+    case Op::kTranspose:
+      LegacyAccumulate(n.a, la::Transpose(g));
+      return;
+    case Op::kRowMean: {
+      const Matrix& x = value(n.a);
+      const double inv = 1.0 / static_cast<double>(x.rows());
+      Matrix da(x.rows(), x.cols());
+      for (size_t r = 0; r < x.rows(); ++r)
+        for (size_t j = 0; j < x.cols(); ++j) da(r, j) = g(0, j) * inv;
+      LegacyAccumulate(n.a, da);
+      return;
+    }
+    case Op::kConcatRows: {
+      size_t r = 0;
+      for (uint32_t s = 0; s < n.extra_count; ++s) {
+        const VarId p = operands_[n.extra_begin + s];
+        const Matrix& pv = value(p);
+        Matrix gp(pv.rows(), pv.cols());
+        for (size_t q = 0; q < pv.rows(); ++q, ++r)
+          for (size_t j = 0; j < pv.cols(); ++j) gp(q, j) = g(r, j);
+        LegacyAccumulate(p, gp);
+      }
+      return;
+    }
+    case Op::kConcatCols: {
+      size_t c = 0;
+      for (uint32_t s = 0; s < n.extra_count; ++s) {
+        const VarId p = operands_[n.extra_begin + s];
+        const Matrix& pv = value(p);
+        Matrix gp(pv.rows(), pv.cols());
+        for (size_t j = 0; j < pv.cols(); ++j, ++c)
+          for (size_t q = 0; q < pv.rows(); ++q) gp(q, j) = g(q, c);
+        LegacyAccumulate(p, gp);
+      }
+      return;
+    }
+    case Op::kSum: {
+      const Matrix& x = value(n.a);
+      LegacyAccumulate(n.a, Matrix(x.rows(), x.cols(), g(0, 0)));
+      return;
+    }
+    case Op::kSumSquares:
+      LegacyAccumulate(n.a, la::Scale(value(n.a), 2.0 * g(0, 0)));
+      return;
+    case Op::kSigmoidBce: {
+      const double gs = g(0, 0);
+      const Matrix& x = value(n.a);
+      const Matrix& y = value(n.b);
+      const double inv = gs / static_cast<double>(x.size());
+      Matrix dx(x.rows(), x.cols());
+      for (size_t k = 0; k < x.size(); ++k) {
+        const double sig = 1.0 / (1.0 + std::exp(-x[k]));
+        dx[k] = (sig - y[k]) * inv;
+      }
+      LegacyAccumulate(n.a, dx);
+      return;
+    }
+  }
+}
+
 void Tape::Backward(VarId root) {
-  SUBREC_CHECK_LT(root, nodes_.size());
-  SUBREC_CHECK(nodes_[root].value.rows() == 1 &&
-               nodes_[root].value.cols() == 1)
+  SUBREC_CHECK_LT(root, live_nodes_);
+  const la::Matrix& rv = value(root);
+  SUBREC_CHECK(rv.rows() == 1 && rv.cols() == 1)
       << "Backward root must be a 1x1 loss";
-  SUBREC_CHECK_FINITE(nodes_[root].value(0, 0), "autodiff backward root loss");
-  // (Re)initialize grads.
-  for (Node& n : nodes_) {
+  SUBREC_CHECK_FINITE(rv(0, 0), "autodiff backward root loss");
+  if (TapeLegacyMode()) {
+    // Closure-era sweep for the train_step benchmark baseline: fresh grad
+    // matrices, one heap-allocated type-erased thunk per op node (the
+    // capture exceeds std::function's small-buffer size, exactly like the
+    // old [a, b, out] captures), and indirect dispatch through it. The
+    // arithmetic inside LegacyBackwardNode is the same sequence
+    // BackwardNode runs, so results stay bit-identical.
+    for (size_t i = 0; i < live_nodes_; ++i) {
+      Node& n = nodes_[i];
+      const Matrix& v = n.ext != nullptr ? *n.ext : n.value;
+      n.grad = n.requires_grad ? Matrix(v.rows(), v.cols()) : Matrix();
+    }
+    if (!nodes_[root].requires_grad) return;
+    nodes_[root].grad(0, 0) = 1.0;
+    std::vector<std::function<void(Tape*)>> thunks(live_nodes_);
+    for (size_t i = 0; i < live_nodes_; ++i) {
+      const Node& n = nodes_[i];
+      switch (n.op) {
+        case Op::kLeaf:
+          break;
+        case Op::kTanh:
+        case Op::kSigmoid:
+        case Op::kRelu:
+        case Op::kRowSoftmax:
+        case Op::kTranspose:
+        case Op::kRowMean:
+        case Op::kSum:
+        case Op::kSumSquares: {
+          // Old unary closures captured [a, out] — 16 bytes, inside
+          // std::function's small buffer, so no heap allocation here.
+          const VarId a = n.a;
+          thunks[i] = [i, a](Tape* t) {
+            (void)a;
+            t->LegacyBackwardNode(i);
+          };
+          break;
+        }
+        case Op::kConcatRows:
+        case Op::kConcatCols: {
+          // Old concat closures captured the parts vector by value: one
+          // heap block for the closure plus one for the vector copy.
+          std::vector<VarId> parts(
+              operands_.begin() + n.extra_begin,
+              operands_.begin() + n.extra_begin + n.extra_count);
+          thunks[i] = [i, parts](Tape* t) {
+            (void)parts;
+            t->LegacyBackwardNode(i);
+          };
+          break;
+        }
+        default: {
+          // Binary/scale closures captured [a, b, out] — 24 bytes, past
+          // the small buffer, so one heap allocation per node.
+          const VarId a = n.a;
+          const VarId b = n.b;
+          thunks[i] = [i, a, b](Tape* t) {
+            (void)a;
+            (void)b;
+            t->LegacyBackwardNode(i);
+          };
+          break;
+        }
+      }
+    }
+    for (size_t i = root + 1; i-- > 0;) {
+      if (thunks[i] && nodes_[i].requires_grad) thunks[i](this);
+    }
+    return;
+  }
+  // (Re)initialize grads in place — slabs persist across Backward calls.
+  for (size_t i = 0; i < live_nodes_; ++i) {
+    Node& n = nodes_[i];
     if (n.requires_grad) {
-      n.grad = Matrix(n.value.rows(), n.value.cols());
+      const Matrix& v = n.ext != nullptr ? *n.ext : n.value;
+      n.grad.ResizeZero(v.rows(), v.cols());
     } else {
-      n.grad = Matrix();
+      n.grad.ClearKeepCapacity();
     }
   }
   if (!nodes_[root].requires_grad) return;  // nothing to differentiate
   nodes_[root].grad(0, 0) = 1.0;
   for (size_t i = root + 1; i-- > 0;) {
     Node& n = nodes_[i];
-    if (n.backward && n.requires_grad) n.backward(this);
+    if (n.op != Op::kLeaf && n.requires_grad) BackwardNode(i);
   }
 }
 

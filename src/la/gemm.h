@@ -17,20 +17,27 @@ inline constexpr size_t kGemmMr = 4;
 /// is identical whether a row lands in a full register tile or in an edge
 /// loop, and therefore identical for any row-range split.
 ///
-/// The two symbols are the same kernel compiled for different ISAs: the
+/// The three symbols are the same kernel compiled for different ISAs: the
 /// generic one with the project-wide baseline flags, the Avx2 one with
-/// -mavx2 -mfma (falls back to the generic kernel when the toolchain or
-/// target has no AVX2). Pick via GemmAvx2Available() once per process.
+/// -mavx2 -mfma, the Avx512 one with -mavx512f -mfma (each falls back to
+/// the next-narrower kernel when the toolchain or target lacks its ISA).
+/// Pick via GemmAvx512Available()/GemmAvx2Available() once per process.
 void GemmRowRangeGeneric(const double* a, size_t lda, const double* b,
                          size_t ldb, double* c, size_t ldc, size_t row0,
                          size_t row_end, size_t k, size_t n);
 void GemmRowRangeAvx2(const double* a, size_t lda, const double* b,
                       size_t ldb, double* c, size_t ldc, size_t row0,
                       size_t row_end, size_t k, size_t n);
+void GemmRowRangeAvx512(const double* a, size_t lda, const double* b,
+                        size_t ldb, double* c, size_t ldc, size_t row0,
+                        size_t row_end, size_t k, size_t n);
 
 /// True when the AVX2+FMA translation unit was compiled with those ISAs
 /// AND the running CPU reports them.
 bool GemmAvx2Available();
+
+/// Same contract for the AVX-512F translation unit.
+bool GemmAvx512Available();
 
 }  // namespace subrec::la::internal
 

@@ -97,6 +97,46 @@ class Matrix {
   /// Reshape preserving the flat contents; total size must be unchanged.
   void Reshape(size_t rows, size_t cols);
 
+  /// Resizes to rows x cols with every entry zeroed, reusing the existing
+  /// heap allocation whenever capacity suffices. The storage primitive of
+  /// the autodiff arena: a matrix that is ResizeZero'd to the same shape
+  /// every pass allocates only once.
+  void ResizeZero(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Resizes to rows x cols without clearing retained entries (grown
+  /// entries are zero); only for callers that overwrite every entry, like
+  /// TransposeInto. In the steady state (same shape as last pass) this is
+  /// free where ResizeZero pays a full memset.
+  void ResizeOverwrite(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Copies shape and contents from `src`, reusing this matrix's
+  /// allocation when capacity suffices (unlike operator=, which may give
+  /// up the buffer to copy-and-swap).
+  void CopyFrom(const Matrix& src) {
+    rows_ = src.rows_;
+    cols_ = src.cols_;
+    data_.assign(src.data_.begin(), src.data_.end());
+  }
+
+  /// Becomes the empty 0x0 matrix but keeps the heap allocation so a later
+  /// ResizeZero/CopyFrom to a similar shape is allocation-free.
+  void ClearKeepCapacity() {
+    rows_ = 0;
+    cols_ = 0;
+    data_.clear();
+  }
+
+  /// Entries currently reserved on the heap (>= size()).
+  size_t capacity() const { return data_.capacity(); }
+
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }

@@ -1,6 +1,7 @@
 #include "la/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
@@ -8,6 +9,22 @@
 #include "par/parallel.h"
 
 namespace subrec::la {
+namespace {
+
+// Relaxed atomic so the tsan build stays clean when worker threads read the
+// flag; it is only ever flipped between fits, never during one.
+std::atomic<bool> g_legacy_kernel_mode{false};
+
+}  // namespace
+
+void SetLegacyKernelMode(bool on) {
+  g_legacy_kernel_mode.store(on, std::memory_order_relaxed);
+}
+
+bool LegacyKernelMode() {
+  return g_legacy_kernel_mode.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 // Size routing for the three matmul entry points, in units of m*n*k.
@@ -25,10 +42,16 @@ using GemmFn = void (*)(const double*, size_t, const double*, size_t, double*,
                         size_t, size_t, size_t, size_t, size_t);
 
 GemmFn ActiveGemm() {
-  static const GemmFn fn = internal::GemmAvx2Available()
-                               ? internal::GemmRowRangeAvx2
-                               : internal::GemmRowRangeGeneric;
-  return fn;
+  // The legacy pin (the AVX2 ceiling the library shipped with) exists so
+  // bench/train_step can price the pre-rewrite compute path in one binary.
+  // All kernels produce identical bits; see gemm_kernel.h.
+  static const GemmFn legacy_fn = internal::GemmAvx2Available()
+                                      ? internal::GemmRowRangeAvx2
+                                      : internal::GemmRowRangeGeneric;
+  static const GemmFn best_fn = internal::GemmAvx512Available()
+                                    ? internal::GemmRowRangeAvx512
+                                    : legacy_fn;
+  return LegacyKernelMode() ? legacy_fn : best_fn;
 }
 
 // Blocked path body shared by MatMul and the transposed wrappers. `c` must
@@ -57,16 +80,16 @@ void BlockedGemm(const Matrix& a, const Matrix& b, Matrix* c) {
 
 }  // namespace
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   SUBREC_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
-  Matrix c(a.rows(), b.cols());
+  out->ResizeZero(a.rows(), b.cols());
   if (a.rows() * a.cols() * b.cols() >= kGemmBlockedMinWork) {
-    BlockedGemm(a, b, &c);
-    return c;
+    BlockedGemm(a, b, out);
+    return;
   }
   // ikj loop order: streams over b and c rows for cache friendliness.
   for (size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.row_data(i);
+    double* crow = out->row_data(i);
     const double* arow = a.row_data(i);
     for (size_t k = 0; k < a.cols(); ++k) {
       const double aik = arow[k];
@@ -75,40 +98,82 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
       for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
     }
   }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulInto(a, b, &c);
   return c;
 }
 
-Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+namespace {
+
+// Per-thread buffer for the transposed copy the blocked branches feed the
+// streaming kernel. The matrices involved are often right at the allocator's
+// mmap threshold (128 x 128 doubles = 128 KiB), where a fresh allocation per
+// call means mmap/munmap plus page faults; reusing one slab per thread makes
+// the transpose pure memory traffic. Contents are fully overwritten each
+// call, so results are unchanged.
+Matrix& TransposeScratch() {
+  static thread_local Matrix scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out) {
   SUBREC_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA shape mismatch";
   if (a.rows() * a.cols() * b.cols() >= kGemmBlockedMinWork) {
     // One cheap O(k*m) transpose buys the blocked kernel's row layout.
-    return MatMul(Transpose(a), b);
+    if (LegacyKernelMode()) {
+      // Pre-rewrite behavior: a fresh transposed copy per call.
+      const Matrix at = Transpose(a);
+      MatMulInto(at, b, out);
+      return;
+    }
+    Matrix& at = TransposeScratch();
+    TransposeInto(a, &at);
+    MatMulInto(at, b, out);
+    return;
   }
-  Matrix c(a.cols(), b.cols());
+  out->ResizeZero(a.cols(), b.cols());
   for (size_t k = 0; k < a.rows(); ++k) {
     const double* arow = a.row_data(k);
     const double* brow = b.row_data(k);
     for (size_t i = 0; i < a.cols(); ++i) {
       const double aki = arow[i];
       if (aki == 0.0) continue;
-      double* crow = c.row_data(i);
+      double* crow = out->row_data(i);
       for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
     }
   }
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulTransAInto(a, b, &c);
   return c;
 }
 
-Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out) {
   SUBREC_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransB shape mismatch";
   if (a.rows() * a.cols() * b.rows() >= kGemmBlockedMinWork) {
     // The dot-product form below defeats vectorization (FP reductions
     // can't be reassociated); transposing B recovers the streaming kernel.
-    return MatMul(a, Transpose(b));
+    if (LegacyKernelMode()) {
+      const Matrix bt = Transpose(b);
+      MatMulInto(a, bt, out);
+      return;
+    }
+    Matrix& bt = TransposeScratch();
+    TransposeInto(b, &bt);
+    MatMulInto(a, bt, out);
+    return;
   }
-  Matrix c(a.rows(), b.rows());
+  out->ResizeZero(a.rows(), b.rows());
   for (size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.row_data(i);
-    double* crow = c.row_data(i);
+    double* crow = out->row_data(i);
     for (size_t j = 0; j < b.rows(); ++j) {
       const double* brow = b.row_data(j);
       double acc = 0.0;
@@ -116,34 +181,80 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
       crow[j] = acc;
     }
   }
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulTransBInto(a, b, &c);
   return c;
+}
+
+void TransposeInto(const Matrix& a, Matrix* out) {
+  if (LegacyKernelMode()) {
+    // Pre-rewrite form: zero-filled destination, straight double loop.
+    out->ResizeZero(a.cols(), a.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+      for (size_t j = 0; j < a.cols(); ++j) (*out)(j, i) = a(i, j);
+    return;
+  }
+  // Every entry is written below, so skip ResizeZero's memset. Blocking
+  // keeps the column-strided writes inside a cache-resident tile; element
+  // order is irrelevant for pure moves, so results are unchanged.
+  out->ResizeOverwrite(a.cols(), a.rows());
+  constexpr size_t kB = 32;
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  for (size_t ib = 0; ib < m; ib += kB) {
+    const size_t ie = std::min(m, ib + kB);
+    for (size_t jb = 0; jb < n; jb += kB) {
+      const size_t je = std::min(n, jb + kB);
+      for (size_t i = ib; i < ie; ++i) {
+        const double* ar = a.row_data(i);
+        for (size_t j = jb; j < je; ++j) (*out)(j, i) = ar[j];
+      }
+    }
+  }
 }
 
 Matrix Transpose(const Matrix& a) {
-  Matrix t(a.cols(), a.rows());
-  for (size_t i = 0; i < a.rows(); ++i)
-    for (size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  Matrix t;
+  TransposeInto(a, &t);
   return t;
 }
 
-Matrix Add(const Matrix& a, const Matrix& b) {
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out) {
   SUBREC_CHECK(a.SameShape(b));
-  Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c[i] += b[i];
+  out->CopyFrom(a);
+  for (size_t i = 0; i < out->size(); ++i) (*out)[i] += b[i];
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  AddInto(a, b, &c);
   return c;
+}
+
+void SubInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  SUBREC_CHECK(a.SameShape(b));
+  out->CopyFrom(a);
+  for (size_t i = 0; i < out->size(); ++i) (*out)[i] -= b[i];
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
-  SUBREC_CHECK(a.SameShape(b));
-  Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c[i] -= b[i];
+  Matrix c;
+  SubInto(a, b, &c);
   return c;
 }
 
-Matrix Hadamard(const Matrix& a, const Matrix& b) {
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out) {
   SUBREC_CHECK(a.SameShape(b));
-  Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  out->CopyFrom(a);
+  for (size_t i = 0; i < out->size(); ++i) (*out)[i] *= b[i];
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  HadamardInto(a, b, &c);
   return c;
 }
 
@@ -152,36 +263,63 @@ void Axpy(double alpha, const Matrix& b, Matrix& a) {
   for (size_t i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
 }
 
+void ScaleInto(const Matrix& a, double alpha, Matrix* out) {
+  out->CopyFrom(a);
+  for (size_t i = 0; i < out->size(); ++i) (*out)[i] *= alpha;
+}
+
 Matrix Scale(const Matrix& a, double alpha) {
-  Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c[i] *= alpha;
+  Matrix c;
+  ScaleInto(a, alpha, &c);
   return c;
+}
+
+void AddRowBroadcastInto(const Matrix& a, const Matrix& bias, Matrix* out) {
+  SUBREC_CHECK_EQ(bias.rows(), 1u);
+  SUBREC_CHECK_EQ(bias.cols(), a.cols());
+  out->CopyFrom(a);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) (*out)(i, j) += bias(0, j);
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
-  SUBREC_CHECK_EQ(bias.rows(), 1u);
-  SUBREC_CHECK_EQ(bias.cols(), a.cols());
-  Matrix c = a;
-  for (size_t i = 0; i < a.rows(); ++i)
-    for (size_t j = 0; j < a.cols(); ++j) c(i, j) += bias(0, j);
+  Matrix c;
+  AddRowBroadcastInto(a, bias, &c);
   return c;
+}
+
+void TanhInto(const Matrix& a, Matrix* out) {
+  out->CopyFrom(a);
+  for (size_t i = 0; i < out->size(); ++i) (*out)[i] = std::tanh((*out)[i]);
 }
 
 Matrix Tanh(const Matrix& a) {
-  Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c[i] = std::tanh(c[i]);
+  Matrix c;
+  TanhInto(a, &c);
   return c;
+}
+
+void SigmoidInto(const Matrix& a, Matrix* out) {
+  out->CopyFrom(a);
+  for (size_t i = 0; i < out->size(); ++i)
+    (*out)[i] = 1.0 / (1.0 + std::exp(-(*out)[i]));
 }
 
 Matrix Sigmoid(const Matrix& a) {
-  Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c[i] = 1.0 / (1.0 + std::exp(-c[i]));
+  Matrix c;
+  SigmoidInto(a, &c);
   return c;
 }
 
+void ReluInto(const Matrix& a, Matrix* out) {
+  out->CopyFrom(a);
+  for (size_t i = 0; i < out->size(); ++i)
+    (*out)[i] = (*out)[i] > 0.0 ? (*out)[i] : 0.0;
+}
+
 Matrix Relu(const Matrix& a) {
-  Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c[i] = c[i] > 0.0 ? c[i] : 0.0;
+  Matrix c;
+  ReluInto(a, &c);
   return c;
 }
 
@@ -191,13 +329,13 @@ Matrix Exp(const Matrix& a) {
   return c;
 }
 
-Matrix RowSoftmax(const Matrix& a) {
-  Matrix c = a;
+void RowSoftmaxInto(const Matrix& a, Matrix* out) {
+  out->CopyFrom(a);
   // A 0-column matrix has no row[0] to seed the max scan with; every row
   // is an empty softmax, so the copy is already the answer.
-  if (a.cols() == 0) return c;
+  if (a.cols() == 0) return;
   for (size_t i = 0; i < a.rows(); ++i) {
-    double* row = c.row_data(i);
+    double* row = out->row_data(i);
     double mx = row[0];
     for (size_t j = 1; j < a.cols(); ++j) mx = std::max(mx, row[j]);
     double sum = 0.0;
@@ -207,6 +345,11 @@ Matrix RowSoftmax(const Matrix& a) {
     }
     for (size_t j = 0; j < a.cols(); ++j) row[j] /= sum;
   }
+}
+
+Matrix RowSoftmax(const Matrix& a) {
+  Matrix c;
+  RowSoftmaxInto(a, &c);
   return c;
 }
 
@@ -216,12 +359,18 @@ double Sum(const Matrix& a) {
   return s;
 }
 
-Matrix ColMean(const Matrix& a) {
+void ColMeanInto(const Matrix& a, Matrix* out) {
   SUBREC_CHECK_GT(a.rows(), 0u);
-  Matrix m(1, a.cols());
+  out->ResizeZero(1, a.cols());
   for (size_t i = 0; i < a.rows(); ++i)
-    for (size_t j = 0; j < a.cols(); ++j) m(0, j) += a(i, j);
-  for (size_t j = 0; j < a.cols(); ++j) m(0, j) /= static_cast<double>(a.rows());
+    for (size_t j = 0; j < a.cols(); ++j) (*out)(0, j) += a(i, j);
+  for (size_t j = 0; j < a.cols(); ++j)
+    (*out)(0, j) /= static_cast<double>(a.rows());
+}
+
+Matrix ColMean(const Matrix& a) {
+  Matrix m;
+  ColMeanInto(a, &m);
   return m;
 }
 

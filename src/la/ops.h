@@ -8,6 +8,16 @@
 
 namespace subrec::la {
 
+/// Benchmark A/B switch: when on, the matmul entry points run the kernel
+/// selection and scratch strategy the library shipped before the
+/// zero-allocation tape rewrite (AVX2 kernel ceiling, fresh transposed
+/// copies instead of per-thread scratch). Results are bit-identical either
+/// way; only memory traffic and ISA width differ. Flipped between runs by
+/// autodiff::SetTapeLegacyMode — not meant to be toggled while matmuls are
+/// in flight on other threads.
+void SetLegacyKernelMode(bool on);
+bool LegacyKernelMode();
+
 /// C = A * B. Shapes must agree (A: m x k, B: k x n).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
@@ -19,6 +29,29 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b);
 
 /// Transposed copy.
 Matrix Transpose(const Matrix& a);
+
+// --- destination-passing variants ------------------------------------
+//
+// Each XInto(args, out) computes exactly what X(args) returns — the same
+// floating-point sequence, element for element — but writes into `out`,
+// resizing it capacity-preservingly so a steady-state caller (the autodiff
+// tape's node arena) reuses one heap block instead of allocating per call.
+// `out` must not alias any input.
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out);
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out);
+void TransposeInto(const Matrix& a, Matrix* out);
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out);
+void SubInto(const Matrix& a, const Matrix& b, Matrix* out);
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out);
+void ScaleInto(const Matrix& a, double alpha, Matrix* out);
+void AddRowBroadcastInto(const Matrix& a, const Matrix& bias, Matrix* out);
+void TanhInto(const Matrix& a, Matrix* out);
+void SigmoidInto(const Matrix& a, Matrix* out);
+void ReluInto(const Matrix& a, Matrix* out);
+void RowSoftmaxInto(const Matrix& a, Matrix* out);
+void ColMeanInto(const Matrix& a, Matrix* out);
 
 /// Elementwise sum / difference / product; shapes must match.
 Matrix Add(const Matrix& a, const Matrix& b);

@@ -66,15 +66,36 @@ class ParameterStore {
 /// node, PullGradients() adds the tape's leaf gradients back into each
 /// Parameter::grad after Tape::Backward(). A parameter bound twice shares
 /// one leaf (gradient contributions from both uses accumulate naturally).
+///
+/// The leaf is an InputRef reading Parameter::value in place, so binding is
+/// copy-free — which requires that parameter values stay frozen between
+/// Use() and the last Backward() on the tape. The batch-parallel trainers
+/// already guarantee this (the optimizer steps only between batches).
+/// A binding is reusable across items: Reset(tape) forgets the bound leaves
+/// but keeps the vector's capacity.
 class TapeBinding {
  public:
+  /// An unbound binding; call Reset() before the first Use().
+  TapeBinding() = default;
   explicit TapeBinding(autodiff::Tape* tape) : tape_(tape) {}
+
+  /// Rebinds to `tape` (typically a freshly Reset pooled tape) and drops
+  /// all leaf associations without releasing storage.
+  void Reset(autodiff::Tape* tape) {
+    tape_ = tape;
+    bound_.clear();
+  }
 
   autodiff::VarId Use(Parameter* p) {
     for (const auto& [param, id] : bound_) {
       if (param == p) return id;
     }
-    autodiff::VarId id = tape_->Input(p->value, /*requires_grad=*/true);
+    // Legacy mode re-uploads a copy per pass so bench/train_step can price
+    // the pre-arena behavior; values are identical either way.
+    autodiff::VarId id =
+        autodiff::TapeLegacyMode()
+            ? tape_->Input(p->value, /*requires_grad=*/true)
+            : tape_->InputRef(&p->value, /*requires_grad=*/true);
     bound_.emplace_back(p, id);
     return id;
   }
@@ -87,7 +108,7 @@ class TapeBinding {
   }
 
  private:
-  autodiff::Tape* tape_;
+  autodiff::Tape* tape_ = nullptr;
   std::vector<std::pair<Parameter*, autodiff::VarId>> bound_;
 };
 

@@ -59,6 +59,11 @@ Status MlpRecommender::Fit(const RecContext& ctx) {
   nn::Adam optimizer(options_.learning_rate);
   const std::vector<nn::Parameter*> params = store_.params();
   int in_batch = 0;
+  // One tape and binding for the whole run: Reset() rewinds the node arena
+  // per sample, so every pass after the first reuses its slabs instead of
+  // re-allocating the graph.
+  autodiff::Tape tape;
+  nn::TapeBinding binding;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     rng.Shuffle(positives);
     for (const auto& [user, item] : positives) {
@@ -69,8 +74,8 @@ Status MlpRecommender::Fit(const RecContext& ctx) {
           target = ctx.train_papers[rng.UniformInt(ctx.train_papers.size())];
           label = 0.0;
         }
-        autodiff::Tape tape;
-        nn::TapeBinding binding(&tape);
+        tape.Reset();
+        binding.Reset(&tape);
         autodiff::VarId u = binding.Use(user_embed_[user]);
         autodiff::VarId i = binding.Use(item_embed_[target]);
         autodiff::VarId x = tape.ConcatCols({u, i});

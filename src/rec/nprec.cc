@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "autodiff/tape_pool.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -40,6 +41,7 @@ constexpr size_t kCandidateGrain = 16;
 struct PairWork {
   std::unique_ptr<Tape> tape;
   std::unique_ptr<nn::TapeBinding> binding;
+  std::unordered_map<uint64_t, autodiff::VarId> memo;
   autodiff::VarId loss = 0;
 };
 
@@ -50,6 +52,9 @@ NPRec::NPRec(const NPRecOptions& options, const SubspaceEmbeddings* subspace)
   SUBREC_CHECK(options_.use_text || options_.use_graph)
       << "NPRec needs at least one of text/graph";
   SUBREC_CHECK_GT(options_.depth, 0);
+  // The NodeVecOnTape memo key packs h into 11 bits (see the shift there);
+  // anything deeper would silently collide with the node bits.
+  SUBREC_CHECK_LE(options_.depth, 2047) << "NPRec depth exceeds memo-key range";
   SUBREC_CHECK_GT(options_.neighbor_samples, 0);
   // `subspace` is a non-owning pointer the options make load-bearing; fail
   // at construction in dev builds rather than at first Fit in production.
@@ -160,7 +165,12 @@ const std::vector<Edge>& NPRec::SampledNeighbors(NodeId node,
 autodiff::VarId NPRec::NodeVecOnTape(
     Tape* tape, nn::TapeBinding* binding, NodeId node, int h,
     bool influence_side, std::unordered_map<uint64_t, VarId>* memo) const {
-  const uint64_t key = (static_cast<uint64_t>(node) << 4) |
+  // Key layout: node | h (11 bits) | side (1 bit). h ranges over
+  // [0, depth] and the constructor bounds depth at 2047, so the fields
+  // cannot overlap (the old 3-bit packing collided for depth > 7).
+  SUBREC_DCHECK_GE(h, 0);
+  SUBREC_DCHECK_LT(h, 2048);
+  const uint64_t key = (static_cast<uint64_t>(node) << 12) |
                        (static_cast<uint64_t>(h) << 1) |
                        (influence_side ? 1u : 0u);
   auto it = memo->find(key);
@@ -209,18 +219,38 @@ autodiff::VarId NPRec::PaperVecOnTape(
     std::unordered_map<uint64_t, VarId>* memo) const {
   std::vector<VarId> parts;
   if (options_.use_text) {
-    const auto& subs = (*subspace_)[static_cast<size_t>(p)];
+    const size_t pi = static_cast<size_t>(p);
     VarId lam = tape->RowSoftmax(binding->Use(text_attn_));
-    std::vector<std::vector<double>> rows(subs.begin(), subs.end());
-    VarId c = tape->Constant(la::StackRows(rows));
+    // The stacked subspace rows are Fit-invariant: reference the per-paper
+    // cache instead of re-uploading a Constant copy for every pair. The
+    // fallback path keeps legacy mode (and any call before the caches are
+    // built) on the original allocate-per-pair behavior.
+    VarId c;
+    if (pi < text_stack_.size() && !autodiff::TapeLegacyMode()) {
+      c = tape->ConstantRef(&text_stack_[pi]);
+    } else {
+      const auto& subs = (*subspace_)[pi];
+      std::vector<std::vector<double>> rows(subs.begin(), subs.end());
+      c = tape->Constant(la::StackRows(rows));
+    }
     VarId fused = tape->MatMul(lam, c);  // c_p = sum_k lambda_k c_p^k
     const nn::Dense& proj =
         influence_side ? *text_proj_influence_ : *text_proj_interest_;
     parts.push_back(proj.Forward(tape, binding, fused));
     if (options_.use_raw_text_channel) {
-      std::vector<double> unit = FusedText(p).RowToVector(0);
-      la::NormalizeL2(unit);
-      VarId raw = tape->Constant(Matrix::RowVector(unit));
+      // The normalized FusedText row depends on the trained attention
+      // weights, so it is only cacheable within one batch (see
+      // PrepareRawUnitCache); the stamp gate keeps stale entries unused.
+      VarId raw;
+      if (pi < raw_unit_stamp_.size() &&
+          raw_unit_stamp_[pi] == raw_unit_epoch_ && raw_unit_epoch_ != 0 &&
+          !autodiff::TapeLegacyMode()) {
+        raw = tape->ConstantRef(&raw_unit_[pi]);
+      } else {
+        std::vector<double> unit = FusedText(p).RowToVector(0);
+        la::NormalizeL2(unit);
+        raw = tape->Constant(Matrix::RowVector(unit));
+      }
       if (influence_side) {
         parts.push_back(raw);
       } else {
@@ -244,6 +274,46 @@ autodiff::VarId NPRec::PaperVecOnTape(
     }
   }
   return parts.size() == 1 ? parts[0] : tape->ConcatCols(parts);
+}
+
+void NPRec::BuildConstantCaches() {
+  text_stack_.clear();
+  raw_unit_.clear();
+  raw_unit_stamp_.clear();
+  raw_unit_epoch_ = 0;
+  if (!options_.use_text || subspace_ == nullptr) return;
+  if (autodiff::TapeLegacyMode()) return;  // bench the uncached path honestly
+  const size_t n = subspace_->size();
+  text_stack_.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    const auto& subs = (*subspace_)[p];
+    std::vector<std::vector<double>> rows(subs.begin(), subs.end());
+    text_stack_[p] = la::StackRows(rows);
+  }
+  if (options_.use_raw_text_channel) {
+    raw_unit_.resize(n);
+    raw_unit_stamp_.assign(n, 0);
+  }
+}
+
+void NPRec::PrepareRawUnitCache(const std::vector<TrainingPair>& pairs,
+                                size_t b0, size_t b1) {
+  if (raw_unit_.empty()) return;  // raw channel off or caches not built
+  ++raw_unit_epoch_;
+  // Serial, in pair order: FusedText reads the current text_attn_ value,
+  // identical for every pair of the batch, so hoisting the computation out
+  // of the parallel loop changes neither values nor determinism.
+  for (size_t i = b0; i < b1; ++i) {
+    const corpus::PaperId ps[2] = {pairs[i].citing, pairs[i].cited};
+    for (corpus::PaperId p : ps) {
+      const size_t pi = static_cast<size_t>(p);
+      if (raw_unit_stamp_[pi] == raw_unit_epoch_) continue;
+      std::vector<double> unit = FusedText(p).RowToVector(0);
+      la::NormalizeL2(unit);
+      raw_unit_[pi].CopyFrom(Matrix::RowVector(unit));
+      raw_unit_stamp_[pi] = raw_unit_epoch_;
+    }
+  }
 }
 
 void NPRec::ComputePriorFeatures(const RecContext& ctx) {
@@ -311,6 +381,7 @@ Status NPRec::Fit(const RecContext& ctx) {
     SUBREC_TRACE_SPAN("nprec/build_parameters");
     BuildParameters(ctx);
   }
+  BuildConstantCaches();
   if (options_.use_graph) {
     SUBREC_TRACE_SPAN("nprec/precompute_samples");
     PrecomputeSamples(ctx);
@@ -348,6 +419,12 @@ Status NPRec::Fit(const RecContext& ctx) {
   const std::vector<nn::Parameter*> params = store_.params();
   const size_t batch =
       options_.batch_size > 0 ? static_cast<size_t>(options_.batch_size) : 1;
+  // Tapes are pooled across pairs so each worker reuses a warmed-up node
+  // arena; work slots keep their TapeBinding and memo so those containers
+  // recycle their storage too. Which arena a pair lands on affects only
+  // memory reuse, never the floating-point schedule.
+  autodiff::TapePool tape_pool;
+  std::vector<PairWork> work;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     SUBREC_TRACE_SPAN("nprec/epoch");
     epochs_counter->Increment();
@@ -358,17 +435,22 @@ Status NPRec::Fit(const RecContext& ctx) {
       // Forward/backward for each batch pair on its own tape; parameter
       // values are frozen until the step below, so the pairs are
       // independent and chunking cannot change any result.
-      std::vector<PairWork> work(b1 - b0);
+      PrepareRawUnitCache(pairs, b0, b1);
+      work.resize(b1 - b0);
       par::ParallelFor(b1 - b0, 1, [&](size_t w_begin, size_t w_end) {
         for (size_t w = w_begin; w < w_end; ++w) {
           const TrainingPair& pair = pairs[b0 + w];
-          auto tape = std::make_unique<Tape>();
-          auto binding = std::make_unique<nn::TapeBinding>(tape.get());
-          std::unordered_map<uint64_t, VarId> memo;
-          VarId vp = PaperVecOnTape(tape.get(), binding.get(), ctx,
+          std::unique_ptr<Tape> tape = tape_pool.Acquire();
+          if (work[w].binding == nullptr)
+            work[w].binding = std::make_unique<nn::TapeBinding>();
+          nn::TapeBinding* binding = work[w].binding.get();
+          binding->Reset(tape.get());
+          std::unordered_map<uint64_t, VarId>& memo = work[w].memo;
+          memo.clear();
+          VarId vp = PaperVecOnTape(tape.get(), binding, ctx,
                                     pair.citing,
                                     /*influence_side=*/false, &memo);
-          VarId vq = PaperVecOnTape(tape.get(), binding.get(), ctx,
+          VarId vq = PaperVecOnTape(tape.get(), binding, ctx,
                                     pair.cited,
                                     /*influence_side=*/true, &memo);
           VarId logit = tape->MatMulTransB(vp, vq);  // Eq. 22
@@ -383,11 +465,10 @@ Status NPRec::Fit(const RecContext& ctx) {
                              tape->Scale(tape->SumSquares(tape->Sub(lp, lq)),
                                          options_.label_smoothness));
           }
-          loss = nn::AddL2Regularizer(tape.get(), binding.get(), loss,
+          loss = nn::AddL2Regularizer(tape.get(), binding, loss,
                                       reg_params, options_.lambda);
           tape->Backward(loss);
           work[w].tape = std::move(tape);
-          work[w].binding = std::move(binding);
           work[w].loss = loss;
         }
       });
@@ -398,6 +479,7 @@ Status NPRec::Fit(const RecContext& ctx) {
         const double lv = pw.tape->value(pw.loss)(0, 0);
         SUBREC_CHECK_FINITE(lv, "NPRec pair loss");
         epoch_loss += lv;
+        tape_pool.Release(std::move(pw.tape));
       }
       nn::ClipGradNorm(params, options_.clip_norm);
       optimizer.Step(params);

@@ -138,6 +138,19 @@ class NPRec final : public Recommender {
   /// Fused text vector of a paper as a 1 x text_dim matrix (plain math).
   la::Matrix FusedText(corpus::PaperId p) const;
 
+  /// Builds the Fit-invariant per-paper constant leaves (the StackRows of
+  /// subspace vectors) so PaperVecOnTape can reference them instead of
+  /// re-uploading a fresh Constant per pair. No-op in legacy tape mode.
+  void BuildConstantCaches();
+
+  /// Refreshes the L2-normalized FusedText rows for the papers of pairs
+  /// [b0, b1). Runs serially at each batch start because FusedText reads
+  /// the trained text_attn_ parameter, which changes at every optimizer
+  /// step — a per-Fit cache would alter results. Stamp-validated so only
+  /// first touches recompute within a batch.
+  void PrepareRawUnitCache(const std::vector<TrainingPair>& pairs, size_t b0,
+                           size_t b1);
+
   /// Recursive GCN node vector on the tape; memo dedupes shared subtrees.
   VarId NodeVecOnTape(autodiff::Tape* tape, nn::TapeBinding* binding,
                       graph::NodeId node, int h, bool influence_side,
@@ -169,6 +182,14 @@ class NPRec final : public Recommender {
   nn::Parameter* prior_weight_ = nullptr;  // interest-side prior weights
   la::Matrix prior_features_;  // per PaperId x 2, standardized
   nn::Parameter* raw_text_gain_ = nullptr;  // identity-channel gain (1x1)
+
+  // Constant-leaf caches read by PaperVecOnTape via ConstantRef (so the
+  // pointees must stay address-stable for a whole batch; both vectors are
+  // sized once per Fit and only mutated between batches).
+  std::vector<la::Matrix> text_stack_;  // by PaperId; Fit-invariant
+  std::vector<la::Matrix> raw_unit_;    // by PaperId; valid if stamp matches
+  std::vector<uint64_t> raw_unit_stamp_;
+  uint64_t raw_unit_epoch_ = 0;
 
   // Fixed sampled receptive fields (deterministic per Fit).
   struct SampledNode {

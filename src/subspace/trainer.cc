@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "autodiff/tape_pool.h"
 #include "common/rng.h"
 #include "la/check_finite.h"
 #include "nn/loss.h"
@@ -56,6 +57,12 @@ Result<SemTrainStats> TrainTwinNetwork(
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   SemTrainStats stats;
+  // Tapes are pooled across items so each worker reuses a warmed-up node
+  // arena; work slots keep their TapeBinding so its bound-leaf vector is
+  // recycled too. Which arena an item lands on affects only memory reuse,
+  // never the floating-point schedule.
+  autodiff::TapePool tape_pool;
+  std::vector<TripletWork> work;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     SUBREC_TRACE_SPAN("sem/epoch");
     rng.Shuffle(order);
@@ -67,20 +74,23 @@ Result<SemTrainStats> TrainTwinNetwork(
       // Forward/backward for each batch item on its own tape. Parameter
       // values are frozen until the step below, so the items are
       // independent and the chunking cannot change any result.
-      std::vector<TripletWork> work(b1 - b0);
+      work.resize(b1 - b0);
       par::ParallelFor(b1 - b0, 1, [&](size_t w_begin, size_t w_end) {
         for (size_t w = w_begin; w < w_end; ++w) {
           const Triplet& t = triplets[order[b0 + w]];
-          auto tape = std::make_unique<autodiff::Tape>();
-          auto binding = std::make_unique<nn::TapeBinding>(tape.get());
+          std::unique_ptr<autodiff::Tape> tape = tape_pool.Acquire();
+          if (work[w].binding == nullptr)
+            work[w].binding = std::make_unique<nn::TapeBinding>();
+          nn::TapeBinding* binding = work[w].binding.get();
+          binding->Reset(tape.get());
           const auto cp = net->EmbedOnTape(
-              tape.get(), binding.get(),
+              tape.get(), binding,
               features[static_cast<size_t>(t.anchor)]);
           const auto cq = net->EmbedOnTape(
-              tape.get(), binding.get(),
+              tape.get(), binding,
               features[static_cast<size_t>(t.positive)]);
           const auto cq2 = net->EmbedOnTape(
-              tape.get(), binding.get(),
+              tape.get(), binding,
               features[static_cast<size_t>(t.negative)]);
           const size_t k = static_cast<size_t>(t.subspace);
           autodiff::VarId d_pos = net->DistanceOnTape(tape.get(), cp[k], cq[k]);
@@ -88,11 +98,10 @@ Result<SemTrainStats> TrainTwinNetwork(
               net->DistanceOnTape(tape.get(), cp[k], cq2[k]);
           autodiff::VarId loss =
               nn::TripletHingeLoss(tape.get(), d_pos, d_neg, options.margin);
-          loss = nn::AddL2Regularizer(tape.get(), binding.get(), loss, params,
+          loss = nn::AddL2Regularizer(tape.get(), binding, loss, params,
                                       options.lambda);
           tape->Backward(loss);
           work[w].tape = std::move(tape);
-          work[w].binding = std::move(binding);
           work[w].loss = loss;
         }
       });
@@ -104,6 +113,7 @@ Result<SemTrainStats> TrainTwinNetwork(
         SUBREC_CHECK_FINITE(lv, "SEM trainer triplet loss");
         epoch_loss += lv;
         loss_hist->Observe(lv);
+        tape_pool.Release(std::move(tw.tape));
       }
       nn::ClipGradNorm(params, options.clip_norm);
       optimizer.Step(params);

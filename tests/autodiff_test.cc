@@ -2,6 +2,7 @@
 
 #include "autodiff/grad_check.h"
 #include "autodiff/tape.h"
+#include "autodiff/tape_pool.h"
 #include "common/rng.h"
 #include "la/ops.h"
 
@@ -176,6 +177,81 @@ TEST(GradCheck, AttentionPoolingComposite) {
   EXPECT_LT(r.max_rel_error, kTol);
 }
 
+// Direct (single-op) finite-difference tests: the composites above could
+// mask a backward rule whose error cancels through the surrounding ops, so
+// each rewritten opcode also gets checked in isolation.
+
+TEST(GradCheck, ConcatRowsDirect) {
+  Rng rng(12);
+  auto fn = MakeFn([](Tape* t, const std::vector<VarId>& p) {
+    return t->SumSquares(t->ConcatRows({p[0], p[1], p[2]}));
+  });
+  auto r = CheckGradients(fn, {la::Matrix::Random(1, 3, rng),
+                               la::Matrix::Random(4, 3, rng),
+                               la::Matrix::Random(2, 3, rng)});
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, ConcatColsDirect) {
+  Rng rng(13);
+  auto fn = MakeFn([](Tape* t, const std::vector<VarId>& p) {
+    return t->SumSquares(t->ConcatCols({p[0], p[1], p[2]}));
+  });
+  auto r = CheckGradients(fn, {la::Matrix::Random(3, 1, rng),
+                               la::Matrix::Random(3, 4, rng),
+                               la::Matrix::Random(3, 2, rng)});
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, RowSoftmaxDirect) {
+  Rng rng(14);
+  auto fn = MakeFn([](Tape* t, const std::vector<VarId>& p) {
+    return t->SumSquares(t->RowSoftmax(p[0]));
+  });
+  auto r = CheckGradients(fn, {la::Matrix::Random(3, 5, rng)});
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, RowMeanDirect) {
+  Rng rng(15);
+  auto fn = MakeFn([](Tape* t, const std::vector<VarId>& p) {
+    return t->SumSquares(t->RowMean(p[0]));
+  });
+  auto r = CheckGradients(fn, {la::Matrix::Random(5, 4, rng)});
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, TransposeDirect) {
+  Rng rng(16);
+  auto fn = MakeFn([](Tape* t, const std::vector<VarId>& p) {
+    return t->SumSquares(t->Transpose(p[0]));
+  });
+  auto r = CheckGradients(fn, {la::Matrix::Random(2, 5, rng)});
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, AddRowBroadcastDirect) {
+  Rng rng(17);
+  auto fn = MakeFn([](Tape* t, const std::vector<VarId>& p) {
+    return t->SumSquares(t->AddRowBroadcast(p[0], p[1]));
+  });
+  auto r = CheckGradients(fn, {la::Matrix::Random(6, 2, rng),
+                               la::Matrix::Random(1, 2, rng)});
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, SigmoidBceDirect) {
+  Rng rng(18);
+  la::Matrix targets(3, 2);
+  targets(0, 1) = 1.0;
+  targets(2, 0) = 1.0;
+  auto fn = MakeFn([targets](Tape* t, const std::vector<VarId>& p) {
+    return t->SigmoidBce(p[0], targets);
+  });
+  auto r = CheckGradients(fn, {la::Matrix::Random(3, 2, rng, -3, 3)});
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
 TEST(Tape, ConstantGetsNoGradient) {
   Tape tape;
   VarId c = tape.Constant(la::Matrix(2, 2, 1.0));
@@ -201,6 +277,82 @@ TEST(Tape, ResetInvalidatesNodes) {
   EXPECT_EQ(tape.size(), 1u);
   tape.Reset();
   EXPECT_EQ(tape.size(), 0u);
+}
+
+TEST(Tape, ArenaReusesSlabsAcrossReset) {
+  Tape tape;
+  const auto build = [&tape]() {
+    VarId x = tape.Input(la::Matrix(8, 8, 0.01), true);
+    VarId y = tape.Tanh(tape.MatMul(x, x));
+    VarId loss = tape.SumSquares(y);
+    tape.Backward(loss);
+    return tape.grad(x)(0, 0);
+  };
+  const double g1 = build();
+  tape.Reset();
+  const size_t warm_bytes = tape.bytes_reserved();
+  const uint64_t hits_before = tape.slab_reuse_hits();
+  EXPECT_GT(warm_bytes, 0u);
+  // The second identical pass must recycle every slab: reuse hits go up,
+  // the reserved footprint does not, and the result is bitwise unchanged.
+  const double g2 = build();
+  tape.Reset();
+  EXPECT_GT(tape.slab_reuse_hits(), hits_before);
+  EXPECT_EQ(tape.bytes_reserved(), warm_bytes);
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(tape.nodes_built(), 8u);  // 4 nodes per pass, 2 passes
+}
+
+TEST(Tape, InputRefReadsExternalStorageWithoutCopy) {
+  la::Matrix w(2, 2, 1.5);
+  Tape tape;
+  VarId x = tape.InputRef(&w, true);
+  EXPECT_EQ(&tape.value(x), &w);
+  VarId loss = tape.SumSquares(x);
+  tape.Backward(loss);
+  EXPECT_EQ(tape.grad(x)(0, 0), 3.0);  // d/dx sum(x^2) = 2x
+  // A rebuild observes the pointee's current contents.
+  tape.Reset();
+  w.Fill(2.0);
+  VarId x2 = tape.InputRef(&w, true);
+  EXPECT_EQ(tape.value(x2)(1, 1), 2.0);
+}
+
+TEST(Tape, ConstantRefGetsNoGradient) {
+  la::Matrix c(2, 2, 1.0);
+  Tape tape;
+  VarId vc = tape.ConstantRef(&c);
+  VarId x = tape.Input(la::Matrix(2, 2, 3.0), true);
+  VarId loss = tape.Sum(tape.Mul(vc, x));
+  tape.Backward(loss);
+  EXPECT_TRUE(tape.grad(vc).empty());
+  EXPECT_EQ(tape.grad(x)(0, 0), 1.0);
+}
+
+TEST(TapePool, RecyclesReleasedTapes) {
+  TapePool pool;
+  std::unique_ptr<Tape> t1 = pool.Acquire();
+  t1->Input(la::Matrix(4, 4, 1.0), true);
+  Tape* raw = t1.get();
+  pool.Release(std::move(t1));
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_GT(pool.bytes_reserved(), 0u);
+  std::unique_ptr<Tape> t2 = pool.Acquire();
+  EXPECT_EQ(t2.get(), raw);          // same arena comes back
+  EXPECT_EQ(t2->size(), 0u);         // ... already reset
+  EXPECT_GT(t2->bytes_reserved(), 0u);  // ... with its slabs intact
+  EXPECT_EQ(pool.idle(), 0u);
+  pool.Release(std::move(t2));
+  pool.Release(nullptr);  // ignored
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
+TEST(TapePool, LegacyModeDisablesReuse) {
+  SetTapeLegacyMode(true);
+  TapePool pool;
+  pool.Release(pool.Acquire());
+  EXPECT_EQ(pool.idle(), 0u);
+  SetTapeLegacyMode(false);
 }
 
 }  // namespace
