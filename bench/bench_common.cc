@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 #include "text/tokenizer.h"
 
 #ifndef SUBREC_GIT_DESCRIBE
@@ -190,10 +191,15 @@ bool SmokeMode() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+bool SingleCoreHost() { return par::HardwareThreads() <= 1; }
+
 obs::RunReport OpenReport(const std::string& name, bool enable_tracing) {
   obs::RunReport report(name);
   report.set_build_id(SUBREC_GIT_DESCRIBE);
   if (SmokeMode()) report.AddString("mode", "smoke");
+  report.AddScalar("host.hardware_concurrency",
+                   static_cast<double>(par::HardwareThreads()));
+  report.AddScalar("host.single_core", SingleCoreHost() ? 1.0 : 0.0);
   obs::MetricsRegistry::Global().Reset();
   if (enable_tracing) obs::TraceRecorder::Global().Enable();
   return report;

@@ -106,6 +106,13 @@ std::string Slug(const std::string& name);
 /// the full pipeline.
 bool SmokeMode();
 
+/// True when the host exposes a single hardware thread. Thread-scaling
+/// numbers measured on such a host say nothing about parallel speedup
+/// (extra workers only add contention), so benches must label those
+/// sections and CI must not assert scaling targets against them. Every
+/// report carries the answer as scalar "host.single_core" (1.0 / 0.0).
+bool SingleCoreHost();
+
 /// Starts the standard experiment record for a bench binary: stamps the
 /// configure-time git describe, resets the metrics registry so the report
 /// covers only this run, and (unless `enable_tracing` is false) turns on

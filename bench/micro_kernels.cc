@@ -177,10 +177,12 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   // Host parallelism context: with how many threads did the "/0" (default)
-  // variants actually run?
-  report.AddScalar("host.hardware_concurrency",
-                   static_cast<double>(par::HardwareThreads()));
+  // variants actually run? (host.* scalars come from OpenReport.)
   report.AddScalar("par.num_threads", static_cast<double>(par::NumThreads()));
+  if (bench::SingleCoreHost()) {
+    std::printf("note: single-core host — scaling.* ratios compare two "
+                "schedules on one cpu, not parallel speedup\n");
+  }
 
   // Derived scalars: serial-over-default scaling ratios (> 1 means the
   // parallel default is faster) and kernel throughput at the default

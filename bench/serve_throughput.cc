@@ -134,8 +134,6 @@ int main() {
   const LoadConfig config = MakeConfig();
   obs::RunReport report = bench::OpenReport("serve_throughput");
   report.set_dataset("scopus_like");
-  report.AddScalar("host.hardware_concurrency",
-                   static_cast<double>(std::thread::hardware_concurrency()));
 
   // --- Offline: train, freeze, write the snapshot to disk. ---------------
   bench::PrintHeader("serve_throughput: offline freeze");
@@ -206,8 +204,14 @@ int main() {
   }
   const double speedup = qps_by_threads[1] / qps_by_threads[0];
   report.AddScalar("scaling.speedup", speedup);
-  std::printf("speedup 1 -> 4 workers: %.2fx (host has %u cpus)\n", speedup,
-              std::thread::hardware_concurrency());
+  if (bench::SingleCoreHost()) {
+    std::printf("speedup 1 -> 4 workers: %.2fx — single-core host, extra "
+                "workers only time-slice; not a parallel-scaling result\n",
+                speedup);
+  } else {
+    std::printf("speedup 1 -> 4 workers: %.2fx (host has %u cpus)\n", speedup,
+                std::thread::hardware_concurrency());
+  }
 
   // --- Open loop at target QPS, cache on, hot reload mid-run. ------------
   bench::PrintHeader("serve_throughput: open loop at target QPS (cache on)");

@@ -258,8 +258,10 @@ int main() {
   obs::RunReport report = bench::OpenReport("train_step",
                                             /*enable_tracing=*/false);
   const bool smoke = bench::SmokeMode();
-  report.AddScalar("host.hardware_concurrency",
-                   static_cast<double>(par::HardwareThreads()));
+  if (bench::SingleCoreHost()) {
+    std::printf("note: single-core host — default-thread speedups measure "
+                "the serial code path only\n");
+  }
 
   ProbeSteadyStateAllocations(&report);
   RunTapeMachinery(&report);

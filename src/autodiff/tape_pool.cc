@@ -7,7 +7,7 @@ namespace subrec::autodiff {
 std::unique_ptr<Tape> TapePool::Acquire() {
   if (TapeLegacyMode()) return std::make_unique<Tape>();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (!free_.empty()) {
       std::unique_ptr<Tape> t = std::move(free_.back());
       free_.pop_back();
@@ -21,17 +21,17 @@ void TapePool::Release(std::unique_ptr<Tape> tape) {
   if (tape == nullptr) return;
   if (TapeLegacyMode()) return;  // destroy: legacy behavior has no reuse
   tape->Reset();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   free_.push_back(std::move(tape));
 }
 
 size_t TapePool::idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return free_.size();
 }
 
 size_t TapePool::bytes_reserved() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   size_t bytes = 0;
   for (const auto& t : free_) bytes += t->bytes_reserved();
   return bytes;

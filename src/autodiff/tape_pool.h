@@ -3,10 +3,11 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "autodiff/tape.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace subrec::autodiff {
 
@@ -55,8 +56,8 @@ class TapePool {
   size_t bytes_reserved() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Tape>> free_;
+  mutable common::Mutex mu_;
+  std::vector<std::unique_ptr<Tape>> free_ SUBREC_GUARDED_BY(mu_);
 };
 
 }  // namespace subrec::autodiff

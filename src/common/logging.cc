@@ -14,8 +14,8 @@ std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 /// Serializes line emission so concurrent SUBREC_LOG statements never
 /// interleave, and guards the sink pointer swap.
-std::mutex& EmitMutex() {
-  static std::mutex* const mu = new std::mutex();
+common::Mutex& EmitMutex() {
+  static common::Mutex* const mu = new common::Mutex();
   return *mu;
 }
 
@@ -71,7 +71,7 @@ LogLevel GetLogLevel() {
 }
 
 LogSink SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  common::MutexLock lock(&EmitMutex());
   LogSink previous = std::move(ActiveSink());
   ActiveSink() = std::move(sink);
   return previous;
@@ -80,7 +80,7 @@ LogSink SetLogSink(LogSink sink) {
 LogCapture::LogCapture() : state_(std::make_shared<State>()) {
   std::shared_ptr<State> state = state_;
   previous_ = SetLogSink([state](LogLevel, const std::string& line) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    common::MutexLock lock(&state->mu);
     state->lines.push_back(line);
   });
 }
@@ -88,7 +88,7 @@ LogCapture::LogCapture() : state_(std::make_shared<State>()) {
 LogCapture::~LogCapture() { SetLogSink(std::move(previous_)); }
 
 std::vector<std::string> LogCapture::lines() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  common::MutexLock lock(&state_->mu);
   return state_->lines;
 }
 
@@ -109,7 +109,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (!enabled_) return;
   const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  common::MutexLock lock(&EmitMutex());
   if (ActiveSink()) {
     ActiveSink()(level_, line);
   } else {

@@ -3,10 +3,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace subrec {
 
@@ -43,8 +45,8 @@ class LogCapture {
 
  private:
   struct State {
-    mutable std::mutex mu;
-    std::vector<std::string> lines;
+    mutable common::Mutex mu;
+    std::vector<std::string> lines SUBREC_GUARDED_BY(mu);
   };
   std::shared_ptr<State> state_;
   LogSink previous_;

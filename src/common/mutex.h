@@ -1,0 +1,87 @@
+#ifndef SUBREC_COMMON_MUTEX_H_
+#define SUBREC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace subrec::common {
+
+/// Annotated wrapper over std::mutex — the ONLY lock type allowed in src/
+/// (the no-raw-concurrency-primitive lint rule bans the std primitives
+/// everywhere outside this header). The annotation makes every guarded
+/// field access checkable by Clang's thread-safety analysis, which the
+/// clang-dev preset escalates to a compile error.
+///
+/// Same non-recursive, non-shared semantics as std::mutex; prefer the RAII
+/// MutexLock over manual Lock/Unlock pairs.
+class SUBREC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SUBREC_ACQUIRE() { mu_.lock(); }
+  void Unlock() SUBREC_RELEASE() { mu_.unlock(); }
+  bool TryLock() SUBREC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Annotation-only claim that the calling thread holds this mutex, for
+  /// helper functions reached exclusively from under the lock where the
+  /// REQUIRES contract cannot be spelled (e.g. type-erased callbacks).
+  void AssertHeld() const SUBREC_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (the std::lock_guard replacement):
+///
+///   common::MutexLock lock(&mu_);
+///   ... guarded fields are accessible here ...
+class SUBREC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SUBREC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() SUBREC_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. Wait REQUIRES the mutex held and
+/// atomically releases/reacquires it, so the analysis sees the lock held
+/// across the call. Deliberately no predicate overload: the analysis cannot
+/// attach a REQUIRES contract to a lambda, so waiters spell the guarded
+/// condition as an explicit loop —
+///
+///   common::MutexLock lock(&mu_);
+///   while (!condition_involving_guarded_fields) cv_.Wait(&mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified; may wake spuriously (callers loop).
+  void Wait(Mutex* mu) SUBREC_REQUIRES(mu) {
+    // Adopt the already-held native handle for the wait, then release the
+    // unique_lock so ownership stays with the caller's MutexLock.
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace subrec::common
+
+#endif  // SUBREC_COMMON_MUTEX_H_

@@ -1,0 +1,88 @@
+#ifndef SUBREC_COMMON_THREAD_ANNOTATIONS_H_
+#define SUBREC_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros, compiled away on every
+/// other compiler. Annotate every lock-protected field and every function
+/// with a locking contract; the clang-dev preset turns violations into
+/// compile errors (-Werror=thread-safety-analysis), so the locking protocol
+/// is checked on every compile instead of probabilistically under TSan.
+///
+/// The vocabulary (mirrors the upstream Clang docs):
+///   SUBREC_CAPABILITY(name)     class is a lockable capability (e.g. Mutex)
+///   SUBREC_SCOPED_CAPABILITY    RAII type that acquires in its constructor
+///                               and releases in its destructor (MutexLock)
+///   SUBREC_GUARDED_BY(mu)       field may only be touched while mu is held
+///   SUBREC_PT_GUARDED_BY(mu)    pointee may only be touched while mu is held
+///   SUBREC_REQUIRES(mu)         caller must already hold mu
+///   SUBREC_ACQUIRE(mu)          function acquires mu and does not release it
+///   SUBREC_RELEASE(mu)          function releases mu
+///   SUBREC_TRY_ACQUIRE(b, mu)   acquires mu iff the function returns b
+///   SUBREC_EXCLUDES(mu)         caller must NOT hold mu (deadlock guard)
+///   SUBREC_ASSERT_CAPABILITY(mu) runtime claim that mu is held
+///   SUBREC_RETURN_CAPABILITY(mu) function returns a reference to mu
+///   SUBREC_NO_THREAD_SAFETY_ANALYSIS  opt a function out of the analysis;
+///                               every use must carry a comment justifying
+///                               why the protocol cannot be expressed
+///   SUBREC_UNGUARDED(why)       expands to nothing; documents a field of a
+///                               Mutex-owning class that is deliberately
+///                               outside that mutex's protection (atomic,
+///                               construction-immutable, or internally
+///                               synchronized). The guarded-by-required lint
+///                               rule accepts it in place of
+///                               SUBREC_GUARDED_BY.
+
+#if defined(__clang__) && !defined(SWIG)
+#define SUBREC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SUBREC_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define SUBREC_CAPABILITY(x) SUBREC_THREAD_ANNOTATION_(capability(x))
+
+#define SUBREC_SCOPED_CAPABILITY SUBREC_THREAD_ANNOTATION_(scoped_lockable)
+
+#define SUBREC_GUARDED_BY(x) SUBREC_THREAD_ANNOTATION_(guarded_by(x))
+
+#define SUBREC_PT_GUARDED_BY(x) SUBREC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define SUBREC_ACQUIRED_BEFORE(...) \
+  SUBREC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define SUBREC_ACQUIRED_AFTER(...) \
+  SUBREC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define SUBREC_REQUIRES(...) \
+  SUBREC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define SUBREC_REQUIRES_SHARED(...) \
+  SUBREC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define SUBREC_ACQUIRE(...) \
+  SUBREC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define SUBREC_ACQUIRE_SHARED(...) \
+  SUBREC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define SUBREC_RELEASE(...) \
+  SUBREC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define SUBREC_RELEASE_SHARED(...) \
+  SUBREC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define SUBREC_TRY_ACQUIRE(...) \
+  SUBREC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define SUBREC_EXCLUDES(...) \
+  SUBREC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define SUBREC_ASSERT_CAPABILITY(x) \
+  SUBREC_THREAD_ANNOTATION_(assert_capability(x))
+
+#define SUBREC_RETURN_CAPABILITY(x) SUBREC_THREAD_ANNOTATION_(lock_returned(x))
+
+#define SUBREC_NO_THREAD_SAFETY_ANALYSIS \
+  SUBREC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#define SUBREC_UNGUARDED(why)  // documentation + lint marker only
+
+#endif  // SUBREC_COMMON_THREAD_ANNOTATIONS_H_

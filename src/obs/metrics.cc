@@ -98,7 +98,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -108,7 +108,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -118,7 +118,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -130,7 +130,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -146,14 +146,14 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
 size_t MetricsRegistry::NumInstruments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

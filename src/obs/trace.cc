@@ -30,7 +30,7 @@ TraceRecorder& TraceRecorder::Global() {
 
 void TraceRecorder::Enable(size_t capacity) {
   SUBREC_CHECK_GT(capacity, 0u);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   capacity_ = capacity;
   ring_.clear();
   ring_.reserve(std::min<size_t>(capacity, 1024));
@@ -51,7 +51,7 @@ void TraceRecorder::Record(const char* name, int64_t start_ns,
   ev.start_ns = start_ns;
   ev.duration_ns = duration_ns;
   ev.tid = DenseThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (capacity_ == 0) return;  // raced with Disable+reconfigure
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);
@@ -63,7 +63,7 @@ void TraceRecorder::Record(const char* name, int64_t start_ns,
 }
 
 std::vector<TraceEvent> TraceRecorder::Events(int64_t* dropped) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Oldest-first: once the ring has wrapped, next_ points at the oldest slot.
@@ -81,7 +81,7 @@ std::vector<TraceEvent> TraceRecorder::Events(int64_t* dropped) const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;

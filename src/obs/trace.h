@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace subrec::obs {
 
@@ -65,12 +67,16 @@ class TraceRecorder {
   std::string ChromeTraceJson() const;
 
  private:
+  // The disabled fast path is ONE relaxed load of this flag — Record and
+  // TraceSpan must not touch mu_ before checking it.
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  size_t capacity_ = 0;
-  size_t next_ = 0;     // ring write cursor
-  int64_t total_ = 0;   // spans ever recorded this window
+  mutable common::Mutex mu_;
+  std::vector<TraceEvent> ring_ SUBREC_GUARDED_BY(mu_);
+  size_t capacity_ SUBREC_GUARDED_BY(mu_) = 0;
+  // Ring write cursor.
+  size_t next_ SUBREC_GUARDED_BY(mu_) = 0;
+  // Spans ever recorded this window.
+  int64_t total_ SUBREC_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII scoped timer: measures from construction to destruction and hands

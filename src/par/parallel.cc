@@ -2,17 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "par/thread_pool.h"
 
@@ -35,11 +35,13 @@ struct RegionFlag {
 /// pool is only torn down / resized between regions (active_regions == 0),
 /// so a raw pointer handed to an open region stays valid until release.
 struct Runtime {
-  std::mutex mu;
-  size_t override_threads = 0;  // 0 = env/hardware resolution
-  size_t pool_threads = 0;      // team size the current pool was built for
-  size_t active_regions = 0;
-  std::unique_ptr<ThreadPool> pool;
+  common::Mutex mu;
+  // 0 = env/hardware resolution
+  size_t override_threads SUBREC_GUARDED_BY(mu) = 0;
+  // Team size the current pool was built for.
+  size_t pool_threads SUBREC_GUARDED_BY(mu) = 0;
+  size_t active_regions SUBREC_GUARDED_BY(mu) = 0;
+  std::unique_ptr<ThreadPool> pool SUBREC_GUARDED_BY(mu);
 };
 
 Runtime& GlobalRuntime() {
@@ -58,7 +60,7 @@ size_t EnvThreads() {
 
 ThreadPool* AcquirePool(size_t team_size) {
   Runtime& rt = GlobalRuntime();
-  std::lock_guard<std::mutex> lock(rt.mu);
+  common::MutexLock lock(&rt.mu);
   if (rt.pool != nullptr && rt.pool_threads != team_size &&
       rt.active_regions == 0) {
     rt.pool.reset();  // workers are idle between regions; join is cheap
@@ -73,7 +75,7 @@ ThreadPool* AcquirePool(size_t team_size) {
 
 void ReleasePool() {
   Runtime& rt = GlobalRuntime();
-  std::lock_guard<std::mutex> lock(rt.mu);
+  common::MutexLock lock(&rt.mu);
   SUBREC_CHECK_GT(rt.active_regions, 0u);
   --rt.active_regions;
 }
@@ -82,17 +84,21 @@ void ReleasePool() {
 /// counter; the ticket IS the chunk index, so the begin/end a body sees
 /// never depends on which thread claimed it.
 struct RegionState {
-  const std::function<void(size_t, size_t)>* body = nullptr;
-  size_t n = 0;
-  size_t grain = 0;
-  size_t chunks = 0;
+  // The geometry fields are set by the opening thread before any helper is
+  // submitted and are read-only while the region runs.
+  const std::function<void(size_t, size_t)>* body
+      SUBREC_UNGUARDED("immutable once helpers start") = nullptr;
+  size_t n SUBREC_UNGUARDED("immutable once helpers start") = 0;
+  size_t grain SUBREC_UNGUARDED("immutable once helpers start") = 0;
+  size_t chunks SUBREC_UNGUARDED("immutable once helpers start") = 0;
   std::atomic<size_t> next{0};
   std::atomic<bool> abort{false};
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t helpers_done = 0;
-  size_t first_error_chunk = std::numeric_limits<size_t>::max();
-  std::exception_ptr error;
+  common::Mutex mu;
+  common::CondVar cv;
+  size_t helpers_done SUBREC_GUARDED_BY(mu) = 0;
+  size_t first_error_chunk SUBREC_GUARDED_BY(mu) =
+      std::numeric_limits<size_t>::max();
+  std::exception_ptr error SUBREC_GUARDED_BY(mu);
 };
 
 void DrainChunks(RegionState* s) {
@@ -105,7 +111,7 @@ void DrainChunks(RegionState* s) {
     try {
       (*s->body)(begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(s->mu);
+      common::MutexLock lock(&s->mu);
       if (c < s->first_error_chunk) {
         s->first_error_chunk = c;
         s->error = std::current_exception();
@@ -127,14 +133,14 @@ size_t NumThreads() {
   // keeps NumThreads() cheap enough to call per region.
   static const size_t env_default = EnvThreads();
   Runtime& rt = GlobalRuntime();
-  std::lock_guard<std::mutex> lock(rt.mu);
+  common::MutexLock lock(&rt.mu);
   if (rt.override_threads > 0) return rt.override_threads;
   return env_default > 0 ? env_default : HardwareThreads();
 }
 
 size_t SetNumThreads(size_t n) {
   Runtime& rt = GlobalRuntime();
-  std::lock_guard<std::mutex> lock(rt.mu);
+  common::MutexLock lock(&rt.mu);
   const size_t prev = rt.override_threads;
   rt.override_threads = n;
   return prev;
@@ -174,20 +180,22 @@ void ParallelFor(size_t n, size_t grain,
   for (size_t i = 0; i < helpers; ++i) {
     pool->Submit([&state] {
       DrainChunks(&state);
-      std::lock_guard<std::mutex> lock(state.mu);
+      common::MutexLock lock(&state.mu);
       ++state.helpers_done;
-      state.cv.notify_all();
+      state.cv.NotifyAll();
     });
   }
   DrainChunks(&state);
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.cv.wait(lock, [&state, helpers] {
-      return state.helpers_done == helpers;
-    });
+    common::MutexLock lock(&state.mu);
+    while (state.helpers_done != helpers) state.cv.Wait(&state.mu);
+    // Copy out under the lock: once every helper has checked in the field
+    // is final, but the read still belongs inside the mutex's protocol.
+    error = state.error;
   }
   ReleasePool();
-  if (state.error) std::rethrow_exception(state.error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace subrec::par

@@ -16,25 +16,25 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Submit(std::function<void()> task) {
   SUBREC_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     SUBREC_CHECK(!shutdown_) << "ThreadPool::Submit after Shutdown";
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -42,8 +42,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      common::MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain-on-shutdown: exit only once the queue is empty, so every
       // submitted future completes.
       if (queue_.empty()) return;

@@ -1,17 +1,18 @@
 #ifndef SUBREC_PAR_THREAD_POOL_H_
 #define SUBREC_PAR_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace subrec::par {
 
@@ -54,11 +55,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool shutdown_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::deque<std::function<void()>> queue_ SUBREC_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_
+      SUBREC_UNGUARDED("written only by the constructor; joined by the one "
+                       "thread that wins the shutdown_ flag race");
+  bool shutdown_ SUBREC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace subrec::par

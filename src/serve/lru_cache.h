@@ -7,13 +7,14 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace subrec::serve {
 
@@ -37,7 +38,7 @@ class ShardedLruCache {
   /// Returns a copy of the cached value and refreshes its recency.
   std::optional<V> Get(const K& key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +53,7 @@ class ShardedLruCache {
   /// overflow.
   void Put(const K& key, V value) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       it->second->second = std::move(value);
@@ -70,7 +71,7 @@ class ShardedLruCache {
   /// Drops every entry (explicit invalidation, e.g. on snapshot swap).
   void Clear() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      common::MutexLock lock(&shard->mu);
       shard->map.clear();
       shard->order.clear();
     }
@@ -79,7 +80,7 @@ class ShardedLruCache {
   size_t size() const {
     size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      common::MutexLock lock(&shard->mu);
       total += shard->map.size();
     }
     return total;
@@ -91,11 +92,12 @@ class ShardedLruCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::list<std::pair<K, V>> order;  // front = most recent
+    mutable common::Mutex mu;
+    // front = most recent
+    std::list<std::pair<K, V>> order SUBREC_GUARDED_BY(mu);
     std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator,
                        Hash>
-        map;
+        map SUBREC_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const K& key) {

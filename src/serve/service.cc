@@ -68,7 +68,7 @@ void RecommendService::Swap(std::shared_ptr<const ServingState> state) {
   // benign converse — a fresh result under the old generation — only wastes
   // one cache slot.)
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    common::MutexLock lock(&state_mu_);
     state_ = std::move(state);
   }
   generation_.fetch_add(1);
@@ -77,7 +77,7 @@ void RecommendService::Swap(std::shared_ptr<const ServingState> state) {
 }
 
 std::shared_ptr<const ServingState> RecommendService::state() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  common::MutexLock lock(&state_mu_);
   return state_;
 }
 

@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/candidate_index.h"
 #include "serve/frozen_scorer.h"
 #include "serve/lru_cache.h"
@@ -104,19 +105,23 @@ class RecommendService {
  private:
   using ResultCache = ShardedLruCache<uint64_t, std::vector<ScoredPaper>>;
 
-  ServeOptions options_;
-  std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
-  // A plain mutex-guarded pointer rather than std::atomic<shared_ptr>:
-  // libstdc++'s specialization spins on a hidden lock bit anyway (it is
-  // not lock-free) and its internals trip TSan, so the explicit mutex is
+  ServeOptions options_ SUBREC_UNGUARDED("set in the constructor, read-only");
+  // Null when caching is disabled; the pointer itself is fixed after the
+  // constructor and the cache locks its own shards.
+  std::unique_ptr<ResultCache> cache_
+      SUBREC_UNGUARDED("pointer fixed after construction; cache is "
+                       "internally synchronized");
+  // A plain mutex-guarded pointer rather than an atomic shared_ptr:
+  // libstdc++'s atomic specialization spins on a hidden lock bit anyway (it
+  // is not lock-free) and its internals trip TSan, so the explicit mutex is
   // equally cheap and sanitizer-clean. Readers only copy the pointer
   // under the lock — scoring never holds it.
-  mutable std::mutex state_mu_;
-  std::shared_ptr<const ServingState> state_;  // guarded by state_mu_
+  mutable common::Mutex state_mu_;
+  std::shared_ptr<const ServingState> state_ SUBREC_GUARDED_BY(state_mu_);
   std::atomic<uint64_t> generation_{0};
   // Declared last: the pool's destructor drains queued tasks that call
   // TopN, which must still see a live cache_ and state_.
-  ThreadPool pool_;
+  ThreadPool pool_ SUBREC_UNGUARDED("internally synchronized");
 };
 
 }  // namespace subrec::serve

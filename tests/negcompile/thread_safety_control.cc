@@ -1,0 +1,39 @@
+// Positive control for the thread-safety negative-compile suite: the same
+// shape of code as the bad TUs, but with the lock protocol followed. This
+// target is part of the normal build, so if it ever fails the harness —
+// not the analysis — is broken, and the WILL_FAIL results of the bad TUs
+// are meaningless.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Account {
+  subrec::common::Mutex mu;
+  int balance SUBREC_GUARDED_BY(mu) = 0;
+};
+
+int Deposit(Account* account, int amount) {
+  subrec::common::MutexLock lock(&account->mu);
+  account->balance += amount;
+  return account->balance;
+}
+
+int ReadLocked(Account* account) SUBREC_REQUIRES(account->mu) {
+  return account->balance;
+}
+
+int LockAndRead(Account* account) {
+  account->mu.Lock();
+  const int balance = ReadLocked(account);
+  account->mu.Unlock();
+  return balance;
+}
+
+}  // namespace
+
+int ThreadSafetyControl() {
+  Account account;
+  Deposit(&account, 5);
+  return LockAndRead(&account);
+}

@@ -1,0 +1,14 @@
+// MUST NOT COMPILE under the clang-dev preset: acquires a mutex that the
+// calling thread already holds (our Mutex wraps std::mutex, which makes a
+// recursive Lock undefined behavior at runtime — the analysis rejects it
+// statically). Registered as a WILL_FAIL build ctest.
+#include "common/mutex.h"
+
+int ThreadSafetyDoubleAcquire() {
+  subrec::common::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // error: acquiring mutex 'mu' that is already held
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE under the clang-dev preset: returns while still holding
+// a mutex acquired in the function body (a leaked lock — every later
+// Lock() would deadlock). Registered as a WILL_FAIL build ctest.
+#include "common/mutex.h"
+
+int ThreadSafetyMissingRelease() {
+  subrec::common::Mutex mu;
+  mu.Lock();
+  return 0;  // error: mutex 'mu' is still held at the end of function
+}

@@ -1,0 +1,19 @@
+// MUST NOT COMPILE under the clang-dev preset: reads a SUBREC_GUARDED_BY
+// field without holding its mutex. Registered as a WILL_FAIL build ctest —
+// if this TU ever compiles, the thread-safety gate is off.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Account {
+  subrec::common::Mutex mu;
+  int balance SUBREC_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int ThreadSafetyUnguardedAccess() {
+  Account account;
+  return account.balance;  // error: requires holding mutex 'account.mu'
+}

@@ -273,6 +273,23 @@ TEST(TraceRecorder, DisabledRecordsNothing) {
   EXPECT_TRUE(rec.Events().empty());
 }
 
+TEST(TraceRecorder, DisabledFastPathLeavesRecorderUntouched) {
+  // The disabled fast path is ONE relaxed load of the enabled flag:
+  // TraceSpan and Record must check enabled() before touching any guarded
+  // state, so a burst of spans leaves the recorder bit-for-bit unchanged —
+  // no events, no drop counting, no lock traffic for TSan to flag.
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Disable();
+  for (int i = 0; i < 1000; ++i) {
+    SUBREC_TRACE_SPAN("obs_test/disabled_burst");
+    rec.Record("obs_test/disabled_direct", i, 1);
+  }
+  int64_t dropped = -1;
+  EXPECT_TRUE(rec.Events(&dropped).empty());
+  EXPECT_EQ(dropped, 0);
+  EXPECT_FALSE(rec.enabled());
+}
+
 TEST(TraceRecorder, NestedSpansRecordInnerFirst) {
   TraceRecorder& rec = TraceRecorder::Global();
   rec.Enable(64);

@@ -332,6 +332,186 @@ class IncludeHygieneRule final : public Rule {
   std::string name_ = "include-hygiene";
 };
 
+/// Fields of a class that owns a common::Mutex by value must declare their
+/// relationship to the lock: SUBREC_GUARDED_BY / SUBREC_PT_GUARDED_BY for
+/// protected state, SUBREC_UNGUARDED(reason) for deliberate opt-outs.
+/// Exempt: the mutex itself, CondVar members, std::atomic members, and
+/// static/constexpr/using/typedef/friend declarations.
+///
+/// This is a light structural scan (brace + statement tracking over the
+/// code view), not a parser: member statements it cannot classify — e.g.
+/// ones carrying alignas(...) — are skipped rather than flagged, so the
+/// rule under-approximates and never blocks on syntax it does not model.
+class GuardedByRule final : public Rule {
+ public:
+  const std::string& name() const override { return name_; }
+
+  void Check(const SourceFile& file,
+             std::vector<Violation>* out) const override {
+    if (!StartsWith(file.path, "src/")) return;
+    // The wrapper definitions themselves (Mutex owns the raw std::mutex).
+    if (file.path == "src/common/mutex.h") return;
+
+    struct Frame {
+      bool is_class = false;
+      std::string header;  // declaration text that preceded this '{'
+      std::vector<Member> members;
+    };
+
+    static const std::regex class_re("(^|[^\\w])(class|struct)\\s+[A-Za-z_]");
+    static const std::regex enum_re("\\benum\\b");
+
+    std::vector<Frame> frames;
+    std::string pending;
+    size_t pending_line = 0;
+    bool swallow_semi = false;  // the ';' that closes a class definition
+
+    auto record_member = [&] {
+      const std::string text = Trim(pending);
+      pending.clear();
+      if (text.empty()) return;
+      if (!frames.empty() && frames.back().is_class) {
+        frames.back().members.push_back({text, pending_line});
+      }
+    };
+
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      if (IsPreprocessor(line)) continue;
+      for (const char c : line) {
+        if (c == '{') {
+          Frame f;
+          f.header = Trim(pending);
+          f.is_class = std::regex_search(f.header, class_re) &&
+                       !std::regex_search(f.header, enum_re);
+          pending.clear();
+          frames.push_back(std::move(f));
+        } else if (c == '}') {
+          if (frames.empty()) continue;
+          Frame f = std::move(frames.back());
+          frames.pop_back();
+          if (f.is_class) {
+            ReportClass(file, f.members, out);
+            swallow_semi = true;  // the '};' terminator is not a member
+          } else if (!LooksLikeFunction(f.header)) {
+            // Braced initializer (e.g. `std::atomic<bool> done{false}`):
+            // the declaration continues until its ';'.
+            pending = f.header;
+          }
+        } else if (c == ';') {
+          if (swallow_semi) {
+            swallow_semi = false;
+            pending.clear();
+          } else {
+            record_member();
+          }
+        } else {
+          if (Trim(pending).empty() && !std::isspace(static_cast<unsigned char>(c))) {
+            pending_line = i + 1;
+          }
+          pending += c;
+        }
+      }
+      pending += ' ';  // line break acts as whitespace in the statement
+    }
+  }
+
+ private:
+  struct Member {
+    std::string text;  // joined statement text, ';' excluded
+    size_t line = 0;   // 1-based first line of the statement
+  };
+
+  static std::string Trim(const std::string& s) {
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+  }
+
+  static bool IsPreprocessor(const std::string& line) {
+    const std::string t = Trim(line);
+    return !t.empty() && t[0] == '#';
+  }
+
+  /// Statement text with annotation macros removed, default initializers
+  /// cut at '=', access-specifier labels dropped, and template argument
+  /// lists stripped — what remains classifies as function vs data member
+  /// by the presence of '('.
+  static std::string Normalize(const std::string& text) {
+    static const std::regex ann_re(
+        "SUBREC_(PT_)?GUARDED_BY\\s*\\([^)]*\\)|"
+        "SUBREC_UNGUARDED\\s*\\([^)]*\\)");
+    static const std::regex access_re("\\b(public|private|protected)\\s*:");
+    static const std::regex operator_re("\\boperator[^\\s(]*");
+    static const std::regex angle_re("<[^<>]*>");
+    std::string s = std::regex_replace(text, ann_re, "");
+    s = std::regex_replace(s, access_re, "");
+    // `operator=(...)` must not be mistaken for a default initializer.
+    s = std::regex_replace(s, operator_re, "op");
+    const size_t eq = s.find('=');
+    if (eq != std::string::npos) s = s.substr(0, eq);
+    std::string prev;
+    do {
+      prev = s;
+      s = std::regex_replace(s, angle_re, "");
+    } while (s != prev);
+    return Trim(s);
+  }
+
+  static bool LooksLikeFunction(const std::string& text) {
+    return Normalize(text).find('(') != std::string::npos;
+  }
+
+  static bool OwnsMutex(const std::string& normalized) {
+    static const std::regex owner_re(
+        "(^|[^\\w:<,&*])((subrec::)?common::)?Mutex\\s+[A-Za-z_]\\w*\\s*$");
+    return std::regex_search(normalized, owner_re);
+  }
+
+  void ReportClass(const SourceFile& file, const std::vector<Member>& members,
+                   std::vector<Violation>* out) const {
+    static const std::regex condvar_re("\\b(common::)?CondVar\\b");
+    static const std::regex keyword_re(
+        "^(static|constexpr|using|typedef|friend|enum)\\b");
+    static const std::regex name_re("([A-Za-z_]\\w*)\\s*$");
+
+    bool owns = false;
+    for (const Member& m : members) {
+      if (OwnsMutex(Normalize(m.text))) {
+        owns = true;
+        break;
+      }
+    }
+    if (!owns) return;
+
+    for (const Member& m : members) {
+      const std::string n = Normalize(m.text);
+      if (n.empty() || OwnsMutex(n)) continue;
+      if (std::regex_search(n, condvar_re)) continue;
+      if (m.text.find("std::atomic") != std::string::npos) continue;
+      if (std::regex_search(n, keyword_re)) continue;
+      if (n.find('(') != std::string::npos) continue;  // function-shaped
+      const bool annotated =
+          m.text.find("SUBREC_GUARDED_BY(") != std::string::npos ||
+          m.text.find("SUBREC_PT_GUARDED_BY(") != std::string::npos ||
+          m.text.find("SUBREC_UNGUARDED(") != std::string::npos;
+      if (annotated) continue;
+      std::smatch nm;
+      const std::string field =
+          std::regex_search(n, nm, name_re) ? nm[1].str() : n;
+      out->push_back(
+          {file.path, m.line, name_,
+           "field '" + field +
+               "' lives in a class that owns a common::Mutex; declare its "
+               "locking relationship with SUBREC_GUARDED_BY(mu), "
+               "SUBREC_PT_GUARDED_BY(mu), or SUBREC_UNGUARDED(\"reason\")"});
+    }
+  }
+
+  std::string name_ = "guarded-by-required";
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> BuildDefaultRules() {
@@ -380,8 +560,20 @@ std::vector<std::unique_ptr<Rule>> BuildDefaultRules() {
       /*comments_view=*/false,
       /*path_prefix=*/"src/",
       /*exempt_prefixes=*/{}}));
+  rules.push_back(std::make_unique<RegexRule>(RegexRuleSpec{
+      "no-raw-concurrency-primitive",
+      "std::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
+      "unique_lock|scoped_lock|shared_lock|condition_variable)\\b",
+      "library code locks through common::Mutex / common::MutexLock / "
+      "common::CondVar (common/mutex.h) so Clang thread-safety analysis "
+      "sees every acquire and release",
+      /*headers_only=*/false,
+      /*comments_view=*/false,
+      /*path_prefix=*/"src/",
+      /*exempt_prefixes=*/{"src/common/mutex.h"}}));
   rules.push_back(std::make_unique<TodoFormatRule>());
   rules.push_back(std::make_unique<IncludeHygieneRule>());
+  rules.push_back(std::make_unique<GuardedByRule>());
   return rules;
 }
 

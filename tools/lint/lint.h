@@ -71,8 +71,16 @@ struct RegexRuleSpec {
 ///   no-float          float in numeric code (src/), doubles only
 ///   no-thread-sleep   std::this_thread::sleep_for/until in src/ (serving
 ///                     code blocks on condvars/futures, never naps)
+///   no-raw-concurrency-primitive
+///                     std::mutex/lock_guard/unique_lock/condition_variable
+///                     in src/ outside common/mutex.h (use the annotated
+///                     common::Mutex wrappers)
 ///   todo-format       TODO(name): with owner
 ///   include-hygiene   headers directly include what they use (checked list)
+///   guarded-by-required
+///                     fields of a class owning a common::Mutex carry
+///                     SUBREC_GUARDED_BY / SUBREC_PT_GUARDED_BY /
+///                     SUBREC_UNGUARDED(reason)
 std::vector<std::unique_ptr<Rule>> BuildDefaultRules();
 
 /// Recursively collects .h/.cc/.cpp files under `dirs` (repo-relative),

@@ -50,7 +50,8 @@ TEST(LintSelfTest, EveryRuleFiresOnBadFixture) {
   const std::vector<std::string> expected = {
       "include-guard",    "no-std-rand",  "no-using-namespace-header",
       "no-raw-stdio",     "no-float",     "no-thread-sleep",
-      "todo-format",      "include-hygiene"};
+      "todo-format",      "include-hygiene",
+      "no-raw-concurrency-primitive",     "guarded-by-required"};
   for (const std::string& rule : expected) {
     EXPECT_TRUE(fired.count(rule)) << "rule did not fire: " << rule;
   }
@@ -88,8 +89,55 @@ TEST(LintSelfTest, RulesScopeByPath) {
   EXPECT_FALSE(fired.count("no-raw-stdio"));
   EXPECT_FALSE(fired.count("no-float"));
   EXPECT_FALSE(fired.count("no-thread-sleep"));
+  EXPECT_FALSE(fired.count("no-raw-concurrency-primitive"));
+  EXPECT_FALSE(fired.count("guarded-by-required"));
   EXPECT_TRUE(fired.count("no-std-rand"));
   EXPECT_TRUE(fired.count("no-using-namespace-header"));
+}
+
+TEST(LintConcurrency, GoodFixtureIsClean) {
+  const std::vector<Violation> vs =
+      LintFixtureAs("concurrency_good.h", "src/good/concurrency_good.h");
+  for (const Violation& v : vs) ADD_FAILURE() << FormatViolation(v);
+}
+
+TEST(LintConcurrency, BadFixtureFiresBothRulesAtExpectedLines) {
+  const std::vector<Violation> vs =
+      LintFixtureAs("concurrency_bad.h", "src/bad/concurrency_bad.h");
+  std::vector<size_t> guarded_lines;
+  std::vector<size_t> raw_lines;
+  for (const Violation& v : vs) {
+    if (v.rule == "guarded-by-required") guarded_lines.push_back(v.line);
+    if (v.rule == "no-raw-concurrency-primitive") raw_lines.push_back(v.line);
+  }
+  std::sort(guarded_lines.begin(), guarded_lines.end());
+  ASSERT_EQ(raw_lines.size(), 1u);
+  EXPECT_EQ(raw_lines[0], 13u);  // inline std::mutex g_raw_mutex;
+  ASSERT_EQ(guarded_lines.size(), 2u);
+  EXPECT_EQ(guarded_lines[0], 21u);  // int total_ = 0;
+  EXPECT_EQ(guarded_lines[1], 22u);  // multi-line history_ declaration
+}
+
+TEST(LintConcurrency, RulesScopeToSrc) {
+  // The same content under tools/ is outside the concurrency rules' scope.
+  const std::vector<Violation> vs =
+      LintFixtureAs("concurrency_bad.h", "tools/bad/concurrency_bad.h");
+  const std::set<std::string> fired = FiredRules(vs);
+  EXPECT_FALSE(fired.count("no-raw-concurrency-primitive"));
+  EXPECT_FALSE(fired.count("guarded-by-required"));
+}
+
+TEST(LintConcurrency, MutexWrapperHeaderMayNameRawPrimitives) {
+  // common/mutex.h is the one src/ file allowed to touch std primitives:
+  // it is where they get wrapped.
+  const std::vector<Violation> vs = RunRules(
+      BuildDefaultRules(),
+      {MakeSourceFile("src/common/mutex.h",
+                      "std::mutex raw_;\n"
+                      "std::condition_variable cv_;\n")});
+  const std::set<std::string> fired = FiredRules(vs);
+  EXPECT_FALSE(fired.count("no-raw-concurrency-primitive"));
+  EXPECT_FALSE(fired.count("guarded-by-required"));
 }
 
 TEST(LintCollect, SkipsTestdataAndNonSources) {

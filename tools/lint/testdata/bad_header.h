@@ -13,4 +13,15 @@ inline float HalfPrecision() {
   return 0.0f;
 }
 
+inline std::mutex g_bad_raw_lock;
+
+class BadCounter {
+ public:
+  int Get() const;
+
+ private:
+  mutable common::Mutex mu_;
+  int count_ = 0;
+};
+
 #endif  // WRONG_GUARD_H

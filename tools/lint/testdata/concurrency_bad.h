@@ -1,0 +1,32 @@
+#ifndef SUBREC_BAD_CONCURRENCY_BAD_H_
+#define SUBREC_BAD_CONCURRENCY_BAD_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace subrec::bad {
+
+// The one line the raw-primitive ban must flag.
+inline std::mutex g_raw_mutex;
+
+class UnannotatedCounter {
+ public:
+  void Add(int delta);
+
+ private:
+  mutable common::Mutex mu_;
+  int total_ = 0;
+  std::vector<std::string>
+      history_;
+};
+
+struct NoMutexHere {
+  int fine_without_annotations = 0;
+};
+
+}  // namespace subrec::bad
+
+#endif  // SUBREC_BAD_CONCURRENCY_BAD_H_

@@ -1,0 +1,50 @@
+#ifndef SUBREC_GOOD_CONCURRENCY_GOOD_H_
+#define SUBREC_GOOD_CONCURRENCY_GOOD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace subrec::good {
+
+// Every field shape the guarded-by-required rule must accept inside a
+// Mutex-owning class: annotated members, deliberate opt-outs, and the
+// exempt categories (the lock itself, condvars, atomics, statics, usings).
+class AnnotatedQueue {
+ public:
+  explicit AnnotatedQueue(size_t limit) : limit_(limit) {}
+
+  AnnotatedQueue(const AnnotatedQueue&) = delete;
+  AnnotatedQueue& operator=(const AnnotatedQueue&) = delete;
+
+  void Push(const std::string& item) {
+    common::MutexLock lock(&mu_);
+    items_.push_back(item);
+    cv_.NotifyOne();
+  }
+
+  size_t approx_size() const {
+    return size_hint_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kDefaultLimit = 16;
+  using Batch = std::vector<std::string>;
+
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::vector<std::string> items_ SUBREC_GUARDED_BY(mu_);
+  std::vector<std::string> overflow_
+      SUBREC_GUARDED_BY(mu_);
+  std::string* last_ SUBREC_PT_GUARDED_BY(mu_) = nullptr;
+  std::atomic<size_t> size_hint_{0};
+  const size_t limit_ SUBREC_UNGUARDED("set in the constructor, read-only");
+};
+
+}  // namespace subrec::good
+
+#endif  // SUBREC_GOOD_CONCURRENCY_GOOD_H_
