@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <string>
@@ -17,7 +18,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/file_util.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/serve_observer.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "rec/nprec.h"
 #include "serve/freeze.h"
 #include "serve/service.h"
@@ -56,6 +62,18 @@ double PercentileUs(std::vector<int64_t> latencies_ns, double q) {
   const double ns = static_cast<double>(latencies_ns[lo]) * (1.0 - frac) +
                     static_cast<double>(latencies_ns[hi]) * frac;
   return ns / 1e3;
+}
+
+/// Sibling path to BENCH_<name>.json: SUBREC_REPORT_DIR when set (the same
+/// resolution RunReport::WriteFile uses), else the working directory.
+std::string ReportSibling(const std::string& filename) {
+  std::string path;
+  const char* env = std::getenv("SUBREC_REPORT_DIR");
+  if (env != nullptr && env[0] != '\0') {
+    path = env;
+    if (path.back() != '/') path += '/';
+  }
+  return path + filename;
 }
 
 /// Users with non-empty serving profiles, up to `limit`.
@@ -217,6 +235,13 @@ int main() {
   bench::PrintHeader("serve_throughput: open loop at target QPS (cache on)");
   serve::ServeOptions serve_options;
   serve_options.num_threads = 4;
+  // Full serving-path observability for the open-loop run: rolling windows
+  // see every request, every 4th request carries a per-stage trace into the
+  // flight recorder, and requests slower than 50ms are logged.
+  serve_options.observer.enabled = true;
+  serve_options.observer.sample_every_n = 4;
+  serve_options.observer.recorder.recent_capacity = 64;
+  serve_options.observer.recorder.slow_log_threshold_ns = 50'000'000;
   serve::RecommendService service(serve_options);
   SUBREC_CHECK(service.LoadSnapshotFile(snapshot_path).ok());
 
@@ -257,6 +282,18 @@ int main() {
       // the old generation, the cache restarts cold.
       SUBREC_CHECK(service.LoadSnapshotFile(snapshot_path).ok());
       swapped = true;
+      // Mid-run health check straight off the rolling windows — this is the
+      // view an operator would poll, taken without pausing the load.
+      const obs::WindowSnapshot mid =
+          service.observer().window()->Snapshot(obs::NowNs());
+      const obs::WindowStats& w1 = mid.Closest(1.0);
+      report.AddScalar("obs.midrun.window_1s.qps", w1.qps);
+      report.AddScalar("obs.midrun.window_1s.p99_us", w1.p99_us);
+      report.AddScalar("obs.midrun.window_1s.cache_hit_rate",
+                       w1.cache_hit_rate);
+      std::printf(
+          "mid-run 1s window: %.0f qps  p50 %.1fus  p99 %.1fus  hit %.2f\n",
+          w1.qps, w1.p50_us, w1.p99_us, w1.cache_hit_rate);
     }
     while (inflight.size() > 256) {
       drain_one(std::move(inflight.front()));
@@ -293,6 +330,56 @@ int main() {
       completed, config.target_qps, achieved_qps,
       PercentileUs(latencies, 0.50), PercentileUs(latencies, 0.95),
       PercentileUs(latencies, 0.99), hit_rate);
+
+  // --- Observability: rolling windows, per-stage breakdown, exports. ------
+  bench::PrintHeader("serve_throughput: serving-path observability");
+  const obs::ServeObserver& observer = service.observer();
+  const obs::WindowSnapshot live = observer.window()->Snapshot(obs::NowNs());
+  for (const obs::WindowStats& w : live.windows) {
+    const std::string prefix =
+        "obs.window_" +
+        std::to_string(static_cast<int64_t>(w.window_seconds)) + "s";
+    report.AddScalar(prefix + ".requests", static_cast<double>(w.requests));
+    report.AddScalar(prefix + ".qps", w.qps);
+    report.AddScalar(prefix + ".p50_us", w.p50_us);
+    report.AddScalar(prefix + ".p95_us", w.p95_us);
+    report.AddScalar(prefix + ".p99_us", w.p99_us);
+    report.AddScalar(prefix + ".error_rate", w.error_rate);
+    report.AddScalar(prefix + ".cache_hit_rate", w.cache_hit_rate);
+  }
+  const std::vector<obs::StageStat> stages = observer.StageStats();
+  for (const obs::StageStat& s : stages) {
+    const std::string prefix = std::string("obs.stage.") + s.name;
+    report.AddScalar(prefix + ".sampled", static_cast<double>(s.sampled));
+    report.AddScalar(prefix + ".mean_us", s.mean_us);
+    report.AddScalar(prefix + ".total_us", s.total_us);
+    std::printf("stage %-14s sampled %6lld  mean %8.1fus\n", s.name,
+                static_cast<long long>(s.sampled), s.mean_us);
+  }
+  report.AddScalar(
+      "obs.traces.recorded",
+      static_cast<double>(observer.recorder()->TotalRecorded()));
+  report.AddScalar("obs.traces.dropped",
+                   static_cast<double>(observer.recorder()->Dropped()));
+
+  // Dump the operator views next to the bench report: the plain-text
+  // statusz page and the machine-readable metrics JSON.
+  const obs::MetricsSnapshot metrics = obs::MetricsRegistry::Global().Snapshot();
+  obs::StatuszData statusz;
+  statusz.uptime_ns = obs::NowNs() - start_ns;
+  statusz.metrics = &metrics;
+  statusz.window = &live;
+  statusz.stages = &stages;
+  statusz.recorder = observer.recorder();
+  const std::string statusz_path = ReportSibling("STATUSZ_serve_throughput.txt");
+  SUBREC_CHECK(
+      WriteStringToFile(statusz_path, obs::ExportStatusz(statusz)).ok());
+  std::printf("statusz: %s\n", statusz_path.c_str());
+  const std::string metrics_path =
+      ReportSibling("METRICS_serve_throughput.json");
+  SUBREC_CHECK(
+      WriteStringToFile(metrics_path, obs::ExportMetricsJson(statusz)).ok());
+  std::printf("metrics: %s\n", metrics_path.c_str());
 
   bench::WriteReport(&report);
   return 0;

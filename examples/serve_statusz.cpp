@@ -1,0 +1,181 @@
+// Serving-path observability CLI: stand up RecommendService on a frozen
+// snapshot with the observer enabled, drive a short mixed workload (cold
+// misses, then cache hits), and render the live operator views.
+//
+//   serve_statusz                  statusz text page (default)
+//   serve_statusz --json           machine-readable metrics JSON
+//   serve_statusz --prometheus     Prometheus text exposition
+//   serve_statusz path.snap        serve an existing snapshot file instead
+//                                  of freezing a tiny model in-process
+//
+// Build & run:  cmake --build build && ./build/examples/serve_statusz
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus_generator.h"
+#include "datagen/datasets.h"
+#include "datagen/split.h"
+#include "graph/academic_graph.h"
+#include "la/ops.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rec/nprec.h"
+#include "serve/freeze.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "text/hashed_ngram_encoder.h"
+
+using namespace subrec;
+
+namespace {
+
+/// Trains a tiny NPRec on a synthetic ACM-like corpus and freezes it —
+/// the same offline pipeline as the paper_recommendation example, cut down
+/// to what serving needs.
+bool BuildTinySnapshot(serve::SnapshotData* out) {
+  auto generated = datagen::GenerateCorpus(
+      datagen::AcmLikeOptions(datagen::DatasetScale::kTiny, 21));
+  if (!generated.ok()) return false;
+  const corpus::Corpus& corpus = generated.value().corpus;
+  const int split_year = 2014;
+  const datagen::YearSplit split = datagen::SplitByYear(corpus, split_year);
+
+  graph::GraphBuildOptions graph_options;
+  graph_options.citation_year_cutoff = split_year;
+  const graph::GraphIndex index =
+      graph::BuildAcademicGraph(corpus, graph_options);
+
+  // Role-pooled frozen-encoder embeddings (see paper_recommendation for the
+  // SEM-trained variant — serving is identical either way).
+  text::HashedNgramEncoder encoder;
+  rec::SubspaceEmbeddings subspace;
+  std::vector<std::vector<double>> text;
+  for (const auto& p : corpus.papers) {
+    std::vector<std::vector<double>> subs(3,
+                                          std::vector<double>(encoder.dim()));
+    std::vector<int> counts(3, 0);
+    for (const auto& s : p.abstract_sentences) {
+      la::AxpyVec(1.0, encoder.Encode(s.text),
+                  subs[static_cast<size_t>(s.role)]);
+      ++counts[static_cast<size_t>(s.role)];
+    }
+    std::vector<double> fused(encoder.dim(), 0.0);
+    for (int k = 0; k < 3; ++k) {
+      if (counts[static_cast<size_t>(k)] > 0)
+        for (double& x : subs[static_cast<size_t>(k)])
+          x /= counts[static_cast<size_t>(k)];
+      la::AxpyVec(1.0 / 3.0, subs[static_cast<size_t>(k)], fused);
+    }
+    subspace.push_back(std::move(subs));
+    text.push_back(std::move(fused));
+  }
+
+  rec::RecContext ctx;
+  ctx.corpus = &corpus;
+  ctx.graph = &index;
+  ctx.split_year = split_year;
+  ctx.train_papers = split.train;
+  ctx.test_papers = split.test;
+  ctx.paper_text = &text;
+
+  rec::NPRecOptions options;
+  options.sampler.max_positives = 600;
+  rec::NPRec model(options, &subspace);
+  const Status status = model.Fit(ctx);
+  if (!status.ok()) {
+    std::printf("NPRec training failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  *out = serve::FreezeNPRec(ctx, model, "acm_like");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_json = false;
+  bool want_prometheus = false;
+  std::string snapshot_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+    } else if (std::strcmp(argv[i], "--prometheus") == 0) {
+      want_prometheus = true;
+    } else {
+      snapshot_path = argv[i];
+    }
+  }
+
+  const int64_t boot_ns = obs::NowNs();
+  serve::ServeOptions options;
+  options.num_threads = 2;
+  options.observer.enabled = true;
+  options.observer.sample_every_n = 2;
+  options.observer.recorder.recent_capacity = 32;
+  options.observer.recorder.slow_log_threshold_ns = 10'000'000;
+  serve::RecommendService service(options);
+
+  if (!snapshot_path.empty()) {
+    const Status loaded = service.LoadSnapshotFile(snapshot_path);
+    if (!loaded.ok()) {
+      std::printf("cannot load %s: %s\n", snapshot_path.c_str(),
+                  loaded.ToString().c_str());
+      return 1;
+    }
+  } else {
+    serve::SnapshotData data;
+    if (!BuildTinySnapshot(&data)) return 1;
+    auto state = serve::ServingState::FromSnapshot(std::move(data),
+                                                  options.index);
+    if (!state.ok()) {
+      std::printf("snapshot rejected: %s\n",
+                  state.status().ToString().c_str());
+      return 1;
+    }
+    service.Swap(std::move(state).value());
+  }
+
+  // A short mixed workload so every view below has live data: the first
+  // pass is all cache misses (full candidate/score path), the second is
+  // mostly cache hits.
+  const std::shared_ptr<const serve::ServingState> state = service.state();
+  std::vector<int32_t> users;
+  for (size_t u = 0; u < state->profiles.size() && users.size() < 16; ++u) {
+    if (!state->profiles[u].empty()) users.push_back(static_cast<int32_t>(u));
+  }
+  if (users.empty()) {
+    std::printf("snapshot has no servable users\n");
+    return 1;
+  }
+  std::vector<serve::RecRequest> requests;
+  for (int i = 0; i < 400; ++i) {
+    requests.push_back({users[static_cast<size_t>(i) % users.size()], 10});
+  }
+  service.TopNBatch(requests);
+  service.TopNBatch(requests);
+
+  const obs::WindowSnapshot window =
+      service.observer().window()->Snapshot(obs::NowNs());
+  const std::vector<obs::StageStat> stages = service.observer().StageStats();
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::Global().Snapshot();
+  obs::StatuszData data;
+  data.uptime_ns = obs::NowNs() - boot_ns;
+  data.metrics = &metrics;
+  data.window = &window;
+  data.stages = &stages;
+  data.recorder = service.observer().recorder();
+
+  if (want_json) {
+    std::printf("%s\n", obs::ExportMetricsJson(data).c_str());
+  } else if (want_prometheus) {
+    std::printf("%s", obs::ExportPrometheus(data).c_str());
+  } else {
+    std::printf("%s", obs::ExportStatusz(data).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,258 @@
+#include "obs/exposition.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace subrec::obs {
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SUBREC_PRINTF_LIKE(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define SUBREC_PRINTF_LIKE(fmt_idx, arg_idx)
+#endif
+
+void Appendf(std::string* out, const char* fmt, ...) SUBREC_PRINTF_LIKE(2, 3);
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+/// registry names ("serve.cache.hits") map dots (and anything else illegal)
+/// to underscores.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out.push_back(alpha || (digit && i > 0) ? c : '_');
+  }
+  return out;
+}
+
+std::string WindowLabel(double seconds) {
+  std::string out;
+  Appendf(&out, "%gs", seconds);
+  return out;
+}
+
+void StatuszWindows(const WindowSnapshot& window, std::string* out) {
+  out->append("-- rolling windows --\n");
+  Appendf(out,
+          "%8s %10s %10s %10s %10s %10s %10s %6s %6s %6s\n", "window",
+          "requests", "qps", "mean_us", "p50_us", "p95_us", "p99_us", "err%",
+          "hit%", "shed%");
+  for (const WindowStats& s : window.windows) {
+    Appendf(out,
+            "%8s %10lld %10.1f %10.1f %10.1f %10.1f %10.1f %6.2f %6.2f "
+            "%6.2f\n",
+            WindowLabel(s.window_seconds).c_str(),
+            static_cast<long long>(s.requests), s.qps, s.mean_us, s.p50_us,
+            s.p95_us, s.p99_us, 100.0 * s.error_rate,
+            100.0 * s.cache_hit_rate, 100.0 * s.shed_rate);
+  }
+}
+
+void StatuszStages(const std::vector<StageStat>& stages, std::string* out) {
+  out->append("-- stage latency (sampled traces) --\n");
+  Appendf(out, "%-14s %10s %12s %14s\n", "stage", "sampled", "mean_us",
+          "total_us");
+  for (const StageStat& s : stages) {
+    Appendf(out, "%-14s %10lld %12.1f %14.1f\n", s.name,
+            static_cast<long long>(s.sampled), s.mean_us, s.total_us);
+  }
+}
+
+void StatuszRecorder(const FlightRecorder& recorder, std::string* out) {
+  out->append("-- flight recorder --\n");
+  Appendf(out, "recorded=%lld dropped=%lld\n",
+          static_cast<long long>(recorder.TotalRecorded()),
+          static_cast<long long>(recorder.Dropped()));
+  const std::vector<RequestTrace> slowest = recorder.Slowest();
+  if (!slowest.empty()) {
+    out->append("slowest:\n");
+    for (const RequestTrace& t : slowest) {
+      Appendf(out,
+              "  #%lld user=%d n=%d total_us=%.1f cache_hit=%d "
+              "candidates=%d src=%s\n",
+              static_cast<long long>(t.id), t.user, t.n,
+              static_cast<double>(t.total_ns) / 1e3, t.cache_hit ? 1 : 0,
+              t.candidate_count,
+              t.candidate_source != nullptr ? t.candidate_source : "-");
+    }
+  }
+  const std::vector<Exemplar> exemplars = recorder.Exemplars();
+  const std::vector<double>& bounds = recorder.exemplar_bounds_us();
+  bool any = false;
+  for (const Exemplar& e : exemplars) any = any || e.trace_id != 0;
+  if (any) {
+    out->append("exemplars:\n");
+    for (size_t i = 0; i < exemplars.size(); ++i) {
+      if (exemplars[i].trace_id == 0) continue;
+      if (i < bounds.size()) {
+        Appendf(out, "  le %.0fus -> trace #%lld (%.1fus)\n", bounds[i],
+                static_cast<long long>(exemplars[i].trace_id),
+                exemplars[i].latency_us);
+      } else {
+        Appendf(out, "  le +Inf -> trace #%lld (%.1fus)\n",
+                static_cast<long long>(exemplars[i].trace_id),
+                exemplars[i].latency_us);
+      }
+    }
+  }
+}
+
+void StatuszMetrics(const MetricsSnapshot& metrics, std::string* out) {
+  if (!metrics.counters.empty()) {
+    out->append("-- counters --\n");
+    for (const auto& [name, value] : metrics.counters) {
+      Appendf(out, "  %-40s %lld\n", name.c_str(),
+              static_cast<long long>(value));
+    }
+  }
+  if (!metrics.gauges.empty()) {
+    out->append("-- gauges --\n");
+    for (const auto& [name, value] : metrics.gauges) {
+      Appendf(out, "  %-40s %.6g\n", name.c_str(), value);
+    }
+  }
+  if (!metrics.histograms.empty()) {
+    out->append("-- histograms --\n");
+    for (const auto& [name, h] : metrics.histograms) {
+      Appendf(out, "  %-40s count=%lld sum=%.6g mean=%.6g\n", name.c_str(),
+              static_cast<long long>(h.count), h.sum,
+              h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExportStatusz(const StatuszData& data) {
+  std::string out;
+  Appendf(&out, "=== %s statusz ===\n", data.service_name);
+  Appendf(&out, "uptime_seconds: %.3f\n\n",
+          static_cast<double>(data.uptime_ns) / 1e9);
+  if (data.window != nullptr) {
+    StatuszWindows(*data.window, &out);
+    out.push_back('\n');
+  }
+  if (data.stages != nullptr && !data.stages->empty()) {
+    StatuszStages(*data.stages, &out);
+    out.push_back('\n');
+  }
+  if (data.recorder != nullptr) {
+    StatuszRecorder(*data.recorder, &out);
+    out.push_back('\n');
+  }
+  if (data.metrics != nullptr) StatuszMetrics(*data.metrics, &out);
+  return out;
+}
+
+std::string ExportMetricsJson(const StatuszData& data) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("service").String(data.service_name);
+  w.Key("uptime_seconds").Number(static_cast<double>(data.uptime_ns) / 1e9);
+  if (data.metrics != nullptr) {
+    w.Key("metrics");
+    data.metrics->WriteJson(&w);
+  }
+  if (data.window != nullptr) {
+    w.Key("windows");
+    data.window->WriteJson(&w);
+  }
+  if (data.stages != nullptr) {
+    w.Key("stages").BeginArray();
+    for (const StageStat& s : *data.stages) {
+      w.BeginObject();
+      w.Key("stage").String(s.name);
+      w.Key("sampled").Int(s.sampled);
+      w.Key("mean_us").Number(s.mean_us);
+      w.Key("total_us").Number(s.total_us);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  if (data.recorder != nullptr) {
+    w.Key("flight_recorder");
+    data.recorder->WriteJson(&w);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+std::string ExportPrometheus(const StatuszData& data) {
+  std::string out;
+  if (data.metrics != nullptr) {
+    for (const auto& [name, value] : data.metrics->counters) {
+      const std::string n = SanitizeMetricName(name);
+      Appendf(&out, "# TYPE %s counter\n%s %lld\n", n.c_str(), n.c_str(),
+              static_cast<long long>(value));
+    }
+    for (const auto& [name, value] : data.metrics->gauges) {
+      const std::string n = SanitizeMetricName(name);
+      Appendf(&out, "# TYPE %s gauge\n%s %.17g\n", n.c_str(), n.c_str(),
+              value);
+    }
+    for (const auto& [name, h] : data.metrics->histograms) {
+      const std::string n = SanitizeMetricName(name);
+      Appendf(&out, "# TYPE %s histogram\n", n.c_str());
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < h.buckets.size(); ++i) {
+        cumulative += h.buckets[i];
+        if (i < h.bounds.size()) {
+          Appendf(&out, "%s_bucket{le=\"%.17g\"} %lld\n", n.c_str(),
+                  h.bounds[i], static_cast<long long>(cumulative));
+        } else {
+          Appendf(&out, "%s_bucket{le=\"+Inf\"} %lld\n", n.c_str(),
+                  static_cast<long long>(cumulative));
+        }
+      }
+      Appendf(&out, "%s_sum %.17g\n%s_count %lld\n", n.c_str(), h.sum,
+              n.c_str(), static_cast<long long>(h.count));
+    }
+  }
+  if (data.window != nullptr) {
+    struct NamedValue {
+      const char* name;
+      double WindowStats::*field;
+    };
+    static constexpr NamedValue kWindowGauges[] = {
+        {"subrec_window_qps", &WindowStats::qps},
+        {"subrec_window_mean_us", &WindowStats::mean_us},
+        {"subrec_window_p50_us", &WindowStats::p50_us},
+        {"subrec_window_p95_us", &WindowStats::p95_us},
+        {"subrec_window_p99_us", &WindowStats::p99_us},
+        {"subrec_window_error_rate", &WindowStats::error_rate},
+        {"subrec_window_cache_hit_rate", &WindowStats::cache_hit_rate},
+        {"subrec_window_shed_rate", &WindowStats::shed_rate},
+    };
+    for (const NamedValue& g : kWindowGauges) {
+      Appendf(&out, "# TYPE %s gauge\n", g.name);
+      for (const WindowStats& s : data.window->windows) {
+        Appendf(&out, "%s{window=\"%s\"} %.17g\n", g.name,
+                WindowLabel(s.window_seconds).c_str(), s.*(g.field));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace subrec::obs

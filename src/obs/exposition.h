@@ -1,0 +1,46 @@
+#ifndef SUBREC_OBS_EXPOSITION_H_
+#define SUBREC_OBS_EXPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/serve_observer.h"
+#include "obs/window.h"
+
+namespace subrec::obs {
+
+/// Everything a statusz/metrics page can show. All pointers are optional —
+/// null sections are simply omitted — and nothing is owned; the caller keeps
+/// the snapshots alive for the duration of the Export* call.
+struct StatuszData {
+  const char* service_name = "subrec";
+  int64_t uptime_ns = 0;
+  const MetricsSnapshot* metrics = nullptr;
+  const WindowSnapshot* window = nullptr;
+  const std::vector<StageStat>* stages = nullptr;
+  const FlightRecorder* recorder = nullptr;
+};
+
+/// Human-readable plain-text status page: rolling-window table, per-stage
+/// latency breakdown, flight-recorder slowest/exemplar digest, and the
+/// lifetime counters/gauges/histograms. Dependency-free (no printf-to-stream
+/// — the page is returned as a string for the caller to route).
+std::string ExportStatusz(const StatuszData& data);
+
+/// Machine-readable JSON with the same sections as ExportStatusz:
+/// {"service":...,"metrics":{...},"windows":{...},"stages":[...],
+///  "flight_recorder":{...}}. Always a complete, parseable document.
+std::string ExportMetricsJson(const StatuszData& data);
+
+/// Prometheus text exposition (version 0.0.4 line format) of the lifetime
+/// registry snapshot plus per-window gauges. Instrument names are sanitized
+/// to [a-zA-Z0-9_:] with dots mapped to underscores; histograms emit
+/// cumulative _bucket{le="..."} series plus _sum and _count.
+std::string ExportPrometheus(const StatuszData& data);
+
+}  // namespace subrec::obs
+
+#endif  // SUBREC_OBS_EXPOSITION_H_

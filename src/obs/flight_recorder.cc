@@ -1,0 +1,146 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/json_writer.h"
+
+namespace subrec::obs {
+namespace {
+
+std::vector<double> DefaultExemplarBoundsUs() {
+  return {1.0,    2.0,    5.0,     10.0,    25.0,    50.0,     100.0,   250.0,
+          500.0,  1000.0, 2500.0,  5000.0,  10000.0, 25000.0,  50000.0, 100000.0};
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)) {
+  if (options_.recent_capacity == 0) options_.recent_capacity = 1;
+  if (options_.exemplar_bounds_us.empty()) {
+    options_.exemplar_bounds_us = DefaultExemplarBoundsUs();
+  }
+  common::MutexLock lock(&mu_);
+  recent_.resize(options_.recent_capacity);
+  slowest_.reserve(options_.slowest_capacity);
+  exemplars_.resize(options_.exemplar_bounds_us.size() + 1);
+}
+
+int64_t FlightRecorder::Record(const RequestTrace& trace) {
+  int64_t id = 0;
+  bool log_slow = false;
+  {
+    common::MutexLock lock(&mu_);
+    id = next_id_++;
+
+    if (recent_size_ == recent_.size()) dropped_ += 1;
+    RequestTrace& slot = recent_[recent_next_];
+    slot = trace;
+    slot.id = id;
+    recent_next_ = (recent_next_ + 1) % recent_.size();
+    recent_size_ = std::min(recent_size_ + 1, recent_.size());
+
+    if (options_.slowest_capacity > 0) {
+      if (slowest_.size() < options_.slowest_capacity) {
+        slowest_.push_back(slot);
+        std::sort(slowest_.begin(), slowest_.end(),
+                  [](const RequestTrace& a, const RequestTrace& b) {
+                    return a.total_ns > b.total_ns;
+                  });
+      } else if (trace.total_ns > slowest_.back().total_ns) {
+        slowest_.back() = slot;
+        // One new entry against a sorted list: bubble it into place.
+        for (size_t i = slowest_.size() - 1;
+             i > 0 && slowest_[i].total_ns > slowest_[i - 1].total_ns; --i) {
+          std::swap(slowest_[i], slowest_[i - 1]);
+        }
+      }
+    }
+
+    const double latency_us = static_cast<double>(trace.total_ns) / 1e3;
+    const std::vector<double>& bounds = options_.exemplar_bounds_us;
+    const size_t bucket = static_cast<size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), latency_us) -
+        bounds.begin());
+    exemplars_[bucket] = Exemplar{id, latency_us};
+
+    log_slow = options_.slow_log_threshold_ns > 0 &&
+               trace.total_ns >= options_.slow_log_threshold_ns;
+  }
+  if (log_slow) {
+    SUBREC_LOG(Warning) << "slow request: trace_id=" << id
+                        << " user=" << trace.user << " n=" << trace.n
+                        << " total_us=" << trace.total_ns / 1000
+                        << " cache_hit=" << (trace.cache_hit ? 1 : 0)
+                        << " candidates=" << trace.candidate_count
+                        << (trace.error ? " error=1" : "");
+  }
+  return id;
+}
+
+std::vector<RequestTrace> FlightRecorder::Recent() const {
+  common::MutexLock lock(&mu_);
+  std::vector<RequestTrace> out;
+  out.reserve(recent_size_);
+  // recent_next_ points at the oldest entry once the ring has wrapped.
+  const size_t start =
+      (recent_size_ == recent_.size()) ? recent_next_ : size_t{0};
+  for (size_t i = 0; i < recent_size_; ++i) {
+    out.push_back(recent_[(start + i) % recent_.size()]);
+  }
+  return out;
+}
+
+std::vector<RequestTrace> FlightRecorder::Slowest() const {
+  common::MutexLock lock(&mu_);
+  return slowest_;
+}
+
+std::vector<Exemplar> FlightRecorder::Exemplars() const {
+  common::MutexLock lock(&mu_);
+  return exemplars_;
+}
+
+int64_t FlightRecorder::Dropped() const {
+  common::MutexLock lock(&mu_);
+  return dropped_;
+}
+
+int64_t FlightRecorder::TotalRecorded() const {
+  common::MutexLock lock(&mu_);
+  return next_id_ - 1;
+}
+
+void FlightRecorder::WriteJson(JsonWriter* w) const {
+  const std::vector<RequestTrace> recent = Recent();
+  const std::vector<RequestTrace> slowest = Slowest();
+  const std::vector<Exemplar> exemplars = Exemplars();
+  w->BeginObject();
+  w->Key("dropped").Int(Dropped());
+  w->Key("total").Int(TotalRecorded());
+  w->Key("recent").BeginArray();
+  for (const RequestTrace& t : recent) t.WriteJson(w);
+  w->EndArray();
+  w->Key("slowest").BeginArray();
+  for (const RequestTrace& t : slowest) t.WriteJson(w);
+  w->EndArray();
+  w->Key("exemplars").BeginArray();
+  for (size_t i = 0; i < exemplars.size(); ++i) {
+    if (exemplars[i].trace_id == 0) continue;
+    w->BeginObject();
+    if (i < options_.exemplar_bounds_us.size()) {
+      w->Key("le_us").Number(options_.exemplar_bounds_us[i]);
+    } else {
+      w->Key("le_us").String("+Inf");
+    }
+    w->Key("trace_id").Int(exemplars[i].trace_id);
+    w->Key("latency_us").Number(exemplars[i].latency_us);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace subrec::obs

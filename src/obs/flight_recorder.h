@@ -1,0 +1,91 @@
+#ifndef SUBREC_OBS_FLIGHT_RECORDER_H_
+#define SUBREC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/request_trace.h"
+
+namespace subrec::obs {
+
+class JsonWriter;
+
+struct FlightRecorderOptions {
+  /// Ring of the most recent completed traces; the oldest is overwritten
+  /// (and counted as dropped) once the ring is full.
+  size_t recent_capacity = 64;
+  /// Independently retained set of the slowest traces seen so far.
+  size_t slowest_capacity = 16;
+  /// Requests at least this slow are logged at Warning as they complete;
+  /// 0 disables slow-request logging.
+  int64_t slow_log_threshold_ns = 0;
+  /// Upper bucket edges (microseconds) for exemplar links: for every bucket
+  /// of this latency grid the recorder remembers the id of the last trace
+  /// that landed there, so a histogram spike can be chased to a concrete
+  /// trace. Empty selects the same default grid as WindowOptions.
+  std::vector<double> exemplar_bounds_us;
+};
+
+/// One exemplar link: the most recent trace id (and its latency) observed in
+/// a latency-histogram bucket. id == 0 means the bucket has never fired.
+struct Exemplar {
+  int64_t trace_id = 0;
+  double latency_us = 0.0;
+};
+
+/// Bounded in-memory recorder of completed RequestTraces: a ring of the N
+/// most recent, a separate list of the N slowest, per-bucket exemplar trace
+/// ids, and a dropped-overwrite counter. Everything is copied in/out by
+/// value, so dumps never alias live request state. Thread-safe.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  /// Records one completed trace, assigning and returning its id (ids are
+  /// 1-based and monotonically increasing). The caller's copy is not
+  /// modified; the id refers to the stored copy.
+  int64_t Record(const RequestTrace& trace);
+
+  /// The most recent traces, oldest first.
+  std::vector<RequestTrace> Recent() const;
+
+  /// The slowest traces seen so far, slowest first.
+  std::vector<RequestTrace> Slowest() const;
+
+  /// Exemplar link per latency bucket (bounds().size() + 1 entries).
+  std::vector<Exemplar> Exemplars() const;
+
+  /// Number of recent-ring entries overwritten before ever being dumped.
+  int64_t Dropped() const;
+
+  /// Total traces recorded.
+  int64_t TotalRecorded() const;
+
+  /// Dumps {dropped, total, recent:[...], slowest:[...], exemplars:[...]}
+  /// as one JSON value.
+  void WriteJson(JsonWriter* w) const;
+
+  const std::vector<double>& exemplar_bounds_us() const {
+    return options_.exemplar_bounds_us;
+  }
+
+ private:
+  FlightRecorderOptions options_
+      SUBREC_UNGUARDED("finalized in the constructor, read-only after");
+
+  mutable common::Mutex mu_;
+  std::vector<RequestTrace> recent_ SUBREC_GUARDED_BY(mu_);
+  size_t recent_next_ SUBREC_GUARDED_BY(mu_) = 0;
+  size_t recent_size_ SUBREC_GUARDED_BY(mu_) = 0;
+  std::vector<RequestTrace> slowest_ SUBREC_GUARDED_BY(mu_);
+  std::vector<Exemplar> exemplars_ SUBREC_GUARDED_BY(mu_);
+  int64_t next_id_ SUBREC_GUARDED_BY(mu_) = 1;
+  int64_t dropped_ SUBREC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace subrec::obs
+
+#endif  // SUBREC_OBS_FLIGHT_RECORDER_H_

@@ -125,6 +125,13 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
              .emplace(std::string(name),
                       std::make_unique<Histogram>(std::move(bounds)))
              .first;
+  } else {
+    // First registration wins; a second call site with different bounds is
+    // a programming error (its observations would land in buckets it never
+    // asked for), caught here in debug/sanitizer builds.
+    SUBREC_DCHECK(it->second->bounds() == bounds)
+        << "GetHistogram(\"" << std::string(name)
+        << "\"): bounds differ from the first registration";
   }
   return it->second.get();
 }

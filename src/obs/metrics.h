@@ -101,8 +101,11 @@ class MetricsRegistry {
   /// Finds or creates the named instrument.
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
-  /// For an existing histogram the bounds argument is ignored (first
-  /// registration wins).
+  /// Contract (deliberately Status-free so call sites stay one static
+  /// lookup): a histogram name owns its bounds. The first registration
+  /// wins; every later call for the same name must pass identical bounds —
+  /// mismatched bounds are a programming error, SUBREC_DCHECK'd in
+  /// debug/sanitizer builds and silently first-wins in release.
   Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
 
   MetricsSnapshot Snapshot() const;

@@ -27,6 +27,7 @@ void RunReport::CaptureMetrics() {
 
 void RunReport::CaptureSpans() {
   spans_ = TraceRecorder::Global().AggregateTotals();
+  spans_dropped_ = TraceRecorder::Global().DroppedSpans();
   has_spans_ = true;
 }
 
@@ -63,6 +64,8 @@ std::string RunReport::ToJson() const {
       w.EndObject();
     }
     w.EndArray();
+    // Nonzero means the span totals above undercount: the ring wrapped.
+    w.Key("spans_dropped").Int(spans_dropped_);
   }
   w.EndObject();
   return w.str();

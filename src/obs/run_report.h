@@ -38,7 +38,8 @@ class RunReport {
 
   /// Snapshots the global metrics registry into the report.
   void CaptureMetrics();
-  /// Captures per-span totals from the global trace recorder.
+  /// Captures per-span totals from the global trace recorder, plus the
+  /// count of spans lost to ring wraparound ("spans_dropped" in the JSON).
   void CaptureSpans();
 
   /// Serializes the full report as a JSON object.
@@ -64,6 +65,7 @@ class RunReport {
   MetricsSnapshot metrics_;
   bool has_metrics_ = false;
   std::vector<SpanTotal> spans_;
+  int64_t spans_dropped_ = 0;
   bool has_spans_ = false;
 };
 

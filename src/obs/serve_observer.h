@@ -1,0 +1,92 @@
+#ifndef SUBREC_OBS_SERVE_OBSERVER_H_
+#define SUBREC_OBS_SERVE_OBSERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/request_trace.h"
+#include "obs/window.h"
+
+namespace subrec::obs {
+
+struct ServeObserverOptions {
+  /// Master switch. A default-constructed (disabled) observer allocates
+  /// nothing and its only request-path cost is one relaxed atomic load.
+  bool enabled = false;
+  /// Every Nth request carries a full RequestTrace into the flight
+  /// recorder; <= 1 samples every request. Rolling windows always see every
+  /// request while enabled, independent of trace sampling.
+  int64_t sample_every_n = 16;
+  WindowOptions window;
+  FlightRecorderOptions recorder;
+};
+
+/// Per-stage aggregate over the traces sampled so far.
+struct StageStat {
+  const char* name = nullptr;
+  int64_t sampled = 0;   // traces that recorded nonzero time in this stage
+  double total_us = 0.0;
+  double mean_us = 0.0;  // over traces with nonzero time in this stage
+};
+
+/// Serving-path observation hub owned by RecommendService: fans one
+/// completed request out to the windowed aggregator (always, when enabled),
+/// and — for sampled requests — the flight recorder plus per-stage running
+/// totals. Construction decides everything: a disabled observer owns no
+/// window, no recorder, and no per-stage state, so the request path reduces
+/// to `if (!enabled()) return;` — one relaxed load, zero allocations.
+class ServeObserver {
+ public:
+  /// Disabled observer; allocates nothing.
+  ServeObserver() = default;
+  explicit ServeObserver(ServeObserverOptions options);
+
+  /// The one relaxed load gating every request-path hook.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Draws a sampling ticket: true when this request should fill a full
+  /// RequestTrace. Only meaningful (and only called) when enabled().
+  bool SampleTrace() {
+    if (options_.sample_every_n <= 1) return true;
+    return sample_ticket_.fetch_add(1, std::memory_order_relaxed) %
+               options_.sample_every_n ==
+           0;
+  }
+
+  /// Folds one completed request. `trace` is null for unsampled requests
+  /// (window-only accounting); for sampled requests the trace is copied
+  /// into the flight recorder and its assigned id is returned (0 otherwise).
+  /// No-op when disabled.
+  int64_t OnComplete(int64_t now_ns, double latency_us, bool error,
+                     bool cache_hit, bool shed, const RequestTrace* trace);
+
+  /// Null when disabled.
+  const WindowedAggregator* window() const { return window_.get(); }
+  FlightRecorder* recorder() { return recorder_.get(); }
+  const FlightRecorder* recorder() const { return recorder_.get(); }
+
+  /// Running per-stage totals across sampled traces, in Stage order.
+  /// Empty when disabled.
+  std::vector<StageStat> StageStats() const;
+
+  const ServeObserverOptions& options() const { return options_; }
+
+ private:
+  ServeObserverOptions options_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> sample_ticket_{0};
+  // Stage accumulators are relaxed atomics (not guarded fields): sampled
+  // traces land from many worker threads and stat reads are monotonic
+  // best-effort, same contract as the metrics registry counters.
+  std::atomic<int64_t> stage_total_ns_[kNumStages] = {};
+  std::atomic<int64_t> stage_sampled_[kNumStages] = {};
+  std::unique_ptr<WindowedAggregator> window_;
+  std::unique_ptr<FlightRecorder> recorder_;
+};
+
+}  // namespace subrec::obs
+
+#endif  // SUBREC_OBS_SERVE_OBSERVER_H_

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
 
 namespace subrec::obs {
 
@@ -51,15 +52,29 @@ void TraceRecorder::Record(const char* name, int64_t start_ns,
   ev.start_ns = start_ns;
   ev.duration_ns = duration_ns;
   ev.tid = DenseThreadId();
-  common::MutexLock lock(&mu_);
-  if (capacity_ == 0) return;  // raced with Disable+reconfigure
-  if (ring_.size() < capacity_) {
-    ring_.push_back(ev);
-  } else {
-    ring_[next_] = ev;
-    next_ = (next_ + 1) % capacity_;
+  // Overwrites are silent data loss for the eventual dump; count them so a
+  // ring sized below its recording window shows up in the metrics.
+  static Counter* const dropped_counter =
+      MetricsRegistry::Global().GetCounter("obs.trace.dropped");
+  bool overwrote = false;
+  {
+    common::MutexLock lock(&mu_);
+    if (capacity_ == 0) return;  // raced with Disable+reconfigure
+    if (ring_.size() < capacity_) {
+      ring_.push_back(ev);
+    } else {
+      ring_[next_] = ev;
+      next_ = (next_ + 1) % capacity_;
+      overwrote = true;
+    }
+    ++total_;
   }
-  ++total_;
+  if (overwrote) dropped_counter->Increment();
+}
+
+int64_t TraceRecorder::DroppedSpans() const {
+  common::MutexLock lock(&mu_);
+  return total_ - static_cast<int64_t>(ring_.size());
 }
 
 std::vector<TraceEvent> TraceRecorder::Events(int64_t* dropped) const {

@@ -55,6 +55,12 @@ class TraceRecorder {
   /// Recorded spans, oldest first. `dropped` (if non-null) receives the
   /// number of spans overwritten by ring wraparound.
   std::vector<TraceEvent> Events(int64_t* dropped = nullptr) const;
+
+  /// Spans overwritten by ring wraparound this window. Overwrites also
+  /// increment the "obs.trace.dropped" registry counter as they happen, so
+  /// a ring sized too small for its window is visible without a dump.
+  int64_t DroppedSpans() const;
+
   void Clear();
 
   /// Per-name count and wall-time totals over the recorded window, sorted

@@ -7,6 +7,22 @@
 
 namespace subrec::serve {
 
+const char* CandidateSourceName(CandidateSource source) {
+  switch (source) {
+    case CandidateSource::kFullPool:
+      return "full_pool";
+    case CandidateSource::kTopicPruned:
+      return "topic_pruned";
+    case CandidateSource::kDisciplineFiltered:
+      return "discipline_filtered";
+    case CandidateSource::kFallbackPool:
+      return "fallback_pool";
+    case CandidateSource::kUnknownUser:
+      return "unknown_user";
+  }
+  return "unknown";
+}
+
 CandidateIndex::CandidateIndex(const SnapshotData& data,
                                const CandidateIndexOptions& options) {
   const size_t n = data.years.size();
@@ -26,6 +42,7 @@ CandidateIndex::CandidateIndex(const SnapshotData& data,
   }
 
   per_user_.resize(data.profiles.size());
+  per_user_source_.resize(data.profiles.size(), CandidateSource::kFullPool);
   for (size_t u = 0; u < data.profiles.size(); ++u) {
     const std::vector<int32_t>& profile = data.profiles[u];
     if (profile.empty()) {
@@ -43,6 +60,7 @@ CandidateIndex::CandidateIndex(const SnapshotData& data,
              disciplines.count(data.disciplines[static_cast<size_t>(p)]) > 0;
     };
     std::vector<int32_t> chosen;
+    CandidateSource source = CandidateSource::kTopicPruned;
     if (options.prune_topics && !topics.empty()) {
       // Union of the user's topic postings, discipline-filtered.
       for (int32_t t : topics)
@@ -53,13 +71,18 @@ CandidateIndex::CandidateIndex(const SnapshotData& data,
       chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
     }
     if (chosen.empty()) {
+      source = CandidateSource::kDisciplineFiltered;
       for (int32_t p : new_papers_)
         if (discipline_ok(p)) chosen.push_back(p);
     }
     // A profile whose disciplines vanished from the window still needs
     // something to rank: fall back to the unfiltered pool.
-    if (chosen.empty()) chosen = new_papers_;
+    if (chosen.empty()) {
+      source = CandidateSource::kFallbackPool;
+      chosen = new_papers_;
+    }
     per_user_[u] = std::move(chosen);
+    per_user_source_[u] = source;
   }
 }
 
@@ -68,6 +91,12 @@ const std::vector<int32_t>& CandidateIndex::CandidatesFor(
   if (user < 0 || static_cast<size_t>(user) >= per_user_.size())
     return new_papers_;
   return per_user_[static_cast<size_t>(user)];
+}
+
+CandidateSource CandidateIndex::SourceFor(int32_t user) const {
+  if (user < 0 || static_cast<size_t>(user) >= per_user_source_.size())
+    return CandidateSource::kUnknownUser;
+  return per_user_source_[static_cast<size_t>(user)];
 }
 
 const std::vector<int32_t>& CandidateIndex::PapersForTopic(

@@ -23,6 +23,26 @@ struct CandidateIndexOptions {
   bool prune_topics = true;
 };
 
+/// Which retrieval branch produced a user's candidate list. Recorded at
+/// build time and surfaced per request so traces can attribute candidate
+/// cost to the branch that actually ran.
+enum class CandidateSource : int {
+  /// Empty profile: the full new-paper pool, unfiltered.
+  kFullPool = 0,
+  /// Inverted-topic-index union, discipline-filtered.
+  kTopicPruned,
+  /// Topic pruning off or empty: discipline-filtered pool scan.
+  kDisciplineFiltered,
+  /// Every filter came back empty: unfiltered pool as a last resort.
+  kFallbackPool,
+  /// User id outside the profile table (served the full pool).
+  kUnknownUser,
+};
+
+/// Stable static-storage name ("full_pool", "topic_pruned", ...) — safe to
+/// stash in a RequestTrace without allocating.
+const char* CandidateSourceName(CandidateSource source);
+
 /// Precomputed per-user candidate sets over the frozen corpus — the online
 /// analogue of what rec::BuildCandidateSet assembles offline per eval run.
 /// A coarse inverted topic index drives pruning; users with no usable
@@ -35,6 +55,10 @@ class CandidateIndex {
   /// The precomputed candidate list of `user` (ascending paper ids).
   /// Unknown users get the full new-paper pool.
   const std::vector<int32_t>& CandidatesFor(int32_t user) const;
+
+  /// The retrieval branch that built `user`'s list (kUnknownUser for ids
+  /// outside the profile table).
+  CandidateSource SourceFor(int32_t user) const;
 
   /// All in-window new papers, ascending.
   const std::vector<int32_t>& AllNewPapers() const { return new_papers_; }
@@ -49,6 +73,7 @@ class CandidateIndex {
   std::vector<int32_t> new_papers_;
   std::vector<std::vector<int32_t>> by_topic_;
   std::vector<std::vector<int32_t>> per_user_;
+  std::vector<CandidateSource> per_user_source_;
   std::vector<int32_t> empty_;
 };
 

@@ -51,10 +51,21 @@ std::vector<double> FrozenScorer::Score(
 std::vector<ScoredPaper> FrozenScorer::TopN(
     const std::vector<int32_t>& profile,
     const std::vector<int32_t>& candidates, int n) const {
-  const std::vector<double> scores = Score(profile, candidates);
+  return TopN(profile, candidates, n, nullptr);
+}
+
+std::vector<ScoredPaper> FrozenScorer::TopN(
+    const std::vector<int32_t>& profile,
+    const std::vector<int32_t>& candidates, int n,
+    obs::RequestTrace* trace) const {
   std::vector<ScoredPaper> ranked(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i)
-    ranked[i] = {candidates[i], scores[i]};
+  {
+    obs::StageTimer timer(trace, obs::Stage::kScore);
+    const std::vector<double> scores = Score(profile, candidates);
+    for (size_t i = 0; i < candidates.size(); ++i)
+      ranked[i] = {candidates[i], scores[i]};
+  }
+  obs::StageTimer timer(trace, obs::Stage::kSelect);
   const size_t keep = std::min(ranked.size(), static_cast<size_t>(
                                                   n < 0 ? 0 : n));
   auto better = [](const ScoredPaper& a, const ScoredPaper& b) {

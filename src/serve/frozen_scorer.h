@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/request_trace.h"
 #include "serve/snapshot.h"
 
 namespace subrec::serve {
@@ -50,6 +51,12 @@ class FrozenScorer {
   std::vector<ScoredPaper> TopN(const std::vector<int32_t>& profile,
                                 const std::vector<int32_t>& candidates,
                                 int n) const;
+
+  /// Same ranking, attributing scoring and selection wall time to the
+  /// trace's kScore / kSelect stages. `trace` may be null (no timing).
+  std::vector<ScoredPaper> TopN(const std::vector<int32_t>& profile,
+                                const std::vector<int32_t>& candidates, int n,
+                                obs::RequestTrace* trace) const;
 
   /// Fused text vector c_p; empty when the model ran text-free.
   const std::vector<double>& TextVector(int32_t p) const;

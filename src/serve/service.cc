@@ -40,7 +40,9 @@ Result<std::shared_ptr<const ServingState>> ServingState::FromSnapshot(
 }
 
 RecommendService::RecommendService(const ServeOptions& options)
-    : options_(options), pool_(options.num_threads) {
+    : options_(options),
+      observer_(options.observer),
+      pool_(options.num_threads) {
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
                                            options_.cache_shards);
@@ -82,6 +84,11 @@ std::shared_ptr<const ServingState> RecommendService::state() const {
 }
 
 RecResponse RecommendService::TopN(int32_t user, int n) {
+  return TopNInternal(user, n, /*submit_ns=*/-1);
+}
+
+RecResponse RecommendService::TopNInternal(int32_t user, int n,
+                                           int64_t submit_ns) {
   static obs::Counter* const requests =
       obs::MetricsRegistry::Global().GetCounter("serve.requests");
   static obs::Counter* const cache_hit_counter =
@@ -93,20 +100,63 @@ RecResponse RecommendService::TopN(int32_t user, int n) {
   response.enqueue_ns = obs::NowNs();
   requests->Increment();
 
+  // One relaxed load is the entire observability cost when disabled; the
+  // trace below is plain stack data (no heap members), filled only for
+  // sampled requests.
+  const bool observing = observer_.enabled();
+  obs::RequestTrace trace;
+  obs::RequestTrace* t = nullptr;
+  if (observing && observer_.SampleTrace()) {
+    t = &trace;
+    trace.user = user;
+    trace.n = n;
+    trace.start_ns = submit_ns >= 0 ? submit_ns : response.enqueue_ns;
+    if (submit_ns >= 0) {
+      // Queue time = SubmitBatch enqueue to worker pickup; synchronous
+      // callers have no queue stage.
+      trace.stage_ns[static_cast<int>(obs::Stage::kQueue)] =
+          response.enqueue_ns - submit_ns;
+    }
+  }
+  // Completes the response and fans it out to the observer. The lifetime
+  // latency histogram keeps its original semantics: observed on cache hits
+  // and successful scores, measured from TopN entry. The observer instead
+  // sees every outcome (errors included), measured from the earliest known
+  // submit time.
+  auto finish = [&](bool observe_latency) {
+    response.done_ns = obs::NowNs();
+    if (observe_latency) {
+      LatencyHistogram()->Observe(
+          static_cast<double>(response.done_ns - response.enqueue_ns) / 1e3);
+    }
+    if (!observing) return;
+    const int64_t start = submit_ns >= 0 ? submit_ns : response.enqueue_ns;
+    const double latency_us =
+        static_cast<double>(response.done_ns - start) / 1e3;
+    if (t != nullptr) {
+      t->total_ns = response.done_ns - start;
+      t->cache_hit = response.cache_hit;
+      t->error = !response.status.ok();
+      t->result_count = static_cast<int32_t>(response.items.size());
+    }
+    observer_.OnComplete(response.done_ns, latency_us, !response.status.ok(),
+                         response.cache_hit, /*shed=*/false, t);
+  };
+
   // Generation first, then state — pairs with the store order in Swap.
   const uint64_t generation = generation_.load();
   const std::shared_ptr<const ServingState> state = this->state();
   if (state == nullptr) {
     response.status =
         Status::FailedPrecondition("RecommendService: no snapshot loaded");
-    response.done_ns = obs::NowNs();
+    finish(/*observe_latency=*/false);
     return response;
   }
   if (n < 0 || user < 0 ||
       static_cast<size_t>(user) >= state->profiles.size()) {
     response.status = Status::InvalidArgument(
         "RecommendService: unknown user " + std::to_string(user));
-    response.done_ns = obs::NowNs();
+    finish(/*observe_latency=*/false);
     return response;
   }
   // n gets 16 bits in the cache key, so larger values must be rejected in
@@ -115,9 +165,10 @@ RecResponse RecommendService::TopN(int32_t user, int n) {
     response.status = Status::InvalidArgument(
         "RecommendService: n too large (" + std::to_string(n) +
         " >= 65536)");
-    response.done_ns = obs::NowNs();
+    finish(/*observe_latency=*/false);
     return response;
   }
+  if (t != nullptr) t->generation = generation;
 
   // Cache key: generation | user | n, all range-checked so distinct
   // requests can never alias to the same slot.
@@ -126,13 +177,18 @@ RecResponse RecommendService::TopN(int32_t user, int n) {
                         << 16) |
                        (static_cast<uint64_t>(n) & 0xFFFFu);
   if (cache_) {
-    if (auto cached = cache_->Get(key); cached.has_value()) {
+    bool hit = false;
+    {
+      obs::StageTimer timer(t, obs::Stage::kCacheLookup);
+      if (auto cached = cache_->Get(key); cached.has_value()) {
+        response.items = std::move(*cached);
+        hit = true;
+      }
+    }
+    if (hit) {
       cache_hit_counter->Increment();
-      response.items = std::move(*cached);
       response.cache_hit = true;
-      response.done_ns = obs::NowNs();
-      LatencyHistogram()->Observe(
-          static_cast<double>(response.done_ns - response.enqueue_ns) / 1e3);
+      finish(/*observe_latency=*/true);
       return response;
     }
     cache_miss_counter->Increment();
@@ -142,13 +198,23 @@ RecResponse RecommendService::TopN(int32_t user, int n) {
     SUBREC_TRACE_SPAN("serve/score");
     const std::vector<int32_t>& profile =
         state->profiles[static_cast<size_t>(user)];
-    const std::vector<int32_t>& candidates = state->index.CandidatesFor(user);
-    response.items = state->scorer.TopN(profile, candidates, n);
+    const std::vector<int32_t>* candidates = nullptr;
+    {
+      obs::StageTimer timer(t, obs::Stage::kCandidates);
+      candidates = &state->index.CandidatesFor(user);
+    }
+    if (t != nullptr) {
+      t->candidate_count = static_cast<int32_t>(candidates->size());
+      t->candidate_source =
+          CandidateSourceName(state->index.SourceFor(user));
+    }
+    response.items = state->scorer.TopN(profile, *candidates, n, t);
   }
-  if (cache_) cache_->Put(key, response.items);
-  response.done_ns = obs::NowNs();
-  LatencyHistogram()->Observe(
-      static_cast<double>(response.done_ns - response.enqueue_ns) / 1e3);
+  if (cache_) {
+    obs::StageTimer timer(t, obs::Stage::kCacheInsert);
+    cache_->Put(key, response.items);
+  }
+  finish(/*observe_latency=*/true);
   return response;
 }
 
@@ -156,12 +222,16 @@ std::future<std::vector<RecResponse>> RecommendService::SubmitBatch(
     std::vector<RecRequest> requests) {
   const size_t batch = options_.batch_size > 0 ? options_.batch_size : 1;
   const size_t num_chunks = (requests.size() + batch - 1) / batch;
+  // Captured so sampled traces can attribute enqueue-to-pickup time to the
+  // queue stage.
+  const int64_t submit_ns = obs::NowNs();
   if (num_chunks <= 1) {
     return pool_.SubmitWithResult(
-        [this, requests = std::move(requests)]() {
+        [this, submit_ns, requests = std::move(requests)]() {
           std::vector<RecResponse> out;
           out.reserve(requests.size());
-          for (const RecRequest& r : requests) out.push_back(TopN(r.user, r.n));
+          for (const RecRequest& r : requests)
+            out.push_back(TopNInternal(r.user, r.n, submit_ns));
           return out;
         });
   }
@@ -177,10 +247,11 @@ std::future<std::vector<RecResponse>> RecommendService::SubmitBatch(
         requests.begin() + static_cast<ptrdiff_t>(start),
         requests.begin() + static_cast<ptrdiff_t>(end));
     chunk_futures->push_back(pool_.SubmitWithResult(
-        [this, chunk = std::move(chunk)]() {
+        [this, submit_ns, chunk = std::move(chunk)]() {
           std::vector<RecResponse> out;
           out.reserve(chunk.size());
-          for (const RecRequest& r : chunk) out.push_back(TopN(r.user, r.n));
+          for (const RecRequest& r : chunk)
+            out.push_back(TopNInternal(r.user, r.n, submit_ns));
           return out;
         }));
   }

@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/serve_observer.h"
 #include "serve/candidate_index.h"
 #include "serve/frozen_scorer.h"
 #include "serve/lru_cache.h"
@@ -46,6 +47,10 @@ struct ServeOptions {
   /// Requests grouped into one pool task by SubmitBatch/TopNBatch.
   size_t batch_size = 8;
   CandidateIndexOptions index;
+  /// Serving-path observability (rolling windows, flight recorder, stage
+  /// traces). Disabled by default: the only per-request cost is then one
+  /// relaxed atomic load and zero allocations.
+  obs::ServeObserverOptions observer;
 };
 
 struct RecRequest {
@@ -102,8 +107,17 @@ class RecommendService {
   uint64_t generation() const { return generation_.load(); }
   const ServeOptions& options() const { return options_; }
 
+  /// The serving-path observation hub (windows, flight recorder, stage
+  /// stats). Always present; inert when observability was not enabled.
+  obs::ServeObserver& observer() { return observer_; }
+  const obs::ServeObserver& observer() const { return observer_; }
+
  private:
   using ResultCache = ShardedLruCache<uint64_t, std::vector<ScoredPaper>>;
+
+  /// Shared request path. `submit_ns` is the SubmitBatch enqueue time for
+  /// queue-stage attribution, or -1 when the caller ran synchronously.
+  RecResponse TopNInternal(int32_t user, int n, int64_t submit_ns);
 
   ServeOptions options_ SUBREC_UNGUARDED("set in the constructor, read-only");
   // Null when caching is disabled; the pointer itself is fixed after the
@@ -119,6 +133,8 @@ class RecommendService {
   mutable common::Mutex state_mu_;
   std::shared_ptr<const ServingState> state_ SUBREC_GUARDED_BY(state_mu_);
   std::atomic<uint64_t> generation_{0};
+  obs::ServeObserver observer_
+      SUBREC_UNGUARDED("constructed once; internally synchronized");
   // Declared last: the pool's destructor drains queued tasks that call
   // TopN, which must still see a live cache_ and state_.
   ThreadPool pool_ SUBREC_UNGUARDED("internally synchronized");

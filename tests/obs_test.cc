@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/gmm.h"
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "la/matrix.h"
@@ -196,6 +197,72 @@ TEST(JsonWriter, EscapesStringsAndNonFiniteNumbers) {
   EXPECT_TRUE(JsonChecker(out).Valid());
 }
 
+TEST(JsonWriter, EscapesEveryControlCharacter) {
+  // Exposition output must stay valid JSON for any metric/trace content:
+  // all 32 C0 control characters need escaping, either as their short
+  // forms (\b \f \n \r \t) or as \u00XX.
+  for (int c = 1; c < 0x20; ++c) {
+    JsonWriter w;
+    const char raw[2] = {static_cast<char>(c), '\0'};
+    w.BeginObject().Key("k").String(std::string_view(raw, 1)).EndObject();
+    const std::string out = w.str();
+    EXPECT_TRUE(JsonChecker(out).Valid()) << "control char " << c << ": "
+                                          << out;
+    // The raw control byte itself must never appear in the output.
+    EXPECT_EQ(out.find(static_cast<char>(c)), std::string::npos)
+        << "control char " << c << " leaked unescaped";
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bell").String("\x07");
+  w.Key("esc").String("\x1b[0m");
+  w.Key("unit_sep").String("\x1f");
+  w.EndObject();
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\\u0007"), std::string::npos);
+  EXPECT_NE(out.find("\\u001b[0m"), std::string::npos);
+  EXPECT_NE(out.find("\\u001f"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(out).Valid()) << out;
+}
+
+TEST(JsonWriter, EscapesQuoteAndBackslashRuns) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("path").String("C:\\dir\\\\file");     // backslash and double run
+  w.Key("quoted").String("\"\"");              // adjacent quotes
+  w.Key("mixed").String("\\\"");               // backslash then quote
+  w.Key("key\"with\\both").String("v");        // keys escape too
+  w.EndObject();
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"path\":\"C:\\\\dir\\\\\\\\file\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"quoted\":\"\\\"\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"mixed\":\"\\\\\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"key\\\"with\\\\both\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(out).Valid()) << out;
+}
+
+TEST(JsonWriter, PassesUtf8MultibyteSequencesThrough) {
+  // RFC 8259 only requires escaping of '"', '\\', and control characters;
+  // multibyte UTF-8 (NUL-free) passes through byte-for-byte. The bytes
+  // below spell out 2-, 3-, and 4-byte sequences explicitly so the source
+  // file stays ASCII.
+  const std::string two_byte = "\xc3\xa9";          // e-acute
+  const std::string three_byte = "\xe4\xb8\xad";    // CJK ideograph
+  const std::string four_byte = "\xf0\x9f\x93\x88"; // chart emoji
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("mix").String(two_byte + "=" + three_byte + four_byte);
+  w.EndObject();
+  const std::string out = w.str();
+  EXPECT_NE(out.find(two_byte + "=" + three_byte + four_byte),
+            std::string::npos);
+  // No byte of a multibyte sequence may be \u-escaped or dropped.
+  EXPECT_EQ(out.find("\\u00c3"), std::string::npos);
+  EXPECT_EQ(out.find("\\u00e4"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(out).Valid()) << out;
+}
+
 TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
   Histogram h({1.0, 2.0});
   h.Observe(0.5);  // <= 1.0 -> bucket 0
@@ -220,13 +287,27 @@ TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
   Counter* a = reg.GetCounter("obs_test.same_name");
   Counter* b = reg.GetCounter("obs_test.same_name");
   EXPECT_EQ(a, b);
+  // The contract: a histogram name owns its bounds, so every re-lookup
+  // passes the bounds of the first registration.
   Histogram* h1 = reg.GetHistogram("obs_test.same_hist", {1.0, 2.0});
-  Histogram* h2 = reg.GetHistogram("obs_test.same_hist", {9.0});
+  Histogram* h2 = reg.GetHistogram("obs_test.same_hist", {1.0, 2.0});
   EXPECT_EQ(h1, h2);
-  // First registration wins for bounds.
   ASSERT_EQ(h1->bounds().size(), 2u);
   EXPECT_EQ(h1->bounds()[0], 1.0);
 }
+
+#if SUBREC_DCHECK_IS_ON
+TEST(MetricsRegistryDeathTest, MismatchedHistogramBoundsAreAProgrammingError) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetHistogram("obs_test.bounds_clash", {1.0, 2.0});
+  // Same name, different bounds: the second call site's observations would
+  // silently land in the first one's buckets, so it must die loudly.
+  EXPECT_DEATH(reg.GetHistogram("obs_test.bounds_clash", {9.0}),
+               "bounds differ from the first registration");
+  // Identical bounds stay fine.
+  EXPECT_NE(reg.GetHistogram("obs_test.bounds_clash", {1.0, 2.0}), nullptr);
+}
+#endif  // SUBREC_DCHECK_IS_ON
 
 TEST(MetricsRegistry, SnapshotAndResetKeepPointersValid) {
   MetricsRegistry& reg = MetricsRegistry::Global();
@@ -322,6 +403,30 @@ TEST(TraceRecorder, RingKeepsNewestAndCountsDropped) {
   // Oldest-first unwrap: the two earliest starts were overwritten.
   EXPECT_EQ(events.front().start_ns, 2);
   EXPECT_EQ(events.back().start_ns, 5);
+}
+
+TEST(TraceRecorder, OverwritesFeedDroppedCounterAndRunReport) {
+  // Ring overwrites are silent data loss; they must be visible three ways:
+  // the DroppedSpans accessor, the obs.trace.dropped registry counter, and
+  // the spans_dropped field of any report that captures spans.
+  Counter* const dropped_counter =
+      MetricsRegistry::Global().GetCounter("obs.trace.dropped");
+  const int64_t before = dropped_counter->value();
+
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable(4);
+  EXPECT_EQ(rec.DroppedSpans(), 0);
+  for (int i = 0; i < 10; ++i) rec.Record("obs_test/drop_count", i, 1);
+  EXPECT_EQ(rec.DroppedSpans(), 6);
+  EXPECT_EQ(dropped_counter->value() - before, 6);
+
+  RunReport report("obs_test_dropped");
+  report.CaptureSpans();
+  rec.Disable();
+  const std::string json = report.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"spans_dropped\":6"), std::string::npos) << json;
+  rec.Clear();
 }
 
 TEST(TraceRecorder, GmmFitProducesValidChromeTrace) {

@@ -339,9 +339,11 @@ class IncludeHygieneRule final : public Rule {
 /// static/constexpr/using/typedef/friend declarations.
 ///
 /// This is a light structural scan (brace + statement tracking over the
-/// code view), not a parser: member statements it cannot classify — e.g.
-/// ones carrying alignas(...) — are skipped rather than flagged, so the
-/// rule under-approximates and never blocks on syntax it does not model.
+/// code view), not a parser: member statements it cannot classify are
+/// skipped rather than flagged, so the rule under-approximates and never
+/// blocks on syntax it does not model. alignas(...) specifiers are
+/// stripped before classification, so cache-line-padded fields of
+/// lock-striped classes are checked like any other member.
 class GuardedByRule final : public Rule {
  public:
   const std::string& name() const override { return name_; }
@@ -393,6 +395,14 @@ class GuardedByRule final : public Rule {
           if (f.is_class) {
             ReportClass(file, f.members, out);
             swallow_semi = true;  // the '};' terminator is not a member
+          } else if (!f.header.empty() &&
+                     (f.header.back() == '=' || f.header.back() == '(' ||
+                      f.header.back() == ',')) {
+            // Braced initializer in expression position — a default
+            // argument (`Ctor(Options o = {})`) or list element — never
+            // ends the declaration, even when the header looks
+            // function-shaped; keep accumulating until its ';'.
+            pending = f.header;
           } else if (!LooksLikeFunction(f.header)) {
             // Braced initializer (e.g. `std::atomic<bool> done{false}`):
             // the declaration continues until its ';'.
@@ -434,18 +444,23 @@ class GuardedByRule final : public Rule {
     return !t.empty() && t[0] == '#';
   }
 
-  /// Statement text with annotation macros removed, default initializers
-  /// cut at '=', access-specifier labels dropped, and template argument
-  /// lists stripped — what remains classifies as function vs data member
-  /// by the presence of '('.
+  /// Statement text with annotation macros removed, alignas specifiers
+  /// dropped, default initializers cut at '=', access-specifier labels
+  /// dropped, and template argument lists stripped — what remains
+  /// classifies as function vs data member by the presence of '('.
   static std::string Normalize(const std::string& text) {
     static const std::regex ann_re(
         "SUBREC_(PT_)?GUARDED_BY\\s*\\([^)]*\\)|"
         "SUBREC_UNGUARDED\\s*\\([^)]*\\)");
+    // Cache-line padding is idiomatic on lock-striped members
+    // (`alignas(64) double rate_`); without this strip, the '(' would make
+    // such fields look function-shaped and silently skip the rule.
+    static const std::regex alignas_re("\\balignas\\s*\\([^()]*\\)");
     static const std::regex access_re("\\b(public|private|protected)\\s*:");
     static const std::regex operator_re("\\boperator[^\\s(]*");
     static const std::regex angle_re("<[^<>]*>");
     std::string s = std::regex_replace(text, ann_re, "");
+    s = std::regex_replace(s, alignas_re, "");
     s = std::regex_replace(s, access_re, "");
     // `operator=(...)` must not be mistaken for a default initializer.
     s = std::regex_replace(s, operator_re, "op");

@@ -113,9 +113,10 @@ TEST(LintConcurrency, BadFixtureFiresBothRulesAtExpectedLines) {
   std::sort(guarded_lines.begin(), guarded_lines.end());
   ASSERT_EQ(raw_lines.size(), 1u);
   EXPECT_EQ(raw_lines[0], 13u);  // inline std::mutex g_raw_mutex;
-  ASSERT_EQ(guarded_lines.size(), 2u);
+  ASSERT_EQ(guarded_lines.size(), 3u);
   EXPECT_EQ(guarded_lines[0], 21u);  // int total_ = 0;
   EXPECT_EQ(guarded_lines[1], 22u);  // multi-line history_ declaration
+  EXPECT_EQ(guarded_lines[2], 24u);  // alignas(16) double rate_ = 0.0;
 }
 
 TEST(LintConcurrency, RulesScopeToSrc) {

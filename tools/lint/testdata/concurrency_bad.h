@@ -21,6 +21,7 @@ class UnannotatedCounter {
   int total_ = 0;
   std::vector<std::string>
       history_;
+  alignas(16) double rate_ = 0.0;
 };
 
 struct NoMutexHere {

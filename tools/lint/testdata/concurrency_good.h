@@ -16,7 +16,17 @@ namespace subrec::good {
 // exempt categories (the lock itself, condvars, atomics, statics, usings).
 class AnnotatedQueue {
  public:
+  struct Options {
+    size_t limit = 16;
+  };
+
   explicit AnnotatedQueue(size_t limit) : limit_(limit) {}
+
+  // A braced default argument must not derail statement tracking: the
+  // `{}` is an initializer in expression position, so the declaration
+  // runs on to its ';' (a naive brace tracker reports the trailing ')'
+  // as an unannotated field).
+  explicit AnnotatedQueue(Options options = {});
 
   AnnotatedQueue(const AnnotatedQueue&) = delete;
   AnnotatedQueue& operator=(const AnnotatedQueue&) = delete;
@@ -43,6 +53,26 @@ class AnnotatedQueue {
   std::string* last_ SUBREC_PT_GUARDED_BY(mu_) = nullptr;
   std::atomic<size_t> size_hint_{0};
   const size_t limit_ SUBREC_UNGUARDED("set in the constructor, read-only");
+};
+
+// The windowed-histogram shape from src/obs: a lock-striped aggregator
+// whose nested per-stripe struct is cache-line padded, owns its own Mutex,
+// and pads an annotated member with alignas too. The rule must accept all
+// of it — alignas(...) is stripped before classification, so these fields
+// are checked (and here, satisfied) rather than silently skipped.
+class StripedWindow {
+ public:
+  void Record(size_t stripe, double value);
+
+ private:
+  struct alignas(64) Stripe {
+    mutable common::Mutex mu;
+    std::vector<double> slices SUBREC_GUARDED_BY(mu);
+    alignas(16) double last_value SUBREC_GUARDED_BY(mu) = 0.0;
+  };
+
+  static constexpr size_t kNumStripes = 8;
+  std::vector<Stripe*> stripes_;
 };
 
 }  // namespace subrec::good
