@@ -205,7 +205,17 @@ obs::RunReport OpenReport(const std::string& name, bool enable_tracing) {
   return report;
 }
 
+void StampCorpus(obs::RunReport* report, size_t num_papers) {
+  report->AddScalar("dataset.num_papers",
+                    report->scalar_or("dataset.num_papers", 0.0) +
+                        static_cast<double>(num_papers));
+}
+
 void WriteReport(obs::RunReport* report) {
+  SUBREC_CHECK(report->has_scalar("dataset.num_papers"))
+      << "bench honesty: report '" << report->name()
+      << "' never called StampCorpus — numbers without their corpus size "
+         "are not comparable across commits";
   report->AddScalar("wall_seconds", report->ElapsedSeconds());
   report->CaptureMetrics();
   report->CaptureSpans();

@@ -119,11 +119,19 @@ bool SingleCoreHost();
 /// the global trace recorder.
 obs::RunReport OpenReport(const std::string& name, bool enable_tracing = true);
 
+/// Bench-honesty stamp: records how many papers back the run's numbers as
+/// scalar "dataset.num_papers", accumulating across calls so multi-corpus
+/// benches stamp once per world. WriteReport refuses reports that never
+/// stamped — a throughput or recall figure without its corpus size is not
+/// comparable across commits.
+void StampCorpus(obs::RunReport* report, size_t num_papers);
+
 /// Finishes a bench report: captures the metrics snapshot + per-span
 /// totals, records elapsed wall time as scalar "wall_seconds", writes
 /// BENCH_<name>.json (to SUBREC_REPORT_DIR or the working directory), and
 /// — when SUBREC_TRACE_DUMP is set — also dumps TRACE_<name>.json in Chrome
-/// trace_event format.
+/// trace_event format. Checked programmer error if StampCorpus was never
+/// called on `report`.
 void WriteReport(obs::RunReport* report);
 
 }  // namespace subrec::bench

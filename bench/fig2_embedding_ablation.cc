@@ -43,6 +43,7 @@ int main() {
   corpus_options.num_authors = 500;
   auto world = bench::BuildSemWorld(corpus_options, {});
   const corpus::Corpus& corpus = world->dataset.corpus;
+  bench::StampCorpus(&report, corpus.papers.size());
 
   std::vector<corpus::PaperId> history;
   for (const auto& p : corpus.papers)

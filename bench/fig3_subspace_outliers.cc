@@ -55,6 +55,7 @@ int main() {
     corpus_options.num_authors = 500;
     auto world = bench::BuildSemWorld(corpus_options, {});
     const corpus::Corpus& corpus = world->dataset.corpus;
+    bench::StampCorpus(&report, corpus.papers.size());
     std::vector<corpus::PaperId> history;
     for (const auto& p : corpus.papers)
       if (p.year < 2013) history.push_back(p.id);
@@ -108,6 +109,7 @@ int main() {
     auto world = bench::BuildSemWorld(
         datagen::AcmLikeOptions(datagen::DatasetScale::kSmall, 303), {});
     const corpus::Corpus& corpus = world->dataset.corpus;
+    bench::StampCorpus(&report, corpus.papers.size());
     std::vector<corpus::PaperId> history;
     for (const auto& p : corpus.papers)
       if (p.year < 2015) history.push_back(p.id);

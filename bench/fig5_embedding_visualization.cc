@@ -58,6 +58,7 @@ int main() {
           datagen::AcmLikeOptions(datagen::DatasetScale::kSmall, 303), {}),
       {});
   const corpus::Corpus& corpus = *world->ctx.corpus;
+  bench::StampCorpus(&report, corpus.papers.size());
 
   rec::NPRecOptions options;
   options.sampler.max_positives = 1500;

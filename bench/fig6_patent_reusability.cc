@@ -40,6 +40,7 @@ int main() {
   std::printf("patent corpus: %zu patents, %zu users, labeler acc %.3f\n",
               world->ctx.corpus->papers.size(), world->users.size(),
               world->sem->labeler_accuracy);
+  bench::StampCorpus(&report, world->ctx.corpus->papers.size());
 
   rec::NPRecOptions nprec_options;
   nprec_options.sampler.max_positives = 1500;

@@ -176,6 +176,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  // Kernel timings run on synthetic matrices, not a generated corpus; the
+  // honesty stamp records that explicitly as zero papers.
+  bench::StampCorpus(&report, 0);
+
   // Host parallelism context: with how many threads did the "/0" (default)
   // variants actually run? (host.* scalars come from OpenReport.)
   report.AddScalar("par.num_threads", static_cast<double>(par::NumThreads()));

@@ -160,6 +160,7 @@ int main() {
       datagen::ScopusLikeOptions(config.scale, 4242), sem_options);
   bench::RecWorldOptions rec_options;
   auto world = bench::BuildRecWorld(std::move(sem), rec_options);
+  bench::StampCorpus(&report, world->ctx.corpus->papers.size());
 
   rec::NPRecOptions model_options;
   model_options.sampler.max_positives = bench::SmokeMode() ? 300 : 1500;
@@ -242,6 +243,14 @@ int main() {
   serve_options.observer.sample_every_n = 4;
   serve_options.observer.recorder.recent_capacity = 64;
   serve_options.observer.recorder.slow_log_threshold_ns = 50'000'000;
+  // Bench honesty: which retrieval branch produced these latencies. The
+  // ann_embedding path has a different cost profile, so reports must say
+  // which one they measured.
+  report.AddString(
+      "serve.retrieval_mode",
+      serve_options.index.retrieval == serve::RetrievalMode::kAnnEmbedding
+          ? "ann_embedding"
+          : "filtered");
   serve::RecommendService service(serve_options);
   SUBREC_CHECK(service.LoadSnapshotFile(snapshot_path).ok());
 

@@ -52,6 +52,7 @@ int main() {
     }
     auto world = bench::BuildSemWorld(corpus_options, {});
     const corpus::Corpus& corpus = world->dataset.corpus;
+    bench::StampCorpus(&report, corpus.papers.size());
     std::printf("seed %llu: %zu papers, labeler accuracy %.3f\n",
                 static_cast<unsigned long long>(seed), corpus.papers.size(),
                 world->labeler_accuracy);

@@ -30,6 +30,7 @@ int main() {
   corpus_options.papers_per_year = 400;
   auto world = bench::BuildSemWorld(corpus_options, {});
   const corpus::Corpus& corpus = world->dataset.corpus;
+  bench::StampCorpus(&report, corpus.papers.size());
 
   std::vector<corpus::PaperId> history;
   for (const auto& p : corpus.papers)

@@ -36,6 +36,7 @@ void RunDataset(const char* name, std::unique_ptr<bench::SemWorld> sem,
   rec_options.max_users = max_users;
   rec_options.candidates_per_user = 50;
   auto world = bench::BuildRecWorld(std::move(sem), rec_options);
+  bench::StampCorpus(report, world->ctx.corpus->papers.size());
   std::printf("\n--- %s: %zu papers, %zu users ---\n", name,
               world->ctx.corpus->papers.size(), world->users.size());
 

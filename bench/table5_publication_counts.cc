@@ -51,6 +51,8 @@ int main() {
         o.max_users = 100;
         return o;
       }());
+  bench::StampCorpus(&report, acm->ctx.corpus->papers.size());
+  bench::StampCorpus(&report, scopus->ctx.corpus->papers.size());
 
   std::vector<std::unique_ptr<rec::Recommender>> models;
   models.push_back(std::make_unique<rec::WnmfRecommender>());

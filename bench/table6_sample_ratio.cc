@@ -94,6 +94,7 @@ int main() {
         return o;
       }());
   RunDataset("ACM-like", acm.get(), &report);
+  bench::StampCorpus(&report, acm->ctx.corpus->papers.size());
 
   auto scopus = bench::BuildRecWorld(
       bench::BuildSemWorld(
@@ -104,6 +105,7 @@ int main() {
         return o;
       }());
   RunDataset("Scopus-like", scopus.get(), &report);
+  bench::StampCorpus(&report, scopus->ctx.corpus->papers.size());
 
   std::printf(
       "\npaper reports (Tab. VI, ACM 1:1/1:10/1:50): WNMF .76/.79/.77  NBCF "

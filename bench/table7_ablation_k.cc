@@ -53,6 +53,7 @@ int main() {
       }());
   const auto sets =
       bench::BuildCandidateSets(world->ctx, world->users, 20, 13);
+  bench::StampCorpus(&report, world->ctx.corpus->papers.size());
 
   const std::vector<int> ks = {2, 4, 8, 16, 32};
   std::printf("%-12s", "nDCG@20");

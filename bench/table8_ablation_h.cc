@@ -54,6 +54,7 @@ int main() {
       }());
   const auto sets =
       bench::BuildCandidateSets(world->ctx, world->users, 20, 17);
+  bench::StampCorpus(&report, world->ctx.corpus->papers.size());
 
   const std::vector<int> hs = {1, 2, 3, 4};
   std::printf("%-12s", "nDCG@20");

@@ -274,6 +274,7 @@ int main() {
       datagen::ScopusLikeOptions(scale, /*seed=*/404), {});
   const datagen::YearSplit split =
       datagen::SplitByYear(sem_world->dataset.corpus, 2014);
+  bench::StampCorpus(&report, sem_world->dataset.corpus.papers.size());
 
   subspace::SubspaceEncoderOptions encoder_options;
   encoder_options.input_dim = sem_world->encoder->dim();

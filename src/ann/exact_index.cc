@@ -1,0 +1,52 @@
+#include "ann/exact_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace subrec::ann {
+
+ExactIndex::ExactIndex(std::vector<int32_t> ids, std::vector<double> vectors,
+                       size_t dim)
+    : ids_(std::move(ids)), vectors_(std::move(vectors)), dim_(dim) {
+  SUBREC_CHECK(vectors_.size() == ids_.size() * dim_)
+      << "ExactIndex: " << ids_.size() << " ids x dim " << dim_
+      << " != " << vectors_.size() << " vector values";
+}
+
+Status ExactIndex::Search(const std::vector<double>& query, int k, int ef,
+                          std::vector<Neighbor>* out,
+                          SearchStats* stats) const {
+  (void)ef;  // Beam width is meaningless for a full scan.
+  if (k <= 0) return Status::InvalidArgument("ann: k must be positive");
+  if (query.size() != dim_)
+    return Status::InvalidArgument("ann: query dim " +
+                                   std::to_string(query.size()) +
+                                   " != index dim " + std::to_string(dim_));
+  const size_t n = ids_.size();
+  std::vector<Neighbor> scored(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* v = vectors_.data() + i * dim_;
+    double dot = 0.0;
+    for (size_t d = 0; d < dim_; ++d) dot += query[d] * v[d];
+    scored[i] = Neighbor{ids_[i], dot};
+  }
+  const auto better = [](const Neighbor& a, const Neighbor& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  const size_t keep = std::min(static_cast<size_t>(k), n);
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(keep),
+                    scored.end(), better);
+  scored.resize(keep);
+  *out = std::move(scored);
+  if (stats != nullptr) {
+    stats->nodes_visited += static_cast<int64_t>(n);
+    stats->distance_evals += static_cast<int64_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace subrec::ann

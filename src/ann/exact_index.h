@@ -1,0 +1,40 @@
+#ifndef SUBREC_ANN_EXACT_INDEX_H_
+#define SUBREC_ANN_EXACT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ann/index.h"
+#include "common/status.h"
+
+namespace subrec::ann {
+
+/// Brute-force maximum-inner-product scan: evaluates every item per query.
+/// O(n·dim) per search, exact by construction — the recall oracle and
+/// latency baseline that HnswIndex is measured against in bench/ann_recall,
+/// and the fallback when a snapshot carries no serialized graph.
+class ExactIndex : public Index {
+ public:
+  /// Takes ownership of `ids` (external ids, one per item) and `vectors`
+  /// (row-major, ids.size() * dim values). Checked programmer error if the
+  /// shapes disagree.
+  ExactIndex(std::vector<int32_t> ids, std::vector<double> vectors,
+             size_t dim);
+
+  size_t size() const override { return ids_.size(); }
+  size_t dim() const override { return dim_; }
+
+  Status Search(const std::vector<double>& query, int k, int ef,
+                std::vector<Neighbor>* out,
+                SearchStats* stats = nullptr) const override;
+
+ private:
+  std::vector<int32_t> ids_;
+  std::vector<double> vectors_;
+  size_t dim_ = 0;
+};
+
+}  // namespace subrec::ann
+
+#endif  // SUBREC_ANN_EXACT_INDEX_H_

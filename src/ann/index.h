@@ -1,0 +1,57 @@
+#ifndef SUBREC_ANN_INDEX_H_
+#define SUBREC_ANN_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace subrec::ann {
+
+/// One retrieval hit: the caller-supplied external id (PaperId in serving)
+/// and its similarity to the query. Similarity is the raw inner product
+/// <query, item> — the quantity NPRec's PairScore is monotone in for a
+/// single profile paper — so higher is better.
+struct Neighbor {
+  int32_t id = 0;
+  double score = 0.0;
+};
+
+/// Per-query work counters, filled by Search when the caller passes a
+/// non-null stats pointer. The exact scan reports every item as both
+/// visited and evaluated, which makes `distance_evals` a directly
+/// comparable work metric across implementations.
+struct SearchStats {
+  int64_t nodes_visited = 0;
+  int64_t distance_evals = 0;
+};
+
+/// Maximum-inner-product retrieval over a frozen set of item vectors.
+/// Implementations: HnswIndex (approximate, graph-walk) and ExactIndex
+/// (brute force, the recall oracle). Both order results by descending
+/// score with ties broken by ascending id, so equal inputs give equal
+/// outputs regardless of implementation details.
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Number of indexed items.
+  virtual size_t size() const = 0;
+
+  /// Dimensionality every indexed and query vector must have.
+  virtual size_t dim() const = 0;
+
+  /// Writes up to `k` neighbors of `query` into `out` (descending score,
+  /// ties by ascending id). `ef` is the beam width for approximate
+  /// implementations — wider explores more of the graph — and is ignored
+  /// by the exact scan; values below `k` are clamped up to `k`.
+  /// InvalidArgument on dimension mismatch or non-positive k.
+  virtual Status Search(const std::vector<double>& query, int k, int ef,
+                        std::vector<Neighbor>* out,
+                        SearchStats* stats = nullptr) const = 0;
+};
+
+}  // namespace subrec::ann
+
+#endif  // SUBREC_ANN_INDEX_H_

@@ -1,0 +1,120 @@
+#ifndef SUBREC_COMMON_WIRE_H_
+#define SUBREC_COMMON_WIRE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace subrec::wire {
+
+/// Little-endian primitive encoders shared by every on-disk format in the
+/// repo (serving snapshots, ANN indexes). Integers are encoded LSB-first;
+/// doubles as their raw IEEE-754 bit pattern, so round-trips are bit-exact.
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void AppendI32(std::string* out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+inline void AppendDouble(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
+}
+
+inline void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked sequential reader over untrusted bytes. Every read that
+/// would run past the end returns OutOfRange instead of touching memory,
+/// so parsers built on it never abort on corrupt or truncated input.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ReadU32(uint32_t* out) {
+    SUBREC_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status ReadU64(uint64_t* out) {
+    SUBREC_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    pos_ += 8;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status ReadI32(int32_t* out) {
+    uint32_t v = 0;
+    SUBREC_RETURN_NOT_OK(ReadU32(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::Ok();
+  }
+
+  Status ReadDouble(double* out) {
+    uint64_t v = 0;
+    SUBREC_RETURN_NOT_OK(ReadU64(&v));
+    *out = std::bit_cast<double>(v);
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    SUBREC_RETURN_NOT_OK(ReadU32(&len));
+    SUBREC_RETURN_NOT_OK(Need(len));
+    out->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  /// A length-checked sub-view over the next `len` bytes.
+  Status ReadView(uint64_t len, std::string_view* out) {
+    SUBREC_RETURN_NOT_OK(Need(len));
+    *out = data_.substr(pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return Status::Ok();
+  }
+
+ private:
+  Status Need(uint64_t n) const {
+    if (n > data_.size() - pos_)
+      return Status::OutOfRange("wire: truncated input: need " +
+                                std::to_string(n) + " bytes, have " +
+                                std::to_string(data_.size() - pos_));
+    return Status::Ok();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace subrec::wire
+
+#endif  // SUBREC_COMMON_WIRE_H_

@@ -118,6 +118,35 @@ void StatuszRecorder(const FlightRecorder& recorder, std::string* out) {
   }
 }
 
+/// Per-retrieval-branch request breakdown, derived from the
+/// serve.candidates.source.* counter family so the page needs no extra
+/// plumbing from the serving layer. Omitted entirely when the family has
+/// not been registered (non-serving processes).
+void StatuszCandidateSources(const MetricsSnapshot& metrics,
+                             std::string* out) {
+  static constexpr char kPrefix[] = "serve.candidates.source.";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  int64_t total = 0;
+  bool any = false;
+  for (const auto& [name, value] : metrics.counters) {
+    if (name.compare(0, kPrefixLen, kPrefix) != 0) continue;
+    any = true;
+    total += value;
+  }
+  if (!any) return;
+  out->append("-- candidate sources (scored requests) --\n");
+  for (const auto& [name, value] : metrics.counters) {
+    if (name.compare(0, kPrefixLen, kPrefix) != 0) continue;
+    const double share =
+        total > 0 ? 100.0 * static_cast<double>(value) /
+                        static_cast<double>(total)
+                  : 0.0;
+    Appendf(out, "  %-24s %10lld %6.2f%%\n",
+            name.c_str() + kPrefixLen, static_cast<long long>(value), share);
+  }
+  out->push_back('\n');
+}
+
 void StatuszMetrics(const MetricsSnapshot& metrics, std::string* out) {
   if (!metrics.counters.empty()) {
     out->append("-- counters --\n");
@@ -161,7 +190,10 @@ std::string ExportStatusz(const StatuszData& data) {
     StatuszRecorder(*data.recorder, &out);
     out.push_back('\n');
   }
-  if (data.metrics != nullptr) StatuszMetrics(*data.metrics, &out);
+  if (data.metrics != nullptr) {
+    StatuszCandidateSources(*data.metrics, &out);
+    StatuszMetrics(*data.metrics, &out);
+  }
   return out;
 }
 

@@ -52,6 +52,15 @@ class RunReport {
                    std::string* out_path = nullptr) const;
 
   const std::string& name() const { return name_; }
+  /// True when AddScalar has recorded `name`.
+  bool has_scalar(const std::string& name) const {
+    return scalars_.count(name) > 0;
+  }
+  /// The recorded value of scalar `name`, or `fallback` when absent.
+  double scalar_or(const std::string& name, double fallback) const {
+    const auto it = scalars_.find(name);
+    return it != scalars_.end() ? it->second : fallback;
+  }
   /// Seconds since this report was constructed (monotonic clock).
   double ElapsedSeconds() const;
 

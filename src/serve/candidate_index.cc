@@ -1,9 +1,12 @@
 #include "serve/candidate_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "par/parallel.h"
 
 namespace subrec::serve {
 
@@ -19,15 +22,64 @@ const char* CandidateSourceName(CandidateSource source) {
       return "fallback_pool";
     case CandidateSource::kUnknownUser:
       return "unknown_user";
+    case CandidateSource::kAnnEmbedding:
+      return "ann_embedding";
   }
   return "unknown";
 }
 
+namespace {
+
+/// Builds one user's ANN candidate list: mean profile interest vector as
+/// the query, year-window filter on the hits, ascending paper ids — the
+/// same output contract as the filtered branches. Returns false (leaving
+/// `out` empty) for users ANN cannot serve: empty profiles and queries
+/// whose every hit fell outside the year window.
+bool AnnCandidatesForUser(const SnapshotData& data,
+                          const CandidateIndexOptions& options,
+                          const ann::Index& ann_index,
+                          const std::vector<int32_t>& profile,
+                          std::vector<int32_t>* out,
+                          ann::SearchStats* stats,
+                          int64_t* hits_returned) {
+  if (profile.empty() || data.interest.empty()) return false;
+  const size_t dim = data.interest.front().size();
+  std::vector<double> query(dim, 0.0);
+  for (int32_t pid : profile) {
+    const std::vector<double>& v = data.interest[static_cast<size_t>(pid)];
+    for (size_t d = 0; d < dim; ++d) query[d] += v[d];
+  }
+  const double inv = 1.0 / static_cast<double>(profile.size());
+  for (double& q : query) q *= inv;
+  std::vector<ann::Neighbor> hits;
+  const Status status =
+      ann_index.Search(query, options.ann_candidates,
+                       std::max(options.ann_ef, options.ann_candidates),
+                       &hits, stats);
+  SUBREC_CHECK(status.ok()) << status.ToString();
+  *hits_returned += static_cast<int64_t>(hits.size());
+  out->clear();
+  out->reserve(hits.size());
+  for (const ann::Neighbor& hit : hits) {
+    const auto p = static_cast<size_t>(hit.id);
+    if (data.years[p] > options.min_year && data.years[p] <= options.max_year)
+      out->push_back(hit.id);
+  }
+  std::sort(out->begin(), out->end());
+  return !out->empty();
+}
+
+}  // namespace
+
 CandidateIndex::CandidateIndex(const SnapshotData& data,
-                               const CandidateIndexOptions& options) {
+                               const CandidateIndexOptions& options,
+                               const ann::Index* ann_index) {
   const size_t n = data.years.size();
   SUBREC_CHECK_EQ(data.disciplines.size(), n);
   SUBREC_CHECK_EQ(data.topics.size(), n);
+  const bool use_ann = options.retrieval == RetrievalMode::kAnnEmbedding;
+  SUBREC_CHECK(!use_ann || ann_index != nullptr)
+      << "kAnnEmbedding retrieval requested without an ann::Index";
 
   int32_t max_topic = -1;
   for (size_t p = 0; p < n; ++p) {
@@ -43,7 +95,56 @@ CandidateIndex::CandidateIndex(const SnapshotData& data,
 
   per_user_.resize(data.profiles.size());
   per_user_source_.resize(data.profiles.size(), CandidateSource::kFullPool);
+
+  // ANN pass first: per-user graph queries fan out over the pool (each
+  // user's list lands in its own slot, so the result is independent of
+  // SUBREC_NUM_THREADS); users ANN could not serve fall through to the
+  // filtered branches below exactly as in kFiltered mode.
+  std::vector<uint8_t> ann_served;
+  if (use_ann && !data.profiles.empty()) {
+    ann_served.assign(data.profiles.size(), 0);
+    std::atomic<int64_t> queries{0}, nodes{0}, evals{0}, returned{0}, kept{0};
+    par::ParallelFor(
+        data.profiles.size(), 8, [&](size_t begin, size_t end) {
+          ann::SearchStats stats;
+          int64_t local_queries = 0, local_returned = 0, local_kept = 0;
+          for (size_t u = begin; u < end; ++u) {
+            if (data.profiles[u].empty()) continue;
+            ++local_queries;
+            if (AnnCandidatesForUser(data, options, *ann_index,
+                                     data.profiles[u], &per_user_[u], &stats,
+                                     &local_returned)) {
+              ann_served[u] = 1;
+              local_kept += static_cast<int64_t>(per_user_[u].size());
+            }
+          }
+          queries.fetch_add(local_queries, std::memory_order_relaxed);
+          nodes.fetch_add(stats.nodes_visited, std::memory_order_relaxed);
+          evals.fetch_add(stats.distance_evals, std::memory_order_relaxed);
+          returned.fetch_add(local_returned, std::memory_order_relaxed);
+          kept.fetch_add(local_kept, std::memory_order_relaxed);
+        });
+    // The ann.* family: build-time retrieval work plus a recall proxy —
+    // the fraction of returned neighbors that survived the year window
+    // (low values mean the graph keeps surfacing out-of-window papers).
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("ann.queries")->Increment(queries.load());
+    registry.GetCounter("ann.nodes_visited")->Increment(nodes.load());
+    registry.GetCounter("ann.distance_evals")->Increment(evals.load());
+    registry.GetGauge("ann.ef")->Set(static_cast<double>(
+        std::max(options.ann_ef, options.ann_candidates)));
+    registry.GetGauge("ann.window_hit_rate")
+        ->Set(returned.load() > 0
+                  ? static_cast<double>(kept.load()) /
+                        static_cast<double>(returned.load())
+                  : 0.0);
+  }
+
   for (size_t u = 0; u < data.profiles.size(); ++u) {
+    if (!ann_served.empty() && ann_served[u] != 0) {
+      per_user_source_[u] = CandidateSource::kAnnEmbedding;
+      continue;
+    }
     const std::vector<int32_t>& profile = data.profiles[u];
     if (profile.empty()) {
       per_user_[u] = new_papers_;

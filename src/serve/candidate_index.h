@@ -5,9 +5,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "ann/index.h"
 #include "serve/snapshot.h"
 
 namespace subrec::serve {
+
+/// How per-user candidate lists are assembled at index-build time.
+enum class RetrievalMode : int {
+  /// Attribute filtering: year window + discipline filter + inverted-topic
+  /// pruning. O(new-paper pool) per user.
+  kFiltered = 0,
+  /// Embedding retrieval: query the frozen ann::Index with the user's mean
+  /// profile interest vector, then apply the year window. O(graph walk)
+  /// per user — the only mode that scales past ~1e4-paper pools.
+  kAnnEmbedding,
+};
 
 struct CandidateIndexOptions {
   /// Candidates are "new" papers: year strictly greater than this (the
@@ -21,6 +33,11 @@ struct CandidateIndexOptions {
   /// topic with the user's profile. Users whose pruned set would be empty
   /// fall back to the discipline-filtered set.
   bool prune_topics = true;
+  RetrievalMode retrieval = RetrievalMode::kFiltered;
+  /// kAnnEmbedding: neighbors requested per user (before year filtering).
+  int ann_candidates = 256;
+  /// kAnnEmbedding: search beam width (clamped up to ann_candidates).
+  int ann_ef = 128;
 };
 
 /// Which retrieval branch produced a user's candidate list. Recorded at
@@ -37,7 +54,13 @@ enum class CandidateSource : int {
   kFallbackPool,
   /// User id outside the profile table (served the full pool).
   kUnknownUser,
+  /// ANN graph walk over the embedding index, year-window filtered.
+  kAnnEmbedding,
 };
+
+/// Number of CandidateSource values — sized for per-source counter arrays.
+inline constexpr int kNumCandidateSources =
+    static_cast<int>(CandidateSource::kAnnEmbedding) + 1;
 
 /// Stable static-storage name ("full_pool", "topic_pruned", ...) — safe to
 /// stash in a RequestTrace without allocating.
@@ -49,8 +72,15 @@ const char* CandidateSourceName(CandidateSource source);
 /// profile fall back to the full new-paper pool. Immutable after build.
 class CandidateIndex {
  public:
+  /// `ann_index` is the frozen embedding index (nullable). Checked
+  /// programmer error to request RetrievalMode::kAnnEmbedding without one
+  /// — ServingState::FromSnapshot turns that into a Status first. Under
+  /// kAnnEmbedding the per-user queries run through par::ParallelFor;
+  /// results are deterministic for any SUBREC_NUM_THREADS because each
+  /// user's query is independent and lands in its own slot.
   CandidateIndex(const SnapshotData& data,
-                 const CandidateIndexOptions& options);
+                 const CandidateIndexOptions& options,
+                 const ann::Index* ann_index = nullptr);
 
   /// The precomputed candidate list of `user` (ascending paper ids).
   /// Unknown users get the full new-paper pool.

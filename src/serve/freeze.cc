@@ -1,6 +1,9 @@
 #include "serve/freeze.h"
 
+#include <cstddef>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -8,7 +11,7 @@ namespace subrec::serve {
 
 SnapshotData FreezeNPRec(const rec::RecContext& ctx, const rec::NPRec& model,
                          const std::string& dataset_name,
-                         int max_profile_papers) {
+                         const FreezeOptions& options) {
   rec::DCheckValidContext(ctx);
   SUBREC_CHECK(ctx.corpus != nullptr);
   const corpus::Corpus& corpus = *ctx.corpus;
@@ -36,8 +39,31 @@ SnapshotData FreezeNPRec(const rec::RecContext& ctx, const rec::NPRec& model,
   data.profiles.reserve(corpus.authors.size());
   for (const corpus::Author& a : corpus.authors) {
     const std::vector<corpus::PaperId> profile =
-        rec::UserProfile(ctx, a.id, max_profile_papers);
+        rec::UserProfile(ctx, a.id, options.max_profile_papers);
     data.profiles.emplace_back(profile.begin(), profile.end());
+  }
+
+  // ANN index over the new-paper pool: freeze is offline, so the O(n log n)
+  // graph build happens here once and every online load just deserializes.
+  // Indexing influence vectors makes a mean-interest profile query retrieve
+  // exactly what FrozenScorer's pair score is monotone in.
+  if (options.build_ann_index) {
+    std::vector<int32_t> ids;
+    std::vector<double> vectors;
+    const size_t dim =
+        data.influence.empty() ? 0 : data.influence.front().size();
+    for (size_t p = 0; p < data.influence.size(); ++p) {
+      if (data.years[p] <= data.split_year) continue;
+      ids.push_back(static_cast<int32_t>(p));
+      vectors.insert(vectors.end(), data.influence[p].begin(),
+                     data.influence[p].end());
+    }
+    if (!ids.empty() && dim > 0) {
+      Result<std::unique_ptr<ann::HnswIndex>> built = ann::HnswIndex::Build(
+          std::move(ids), std::move(vectors), dim, options.ann);
+      SUBREC_CHECK(built.ok()) << built.status().ToString();
+      data.ann_index = built.value()->Serialize();
+    }
   }
   return data;
 }

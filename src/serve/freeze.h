@@ -3,21 +3,34 @@
 
 #include <string>
 
+#include "ann/hnsw_index.h"
 #include "rec/nprec.h"
 #include "rec/recommender.h"
 #include "serve/snapshot.h"
 
 namespace subrec::serve {
 
+struct FreezeOptions {
+  /// Serving profiles keep at most this many pre-split publications per
+  /// author (most recent first); -1 keeps all.
+  int max_profile_papers = -1;
+  /// Build an ann::HnswIndex over the influence vectors of post-split
+  /// ("new") papers and embed its serialization in the snapshot. Freezing
+  /// is the only place the index is ever built — online loads deserialize.
+  bool build_ann_index = true;
+  ann::HnswOptions ann;
+};
+
 /// Freezes a fitted NPRec plus its RecContext into self-contained
 /// SnapshotData: the model's forward-only vectors, the per-paper attributes
-/// the CandidateIndex filters on, and one serving profile per author
-/// (pre-split publications, most recent first, truncated to
-/// `max_profile_papers`; -1 keeps all). The result has no pointers into the
-/// corpus or the model — the offline/online cut happens here.
+/// the CandidateIndex filters on, one serving profile per author
+/// (pre-split publications, most recent first), and — unless disabled —
+/// the serialized ANN index over the new-paper pool. The result has no
+/// pointers into the corpus or the model — the offline/online cut happens
+/// here.
 SnapshotData FreezeNPRec(const rec::RecContext& ctx, const rec::NPRec& model,
                          const std::string& dataset_name,
-                         int max_profile_papers = -1);
+                         const FreezeOptions& options = {});
 
 }  // namespace subrec::serve
 

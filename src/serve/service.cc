@@ -1,7 +1,9 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -18,6 +20,25 @@ obs::Histogram* LatencyHistogram() {
   return h;
 }
 
+/// serve.candidates.source.<name>: how many scored (cache-missing)
+/// requests drew their candidate list from each retrieval branch. The
+/// whole family registers on first use so the statusz breakdown shows
+/// every branch at zero rather than omitting the ones never hit.
+obs::Counter* SourceCounter(CandidateSource source) {
+  static const std::array<obs::Counter*, kNumCandidateSources> counters = [] {
+    std::array<obs::Counter*, kNumCandidateSources> c{};
+    for (int i = 0; i < kNumCandidateSources; ++i) {
+      c[static_cast<size_t>(i)] = obs::MetricsRegistry::Global().GetCounter(
+          std::string("serve.candidates.source.") +
+          CandidateSourceName(static_cast<CandidateSource>(i)));
+    }
+    return c;
+  }();
+  const auto i = static_cast<size_t>(source);
+  SUBREC_CHECK(i < counters.size());
+  return counters[i];
+}
+
 }  // namespace
 
 Result<std::shared_ptr<const ServingState>> ServingState::FromSnapshot(
@@ -25,17 +46,37 @@ Result<std::shared_ptr<const ServingState>> ServingState::FromSnapshot(
   if (data.interest.empty())
     return Status::InvalidArgument("snapshot has no papers to serve");
   if (index_options.min_year == 0) index_options.min_year = data.split_year;
+  // Decode the ANN section whenever present — a corrupt index should fail
+  // the load, not lurk until a mode flip. Requesting embedding retrieval
+  // without an index is an explicit error rather than a silent fallback:
+  // the caller asked for sublinear candidates and would otherwise get a
+  // pool scan with different results and a different cost model.
+  std::unique_ptr<const ann::HnswIndex> ann_index;
+  if (!data.ann_index.empty()) {
+    SUBREC_ASSIGN_OR_RETURN(std::unique_ptr<ann::HnswIndex> decoded,
+                            ann::HnswIndex::Deserialize(data.ann_index));
+    ann_index = std::move(decoded);
+    data.ann_index.clear();
+    data.ann_index.shrink_to_fit();
+  }
+  if (index_options.retrieval == RetrievalMode::kAnnEmbedding &&
+      ann_index == nullptr) {
+    return Status::InvalidArgument(
+        "ann_embedding retrieval requested but the snapshot has no ANN "
+        "index (freeze with build_ann_index)");
+  }
   // Build the index first (it reads only the attribute arrays), pull the
   // small members out, then let FrozenScorer move the three big matrices
   // instead of copying them — snapshot load never doubles peak memory.
-  CandidateIndex index(data, index_options);
+  CandidateIndex index(data, index_options, ann_index.get());
   std::vector<std::vector<int32_t>> profiles = std::move(data.profiles);
   std::string model_name = std::move(data.model_name);
   std::string dataset = std::move(data.dataset);
   const int32_t split_year = data.split_year;
   auto state = std::make_shared<ServingState>(ServingState{
       FrozenScorer(std::move(data)), std::move(index), std::move(profiles),
-      std::move(model_name), std::move(dataset), split_year});
+      std::move(model_name), std::move(dataset), split_year,
+      std::move(ann_index)});
   return std::shared_ptr<const ServingState>(std::move(state));
 }
 
@@ -203,10 +244,11 @@ RecResponse RecommendService::TopNInternal(int32_t user, int n,
       obs::StageTimer timer(t, obs::Stage::kCandidates);
       candidates = &state->index.CandidatesFor(user);
     }
+    const CandidateSource source = state->index.SourceFor(user);
+    SourceCounter(source)->Increment();
     if (t != nullptr) {
       t->candidate_count = static_cast<int32_t>(candidates->size());
-      t->candidate_source =
-          CandidateSourceName(state->index.SourceFor(user));
+      t->candidate_source = CandidateSourceName(source);
     }
     response.items = state->scorer.TopN(profile, *candidates, n, t);
   }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/hnsw_index.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -32,9 +33,16 @@ struct ServingState {
   std::string model_name;
   std::string dataset;
   int32_t split_year = 0;
+  /// The deserialized embedding index from the snapshot's ANN section, or
+  /// null when the snapshot carried none. Kept alive for the generation so
+  /// diagnostics (and future online re-query paths) can reach it.
+  std::unique_ptr<const ann::HnswIndex> ann_index;
 
   /// Builds a state from parsed snapshot data. `index_options.min_year`
-  /// of 0 is auto-filled with the snapshot's split year.
+  /// of 0 is auto-filled with the snapshot's split year. Fails with
+  /// InvalidArgument when RetrievalMode::kAnnEmbedding is requested but
+  /// the snapshot has no ANN section — never a silent fallback — and
+  /// propagates decode errors from a corrupt ANN section.
   static Result<std::shared_ptr<const ServingState>> FromSnapshot(
       SnapshotData data, CandidateIndexOptions index_options);
 };

@@ -1,14 +1,21 @@
 #include "serve/snapshot.h"
 
 #include <array>
-#include <bit>
 #include <cstddef>
 #include <utility>
 
 #include "common/file_util.h"
+#include "common/wire.h"
 
 namespace subrec::serve {
 namespace {
+
+using wire::AppendDouble;
+using wire::AppendI32;
+using wire::AppendString;
+using wire::AppendU32;
+using wire::AppendU64;
+using wire::Cursor;
 
 // "SUBRSNP1" read as a little-endian u64.
 constexpr uint64_t kMagic = 0x31504E5352425553ULL;
@@ -26,30 +33,8 @@ enum SectionTag : uint32_t {
   kDisciplinesTag = 6,
   kTopicsTag = 7,
   kProfilesTag = 8,
+  kAnnIndexTag = 9,
 };
-
-void AppendU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void AppendU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void AppendI32(std::string* out, int32_t v) {
-  AppendU32(out, static_cast<uint32_t>(v));
-}
-
-void AppendDouble(std::string* out, double v) {
-  AppendU64(out, std::bit_cast<uint64_t>(v));
-}
-
-void AppendString(std::string* out, const std::string& s) {
-  AppendU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
 
 void AppendI32Vector(std::string* out, const std::vector<int32_t>& v) {
   AppendU64(out, v.size());
@@ -70,81 +55,6 @@ Status EncodeMatrix(const std::vector<std::vector<double>>& rows,
     for (double v : row) AppendDouble(out, v);
   return Status::Ok();
 }
-
-/// Bounds-checked sequential reader over untrusted snapshot bytes.
-class Cursor {
- public:
-  explicit Cursor(std::string_view data) : data_(data) {}
-
-  size_t remaining() const { return data_.size() - pos_; }
-
-  Status ReadU32(uint32_t* out) {
-    SUBREC_RETURN_NOT_OK(Need(4));
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
-           << (8 * i);
-    pos_ += 4;
-    *out = v;
-    return Status::Ok();
-  }
-
-  Status ReadU64(uint64_t* out) {
-    SUBREC_RETURN_NOT_OK(Need(8));
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
-           << (8 * i);
-    pos_ += 8;
-    *out = v;
-    return Status::Ok();
-  }
-
-  Status ReadI32(int32_t* out) {
-    uint32_t v = 0;
-    SUBREC_RETURN_NOT_OK(ReadU32(&v));
-    *out = static_cast<int32_t>(v);
-    return Status::Ok();
-  }
-
-  Status ReadDouble(double* out) {
-    uint64_t v = 0;
-    SUBREC_RETURN_NOT_OK(ReadU64(&v));
-    *out = std::bit_cast<double>(v);
-    return Status::Ok();
-  }
-
-  Status ReadString(std::string* out) {
-    uint32_t len = 0;
-    SUBREC_RETURN_NOT_OK(ReadU32(&len));
-    SUBREC_RETURN_NOT_OK(Need(len));
-    out->assign(data_.substr(pos_, len));
-    pos_ += len;
-    return Status::Ok();
-  }
-
-  /// A length-checked sub-view for one section's bytes.
-  Status ReadView(uint64_t len, std::string_view* out) {
-    SUBREC_RETURN_NOT_OK(Need(len));
-    *out = data_.substr(pos_, static_cast<size_t>(len));
-    pos_ += static_cast<size_t>(len);
-    return Status::Ok();
-  }
-
- private:
-  Status Need(uint64_t n) const {
-    if (n > data_.size() - pos_)
-      return Status::OutOfRange("snapshot truncated: need " +
-                                std::to_string(n) + " bytes, have " +
-                                std::to_string(data_.size() - pos_));
-    return Status::Ok();
-  }
-
-  std::string_view data_;
-  size_t pos_ = 0;
-};
 
 Status DecodeMatrix(std::string_view bytes,
                     std::vector<std::vector<double>>* out) {
@@ -270,6 +180,11 @@ SnapshotWriter::SnapshotWriter(const SnapshotData& data) {
     for (const auto& profile : data.profiles) AppendI32Vector(&body, profile);
     add_section(kProfilesTag, body);
   }
+  // The ANN section is optional and opaque: the serialized index carries its
+  // own magic/version/bounds, so the snapshot layer just frames the bytes.
+  // Omitting the section entirely when empty keeps ANN-free snapshots
+  // byte-identical to the pre-ANN format.
+  if (!data.ann_index.empty()) add_section(kAnnIndexTag, data.ann_index);
 
   bytes_.reserve(kHeaderSize + payload.size() + kFooterSize);
   AppendU64(&bytes_, kMagic);
@@ -358,6 +273,11 @@ Result<SnapshotData> SnapshotReader::Parse(std::string_view bytes) {
         }
         break;
       }
+      case kAnnIndexTag:
+        // Opaque by design; decoding (and decode errors) happen where the
+        // index is rebuilt, not here.
+        data.ann_index.assign(body);
+        break;
       default:
         // Unknown section from a newer writer: skip, stay compatible.
         break;

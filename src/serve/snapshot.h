@@ -32,6 +32,12 @@ struct SnapshotData {
   std::vector<int32_t> topics;
   // Per-user serving profiles, one entry per author.
   std::vector<std::vector<int32_t>> profiles;
+  /// Serialized ann::HnswIndex over the new-paper influence vectors (empty
+  /// when freezing skipped the ANN build). Carried opaquely: the snapshot
+  /// layer neither parses nor validates it, so readers predating the ANN
+  /// section skip its tag cleanly and decoding errors surface where the
+  /// index is actually rebuilt (ServingState::FromSnapshot).
+  std::string ann_index;
 };
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`. Used as the

@@ -7,6 +7,7 @@
 #include "datagen/corpus_generator.h"
 #include "datagen/datasets.h"
 #include "datagen/split.h"
+#include "datagen/streaming.h"
 #include "eval/metrics.h"
 
 namespace subrec::datagen {
@@ -233,6 +234,92 @@ TEST(AbstractGeneratorTest, InnovationInjectsNovelTokensInRole) {
   }
   EXPECT_GT(novel_in_method, 10);
   EXPECT_EQ(novel_elsewhere, 0);
+}
+
+
+// --- StreamingCorpusGenerator ---------------------------------------------
+
+TEST(Streaming, BatchSizeNeverChangesThePapers) {
+  StreamingCorpusOptions options;
+  options.papers_per_year = 50;
+  auto a = StreamingCorpusGenerator::Create(options);
+  auto b = StreamingCorpusGenerator::Create(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  StreamingCorpusGenerator one_shot = std::move(a).value();
+  StreamingCorpusGenerator dribble = std::move(b).value();
+
+  std::vector<StreamedPaper> all;
+  ASSERT_EQ(one_shot.NextBatch(1u << 20, &all), one_shot.num_papers());
+
+  std::vector<StreamedPaper> batch;
+  size_t i = 0;
+  while (dribble.NextBatch(7, &batch) > 0) {
+    for (const StreamedPaper& p : batch) {
+      ASSERT_LT(i, all.size());
+      EXPECT_EQ(p.id, all[i].id);
+      EXPECT_EQ(p.year, all[i].year);
+      EXPECT_EQ(p.topic, all[i].topic);
+      EXPECT_EQ(p.interest, all[i].interest);  // bit-exact doubles
+      EXPECT_EQ(p.influence, all[i].influence);
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, all.size());
+}
+
+TEST(Streaming, PaperAtMatchesTheStreamAndYearsAscend) {
+  StreamingCorpusOptions options;
+  options.papers_per_year = 30;
+  auto created = StreamingCorpusGenerator::Create(options);
+  ASSERT_TRUE(created.ok());
+  StreamingCorpusGenerator gen = std::move(created).value();
+  std::vector<StreamedPaper> all;
+  gen.NextBatch(1u << 20, &all);
+  ASSERT_EQ(all.size(), gen.num_papers());
+  for (size_t i = 0; i < all.size(); i += 17) {
+    const StreamedPaper p = gen.PaperAt(i);
+    EXPECT_EQ(p.id, all[i].id);
+    EXPECT_EQ(p.interest, all[i].interest);
+    EXPECT_EQ(p.influence, all[i].influence);
+  }
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].year, all[i].year);
+    EXPECT_EQ(all[i].id, static_cast<int32_t>(i));
+  }
+  // The midpoint split leaves a non-trivial pool on each side.
+  size_t newer = 0;
+  for (const StreamedPaper& p : all) newer += p.year > gen.split_year();
+  EXPECT_GT(newer, 0u);
+  EXPECT_LT(newer, all.size());
+  // Reset rewinds to paper 0.
+  gen.Reset();
+  std::vector<StreamedPaper> again;
+  ASSERT_GT(gen.NextBatch(5, &again), 0u);
+  EXPECT_EQ(again[0].id, all[0].id);
+  EXPECT_EQ(again[0].interest, all[0].interest);
+}
+
+TEST(Streaming, PresetsScaleAndDegenerateConfigsAreRejected) {
+  auto smoke = StreamingCorpusGenerator::Create(
+      AnnRecallPreset(AnnCorpusScale::kSmoke, 1));
+  auto full = StreamingCorpusGenerator::Create(
+      AnnRecallPreset(AnnCorpusScale::kFull, 1));
+  ASSERT_TRUE(smoke.ok() && full.ok());
+  EXPECT_EQ(smoke.value().num_papers(), 4000u);
+  EXPECT_EQ(full.value().num_papers(), 100000u);
+
+  StreamingCorpusOptions bad = {};
+  bad.end_year = bad.start_year - 1;
+  EXPECT_FALSE(StreamingCorpusGenerator::Create(bad).ok());
+  bad = {};
+  bad.papers_per_year = 0;
+  EXPECT_FALSE(StreamingCorpusGenerator::Create(bad).ok());
+  bad = {};
+  bad.embedding_dim = 0;
+  EXPECT_FALSE(StreamingCorpusGenerator::Create(bad).ok());
+  bad = {};
+  bad.num_disciplines = 0;
+  EXPECT_FALSE(StreamingCorpusGenerator::Create(bad).ok());
 }
 
 }  // namespace

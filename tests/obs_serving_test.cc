@@ -63,6 +63,45 @@ void* operator new(std::size_t size, std::align_val_t align) {
 void* operator new[](std::size_t size, std::align_val_t align) {
   return ProbeAlignedAlloc(size, static_cast<std::size_t>(align));
 }
+// The nothrow variants MUST be replaced too: libstdc++'s
+// std::get_temporary_buffer (stable_sort) allocates through nothrow new,
+// and pairing the default nothrow new with the probe's free-based delete
+// trips ASan's alloc-dealloc-mismatch on every stable_sort call.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_thread_allocs += 1;
+  return std::malloc(size > 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_thread_allocs += 1;
+  return std::malloc(size > 0 ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  g_thread_allocs += 1;
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  return std::aligned_alloc(a, rounded > 0 ? rounded : a);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  g_thread_allocs += 1;
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  return std::aligned_alloc(a, rounded > 0 ? rounded : a);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
@@ -631,6 +670,28 @@ TEST(Exposition, StatuszShowsEverySection) {
   EXPECT_TRUE(Contains(page, "recorded=1 dropped=0")) << page;
   EXPECT_TRUE(Contains(page, "-- counters --")) << page;
   EXPECT_TRUE(Contains(page, "serve.requests")) << page;
+}
+
+TEST(Exposition, StatuszBreaksDownCandidateSources) {
+  obs::MetricsSnapshot metrics;
+  metrics.counters["serve.candidates.source.ann_embedding"] = 3;
+  metrics.counters["serve.candidates.source.topic_pruned"] = 1;
+  metrics.counters["serve.requests"] = 4;
+  obs::StatuszData d;
+  d.metrics = &metrics;
+  const std::string page = obs::ExportStatusz(d);
+  EXPECT_TRUE(Contains(page, "-- candidate sources (scored requests) --"))
+      << page;
+  EXPECT_TRUE(Contains(page, "ann_embedding")) << page;
+  EXPECT_TRUE(Contains(page, "75.00%")) << page;
+  EXPECT_TRUE(Contains(page, "25.00%")) << page;
+
+  // Processes that never registered the family get no section at all.
+  obs::MetricsSnapshot unrelated;
+  unrelated.counters["serve.requests"] = 4;
+  obs::StatuszData d2;
+  d2.metrics = &unrelated;
+  EXPECT_FALSE(Contains(obs::ExportStatusz(d2), "candidate sources"));
 }
 
 TEST(Exposition, MetricsJsonIsParseableWithEverySection) {

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "ann/hnsw_index.h"
 #include "cluster/gmm.h"
 #include "cluster/lof.h"
 #include "cluster/tsne.h"
@@ -359,5 +360,38 @@ TEST_F(ParModelWorld, NPRecAndEvalBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParDeterminism, HnswBuildBitIdenticalAcrossThreadCounts) {
+  // The ANN graph ships inside snapshots, so its build must satisfy the
+  // same contract as every fit here: Serialize() is a pure function of
+  // (ids, vectors, options), for any SUBREC_NUM_THREADS. The size spans
+  // several doubling batches so parallel plan/commit really kicks in.
+  constexpr size_t kN = 700;
+  constexpr size_t kDim = 6;
+  Rng rng(77);
+  std::vector<int32_t> ids;
+  std::vector<double> vectors;
+  for (size_t i = 0; i < kN; ++i) {
+    ids.push_back(static_cast<int32_t>(i));
+    for (size_t d = 0; d < kDim; ++d)
+      vectors.push_back(rng.Gaussian(0.0, 1.0));
+  }
+  std::vector<std::string> serialized;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    auto built = ann::HnswIndex::Build(ids, vectors, kDim, {});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    serialized.push_back(built.value()->Serialize());
+  }
+  for (size_t i = 1; i < serialized.size(); ++i)
+    ASSERT_EQ(serialized[0], serialized[i])
+        << "hnsw graph differs at " << kThreadCounts[i] << " threads";
+
+  // And across two builds at the same thread count (no hidden state).
+  auto rebuilt = ann::HnswIndex::Build(ids, vectors, kDim, {});
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_EQ(rebuilt.value()->Serialize(), serialized[0]);
+}
+
 }  // namespace
 }  // namespace subrec
+

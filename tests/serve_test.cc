@@ -3,17 +3,21 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "ann/hnsw_index.h"
 #include "common/file_util.h"
 #include "datagen/corpus_generator.h"
 #include "datagen/datasets.h"
 #include "datagen/split.h"
 #include "graph/academic_graph.h"
+#include "obs/metrics.h"
 #include "rec/nprec.h"
 #include "rec/recommender.h"
 #include "serve/candidate_index.h"
@@ -406,6 +410,113 @@ TEST(Snapshot, RejectsInconsistentArrays) {
   EXPECT_FALSE(SnapshotReader::Parse(writer2.bytes()).ok());
 }
 
+// --- ANN section ----------------------------------------------------------
+
+/// A real serialized HnswIndex over TinyData's influence rows.
+std::string TinyAnnBytes() {
+  const SnapshotData d = TinyData();
+  std::vector<int32_t> ids;
+  std::vector<double> flat;
+  for (size_t i = 0; i < d.influence.size(); ++i) {
+    ids.push_back(static_cast<int32_t>(i));
+    flat.insert(flat.end(), d.influence[i].begin(), d.influence[i].end());
+  }
+  auto built = ann::HnswIndex::Build(ids, flat, 2, ann::HnswOptions{});
+  SUBREC_CHECK(built.ok()) << built.status().ToString();
+  return built.value()->Serialize();
+}
+
+TEST(Snapshot, AnnSectionRoundTripsAndStaysOptional) {
+  // Without an index the format is byte-identical to the pre-ANN layout:
+  // no empty section is emitted, and parsing yields an empty ann_index.
+  const std::string base = SnapshotWriter(TinyData()).bytes();
+  auto base_parsed = SnapshotReader::Parse(base);
+  ASSERT_TRUE(base_parsed.ok());
+  EXPECT_TRUE(base_parsed.value().ann_index.empty());
+
+  SnapshotData with_ann = TinyData();
+  with_ann.ann_index = TinyAnnBytes();
+  const std::string bytes = SnapshotWriter(with_ann).bytes();
+  EXPECT_GT(bytes.size(), base.size());
+  auto parsed = SnapshotReader::Parse(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().ann_index, with_ann.ann_index);
+  EXPECT_EQ(parsed.value().interest, with_ann.interest);
+}
+
+TEST(Snapshot, SkipsUnknownFutureSections) {
+  // Forward compatibility: a reader at this version must skip sections
+  // tagged by future writers and still decode everything it knows. Craft
+  // such a snapshot by appending an unknown section and re-checksumming.
+  auto append_u32 = [](std::string* s, uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      s->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  auto append_u64 = [](std::string* s, uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      s->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  const std::string good = SnapshotWriter(TinyData()).bytes();
+  constexpr size_t kHeaderSize = 24;  // magic + version + count + size
+  std::string payload = good.substr(kHeaderSize, good.size() - kHeaderSize - 4);
+  const std::string future_body = "opaque bytes from the future";
+  append_u32(&payload, 777);  // tag no current reader knows
+  append_u64(&payload, future_body.size());
+  payload += future_body;
+
+  std::string crafted = good.substr(0, 12);
+  const uint32_t old_count = static_cast<uint8_t>(good[12]) |
+                             static_cast<uint32_t>(
+                                 static_cast<uint8_t>(good[13])) << 8;
+  append_u32(&crafted, old_count + 1);
+  append_u64(&crafted, payload.size());
+  crafted += payload;
+  append_u32(&crafted, Crc32(payload));
+
+  const auto parsed = SnapshotReader::Parse(crafted);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const SnapshotData expected = TinyData();
+  EXPECT_EQ(parsed.value().interest, expected.interest);
+  EXPECT_EQ(parsed.value().influence, expected.influence);
+  EXPECT_EQ(parsed.value().years, expected.years);
+  EXPECT_EQ(parsed.value().profiles, expected.profiles);
+  EXPECT_TRUE(parsed.value().ann_index.empty());
+}
+
+TEST(ServingState, RejectsCorruptAnnSection) {
+  // Garbage in the ANN section survives the (opaque) snapshot layer but
+  // must fail the load — not lurk until a retrieval-mode flip.
+  SnapshotData garbage = TinyData();
+  garbage.ann_index = "definitely not a serialized hnsw graph";
+  auto round_trip = SnapshotReader::Parse(SnapshotWriter(garbage).bytes());
+  ASSERT_TRUE(round_trip.ok()) << round_trip.status().ToString();
+  EXPECT_FALSE(
+      ServingState::FromSnapshot(std::move(round_trip).value(), {}).ok());
+
+  // Truncated real index bytes: same story.
+  SnapshotData truncated = TinyData();
+  const std::string ann = TinyAnnBytes();
+  truncated.ann_index = ann.substr(0, ann.size() - 5);
+  EXPECT_FALSE(ServingState::FromSnapshot(std::move(truncated), {}).ok());
+
+  // The identical snapshot with intact bytes loads fine.
+  SnapshotData intact = TinyData();
+  intact.ann_index = ann;
+  const auto loaded = ServingState::FromSnapshot(std::move(intact), {});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_NE(loaded.value()->ann_index, nullptr);
+  EXPECT_EQ(loaded.value()->ann_index->size(), 4u);
+}
+
+TEST(ServingState, AnnModeWithoutIndexIsALoadError) {
+  CandidateIndexOptions options;
+  options.retrieval = RetrievalMode::kAnnEmbedding;
+  const auto result = ServingState::FromSnapshot(TinyData(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("ANN"), std::string::npos);
+}
+
 // --- CandidateIndex -------------------------------------------------------
 
 TEST(CandidateIndex, FiltersByYearWindowDisciplineAndTopic) {
@@ -537,6 +648,83 @@ TEST(SnapshotEndToEnd, FrozenScoresMatchLiveNPRecOnEveryPreset) {
     }
     EXPECT_GT(compared_users, 0) << "preset produced no scoreable users";
   }
+}
+
+TEST(SnapshotEndToEnd, FreezeBuildsServableAnnIndex) {
+  auto world =
+      BuildWorld(datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 99));
+  SnapshotData data = FreezeNPRec(world->ctx, *world->model, "scopus");
+  ASSERT_FALSE(data.ann_index.empty()) << "freeze should build ANN by default";
+
+  // Round-trip through the wire format, then load in embedding-retrieval
+  // mode: at least one user must actually be served off the graph.
+  auto parsed = SnapshotReader::Parse(SnapshotWriter(data).bytes());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  CandidateIndexOptions index_options;
+  index_options.retrieval = RetrievalMode::kAnnEmbedding;
+  const auto loaded =
+      ServingState::FromSnapshot(std::move(parsed).value(), index_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServingState& state = *loaded.value();
+  ASSERT_NE(state.ann_index, nullptr);
+
+  int ann_users = 0;
+  for (size_t u = 0; u < state.profiles.size(); ++u) {
+    const auto source = state.index.SourceFor(static_cast<int32_t>(u));
+    if (source == CandidateSource::kAnnEmbedding) {
+      ++ann_users;
+      // ANN candidate lists obey the same contract as filtered ones:
+      // ascending ids, all within the serving year window.
+      const auto& c = state.index.CandidatesFor(static_cast<int32_t>(u));
+      EXPECT_FALSE(c.empty());
+      for (size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+    }
+  }
+  EXPECT_GT(ann_users, 0) << "no user was served from the ANN index";
+}
+
+TEST(SnapshotEndToEnd, AnnModeServesAndCountsRequests) {
+  auto world =
+      BuildWorld(datagen::ScopusLikeOptions(datagen::DatasetScale::kTiny, 99));
+  const std::string path =
+      ::testing::TempDir() + "/subrec_ann_serve_test.snap";
+  SnapshotWriter writer(FreezeNPRec(world->ctx, *world->model, "scopus"));
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  ServeOptions options;
+  options.index.retrieval = RetrievalMode::kAnnEmbedding;
+  options.cache_capacity = 0;
+  RecommendService service(options);
+  ASSERT_TRUE(service.LoadSnapshotFile(path).ok());
+
+  // Serve every profiled user once; the per-source counter family must
+  // account for each scored request, with the ANN branch represented.
+  const auto counters_before =
+      obs::MetricsRegistry::Global().Snapshot().counters;
+  auto count_of = [](const std::map<std::string, int64_t>& counters,
+                     const std::string& name) {
+    const auto it = counters.find(name);
+    return it == counters.end() ? int64_t{0} : it->second;
+  };
+  int served = 0;
+  const std::shared_ptr<const ServingState> state = service.state();
+  for (size_t u = 0; u < state->profiles.size(); ++u) {
+    const RecResponse response = service.TopN(static_cast<int32_t>(u), 5);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    for (size_t i = 1; i < response.items.size(); ++i)
+      EXPECT_GE(response.items[i - 1].score, response.items[i].score);
+    ++served;
+  }
+  const auto counters_after =
+      obs::MetricsRegistry::Global().Snapshot().counters;
+  int64_t family_delta = 0;
+  for (const auto& [name, value] : counters_after) {
+    if (name.rfind("serve.candidates.source.", 0) == 0)
+      family_delta += value - count_of(counters_before, name);
+  }
+  EXPECT_EQ(family_delta, served);
+  EXPECT_GT(count_of(counters_after, "serve.candidates.source.ann_embedding"),
+            count_of(counters_before, "serve.candidates.source.ann_embedding"));
 }
 
 // --- RecommendService -----------------------------------------------------
