@@ -24,6 +24,9 @@ constexpr size_t kMaxBatch = 1024;
 // Insertions per ParallelFor chunk: amortizes one Scratch allocation per
 // chunk without starving the pool on mid-sized batches.
 constexpr size_t kBuildGrain = 16;
+// Upper bound on ef_construction, enforced identically by Build and
+// Deserialize so every index that can be built can also be loaded.
+constexpr uint32_t kMaxEfConstruction = uint32_t{1} << 20;
 
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
@@ -216,8 +219,10 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Build(
         " vector values");
   if (options.M < 2 || options.M > 256)
     return Status::InvalidArgument("hnsw: M out of range [2, 256]");
-  if (options.ef_construction < options.M)
-    return Status::InvalidArgument("hnsw: ef_construction must be >= M");
+  if (options.ef_construction < options.M ||
+      static_cast<uint32_t>(options.ef_construction) > kMaxEfConstruction)
+    return Status::InvalidArgument("hnsw: ef_construction out of range [M, " +
+                                   std::to_string(kMaxEfConstruction) + "]");
 
   auto index = std::unique_ptr<HnswIndex>(new HnswIndex());
   index->dim_ = dim;
@@ -344,7 +349,7 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Deserialize(
   if (dim == 0) return Status::InvalidArgument("hnsw: dim must be positive");
   if (m < 2 || m > 256)
     return Status::InvalidArgument("hnsw: M out of range [2, 256]");
-  if (ef_construction < m || ef_construction > (uint32_t{1} << 20))
+  if (ef_construction < m || ef_construction > kMaxEfConstruction)
     return Status::InvalidArgument("hnsw: ef_construction out of range");
   if (n > c.remaining() / 4)
     return Status::OutOfRange("hnsw: node count larger than its payload");

@@ -64,6 +64,10 @@ class HnswIndex : public Index {
 
   size_t size() const override { return ids_.size(); }
   size_t dim() const override { return dim_; }
+  /// External ids, one per indexed item. Deserialize treats them as opaque
+  /// — callers embedding the index in a larger structure (the serving
+  /// snapshot) must validate them against their own id space.
+  const std::vector<int32_t>& ids() const { return ids_; }
   int M() const { return M_; }
   int ef_construction() const { return ef_construction_; }
   uint64_t seed() const { return seed_; }

@@ -35,6 +35,11 @@ namespace {
 /// same output contract as the filtered branches. Returns false (leaving
 /// `out` empty) for users ANN cannot serve: empty profiles and queries
 /// whose every hit fell outside the year window.
+///
+/// ServingState::FromSnapshot validates the deserialized index against the
+/// snapshot before any query runs — every external id in [0, years.size())
+/// and index dim == embedding dim — so hit ids index `data.years` safely
+/// here and the Search status CHECK below guards programmer errors only.
 bool AnnCandidatesForUser(const SnapshotData& data,
                           const CandidateIndexOptions& options,
                           const ann::Index& ann_index,

@@ -55,6 +55,26 @@ Result<std::shared_ptr<const ServingState>> ServingState::FromSnapshot(
   if (!data.ann_index.empty()) {
     SUBREC_ASSIGN_OR_RETURN(std::unique_ptr<ann::HnswIndex> decoded,
                             ann::HnswIndex::Deserialize(data.ann_index));
+    // Deserialize validates the index's internal structure only; its
+    // external ids and dimensionality are opaque to it. Cross-check both
+    // against this snapshot here so a well-formed-but-mismatched section
+    // (the CRC is recomputable, not a security barrier) is a load error,
+    // never an out-of-bounds read in the candidate pass or a CHECK-abort
+    // inside its ParallelFor.
+    if (decoded->dim() != data.interest.front().size()) {
+      return Status::InvalidArgument(
+          "snapshot ANN index dim " + std::to_string(decoded->dim()) +
+          " != embedding dim " +
+          std::to_string(data.interest.front().size()));
+    }
+    for (int32_t id : decoded->ids()) {
+      if (id < 0 || static_cast<size_t>(id) >= data.years.size()) {
+        return Status::InvalidArgument(
+            "snapshot ANN index id " + std::to_string(id) +
+            " outside paper range [0, " +
+            std::to_string(data.years.size()) + ")");
+      }
+    }
     ann_index = std::move(decoded);
     data.ann_index.clear();
     data.ann_index.shrink_to_fit();

@@ -169,6 +169,16 @@ TEST(HnswIndex, BuildRejectsBadShapesAndOptions) {
   HnswOptions bad_ef;
   bad_ef.ef_construction = bad_ef.M - 1;
   EXPECT_FALSE(HnswIndex::Build({1}, {1.0}, 1, bad_ef).ok());
+  // Build must enforce the same ef_construction ceiling Deserialize does;
+  // otherwise an index could be built and serialized but never loaded.
+  HnswOptions huge_ef;
+  huge_ef.ef_construction = (1 << 20) + 1;
+  EXPECT_FALSE(HnswIndex::Build({1}, {1.0}, 1, huge_ef).ok());
+  HnswOptions max_ef;
+  max_ef.ef_construction = 1 << 20;
+  const auto at_cap = HnswIndex::Build({1}, {1.0}, 1, max_ef);
+  ASSERT_TRUE(at_cap.ok()) << at_cap.status().ToString();
+  EXPECT_TRUE(HnswIndex::Deserialize(at_cap.value()->Serialize()).ok());
 }
 
 TEST(HnswIndex, SearchValidatesArguments) {

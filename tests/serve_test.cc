@@ -508,6 +508,58 @@ TEST(ServingState, RejectsCorruptAnnSection) {
   EXPECT_EQ(loaded.value()->ann_index->size(), 4u);
 }
 
+TEST(ServingState, RejectsAnnSectionWithOutOfRangePaperIds) {
+  // A structurally valid index whose external ids exceed the snapshot's
+  // paper count (Deserialize treats ids as opaque) must be a load error,
+  // not an out-of-bounds read during the candidate pass.
+  const SnapshotData d = TinyData();
+  std::vector<int32_t> ids;
+  std::vector<double> flat;
+  for (size_t i = 0; i < d.influence.size(); ++i) {
+    ids.push_back(static_cast<int32_t>(i) + 40);  // 40..43, all out of range
+    flat.insert(flat.end(), d.influence[i].begin(), d.influence[i].end());
+  }
+  auto built = ann::HnswIndex::Build(ids, flat, 2, ann::HnswOptions{});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  SnapshotData skewed = TinyData();
+  skewed.ann_index = built.value()->Serialize();
+  CandidateIndexOptions options;
+  options.retrieval = RetrievalMode::kAnnEmbedding;
+  const auto result = ServingState::FromSnapshot(std::move(skewed), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("outside paper range"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ServingState, RejectsAnnSectionWithDimMismatch) {
+  // Two individually well-formed but mutually inconsistent sections: a
+  // 3-dim index over a 2-dim embedding snapshot. Must be a load-time
+  // Status, not a CHECK-abort when the first query hits Search.
+  const SnapshotData d = TinyData();
+  std::vector<int32_t> ids;
+  std::vector<double> flat;
+  for (size_t i = 0; i < d.influence.size(); ++i) {
+    ids.push_back(static_cast<int32_t>(i));
+    flat.insert(flat.end(), d.influence[i].begin(), d.influence[i].end());
+    flat.push_back(0.0);  // pad each row to dim 3
+  }
+  auto built = ann::HnswIndex::Build(ids, flat, 3, ann::HnswOptions{});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  SnapshotData skewed = TinyData();
+  skewed.ann_index = built.value()->Serialize();
+  CandidateIndexOptions options;
+  options.retrieval = RetrievalMode::kAnnEmbedding;
+  const auto result = ServingState::FromSnapshot(std::move(skewed), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("dim"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(ServingState, AnnModeWithoutIndexIsALoadError) {
   CandidateIndexOptions options;
   options.retrieval = RetrievalMode::kAnnEmbedding;
