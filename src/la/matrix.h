@@ -144,6 +144,16 @@ class Matrix {
   /// Human-readable dump (small matrices only; used in tests/logging).
   std::string ToString(int precision = 4) const;
 
+  /// Shape and element-wise equality (IEEE ==, so NaN entries never
+  /// compare equal — matching what the nested-vector representation the
+  /// snapshot structs used to hold would have said).
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+  friend bool operator!=(const Matrix& a, const Matrix& b) {
+    return !(a == b);
+  }
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;

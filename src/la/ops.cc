@@ -376,8 +376,12 @@ Matrix ColMean(const Matrix& a) {
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   SUBREC_CHECK_EQ(a.size(), b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+double Dot(const double* a, const double* b, size_t n) {
   double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
   return s;
 }
 

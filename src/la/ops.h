@@ -85,6 +85,14 @@ Matrix ColMean(const Matrix& a);
 /// Dot product of two equal-length vectors.
 double Dot(const std::vector<double>& a, const std::vector<double>& b);
 
+/// Dot product over raw spans — the same single definition the vector
+/// overload forwards to, so callers holding contiguous matrix rows (the
+/// frozen scorer) get bit-identical results by construction. Plain
+/// ascending multiply-add; never auto-vectorized into a reassociated
+/// reduction (that needs -fassociative-math, which this project never
+/// enables).
+double Dot(const double* a, const double* b, size_t n);
+
 /// L2 norm of a vector.
 double Norm2(const std::vector<double>& a);
 

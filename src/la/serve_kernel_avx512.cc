@@ -1,0 +1,70 @@
+// AVX-512F serve-kernel TU: compiled with -mavx512f -ffp-contract=off on
+// x86-64 GNU/Clang builds (src/CMakeLists.txt) — note NO -mfma and
+// contraction explicitly off: -mavx512f by itself enables 512-bit FMA
+// instructions and GCC's default contraction mode would fuse the kernel's
+// multiply-adds, silently breaking bit-equality with the scalar oracle.
+// With contraction off this TU is bit-identical to the AVX2 and generic
+// serve kernels; the 8-lane vectors only regroup tile columns. Anywhere
+// else it degrades to the AVX2 kernel (which itself degrades to generic)
+// and ServeKernelAvx512Available() reports false.
+
+#include "la/serve_kernel.h"
+
+#include <cstddef>
+
+#include "la/score_math.h"
+
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__AVX512F__)
+
+#define SUBREC_GEMM_NS serve_avx512
+#include "la/gemm_kernel.h"  // NOLINT(build/include)
+#undef SUBREC_GEMM_NS
+
+namespace subrec::la::internal {
+
+void ServeGemmRowBlockAvx512(const double* a, size_t lda, const double* b,
+                             size_t ldb, double* c, size_t ldc, size_t row0,
+                             size_t row_end, size_t k, size_t n) {
+  serve_avx512::GemmRowBlock(a, lda, b, ldb, c, ldc, row0, row_end, k, n);
+}
+
+void ServeSigmoidMeanColumnsAvx512(const double* logits, size_t ld, size_t m,
+                                   size_t n, double denom, double* out) {
+  // Same source as the generic epilogue: ScoreSigmoid is element-wise and
+  // contraction is off, so auto-vectorization under -mavx512f (8-wide with
+  // gathered table loads) cannot change any element's bits.
+  for (size_t j = 0; j < n; ++j) out[j] = 0.0;
+  for (size_t p = 0; p < m; ++p) {
+    const double* row = logits + p * ld;
+    for (size_t j = 0; j < n; ++j) out[j] += ScoreSigmoid(row[j]);
+  }
+  if (m == 0) return;
+  for (size_t j = 0; j < n; ++j) out[j] /= denom;
+}
+
+bool ServeKernelAvx512Available() {
+  return __builtin_cpu_supports("avx512f");
+}
+
+}  // namespace subrec::la::internal
+
+#else  // !__AVX512F__
+
+namespace subrec::la::internal {
+
+void ServeGemmRowBlockAvx512(const double* a, size_t lda, const double* b,
+                             size_t ldb, double* c, size_t ldc, size_t row0,
+                             size_t row_end, size_t k, size_t n) {
+  ServeGemmRowBlockAvx2(a, lda, b, ldb, c, ldc, row0, row_end, k, n);
+}
+
+void ServeSigmoidMeanColumnsAvx512(const double* logits, size_t ld, size_t m,
+                                   size_t n, double denom, double* out) {
+  ServeSigmoidMeanColumnsAvx2(logits, ld, m, n, denom, out);
+}
+
+bool ServeKernelAvx512Available() { return false; }
+
+}  // namespace subrec::la::internal
+
+#endif

@@ -18,6 +18,12 @@ const char* StageName(Stage stage) {
       return "select";
     case Stage::kCacheInsert:
       return "cache_insert";
+    case Stage::kScoreGather:
+      return "score_gather";
+    case Stage::kScoreGemm:
+      return "score_gemm";
+    case Stage::kScoreEpilogue:
+      return "score_epilogue";
     case Stage::kNumStages:
       break;
   }

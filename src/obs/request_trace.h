@@ -25,6 +25,12 @@ enum class Stage : int {
   kSelect,
   /// Result-cache insert after a miss.
   kCacheInsert,
+  /// Batched-scorer breakdown (sub-stages of kScore, recorded only on the
+  /// gemm path): candidate-row gather/transpose, the blocked GEMM itself,
+  /// and the fused sigmoid-mean epilogue.
+  kScoreGather,
+  kScoreGemm,
+  kScoreEpilogue,
   kNumStages,
 };
 

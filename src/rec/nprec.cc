@@ -11,6 +11,7 @@
 #include "graph/neighborhood.h"
 #include "la/check_finite.h"
 #include "la/ops.h"
+#include "la/score_math.h"
 #include "nn/init.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -623,7 +624,11 @@ double NPRec::PairScore(corpus::PaperId p, corpus::PaperId q) const {
   SUBREC_CHECK(fitted_);
   const double logit = la::Dot(paper_interest_[static_cast<size_t>(p)],
                                paper_influence_[static_cast<size_t>(q)]);
-  return 1.0 / (1.0 + std::exp(-logit));
+  // la::ScoreSigmoid, not 1/(1+std::exp(-x)): post-fit pair scores must be
+  // bit-identical between this live path and the frozen serving path (which
+  // also runs the batched GEMM engine), and libm's exp is neither
+  // cross-platform reproducible nor fast enough for the serving budget.
+  return la::ScoreSigmoid(logit);
 }
 
 std::vector<double> NPRec::Score(

@@ -47,11 +47,11 @@ bool AnnCandidatesForUser(const SnapshotData& data,
                           std::vector<int32_t>* out,
                           ann::SearchStats* stats,
                           int64_t* hits_returned) {
-  if (profile.empty() || data.interest.empty()) return false;
-  const size_t dim = data.interest.front().size();
+  if (profile.empty() || data.interest.rows() == 0) return false;
+  const size_t dim = data.interest.cols();
   std::vector<double> query(dim, 0.0);
   for (int32_t pid : profile) {
-    const std::vector<double>& v = data.interest[static_cast<size_t>(pid)];
+    const double* v = data.interest.row_data(static_cast<size_t>(pid));
     for (size_t d = 0; d < dim; ++d) query[d] += v[d];
   }
   const double inv = 1.0 / static_cast<double>(profile.size());

@@ -1,5 +1,6 @@
 #include "serve/freeze.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -8,6 +9,27 @@
 #include "common/check.h"
 
 namespace subrec::serve {
+namespace {
+
+/// Packs the live model's per-paper nested vectors into one contiguous
+/// row-major slab. Freeze is the boundary where the training-side
+/// representation (ragged-capable, per-row allocations) becomes the
+/// serving-side one (a single slab GEMM can gather from); empty input
+/// packs to the 0x0 matrix.
+// SUBREC_NESTED_VECTOR_OK(the training-side input type, consumed here)
+la::Matrix PackRows(std::vector<std::vector<double>>&& rows) {
+  la::Matrix m;
+  if (rows.empty()) return m;
+  const size_t cols = rows.front().size();
+  m.ResizeOverwrite(rows.size(), cols);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    SUBREC_CHECK_EQ(rows[r].size(), cols);
+    std::copy(rows[r].begin(), rows[r].end(), m.row_data(r));
+  }
+  return m;
+}
+
+}  // namespace
 
 SnapshotData FreezeNPRec(const rec::RecContext& ctx, const rec::NPRec& model,
                          const std::string& dataset_name,
@@ -23,9 +45,9 @@ SnapshotData FreezeNPRec(const rec::RecContext& ctx, const rec::NPRec& model,
 
   rec::NPRecFrozenVectors vectors = model.ExportFrozenVectors();
   SUBREC_CHECK_EQ(vectors.interest.size(), corpus.papers.size());
-  data.interest = std::move(vectors.interest);
-  data.influence = std::move(vectors.influence);
-  data.text = std::move(vectors.text);
+  data.interest = PackRows(std::move(vectors.interest));
+  data.influence = PackRows(std::move(vectors.influence));
+  data.text = PackRows(std::move(vectors.text));
 
   data.years.reserve(corpus.papers.size());
   data.disciplines.reserve(corpus.papers.size());
@@ -50,13 +72,12 @@ SnapshotData FreezeNPRec(const rec::RecContext& ctx, const rec::NPRec& model,
   if (options.build_ann_index) {
     std::vector<int32_t> ids;
     std::vector<double> vectors;
-    const size_t dim =
-        data.influence.empty() ? 0 : data.influence.front().size();
-    for (size_t p = 0; p < data.influence.size(); ++p) {
+    const size_t dim = data.influence.cols();
+    for (size_t p = 0; p < data.influence.rows(); ++p) {
       if (data.years[p] <= data.split_year) continue;
       ids.push_back(static_cast<int32_t>(p));
-      vectors.insert(vectors.end(), data.influence[p].begin(),
-                     data.influence[p].end());
+      const double* v = data.influence.row_data(p);
+      vectors.insert(vectors.end(), v, v + dim);
     }
     if (!ids.empty() && dim > 0) {
       Result<std::unique_ptr<ann::HnswIndex>> built = ann::HnswIndex::Build(

@@ -43,7 +43,7 @@ obs::Counter* SourceCounter(CandidateSource source) {
 
 Result<std::shared_ptr<const ServingState>> ServingState::FromSnapshot(
     SnapshotData data, CandidateIndexOptions index_options) {
-  if (data.interest.empty())
+  if (data.interest.rows() == 0)
     return Status::InvalidArgument("snapshot has no papers to serve");
   if (index_options.min_year == 0) index_options.min_year = data.split_year;
   // Decode the ANN section whenever present — a corrupt index should fail
@@ -61,11 +61,10 @@ Result<std::shared_ptr<const ServingState>> ServingState::FromSnapshot(
     // (the CRC is recomputable, not a security barrier) is a load error,
     // never an out-of-bounds read in the candidate pass or a CHECK-abort
     // inside its ParallelFor.
-    if (decoded->dim() != data.interest.front().size()) {
+    if (decoded->dim() != data.interest.cols()) {
       return Status::InvalidArgument(
           "snapshot ANN index dim " + std::to_string(decoded->dim()) +
-          " != embedding dim " +
-          std::to_string(data.interest.front().size()));
+          " != embedding dim " + std::to_string(data.interest.cols()));
     }
     for (int32_t id : decoded->ids()) {
       if (id < 0 || static_cast<size_t>(id) >= data.years.size()) {
@@ -150,6 +149,16 @@ RecResponse RecommendService::TopN(int32_t user, int n) {
 
 RecResponse RecommendService::TopNInternal(int32_t user, int n,
                                            int64_t submit_ns) {
+  // Generation first, then state — pairs with the store order in Swap.
+  const uint64_t generation = generation_.load();
+  return TopNOnState(user, n, submit_ns, generation, state(),
+                     /*prescored=*/nullptr);
+}
+
+RecResponse RecommendService::TopNOnState(
+    int32_t user, int n, int64_t submit_ns, uint64_t generation,
+    const std::shared_ptr<const ServingState>& state,
+    const std::vector<double>* prescored) {
   static obs::Counter* const requests =
       obs::MetricsRegistry::Global().GetCounter("serve.requests");
   static obs::Counter* const cache_hit_counter =
@@ -204,9 +213,6 @@ RecResponse RecommendService::TopNInternal(int32_t user, int n,
                          response.cache_hit, /*shed=*/false, t);
   };
 
-  // Generation first, then state — pairs with the store order in Swap.
-  const uint64_t generation = generation_.load();
-  const std::shared_ptr<const ServingState> state = this->state();
   if (state == nullptr) {
     response.status =
         Status::FailedPrecondition("RecommendService: no snapshot loaded");
@@ -270,7 +276,8 @@ RecResponse RecommendService::TopNInternal(int32_t user, int n,
       t->candidate_count = static_cast<int32_t>(candidates->size());
       t->candidate_source = CandidateSourceName(source);
     }
-    response.items = state->scorer.TopN(profile, *candidates, n, t);
+    state->scorer.TopNInto(profile, *candidates, n, options_.scorer_mode, t,
+                           prescored, &response.items);
   }
   if (cache_) {
     obs::StageTimer timer(t, obs::Stage::kCacheInsert);
@@ -278,6 +285,90 @@ RecResponse RecommendService::TopNInternal(int32_t user, int n,
   }
   finish(/*observe_latency=*/true);
   return response;
+}
+
+std::vector<RecResponse> RecommendService::RunChunk(
+    const std::vector<RecRequest>& requests, int64_t submit_ns) {
+  static obs::Counter* const stacked_passes =
+      obs::MetricsRegistry::Global().GetCounter("serve.score.stacked_passes");
+  static obs::Counter* const stacked_gather_ns =
+      obs::MetricsRegistry::Global().GetCounter("serve.score.gather_ns");
+  static obs::Counter* const stacked_gemm_ns =
+      obs::MetricsRegistry::Global().GetCounter("serve.score.gemm_ns");
+  static obs::Counter* const stacked_epilogue_ns =
+      obs::MetricsRegistry::Global().GetCounter("serve.score.epilogue_ns");
+
+  // Generation first, then state — pairs with the store order in Swap. One
+  // capture for the whole chunk keeps the coalesced scores and every
+  // member's cache entry consistent with a single generation even if a hot
+  // reload lands mid-chunk.
+  const uint64_t generation = generation_.load();
+  const std::shared_ptr<const ServingState> state = this->state();
+
+  // SUBREC_NESTED_VECTOR_OK(per-request score buffers, ragged by request)
+  std::vector<std::vector<double>> scores(requests.size());
+  std::vector<const std::vector<double>*> prescored(requests.size(), nullptr);
+  if (options_.scorer_mode == ScorerMode::kGemm && state != nullptr &&
+      requests.size() >= 2) {
+    // Coalescing pre-pass: group the chunk's valid requests by candidate
+    // list (CandidatesFor returns a reference into the immutable state, so
+    // the address is the identity) and score each group of two or more in
+    // one stacked GEMM — every gathered influence tile is then multiplied
+    // against all of the group's profiles at once. A member that later
+    // turns out to be a cache hit wastes its slice of the pass; that is a
+    // perf tradeoff, never a correctness one, since TopNOnState still
+    // probes the cache first and prescored scores are bit-identical to
+    // what the solo path would have computed.
+    struct Group {
+      const std::vector<int32_t>* candidates = nullptr;
+      std::vector<size_t> members;
+    };
+    std::vector<Group> groups;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const RecRequest& r = requests[i];
+      if (r.user < 0 || r.n < 0 || r.n >= (1 << 16) ||
+          static_cast<size_t>(r.user) >= state->profiles.size()) {
+        continue;  // TopNOnState rejects it with the right status.
+      }
+      const std::vector<int32_t>& cands = state->index.CandidatesFor(r.user);
+      Group* group = nullptr;
+      for (Group& g : groups) {
+        if (g.candidates == &cands) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.push_back(Group{&cands, {}});
+        group = &groups.back();
+      }
+      group->members.push_back(i);
+    }
+    for (const Group& g : groups) {
+      if (g.members.size() < 2) continue;
+      std::vector<FrozenScorer::StackedRequest> stacked;
+      stacked.reserve(g.members.size());
+      for (size_t i : g.members) {
+        const auto user = static_cast<size_t>(requests[i].user);
+        stacked.push_back({&state->profiles[user], &scores[i]});
+      }
+      ScoreBatchStats stats;
+      state->scorer.ScoreStackedInto(stacked, *g.candidates, &stats);
+      for (size_t i : g.members) prescored[i] = &scores[i];
+      stacked_passes->Increment();
+      stacked_gather_ns->Increment(stats.gather_ns);
+      stacked_gemm_ns->Increment(stats.gemm_ns);
+      stacked_epilogue_ns->Increment(stats.epilogue_ns);
+    }
+  }
+
+  std::vector<RecResponse> out;
+  out.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    out.push_back(TopNOnState(requests[i].user, requests[i].n, submit_ns,
+                              generation, state, prescored[i]));
+  }
+  return out;
 }
 
 std::future<std::vector<RecResponse>> RecommendService::SubmitBatch(
@@ -290,11 +381,7 @@ std::future<std::vector<RecResponse>> RecommendService::SubmitBatch(
   if (num_chunks <= 1) {
     return pool_.SubmitWithResult(
         [this, submit_ns, requests = std::move(requests)]() {
-          std::vector<RecResponse> out;
-          out.reserve(requests.size());
-          for (const RecRequest& r : requests)
-            out.push_back(TopNInternal(r.user, r.n, submit_ns));
-          return out;
+          return RunChunk(requests, submit_ns);
         });
   }
   // Fan the chunks out across workers; aggregation is a deferred task that
@@ -310,11 +397,7 @@ std::future<std::vector<RecResponse>> RecommendService::SubmitBatch(
         requests.begin() + static_cast<ptrdiff_t>(end));
     chunk_futures->push_back(pool_.SubmitWithResult(
         [this, submit_ns, chunk = std::move(chunk)]() {
-          std::vector<RecResponse> out;
-          out.reserve(chunk.size());
-          for (const RecRequest& r : chunk)
-            out.push_back(TopNInternal(r.user, r.n, submit_ns));
-          return out;
+          return RunChunk(chunk, submit_ns);
         }));
   }
   return std::async(std::launch::deferred, [chunk_futures]() {

@@ -54,6 +54,10 @@ struct ServeOptions {
   size_t cache_shards = 16;
   /// Requests grouped into one pool task by SubmitBatch/TopNBatch.
   size_t batch_size = 8;
+  /// Which scoring engine serves cache-missing requests. Both are
+  /// bit-identical; kGemm additionally lets a batch chunk coalesce
+  /// requests that share a candidate list into one stacked GEMM.
+  ScorerMode scorer_mode = ScorerMode::kGemm;
   CandidateIndexOptions index;
   /// Serving-path observability (rolling windows, flight recorder, stage
   /// traces). Disabled by default: the only per-request cost is then one
@@ -125,7 +129,26 @@ class RecommendService {
 
   /// Shared request path. `submit_ns` is the SubmitBatch enqueue time for
   /// queue-stage attribution, or -1 when the caller ran synchronously.
+  /// Captures the current generation + state and delegates to TopNOnState.
   RecResponse TopNInternal(int32_t user, int n, int64_t submit_ns);
+
+  /// Request path against an already-captured generation + state pair (the
+  /// capture order — generation first — pairs with the store order in
+  /// Swap, so results are never cached under a newer generation than they
+  /// were computed from). `prescored`, when non-null, holds this user's
+  /// scores from a stacked coalesced pass over the SAME state; the scoring
+  /// stage is then skipped and only selection runs.
+  RecResponse TopNOnState(int32_t user, int n, int64_t submit_ns,
+                          uint64_t generation,
+                          const std::shared_ptr<const ServingState>& state,
+                          const std::vector<double>* prescored);
+
+  /// Executes one SubmitBatch chunk: a coalescing pre-pass stacks the
+  /// chunk's cache-key-distinct requests that share a candidate list into
+  /// one ScoreStackedInto GEMM (gemm mode only), then every request runs
+  /// the normal path with its prescored slice.
+  std::vector<RecResponse> RunChunk(const std::vector<RecRequest>& requests,
+                                    int64_t submit_ns);
 
   ServeOptions options_ SUBREC_UNGUARDED("set in the constructor, read-only");
   // Null when caching is disabled; the pointer itself is fixed after the

@@ -41,33 +41,26 @@ void AppendI32Vector(std::string* out, const std::vector<int32_t>& v) {
   for (int32_t x : v) AppendI32(out, x);
 }
 
-/// Uniform-width double matrix: rows u64, cols u64, row-major values.
-Status EncodeMatrix(const std::vector<std::vector<double>>& rows,
-                    std::string* out) {
-  const size_t cols = rows.empty() ? 0 : rows.front().size();
-  for (const auto& row : rows) {
-    if (row.size() != cols)
-      return Status::InvalidArgument("snapshot matrix rows are ragged");
-  }
-  AppendU64(out, rows.size());
-  AppendU64(out, cols);
-  for (const auto& row : rows)
-    for (double v : row) AppendDouble(out, v);
-  return Status::Ok();
+/// Uniform-width double matrix: rows u64, cols u64, row-major values. The
+/// in-memory slab is already row-major, so encoding is one flat sweep.
+void EncodeMatrix(const la::Matrix& m, std::string* out) {
+  AppendU64(out, m.rows());
+  AppendU64(out, m.cols());
+  const double* flat = m.data();
+  for (size_t i = 0; i < m.size(); ++i) AppendDouble(out, flat[i]);
 }
 
-Status DecodeMatrix(std::string_view bytes,
-                    std::vector<std::vector<double>>* out) {
+Status DecodeMatrix(std::string_view bytes, la::Matrix* out) {
   Cursor c(bytes);
   uint64_t rows = 0, cols = 0;
   SUBREC_RETURN_NOT_OK(c.ReadU64(&rows));
   SUBREC_RETURN_NOT_OK(c.ReadU64(&cols));
   // Bound the dimensions by the section size BEFORE any allocation or
   // arithmetic on them: cols first, so that 8*cols below cannot wrap (a
-  // crafted cols of 2^61 would otherwise divide by zero) and so the
-  // per-row fill constructor can never allocate more than the section
-  // actually carries — even when rows == 0. A zero-width matrix has no
-  // payload bytes to bound rows with, so rows gets an explicit cap there.
+  // crafted cols of 2^61 would otherwise divide by zero) and so the slab
+  // resize can never allocate more than the section actually carries —
+  // even when rows == 0. A zero-width matrix has no payload bytes to
+  // bound rows with, so rows gets an explicit cap there.
   if (cols > c.remaining() / 8)
     return Status::OutOfRange("snapshot matrix wider than its section");
   if (cols == 0) {
@@ -78,10 +71,13 @@ Status DecodeMatrix(std::string_view bytes,
   } else if (rows > c.remaining() / (8 * cols)) {
     return Status::OutOfRange("snapshot matrix larger than its section");
   }
-  out->assign(static_cast<size_t>(rows),
-              std::vector<double>(static_cast<size_t>(cols)));
-  for (auto& row : *out)
-    for (double& v : row) SUBREC_RETURN_NOT_OK(c.ReadDouble(&v));
+  // Decode straight into the contiguous slab: one allocation for the whole
+  // matrix, no transient per-row vectors (the load-time allocation
+  // regression test counts on this).
+  out->ResizeOverwrite(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  double* flat = out->data();
+  for (size_t i = 0; i < out->size(); ++i)
+    SUBREC_RETURN_NOT_OK(c.ReadDouble(&flat[i]));
   return Status::Ok();
 }
 
@@ -99,12 +95,12 @@ Status DecodeI32Vector(std::string_view bytes, std::vector<int32_t>* out) {
 /// Structural consistency of a parsed snapshot: every per-paper array must
 /// agree on the paper count and the score dot product must be well-formed.
 Status ValidateData(const SnapshotData& d) {
-  const size_t n = d.interest.size();
-  if (d.influence.size() != n)
+  const size_t n = d.interest.rows();
+  if (d.influence.rows() != n)
     return Status::InvalidArgument("snapshot: interest/influence size skew");
-  if (n > 0 && d.interest.front().size() != d.influence.front().size())
+  if (n > 0 && d.interest.cols() != d.influence.cols())
     return Status::InvalidArgument("snapshot: interest/influence dim skew");
-  if (!d.text.empty() && d.text.size() != n)
+  if (!d.text.empty() && d.text.rows() != n)
     return Status::InvalidArgument("snapshot: text vector count skew");
   if (d.years.size() != n || d.disciplines.size() != n ||
       d.topics.size() != n) {
@@ -156,11 +152,9 @@ SnapshotWriter::SnapshotWriter(const SnapshotData& data) {
     AppendI32(&body, data.split_year);
     add_section(kMetaTag, body);
   }
-  auto add_matrix = [&](uint32_t tag,
-                        const std::vector<std::vector<double>>& m) {
+  auto add_matrix = [&](uint32_t tag, const la::Matrix& m) {
     std::string body;
-    const Status s = EncodeMatrix(m, &body);
-    SUBREC_CHECK(s.ok()) << s.ToString();
+    EncodeMatrix(m, &body);
     add_section(tag, body);
   };
   add_matrix(kInterestTag, data.interest);

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "la/matrix.h"
 
 namespace subrec::serve {
 
@@ -19,13 +20,17 @@ struct SnapshotData {
   std::string model_name;
   std::string dataset;
   int32_t split_year = 0;
-  /// Uniform-width per-paper vectors; score(p,q) = sigmoid(<interest[p],
-  /// influence[q]>) exactly as the live model computes it.
-  std::vector<std::vector<double>> interest;
-  std::vector<std::vector<double>> influence;
-  /// Fused text vectors c_p (empty when the model ran text-free); kept for
+  /// Per-paper vectors as contiguous row-major slabs (one row per paper);
+  /// score(p,q) = sigmoid(<interest row p, influence row q>) exactly as
+  /// the live model computes it. Contiguous storage is what lets the
+  /// frozen scorer gather rows straight into GEMM blocks, and lets the
+  /// snapshot decoder fill each slab with a single allocation instead of
+  /// one vector per row.
+  la::Matrix interest;
+  la::Matrix influence;
+  /// Fused text vectors c_p (0x0 when the model ran text-free); kept for
   /// inspection and content-similarity fallbacks, not used by PairScore.
-  std::vector<std::vector<double>> text;
+  la::Matrix text;
   // Candidate-index attributes, one entry per paper.
   std::vector<int32_t> years;
   std::vector<int32_t> disciplines;

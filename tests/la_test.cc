@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
 #include "common/rng.h"
 #include "la/matrix.h"
 #include "la/ops.h"
+#include "la/score_math.h"
+#include "la/serve_kernel.h"
 #include "par/parallel.h"
 
 namespace subrec::la {
@@ -279,6 +284,154 @@ TEST(OpsDegenerate, RowSoftmaxZeroColumns) {
 TEST(OpsDegenerate, ColMeanZeroRowsDies) {
   Matrix a(0, 4);
   EXPECT_DEATH(ColMean(a), "rows");
+}
+
+// --- ScoreExp / ScoreSigmoid ----------------------------------------------
+
+int64_t UlpDistance(double a, double b) {
+  int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude bit patterns onto a monotone integer line.
+  if (ia < 0) ia = INT64_MIN - ia;
+  if (ib < 0) ib = INT64_MIN - ib;
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+TEST(ScoreExp, TracksLibmWithinAFewUlp) {
+  // The serving exp is its own deterministic implementation, so it need
+  // not equal libm bit-for-bit — but it must agree to a few ulp across the
+  // whole non-clamped range or scores would visibly drift from the
+  // mathematical sigmoid.
+  Rng rng(7);
+  int64_t worst = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.Uniform(-700.0, 700.0);
+    worst = std::max(worst, UlpDistance(ScoreExp(x), std::exp(x)));
+  }
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.Uniform(-4.0, 4.0);  // the logit hot range
+    worst = std::max(worst, UlpDistance(ScoreExp(x), std::exp(x)));
+  }
+  EXPECT_LE(worst, 4) << "ScoreExp drifted from exp";
+}
+
+TEST(ScoreExp, KnownValuesAndClampEdges) {
+  EXPECT_EQ(ScoreExp(0.0), 1.0);
+  EXPECT_EQ(ScoreExp(-0.0), 1.0);
+  // The clamp keeps every result a normal, finite double: overflow and
+  // underflow inputs saturate at e^{+/-708} instead of inf/0.
+  const double top = ScoreExp(708.0);
+  EXPECT_TRUE(std::isfinite(top));
+  EXPECT_EQ(ScoreExp(709.0), top);
+  EXPECT_EQ(ScoreExp(1e300), top);
+  const double bottom = ScoreExp(-708.0);
+  EXPECT_GT(bottom, 0.0);
+  EXPECT_EQ(ScoreExp(-709.0), bottom);
+  EXPECT_EQ(ScoreExp(-1e300), bottom);
+  // Monotone on a fine grid — table/polynomial seams must not wiggle.
+  double prev = ScoreExp(-20.0);
+  for (int i = 1; i <= 80000; ++i) {
+    const double x = -20.0 + static_cast<double>(i) * (40.0 / 80000.0);
+    const double y = ScoreExp(x);
+    ASSERT_GE(y, prev) << "non-monotone at x=" << x;
+    prev = y;
+  }
+}
+
+TEST(ScoreSigmoid, RangeAndSymmetryAnchors) {
+  EXPECT_EQ(ScoreSigmoid(0.0), 0.5);
+  Rng rng(8);
+  // Strictly interior while exp(-|x|) is above one ulp of 1.0.
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-30.0, 30.0);
+    const double s = ScoreSigmoid(x);
+    ASSERT_GT(s, 0.0);
+    ASSERT_LT(s, 1.0);
+  }
+  // Past that, the upper side rounds to exactly 1.0 (1 + 2^-54 is 1.0 in
+  // doubles) while the lower side stays a positive denormal-free value —
+  // the exp clamp guarantees no inf/NaN either way.
+  EXPECT_EQ(ScoreSigmoid(1e308), 1.0);
+  EXPECT_GT(ScoreSigmoid(-1e308), 0.0);
+}
+
+// --- serve kernels --------------------------------------------------------
+
+TEST(Dot, PointerOverloadIsTheVectorOverload) {
+  Rng rng(9);
+  std::vector<double> a(37), b(37);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  EXPECT_EQ(Dot(a, b), Dot(a.data(), b.data(), a.size()));
+  EXPECT_EQ(Dot(a.data(), b.data(), 0), 0.0);
+}
+
+TEST(ServeKernel, GatherTransposeLaysRowsOutAsColumns) {
+  Matrix slab(5, 3);
+  Rng rng(10);
+  for (size_t i = 0; i < slab.size(); ++i) slab[i] = rng.Gaussian();
+  const std::vector<int32_t> ids = {4, 0, 2};
+  std::vector<double> bt(slab.cols() * ids.size());
+  ServeGatherTranspose(slab.data(), slab.cols(), ids.data(), ids.size(),
+                       bt.data());
+  for (size_t i = 0; i < ids.size(); ++i)
+    for (size_t d = 0; d < slab.cols(); ++d)
+      EXPECT_EQ(bt[d * ids.size() + i],
+                slab(static_cast<size_t>(ids[i]), d));
+}
+
+TEST(ServeKernel, GemmIsBitIdenticalToScalarDot) {
+  // The whole batched-scorer determinism argument rests on this: one GEMM
+  // cell must be EXACTLY the ascending-k scalar dot product, for every
+  // kernel the dispatcher might pick, including the blocked edge paths.
+  Rng rng(11);
+  for (const auto& [m, k, n] :
+       {std::tuple<size_t, size_t, size_t>{1, 1, 1},
+        {3, 5, 7},
+        {4, 16, 16},
+        {5, 12, 33},
+        {16, 32, 128},
+        {7, 17, 130}}) {
+    std::vector<double> a(m * k), bt(k * n), c(m * n);
+    for (double& x : a) x = rng.Gaussian();
+    for (double& x : bt) x = rng.Gaussian();
+    ServeGemm(a.data(), k, bt.data(), n, c.data(), n, m, k, n);
+    std::vector<double> col(k);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t d = 0; d < k; ++d) col[d] = bt[d * n + j];
+      for (size_t i = 0; i < m; ++i) {
+        ASSERT_EQ(c[i * n + j], Dot(a.data() + i * k, col.data(), k))
+            << m << "x" << k << "x" << n << " cell (" << i << "," << j
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(ServeKernel, SigmoidMeanColumnsIsBitIdenticalToScalarLoop) {
+  // Vectorized epilogue vs the oracle's ascending-profile accumulate +
+  // divide. Widths around the SIMD register boundaries catch remainder
+  // lanes; the divide (never a reciprocal multiply) is what keeps
+  // non-power-of-two profile sizes exact.
+  Rng rng(12);
+  for (const size_t m : {1u, 3u, 7u}) {
+    for (const size_t n : {1u, 4u, 8u, 9u, 15u, 16u, 17u, 64u, 100u}) {
+      std::vector<double> logits(m * n), got(n);
+      for (double& x : logits) x = rng.Uniform(-30.0, 30.0);
+      ServeSigmoidMeanColumns(logits.data(), n, m, n,
+                              static_cast<double>(m), got.data());
+      for (size_t j = 0; j < n; ++j) {
+        double total = 0.0;
+        for (size_t i = 0; i < m; ++i)
+          total += ScoreSigmoid(logits[i * n + j]);
+        ASSERT_EQ(got[j], total / static_cast<double>(m))
+            << m << "x" << n << " column " << j;
+      }
+    }
+  }
 }
 
 }  // namespace

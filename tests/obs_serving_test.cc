@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <map>
 #include <new>
 #include <string>
 #include <string_view>
@@ -36,9 +37,11 @@
 namespace {
 
 thread_local int64_t g_thread_allocs = 0;
+thread_local int64_t g_thread_alloc_bytes = 0;
 
 void* ProbeAlloc(std::size_t size) {
   g_thread_allocs += 1;
+  g_thread_alloc_bytes += static_cast<int64_t>(size);
   void* p = std::malloc(size > 0 ? size : 1);
   if (p == nullptr) std::abort();
   return p;
@@ -46,6 +49,7 @@ void* ProbeAlloc(std::size_t size) {
 
 void* ProbeAlignedAlloc(std::size_t size, std::size_t align) {
   g_thread_allocs += 1;
+  g_thread_alloc_bytes += static_cast<int64_t>(size);
   // aligned_alloc requires the size to be a multiple of the alignment.
   const std::size_t rounded = (size + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded > 0 ? rounded : align);
@@ -124,6 +128,16 @@ int64_t CountAllocations(Fn&& fn) {
   const int64_t before = g_thread_allocs;
   fn();
   return g_thread_allocs - before;
+}
+
+/// Bytes requested from the allocator by the calling thread while `fn`
+/// runs (cumulative; frees are not subtracted, which is exactly what a
+/// transient-copy regression needs to see).
+template <typename Fn>
+int64_t CountAllocatedBytes(Fn&& fn) {
+  const int64_t before = g_thread_alloc_bytes;
+  fn();
+  return g_thread_alloc_bytes - before;
 }
 
 // --- Minimal JSON acceptor --------------------------------------------------
@@ -271,6 +285,21 @@ TEST(RequestTrace, WriteJsonEmitsNonzeroStagesOnly) {
   EXPECT_TRUE(Contains(json, "\"score\"")) << json;
   EXPECT_FALSE(Contains(json, "\"queue\"")) << json;
   EXPECT_TRUE(Contains(json, "\"candidate_source\":\"topic_pruned\"")) << json;
+}
+
+TEST(RequestTrace, ScoreBreakdownStagesSerializeWithNames) {
+  obs::RequestTrace t;
+  t.stage_ns[static_cast<int>(obs::Stage::kScore)] = 4'000;
+  t.stage_ns[static_cast<int>(obs::Stage::kScoreGather)] = 1'000;
+  t.stage_ns[static_cast<int>(obs::Stage::kScoreGemm)] = 2'000;
+  t.stage_ns[static_cast<int>(obs::Stage::kScoreEpilogue)] = 500;
+  obs::JsonWriter w;
+  t.WriteJson(&w);
+  const std::string json = w.str();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_TRUE(Contains(json, "\"score_gather\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"score_gemm\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"score_epilogue\"")) << json;
 }
 
 TEST(RequestTrace, NullStageTimerIsANoOp) {
@@ -766,6 +795,148 @@ serve::SnapshotData TinyServingData() {
   d.topics = {0, 1, 0, 1};
   d.profiles = {{0}, {1, 0}};
   return d;
+}
+
+/// A deterministic synthetic snapshot big enough that per-row transients
+/// (the failure mode these probes guard) would dominate any fixed
+/// per-section overhead.
+serve::SnapshotData SyntheticServingData(size_t papers, size_t dim) {
+  serve::SnapshotData d;
+  d.model_name = "NPRec";
+  d.dataset = "synthetic";
+  d.split_year = 2014;
+  d.interest.ResizeOverwrite(papers, dim);
+  d.influence.ResizeOverwrite(papers, dim);
+  for (size_t p = 0; p < papers; ++p) {
+    for (size_t j = 0; j < dim; ++j) {
+      d.interest(p, j) =
+          static_cast<double>((p * 31 + j * 7) % 13) / 13.0 - 0.5;
+      d.influence(p, j) =
+          static_cast<double>((p * 17 + j * 11) % 19) / 19.0 - 0.5;
+    }
+  }
+  d.years.assign(papers, 2015);
+  d.disciplines.assign(papers, 0);
+  d.topics.assign(papers, 0);
+  d.profiles = {{0, 1, 2}, {3, 4}};
+  return d;
+}
+
+TEST(ScorerAllocation, SteadyStateScoringLoopIsAllocationFree) {
+  // The batched-engine acceptance contract: once per-thread scratch and
+  // the output containers are warm, scoring + selection allocate NOTHING,
+  // in either engine mode, with or without stage stats. Growth of any
+  // hidden temporary (a per-tile vector, a per-call string, a rehash)
+  // fails this test.
+  const serve::FrozenScorer scorer(SyntheticServingData(512, 24));
+  const std::vector<int32_t> profile = {3, 5, 7, 11, 13, 17, 19};
+  std::vector<int32_t> candidates(512);
+  for (size_t i = 0; i < candidates.size(); ++i)
+    candidates[i] = static_cast<int32_t>(i);
+
+  std::vector<serve::ScoredPaper> out;
+  std::vector<double> scores;
+  serve::ScoreBatchStats stats;
+  const std::vector<int32_t> profile2 = {2, 4, 6};
+  std::vector<std::vector<double>> stacked_scores(2);
+  std::vector<serve::FrozenScorer::StackedRequest> stacked = {
+      {&profile, &stacked_scores[0]}, {&profile2, &stacked_scores[1]}};
+
+  // Warm-up: primes scratch, counter-registry statics, and capacities.
+  for (const auto mode :
+       {serve::ScorerMode::kGemm, serve::ScorerMode::kPairwise}) {
+    scorer.TopNInto(profile, candidates, 10, mode, nullptr, nullptr, &out);
+  }
+  scorer.ScoreBatchInto(profile, candidates, &scores, &stats);
+  scorer.ScoreStackedInto(stacked, candidates, &stats);
+
+  const int64_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 16; ++i) {
+      scorer.TopNInto(profile, candidates, 10, serve::ScorerMode::kGemm,
+                      nullptr, nullptr, &out);
+      scorer.TopNInto(profile, candidates, 10, serve::ScorerMode::kPairwise,
+                      nullptr, nullptr, &out);
+      scorer.ScoreBatchInto(profile, candidates, &scores, &stats);
+      scorer.ScoreStackedInto(stacked, candidates, &stats);
+    }
+  });
+  EXPECT_EQ(allocs, 0);
+  ASSERT_EQ(out.size(), 10u);
+}
+
+TEST(SnapshotAllocation, DecodeAllocatesPerSectionNotPerRow) {
+  // The slab decode contract: parsing a snapshot performs a bounded,
+  // shape-independent number of allocations (one slab per matrix plus
+  // per-section bookkeeping), and never transiently doubles the big
+  // slabs. The pre-slab decoder allocated one vector per row — with
+  // 4096 rows this bound would blow up by two orders of magnitude.
+  const serve::SnapshotData big = SyntheticServingData(4096, 8);
+  const serve::SnapshotWriter writer(big);
+  const std::string& bytes = writer.bytes();
+
+  serve::SnapshotData parsed;
+  int64_t alloc_bytes = 0;
+  const int64_t allocs = CountAllocations([&] {
+    alloc_bytes = CountAllocatedBytes([&] {
+      auto result = serve::SnapshotReader::Parse(bytes);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      parsed = std::move(result).value();
+    });
+  });
+  EXPECT_LE(allocs, 64) << "snapshot decode is allocating per row again";
+  // Every byte allocated during the parse must be accounted for by the
+  // decoded payload itself (slabs + attribute arrays), not transient
+  // copies: allow the payload once plus 64 KiB of fixed overhead.
+  EXPECT_LE(alloc_bytes, static_cast<int64_t>(bytes.size()) + 64 * 1024);
+  ASSERT_EQ(parsed.interest.rows(), 4096u);
+  ASSERT_EQ(parsed.interest.cols(), 8u);
+}
+
+TEST(ServiceObservability, GemmTracesCarryScoreStageBreakdown) {
+  serve::ServeOptions so;
+  so.num_threads = 1;
+  so.cache_capacity = 0;
+  so.scorer_mode = serve::ScorerMode::kGemm;
+  so.observer.enabled = true;
+  so.observer.sample_every_n = 1;
+  so.observer.recorder.recent_capacity = 4;
+  serve::RecommendService service(so);
+  auto state = serve::ServingState::FromSnapshot(TinyServingData(), so.index);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  service.Swap(std::move(state).value());
+
+  const auto counters_before =
+      obs::MetricsRegistry::Global().Snapshot().counters;
+  auto value_of = [](const std::map<std::string, int64_t>& counters,
+                     const std::string& name) {
+    const auto it = counters.find(name);
+    return it == counters.end() ? int64_t{0} : it->second;
+  };
+
+  const serve::RecResponse r = service.TopN(1, 3);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+
+  const auto counters_after =
+      obs::MetricsRegistry::Global().Snapshot().counters;
+  EXPECT_EQ(value_of(counters_after, "serve.score.requests.gemm"),
+            value_of(counters_before, "serve.score.requests.gemm") + 1);
+  EXPECT_EQ(value_of(counters_after, "serve.score.requests.pairwise"),
+            value_of(counters_before, "serve.score.requests.pairwise"));
+
+  // The sampled trace splits the score stage into gather/gemm/epilogue;
+  // the breakdown can never exceed the enclosing score stage.
+  const std::vector<obs::RequestTrace> recent =
+      service.observer().recorder()->Recent();
+  ASSERT_FALSE(recent.empty());
+  const obs::RequestTrace& t = recent[0];
+  const int64_t score = t.stage_ns[static_cast<int>(obs::Stage::kScore)];
+  const int64_t sub =
+      t.stage_ns[static_cast<int>(obs::Stage::kScoreGather)] +
+      t.stage_ns[static_cast<int>(obs::Stage::kScoreGemm)] +
+      t.stage_ns[static_cast<int>(obs::Stage::kScoreEpilogue)];
+  EXPECT_GT(score, 0);
+  EXPECT_GE(sub, 0);
+  EXPECT_LE(sub, score);
 }
 
 TEST(ServiceObservability, DisabledByDefaultAndInert) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <future>
@@ -18,6 +19,7 @@
 #include "datagen/split.h"
 #include "graph/academic_graph.h"
 #include "obs/metrics.h"
+#include "par/parallel.h"
 #include "rec/nprec.h"
 #include "rec/recommender.h"
 #include "serve/candidate_index.h"
@@ -417,9 +419,10 @@ std::string TinyAnnBytes() {
   const SnapshotData d = TinyData();
   std::vector<int32_t> ids;
   std::vector<double> flat;
-  for (size_t i = 0; i < d.influence.size(); ++i) {
+  for (size_t i = 0; i < d.influence.rows(); ++i) {
     ids.push_back(static_cast<int32_t>(i));
-    flat.insert(flat.end(), d.influence[i].begin(), d.influence[i].end());
+    const double* row = d.influence.row_data(i);
+    flat.insert(flat.end(), row, row + d.influence.cols());
   }
   auto built = ann::HnswIndex::Build(ids, flat, 2, ann::HnswOptions{});
   SUBREC_CHECK(built.ok()) << built.status().ToString();
@@ -515,9 +518,10 @@ TEST(ServingState, RejectsAnnSectionWithOutOfRangePaperIds) {
   const SnapshotData d = TinyData();
   std::vector<int32_t> ids;
   std::vector<double> flat;
-  for (size_t i = 0; i < d.influence.size(); ++i) {
+  for (size_t i = 0; i < d.influence.rows(); ++i) {
     ids.push_back(static_cast<int32_t>(i) + 40);  // 40..43, all out of range
-    flat.insert(flat.end(), d.influence[i].begin(), d.influence[i].end());
+    const double* row = d.influence.row_data(i);
+    flat.insert(flat.end(), row, row + d.influence.cols());
   }
   auto built = ann::HnswIndex::Build(ids, flat, 2, ann::HnswOptions{});
   ASSERT_TRUE(built.ok()) << built.status().ToString();
@@ -541,9 +545,10 @@ TEST(ServingState, RejectsAnnSectionWithDimMismatch) {
   const SnapshotData d = TinyData();
   std::vector<int32_t> ids;
   std::vector<double> flat;
-  for (size_t i = 0; i < d.influence.size(); ++i) {
+  for (size_t i = 0; i < d.influence.rows(); ++i) {
     ids.push_back(static_cast<int32_t>(i));
-    flat.insert(flat.end(), d.influence[i].begin(), d.influence[i].end());
+    const double* row = d.influence.row_data(i);
+    flat.insert(flat.end(), row, row + d.influence.cols());
     flat.push_back(0.0);  // pad each row to dim 3
   }
   auto built = ann::HnswIndex::Build(ids, flat, 3, ann::HnswOptions{});
@@ -633,6 +638,102 @@ TEST(FrozenScorer, TopNIsSortedAndDeterministic) {
   EXPECT_EQ(cold[0].score, 0.0);
 }
 
+void ExpectBitEqualScores(const std::vector<double>& want,
+                          const std::vector<double>& got,
+                          const std::string& what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(want[i], got[i]) << what << " at index " << i;
+}
+
+TEST(FrozenScorer, BatchMatchesOracleOnDegenerateShapes) {
+  const FrozenScorer scorer(TinyData());
+  const std::vector<int32_t> all = {0, 1, 2, 3};
+
+  // Empty profile: zeros from both engines.
+  ExpectBitEqualScores(scorer.Score({}, all), scorer.ScoreBatch({}, all),
+                       "empty profile");
+  // Empty candidates: empty from both.
+  EXPECT_TRUE(scorer.ScoreBatch({0, 1}, {}).empty());
+  // Single candidate / single-paper profile.
+  ExpectBitEqualScores(scorer.Score({1}, {2}), scorer.ScoreBatch({1}, {2}),
+                       "1x1");
+  // Duplicate profile entries are legal (a user can weight a paper twice).
+  ExpectBitEqualScores(scorer.Score({0, 0, 1}, all),
+                       scorer.ScoreBatch({0, 0, 1}, all), "dup profile");
+  // n = 0 keeps nothing.
+  EXPECT_TRUE(scorer.TopN({0, 1}, all, 0).empty());
+
+  // Zero-dimension model: every pair scores sigmoid(0) = 0.5 on both
+  // paths (the batched engine must not early-out past the epilogue).
+  SnapshotData flat = TinyData();
+  flat.interest = la::Matrix(4, 0);
+  flat.influence = la::Matrix(4, 0);
+  flat.text = la::Matrix();
+  const FrozenScorer zero_dim(flat);
+  const auto oracle = zero_dim.Score({0, 1, 2}, all);
+  for (double s : oracle) EXPECT_EQ(s, 0.5);
+  ExpectBitEqualScores(oracle, zero_dim.ScoreBatch({0, 1, 2}, all),
+                       "dim-0 model");
+}
+
+TEST(FrozenScorer, StackedPassMatchesEachSoloRequest) {
+  const FrozenScorer scorer(TinyData());
+  const std::vector<int32_t> candidates = {0, 1, 2, 3};
+  const std::vector<std::vector<int32_t>> profiles = {
+      {0}, {1, 0}, {}, {3, 2, 1}};
+  std::vector<std::vector<double>> scores(profiles.size());
+  std::vector<FrozenScorer::StackedRequest> stacked;
+  stacked.reserve(profiles.size());
+  for (size_t i = 0; i < profiles.size(); ++i)
+    stacked.push_back({&profiles[i], &scores[i]});
+  ScoreBatchStats stats;
+  scorer.ScoreStackedInto(stacked, candidates, &stats);
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    ExpectBitEqualScores(scorer.Score(profiles[i], candidates), scores[i],
+                         "stacked user " + std::to_string(i));
+  }
+  EXPECT_GE(stats.gather_ns, 0);
+}
+
+TEST(FrozenScorer, HeapSelectionKeepsThePartialSortContract) {
+  // Many ties: the heap path must reproduce (score desc, id asc) exactly,
+  // including the keep >= size and keep == size - 1 boundaries.
+  SnapshotData d = TinyData();
+  d.interest = la::Matrix(8, 1);
+  d.influence = la::Matrix(8, 1);
+  d.text = la::Matrix();
+  d.years = {2015, 2015, 2015, 2015, 2015, 2015, 2015, 2015};
+  d.disciplines.assign(8, 0);
+  d.topics.assign(8, 0);
+  d.profiles = {{0}};
+  for (size_t p = 0; p < 8; ++p) {
+    d.interest(p, 0) = 1.0;
+    d.influence(p, 0) = static_cast<double>(p % 3);  // three tie groups
+  }
+  const FrozenScorer scorer(d);
+  const std::vector<int32_t> candidates = {7, 6, 5, 4, 3, 2, 1, 0};
+  const auto scores = scorer.Score({0}, candidates);
+  for (int n : {1, 3, 5, 7, 8, 100}) {
+    const auto top = scorer.TopN({0}, candidates, n);
+    // Reference: full materialize + stable ranking contract.
+    std::vector<ScoredPaper> ranked(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i)
+      ranked[i] = {candidates[i], scores[i]};
+    std::sort(ranked.begin(), ranked.end(),
+              [](const ScoredPaper& a, const ScoredPaper& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.paper < b.paper;
+              });
+    ranked.resize(std::min(ranked.size(), static_cast<size_t>(n)));
+    ASSERT_EQ(top.size(), ranked.size()) << "n=" << n;
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].paper, ranked[i].paper) << "n=" << n << " pos " << i;
+      EXPECT_EQ(top[i].score, ranked[i].score) << "n=" << n << " pos " << i;
+    }
+  }
+}
+
 // --- End-to-end: every dataset preset round-trips bit-exactly -------------
 
 struct PresetCase {
@@ -699,6 +800,60 @@ TEST(SnapshotEndToEnd, FrozenScoresMatchLiveNPRecOnEveryPreset) {
       ++compared_users;
     }
     EXPECT_GT(compared_users, 0) << "preset produced no scoreable users";
+  }
+}
+
+TEST(SnapshotEndToEnd, BatchEngineMatchesOracleOnEveryPresetAndThreadCount) {
+  // The acceptance gate of the batched scorer: on every dataset preset and
+  // for SUBREC_NUM_THREADS in {1, 2, 4}, ScoreBatch and the stacked
+  // multi-user pass are bit-exact against the per-pair oracle (itself
+  // bit-exact against live NPRec per the test above). The thread sweep
+  // guards the whole frozen pipeline — freeze, ANN build, candidate index
+  // — against picking up a thread-count-dependent operation order.
+  for (const PresetCase& preset : AllPresets()) {
+    SCOPED_TRACE(preset.name);
+    auto world = BuildWorld(preset.options);
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      par::ScopedNumThreads scoped(threads);
+      SnapshotData data = FreezeNPRec(world->ctx, *world->model, preset.name);
+      auto parsed = SnapshotReader::Parse(SnapshotWriter(data).bytes());
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      const FrozenScorer scorer(parsed.value());
+      CandidateIndexOptions index_options;
+      index_options.min_year = kSplitYear;
+      const CandidateIndex index(parsed.value(), index_options);
+
+      // Solo batch vs oracle, per user.
+      int compared = 0;
+      std::vector<FrozenScorer::StackedRequest> stacked;
+      std::vector<std::vector<double>> stacked_scores;
+      std::vector<const std::vector<int32_t>*> stacked_profiles;
+      const std::vector<int32_t>& pool = index.AllNewPapers();
+      const auto& profiles = parsed.value().profiles;
+      for (size_t u = 0; u < profiles.size() && compared < 6; ++u) {
+        if (profiles[u].empty()) continue;
+        const auto& candidates = index.CandidatesFor(static_cast<int32_t>(u));
+        if (candidates.empty()) continue;
+        ExpectBitEqualScores(scorer.Score(profiles[u], candidates),
+                             scorer.ScoreBatch(profiles[u], candidates),
+                             "user " + std::to_string(u));
+        stacked_profiles.push_back(&profiles[u]);
+        ++compared;
+      }
+      ASSERT_GT(compared, 0);
+
+      // Stacked pass over the shared pool vs each user's oracle.
+      stacked_scores.resize(stacked_profiles.size());
+      for (size_t i = 0; i < stacked_profiles.size(); ++i)
+        stacked.push_back({stacked_profiles[i], &stacked_scores[i]});
+      scorer.ScoreStackedInto(stacked, pool, nullptr);
+      for (size_t i = 0; i < stacked_profiles.size(); ++i) {
+        ExpectBitEqualScores(scorer.Score(*stacked_profiles[i], pool),
+                             stacked_scores[i],
+                             "stacked slot " + std::to_string(i));
+      }
+    }
   }
 }
 
@@ -851,6 +1006,81 @@ TEST_F(ServiceTest, RejectsUnknownUsers) {
   EXPECT_EQ(service.TopN(-5, 5).status.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(service.TopN(1 << 29, 5).status.code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, PairwiseAndGemmModesServeIdenticalResults) {
+  // The scorer_mode option is a pure engine switch: every user's ranked
+  // list must be identical — papers AND score bits — across modes.
+  std::vector<std::vector<ScoredPaper>> per_mode;
+  for (const ScorerMode mode : {ScorerMode::kPairwise, ScorerMode::kGemm}) {
+    ServeOptions options;
+    options.cache_capacity = 0;
+    options.scorer_mode = mode;
+    RecommendService service(options);
+    ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+    const size_t users = service.state()->profiles.size();
+    std::vector<ScoredPaper> flattened;
+    for (size_t u = 0; u < users; ++u) {
+      const RecResponse r = service.TopN(static_cast<int32_t>(u), 7);
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      flattened.insert(flattened.end(), r.items.begin(), r.items.end());
+    }
+    per_mode.push_back(std::move(flattened));
+  }
+  ASSERT_EQ(per_mode[0].size(), per_mode[1].size());
+  for (size_t i = 0; i < per_mode[0].size(); ++i) {
+    EXPECT_EQ(per_mode[0][i].paper, per_mode[1][i].paper) << "slot " << i;
+    EXPECT_EQ(per_mode[0][i].score, per_mode[1][i].score) << "slot " << i;
+  }
+}
+
+TEST_F(ServiceTest, BatchCoalescesRequestsSharingACandidateList) {
+  ServeOptions options;
+  options.cache_capacity = 0;  // every request must actually score
+  options.batch_size = 8;
+  options.num_threads = 1;
+  RecommendService service(options);
+  ASSERT_TRUE(service.LoadSnapshotFile(*snapshot_path_).ok());
+  const int32_t user = AUser();
+
+  // Baselines from the solo path.
+  const RecResponse solo3 = service.TopN(user, 3);
+  const RecResponse solo5 = service.TopN(user, 5);
+  ASSERT_TRUE(solo3.status.ok());
+  ASSERT_TRUE(solo5.status.ok());
+
+  auto counter_value = [](const std::string& name) {
+    const auto snap = obs::MetricsRegistry::Global().Snapshot().counters;
+    const auto it = snap.find(name);
+    return it == snap.end() ? int64_t{0} : it->second;
+  };
+  const int64_t passes_before = counter_value("serve.score.stacked_passes");
+  const int64_t stacked_before =
+      counter_value("serve.score.requests.stacked");
+
+  // Same user twice in one chunk: both draw the same candidate-list
+  // reference, so the chunk pre-pass stacks them into one GEMM; the
+  // third request (invalid user) must be rejected untouched.
+  const std::vector<RecResponse> batch =
+      service.TopNBatch({{user, 3}, {user, 5}, {-7, 4}});
+  ASSERT_EQ(batch.size(), 3u);
+  ASSERT_TRUE(batch[0].status.ok());
+  ASSERT_TRUE(batch[1].status.ok());
+  EXPECT_EQ(batch[2].status.code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(counter_value("serve.score.stacked_passes"), passes_before + 1);
+  EXPECT_EQ(counter_value("serve.score.requests.stacked"),
+            stacked_before + 2);
+
+  // Coalesced results are bit-identical to the solo path.
+  const std::vector<const RecResponse*> want = {&solo3, &solo5};
+  for (size_t r = 0; r < want.size(); ++r) {
+    ASSERT_EQ(batch[r].items.size(), want[r]->items.size()) << "req " << r;
+    for (size_t i = 0; i < batch[r].items.size(); ++i) {
+      EXPECT_EQ(batch[r].items[i].paper, want[r]->items[i].paper);
+      EXPECT_EQ(batch[r].items[i].score, want[r]->items[i].score);
+    }
+  }
 }
 
 TEST_F(ServiceTest, RejectsOversizedNInEveryBuildMode) {

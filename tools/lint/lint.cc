@@ -181,6 +181,42 @@ class RegexRule final : public Rule {
   std::regex re_;
 };
 
+/// Serving code stores per-paper vector sets as contiguous la::Matrix
+/// slabs (one allocation, GEMM-ready rows); a vector-of-vectors of doubles
+/// reintroduces one heap allocation per row and pointer-chasing on the
+/// scoring hot path. Genuinely ragged data (per-request score buffers,
+/// transitional decode input) opts out with a
+/// SUBREC_NESTED_VECTOR_OK(reason) comment on the same line or the line
+/// above — the reason is mandatory, a bare marker does not count.
+class NestedVectorMatrixRule final : public Rule {
+ public:
+  const std::string& name() const override { return name_; }
+
+  void Check(const SourceFile& file,
+             std::vector<Violation>* out) const override {
+    if (!StartsWith(file.path, "src/serve/")) return;
+    static const std::regex nested_re(
+        "std::vector\\s*<\\s*std::vector\\s*<\\s*double\\b");
+    static const std::regex optout_re(
+        "SUBREC_NESTED_VECTOR_OK\\s*\\([^)]+\\)");
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      if (!std::regex_search(file.code[i], nested_re)) continue;
+      const bool allowed =
+          std::regex_search(file.comments[i], optout_re) ||
+          (i > 0 && std::regex_search(file.comments[i - 1], optout_re));
+      if (allowed) continue;
+      out->push_back(
+          {file.path, i + 1, name_,
+           "serving code keeps per-row vector sets as contiguous la::Matrix "
+           "slabs, not vector-of-vectors of double; genuinely ragged data "
+           "may opt out with a SUBREC_NESTED_VECTOR_OK(reason) comment"});
+    }
+  }
+
+ private:
+  std::string name_ = "no-nested-vector-matrix";
+};
+
 /// Header guards must spell the repo path: src/la/matrix.h uses
 /// SUBREC_LA_MATRIX_H_, bench/bench_common.h uses SUBREC_BENCH_BENCH_COMMON_H_
 /// (the src/ prefix is dropped, everything else is kept).
@@ -589,6 +625,7 @@ std::vector<std::unique_ptr<Rule>> BuildDefaultRules() {
   rules.push_back(std::make_unique<TodoFormatRule>());
   rules.push_back(std::make_unique<IncludeHygieneRule>());
   rules.push_back(std::make_unique<GuardedByRule>());
+  rules.push_back(std::make_unique<NestedVectorMatrixRule>());
   return rules;
 }
 

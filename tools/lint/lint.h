@@ -81,6 +81,11 @@ struct RegexRuleSpec {
 ///                     fields of a class owning a common::Mutex carry
 ///                     SUBREC_GUARDED_BY / SUBREC_PT_GUARDED_BY /
 ///                     SUBREC_UNGUARDED(reason)
+///   no-nested-vector-matrix
+///                     vector<vector<double>> in src/serve — per-row
+///                     matrices live in contiguous la::Matrix slabs; ragged
+///                     data opts out with a SUBREC_NESTED_VECTOR_OK(reason)
+///                     comment
 std::vector<std::unique_ptr<Rule>> BuildDefaultRules();
 
 /// Recursively collects .h/.cc/.cpp files under `dirs` (repo-relative),

@@ -141,6 +141,37 @@ TEST(LintConcurrency, MutexWrapperHeaderMayNameRawPrimitives) {
   EXPECT_FALSE(fired.count("guarded-by-required"));
 }
 
+TEST(LintServeMatrix, BadFixtureFiresAtExpectedLines) {
+  const std::vector<Violation> vs =
+      LintFixtureAs("serve_matrix_bad.h", "src/serve/serve_matrix_bad.h");
+  std::vector<size_t> lines;
+  for (const Violation& v : vs) {
+    if (v.rule == "no-nested-vector-matrix") lines.push_back(v.line);
+  }
+  std::sort(lines.begin(), lines.end());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], 10u);  // interest member
+  EXPECT_EQ(lines[1], 11u);  // triply nested samples
+  EXPECT_EQ(lines[2], 13u);  // bare marker without a reason is no opt-out
+}
+
+TEST(LintServeMatrix, GoodFixtureIsClean) {
+  const std::vector<Violation> vs =
+      LintFixtureAs("serve_matrix_good.h", "src/serve/serve_matrix_good.h");
+  for (const Violation& v : vs) ADD_FAILURE() << FormatViolation(v);
+}
+
+TEST(LintServeMatrix, RuleScopesToServe) {
+  // The identical content anywhere else in src/ (or outside src/) is out of
+  // the slab rule's scope — training code legitimately builds row vectors.
+  for (const std::string& path :
+       {std::string("src/rec/serve_matrix_bad.h"),
+        std::string("tools/serve_matrix_bad.h")}) {
+    const std::vector<Violation> vs = LintFixtureAs("serve_matrix_bad.h", path);
+    EXPECT_FALSE(FiredRules(vs).count("no-nested-vector-matrix")) << path;
+  }
+}
+
 TEST(LintCollect, SkipsTestdataAndNonSources) {
   // Collecting over tools/ must not pick up the fixtures this test lints.
   const std::vector<std::string> files =

@@ -1,0 +1,19 @@
+#ifndef SUBREC_SERVE_SERVE_MATRIX_BAD_H_
+#define SUBREC_SERVE_SERVE_MATRIX_BAD_H_
+
+#include <vector>
+
+namespace subrec::serve {
+
+// Every shape the slab rule must flag when the file lives in src/serve/.
+struct NestedState {
+  std::vector<std::vector<double>> interest;
+  std::vector<std::vector<std::vector<double>>> samples;
+  // SUBREC_NESTED_VECTOR_OK
+  std::vector<std::vector<double>> bare_marker_is_not_an_optout;
+  std::vector<std::vector<int>> profiles_are_fine;
+};
+
+}  // namespace subrec::serve
+
+#endif  // SUBREC_SERVE_SERVE_MATRIX_BAD_H_

@@ -1,0 +1,23 @@
+#ifndef SUBREC_SERVE_SERVE_MATRIX_GOOD_H_
+#define SUBREC_SERVE_SERVE_MATRIX_GOOD_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace subrec::serve {
+
+// Contiguous slabs are the rule; genuinely ragged data carries a reasoned
+// opt-out on the same line or the line above.
+struct SlabState {
+  la::Matrix interest;
+  la::Matrix influence;
+  // SUBREC_NESTED_VECTOR_OK(per-request score buffers are ragged by nature)
+  std::vector<std::vector<double>> per_request_scores;
+  std::vector<std::vector<double>> rows;  // SUBREC_NESTED_VECTOR_OK(ragged)
+  std::vector<std::vector<int>> profiles;
+};
+
+}  // namespace subrec::serve
+
+#endif  // SUBREC_SERVE_SERVE_MATRIX_GOOD_H_
