@@ -422,6 +422,38 @@ int main() {
         << "gemm scorer slower than pairwise oracle: " << stage_speedup << "x";
   }
 
+  // --- Retrieval mode: filtered scan vs ANN graph walk. ------------------
+  // The same closed loop under each candidate-retrieval branch, one worker
+  // and cache off so every request pays retrieval + scoring on the lists
+  // that branch builds. kAnnEmbedding queries the frozen HnswIndex once
+  // per user at snapshot load (the per-request cost is the smaller list it
+  // produces), so this measures the serving cost profile of ANN retrieval
+  // end to end, load included.
+  bench::PrintHeader("serve_throughput: retrieval mode (filtered vs ann)");
+  const serve::RetrievalMode kRetrievals[2] = {
+      serve::RetrievalMode::kFiltered, serve::RetrievalMode::kAnnEmbedding};
+  const char* kRetrievalNames[2] = {"filtered", "ann_embedding"};
+  for (int i = 0; i < 2; ++i) {
+    serve::ServeOptions options;
+    options.num_threads = 1;
+    options.cache_capacity = 0;
+    options.batch_size = 64;
+    options.index.retrieval = kRetrievals[i];
+    serve::RecommendService retrieval_service(options);
+    SUBREC_CHECK(retrieval_service.LoadSnapshotFile(snapshot_path).ok());
+    auto [qps, latencies] =
+        ClosedLoop(&retrieval_service, users, mode_requests);
+    const std::string prefix =
+        std::string("serve.retrieval.") + kRetrievalNames[i];
+    report.AddScalar(prefix + ".qps", qps);
+    report.AddScalar(prefix + ".p50_us", PercentileUs(latencies, 0.50));
+    report.AddScalar(prefix + ".p95_us", PercentileUs(latencies, 0.95));
+    report.AddScalar(prefix + ".p99_us", PercentileUs(latencies, 0.99));
+    std::printf("retrieval %-13s: %10.0f qps  p50 %.1fus  p99 %.1fus\n",
+                kRetrievalNames[i], qps, PercentileUs(latencies, 0.50),
+                PercentileUs(latencies, 0.99));
+  }
+
   // --- Open loop at target QPS, cache on, hot reload mid-run. ------------
   bench::PrintHeader("serve_throughput: open loop at target QPS (cache on)");
   serve::ServeOptions serve_options;

@@ -6,7 +6,18 @@
 #include <utility>
 
 #include "common/wire.h"
+#include "la/ann_kernel.h"
 #include "par/parallel.h"
+
+// Beam search is memory-latency bound: each expansion gathers up to 2M
+// link rows and vectors scattered across the arena. Hinting the next
+// frontier candidate's row while the current one is scored hides a good
+// part of that latency; on non-GNU compilers the hint just disappears.
+#if defined(__GNUC__) || defined(__clang__)
+#define SUBREC_ANN_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define SUBREC_ANN_PREFETCH(addr)
+#endif
 
 namespace subrec::ann {
 namespace {
@@ -21,7 +32,7 @@ constexpr int32_t kMaxLevelCap = 30;
 // plan against the pre-batch graph only, so the cap bounds how much of the
 // corpus any insertion is blind to once the graph is large.
 constexpr size_t kMaxBatch = 1024;
-// Insertions per ParallelFor chunk: amortizes one Scratch allocation per
+// Insertions per ParallelFor chunk: amortizes one scratch allocation per
 // chunk without starving the pool on mid-sized batches.
 constexpr size_t kBuildGrain = 16;
 // Upper bound on ef_construction, enforced identically by Build and
@@ -45,15 +56,136 @@ int32_t LevelForNode(uint64_t seed, size_t i, double mult) {
   return std::min(level, kMaxLevelCap);
 }
 
+/// 4-ary heap primitives over a reused vector; `top_before(a, b)` says a
+/// belongs above b (std::less -> min-heap, std::greater -> max-heap). The
+/// top element and pop order are value-determined, and every DistNode in a
+/// layer search is distinct (one entry per node, ids break distance ties),
+/// so replacing the binary std::push_heap/pop_heap with a shallower 4-ary
+/// tree changes no traversal decision — only the constant factor on the
+/// tens of millions of sift steps a bulk build performs.
+template <typename T, typename Cmp>
+void HeapPush(std::vector<T>* heap, const T item, Cmp top_before) {
+  auto& v = *heap;
+  size_t i = v.size();
+  v.push_back(item);
+  while (i > 0) {
+    const size_t p = (i - 1) >> 2;
+    if (!top_before(item, v[p])) break;
+    v[i] = v[p];
+    i = p;
+  }
+  v[i] = item;
+}
+
+/// Replaces the top element and restores the heap in one sift-down. For a
+/// full bounded heap this is the same resulting set as push-then-pop when
+/// the new item beats the top (the displaced element is exactly the old
+/// top), at roughly half the sift work.
+template <typename T, typename Cmp>
+void HeapReplaceTop(std::vector<T>* heap, const T item, Cmp top_before) {
+  auto& v = *heap;
+  const size_t n = v.size();
+  size_t i = 0;
+  for (;;) {
+    const size_t c0 = 4 * i + 1;
+    if (c0 >= n) break;
+    size_t m = c0;
+    const size_t end = c0 + 4 < n ? c0 + 4 : n;
+    for (size_t c = c0 + 1; c < end; ++c)
+      if (top_before(v[c], v[m])) m = c;
+    if (!top_before(v[m], item)) break;
+    v[i] = v[m];
+    i = m;
+  }
+  v[i] = item;
+}
+
+template <typename T, typename Cmp>
+void HeapPop(std::vector<T>* heap, Cmp top_before) {
+  auto& v = *heap;
+  const T item = v.back();
+  v.pop_back();
+  const size_t n = v.size();
+  if (n == 0) return;
+  size_t i = 0;
+  for (;;) {
+    const size_t c0 = 4 * i + 1;
+    if (c0 >= n) break;
+    size_t m = c0;
+    const size_t end = c0 + 4 < n ? c0 + 4 : n;
+    for (size_t c = c0 + 1; c < end; ++c)
+      if (top_before(v[c], v[m])) m = c;
+    if (!top_before(v[m], item)) break;
+    v[i] = v[m];
+    i = m;
+  }
+  v[i] = item;
+}
+
+/// Floyd bottom-up heapify: O(n) sift-downs, against the O(n log n) full
+/// sort it replaces on the SearchLayer result. Consumers pop lazily and
+/// the neighbor selection usually stops well before draining the heap, so
+/// most of the ordering work the sort used to do is never needed. Popping
+/// distinct elements ascending is exactly the sorted order, so nothing
+/// downstream can tell the difference decision-wise.
+template <typename T, typename Cmp>
+void Heapify(std::vector<T>* heap, Cmp top_before) {
+  auto& v = *heap;
+  const size_t n = v.size();
+  if (n < 2) return;
+  for (size_t i = ((n - 2) >> 2) + 1; i-- > 0;) {
+    const T item = v[i];
+    size_t j = i;
+    for (;;) {
+      const size_t c0 = 4 * j + 1;
+      if (c0 >= n) break;
+      size_t m = c0;
+      const size_t end = c0 + 4 < n ? c0 + 4 : n;
+      for (size_t c = c0 + 1; c < end; ++c)
+        if (top_before(v[c], v[m])) m = c;
+      if (!top_before(v[m], item)) break;
+      v[j] = v[m];
+      j = m;
+    }
+    v[j] = item;
+  }
+}
+
 }  // namespace
 
-void HnswIndex::Scratch::NextEpoch(size_t n) {
+void HnswIndex::SearchScratch::NextEpoch(size_t n) {
   if (stamp.size() < n) stamp.assign(n, 0);
   ++epoch;
   if (epoch == 0) {  // uint8 wrapped: stale stamps could alias, clear.
     std::fill(stamp.begin(), stamp.end(), uint8_t{0});
     epoch = 1;
   }
+}
+
+int32_t* HnswIndex::LinkRow(size_t node, int32_t level) {
+  if (level == 0)
+    return level0_.data() + node * (1 + 2 * static_cast<size_t>(M_));
+  return upper_.data() + (upper_row_[node] + static_cast<size_t>(level) - 1) *
+                             (1 + static_cast<size_t>(M_));
+}
+
+const int32_t* HnswIndex::LinkRow(size_t node, int32_t level) const {
+  if (level == 0)
+    return level0_.data() + node * (1 + 2 * static_cast<size_t>(M_));
+  return upper_.data() + (upper_row_[node] + static_cast<size_t>(level) - 1) *
+                             (1 + static_cast<size_t>(M_));
+}
+
+void HnswIndex::AllocateArena() {
+  const size_t n = ids_.size();
+  level0_.assign(n * (1 + 2 * static_cast<size_t>(M_)), 0);
+  upper_row_.resize(n);
+  size_t rows = 0;
+  for (size_t i = 0; i < n; ++i) {
+    upper_row_[i] = rows;
+    rows += static_cast<size_t>(levels_[i]);
+  }
+  upper_.assign(rows * (1 + static_cast<size_t>(M_)), 0);
 }
 
 double HnswIndex::Dist(int32_t node, const double* query) const {
@@ -64,15 +196,27 @@ double HnswIndex::Dist(int32_t node, const double* query) const {
 }
 
 void HnswIndex::GreedyStep(const double* query, int32_t level, int32_t* cur,
-                           double* cur_dist, SearchStats* stats) const {
+                           double* cur_dist, SearchScratch* scratch,
+                           SearchStats* stats) const {
+  if (scratch->batch_dots.size() < RowCapacity(0))
+    scratch->batch_dots.resize(RowCapacity(0));
   bool improved = true;
   while (improved) {
     improved = false;
     if (stats != nullptr) ++stats->nodes_visited;
-    for (int32_t nb : links_[static_cast<size_t>(*cur)]
-                            [static_cast<size_t>(level)]) {
-      const double d = Dist(nb, query);
-      if (stats != nullptr) ++stats->distance_evals;
+    const int32_t* row = LinkRow(static_cast<size_t>(*cur), level);
+    const auto count = static_cast<size_t>(row[0]);
+    if (count == 0) break;
+    // Link rows are contiguous, so the row feeds the batched kernel
+    // directly. The dots are a pure function of the graph, so evaluating
+    // them up front and scanning sequentially takes the exact decisions
+    // the one-at-a-time loop took.
+    la::AnnDotBatch(query, vectors_.data(), dim_, row + 1, count,
+                    scratch->batch_dots.data());
+    if (stats != nullptr) stats->distance_evals += static_cast<int64_t>(count);
+    for (size_t t = 0; t < count; ++t) {
+      const int32_t nb = row[1 + t];
+      const double d = -scratch->batch_dots[t];
       // Strict improvement, node id as tiebreak: a total order, so the
       // walk can neither cycle nor depend on evaluation timing.
       if (d < *cur_dist || (d == *cur_dist && nb < *cur)) {
@@ -85,67 +229,132 @@ void HnswIndex::GreedyStep(const double* query, int32_t level, int32_t* cur,
 }
 
 void HnswIndex::SearchLayer(const double* query, int32_t entry, size_t ef,
-                            int32_t level, Scratch* scratch,
+                            int32_t level, SearchScratch* scratch,
                             std::vector<DistNode>* out,
                             SearchStats* stats) const {
   scratch->NextEpoch(ids_.size());
   // `frontier` pops closest-first; `best` tracks the ef closest seen so
   // far with its worst member on top. Pair order ties on node id, so the
-  // expansion sequence is a pure function of the graph.
-  std::priority_queue<DistNode, std::vector<DistNode>,
-                      std::greater<DistNode>>
-      frontier;
-  std::priority_queue<DistNode> best;
+  // expansion sequence is a pure function of the graph. Both heaps live
+  // on reused scratch vectors so a warmed search never allocates.
+  auto& frontier = scratch->frontier;
+  auto& best = scratch->best;
+  frontier.clear();
+  best.clear();
+  auto& batch = scratch->batch_ids;
+  if (batch.size() < RowCapacity(0)) {
+    batch.resize(RowCapacity(0));
+    scratch->batch_dots.resize(RowCapacity(0));
+  }
   const double entry_dist = Dist(entry, query);
   if (stats != nullptr) ++stats->distance_evals;
-  frontier.emplace(entry_dist, entry);
-  best.emplace(entry_dist, entry);
+  frontier.emplace_back(entry_dist, entry);
+  best.emplace_back(entry_dist, entry);
   scratch->Mark(entry);
   while (!frontier.empty()) {
-    const DistNode cand = frontier.top();
-    if (best.size() >= ef && cand > best.top()) break;
-    frontier.pop();
+    const DistNode cand = frontier.front();
+    if (best.size() >= ef && cand > best.front()) break;
+    HeapPop(&frontier, std::less<DistNode>{});
+    if (!frontier.empty()) {
+      const auto next = static_cast<size_t>(frontier.front().second);
+      SUBREC_ANN_PREFETCH(vectors_.data() + next * dim_);
+      SUBREC_ANN_PREFETCH(LinkRow(next, level));
+    }
     if (stats != nullptr) ++stats->nodes_visited;
-    for (int32_t nb : links_[static_cast<size_t>(cand.second)]
-                            [static_cast<size_t>(level)]) {
-      if (scratch->Visited(nb)) continue;
-      scratch->Mark(nb);
-      const double d = Dist(nb, query);
-      if (stats != nullptr) ++stats->distance_evals;
-      if (best.size() < ef || DistNode(d, nb) < best.top()) {
-        frontier.emplace(d, nb);
-        best.emplace(d, nb);
-        if (best.size() > ef) best.pop();
+    const int32_t* row = LinkRow(static_cast<size_t>(cand.second), level);
+    const auto count = static_cast<size_t>(row[0]);
+    // Gather the unvisited neighbors in link order, then score the whole
+    // batch in one kernel call. Marking before scoring is equivalent to
+    // the interleaved loop: links within a row are distinct, and the heap
+    // pushes below neither read nor write the visited stamps.
+    int32_t* bp = batch.data();
+    size_t bn = 0;
+    // Branchless compaction: the fresh/visited split is data-dependent
+    // 50/50 noise the branch predictor can't learn, so write every link
+    // and advance the cursor by the freshness flag instead. Re-stamping a
+    // visited node is a no-op, and slots past `bn` are dead by contract.
+    const uint8_t epoch = scratch->epoch;
+    uint8_t* stamp = scratch->stamp.data();
+    for (size_t t = 0; t < count; ++t) {
+      const int32_t nb = row[1 + t];
+      const uint8_t fresh = stamp[nb] != epoch;
+      stamp[nb] = epoch;
+      bp[bn] = nb;
+      bn += fresh;
+    }
+    if (bn == 0) continue;
+    // Hint every other cache line of the fresh rows before the kernel (the
+    // adjacent-line prefetcher pairs the rest): one line is not enough for
+    // a dim~48 row spanning six lines, and the kernel touches all of them
+    // within a few hundred cycles. Filtering first halves the hints issued
+    // — roughly every other link was already visited.
+    for (size_t t = 0; t < bn; ++t) {
+      const double* v = vectors_.data() + static_cast<size_t>(bp[t]) * dim_;
+      for (size_t d = 0; d < dim_; d += 16) SUBREC_ANN_PREFETCH(v + d);
+    }
+    la::AnnDotBatch(query, vectors_.data(), dim_, bp, bn,
+                    scratch->batch_dots.data());
+    if (stats != nullptr) stats->distance_evals += bn;
+    for (size_t t = 0; t < bn; ++t) {
+      const int32_t nb = bp[t];
+      const double d = -scratch->batch_dots[t];
+      if (best.size() < ef) {
+        HeapPush(&frontier, DistNode(d, nb), std::less<DistNode>{});
+        HeapPush(&best, DistNode(d, nb), std::greater<DistNode>{});
+      } else if (DistNode(d, nb) < best.front()) {
+        HeapPush(&frontier, DistNode(d, nb), std::less<DistNode>{});
+        HeapReplaceTop(&best, DistNode(d, nb), std::greater<DistNode>{});
       }
     }
   }
-  out->clear();
-  out->resize(best.size());
-  for (size_t i = best.size(); i-- > 0;) {
-    (*out)[i] = best.top();
-    best.pop();
-  }
+  out->assign(best.begin(), best.end());
+  Heapify(out, std::less<DistNode>{});
 }
 
-std::vector<int32_t> HnswIndex::SelectNeighbors(
-    const std::vector<DistNode>& candidates, size_t max_links) const {
+void HnswIndex::SelectNeighbors(std::vector<DistNode>* candidates,
+                                size_t max_links, SearchScratch* scratch,
+                                std::vector<int32_t>* out) const {
   // Closest-first diversity heuristic: keep a candidate only if it is
   // closer to the target than to every neighbor already kept, so the kept
   // set spreads across directions instead of clumping in one cluster.
-  std::vector<int32_t> selected;
-  selected.reserve(std::min(max_links, candidates.size()));
-  for (const DistNode& cand : candidates) {
-    if (selected.size() >= max_links) break;
+  //
+  // `candidates` arrives as a min-heap and is consumed by lazy pops:
+  // selection usually saturates max_links long before the heap is empty,
+  // so candidates past that point are never even ordered — that is the
+  // other half of the sort SearchLayer no longer pays for. Each popped
+  // candidate is checked against the kept list in kernel-batched chunks;
+  // the chunk may score a few positions past the first violation, but
+  // whether ANY kept neighbor violates is order-independent, the dot is
+  // commutative bit-for-bit, and distinct-element pops reproduce sorted
+  // order exactly, so the kept set matches the classic nested scalar loop
+  // byte for byte. Unlike the search-layer batches the kept rows (at most
+  // max_links of them, re-read for every candidate) are L1-resident, which
+  // is what makes small-batch kernel calls worth it here.
+  auto& heap = *candidates;
+  auto& selected = *out;
+  selected.clear();
+  auto& dots = scratch->sel_dots;
+  constexpr size_t kChunk = 8;
+  if (dots.size() < kChunk) dots.resize(kChunk);
+  while (!heap.empty() && selected.size() < max_links) {
+    const DistNode cand = heap.front();
+    HeapPop(&heap, std::less<DistNode>{});
     const double* cand_vec =
         vectors_.data() + static_cast<size_t>(cand.second) * dim_;
-    bool diverse = true;
-    for (int32_t kept : selected) {
-      if (Dist(kept, cand_vec) < cand.first) {
-        diverse = false;
-        break;
+    const size_t kept = selected.size();
+    bool keep = true;
+    for (size_t j = 0; j < kept && keep; j += kChunk) {
+      const size_t m = kept - j < kChunk ? kept - j : kChunk;
+      la::AnnDotBatch(cand_vec, vectors_.data(), dim_, selected.data() + j, m,
+                      dots.data());
+      for (size_t q = 0; q < m; ++q) {
+        if (-dots[q] < cand.first) {  // Clumps behind a kept neighbor: drop.
+          keep = false;
+          break;
+        }
       }
     }
-    if (diverse) selected.push_back(cand.second);
+    if (keep) selected.push_back(cand.second);
   }
   // Deliberately NO backfill of pruned candidates ("keepPrunedConnections"):
   // measured on the 1e5 bench/ann_recall preset, saturating neighbor sets
@@ -153,58 +362,346 @@ std::vector<int32_t> HnswIndex::SelectNeighbors(
   // The cost is that very small graphs can leave a node with in-degree 0;
   // callers needing exhaustive retrieval at that scale should use
   // ExactIndex (the serving path only builds HNSW over real pools).
-  return selected;
 }
 
 HnswIndex::InsertPlan HnswIndex::PlanInsert(size_t node,
-                                            Scratch* scratch) const {
+                                            SearchScratch* scratch) const {
   const double* query = vectors_.data() + node * dim_;
   const int32_t node_level = levels_[node];
+  const size_t stride = 1 + static_cast<size_t>(M_);
   InsertPlan plan;
-  plan.links.resize(static_cast<size_t>(node_level) + 1);
+  plan.flat.assign((static_cast<size_t>(node_level) + 1) * stride, 0);
   int32_t cur = entry_;
   double cur_dist = Dist(cur, query);
   for (int32_t lev = max_level_; lev > node_level; --lev)
-    GreedyStep(query, lev, &cur, &cur_dist, nullptr);
-  std::vector<DistNode> candidates;
+    GreedyStep(query, lev, &cur, &cur_dist, scratch, nullptr);
   for (int32_t lev = std::min(node_level, max_level_); lev >= 0; --lev) {
     SearchLayer(query, cur, static_cast<size_t>(ef_construction_), lev,
-                scratch, &candidates, nullptr);
-    plan.links[static_cast<size_t>(lev)] =
-        SelectNeighbors(candidates, static_cast<size_t>(M_));
-    cur = candidates.front().second;
-    cur_dist = candidates.front().first;
+                scratch, &scratch->found, nullptr);
+    // Heap top = closest found, the entry for the next level down. Read it
+    // before SelectNeighbors consumes the heap.
+    cur = scratch->found.front().second;
+    cur_dist = scratch->found.front().first;
+    SelectNeighbors(&scratch->found, static_cast<size_t>(M_), scratch,
+                    &scratch->selected);
+    int32_t* row = plan.flat.data() + static_cast<size_t>(lev) * stride;
+    row[0] = static_cast<int32_t>(scratch->selected.size());
+    std::copy(scratch->selected.begin(), scratch->selected.end(), row + 1);
   }
   return plan;
 }
 
-void HnswIndex::CommitInsert(size_t node, InsertPlan plan) {
-  const int32_t node_level = levels_[node];
-  for (size_t lev = 0; lev < plan.links.size(); ++lev)
-    links_[node][lev] = std::move(plan.links[lev]);
-  const auto self = static_cast<int32_t>(node);
-  for (size_t lev = 0; lev < links_[node].size(); ++lev) {
-    const size_t cap =
-        lev == 0 ? 2 * static_cast<size_t>(M_) : static_cast<size_t>(M_);
-    for (int32_t nb : links_[node][lev]) {
-      auto& back = links_[static_cast<size_t>(nb)][lev];
-      back.push_back(self);
-      if (back.size() <= cap) continue;
-      // Over-degree: re-select the neighbor's links with the same
-      // diversity heuristic, from its own vantage point. The freshly
-      // added back-link competes on equal terms and may be dropped.
-      const double* nb_vec =
-          vectors_.data() + static_cast<size_t>(nb) * dim_;
-      std::vector<DistNode> resort(back.size());
-      for (size_t j = 0; j < back.size(); ++j)
-        resort[j] = DistNode(Dist(back[j], nb_vec), back[j]);
-      std::sort(resort.begin(), resort.end());
-      back = SelectNeighbors(resort, cap);
+void HnswIndex::CommitBatch(size_t start, size_t count,
+                            std::vector<InsertPlan>* plans,
+                            SearchScratch* scratch) {
+  const size_t stride = 1 + static_cast<size_t>(M_);
+  // Phase 1: forward rows, ascending node order. Plans only reference
+  // pre-batch nodes (they were computed against the frozen graph), so
+  // these writes can never alias the back-link rows phase 2 touches.
+  int32_t batch_top = 0;
+  for (size_t j = 0; j < count; ++j) {
+    const size_t node = start + j;
+    const int32_t node_level = levels_[node];
+    batch_top = std::max(batch_top, std::min(node_level, max_level_));
+    for (int32_t lev = 0; lev <= node_level; ++lev) {
+      const int32_t* src =
+          (*plans)[j].flat.data() + static_cast<size_t>(lev) * stride;
+      int32_t* dst = LinkRow(node, lev);
+      std::copy(src, src + 1 + src[0], dst);
     }
   }
-  if (node_level > max_level_) {
-    max_level_ = node_level;
-    entry_ = self;
+  // Phase 2: back-links, grouped by level. Grouping is a pure reordering:
+  // a row (neighbor, level) is only ever mutated by its own back-link
+  // appends, each append event carries the same (inserting node, link)
+  // order the per-node commit sequence used, and rows never read each
+  // other — so replaying the events grouped by level, then by neighbor,
+  // yields the exact link structure (and Serialize() bytes) the per-node
+  // schedule produced, while touching each arena row once per batch
+  // instead of scattering writes across the whole level every insertion.
+  // A once-per-node union re-selection was measured here too: it commits
+  // faster still, but the diversity heuristic is not associative — the
+  // graphs drifted from the pre-refactor snapshots and recall on small
+  // graphs moved. Replay keeps the bytes pinned.
+  std::vector<std::pair<int32_t, int32_t>> backlinks;  // (neighbor, new node)
+  for (int32_t lev = 0; lev <= batch_top; ++lev) {
+    const size_t cap = RowCapacity(lev);
+    backlinks.clear();
+    for (size_t j = 0; j < count; ++j) {
+      const size_t node = start + j;
+      if (lev > levels_[node]) continue;
+      const int32_t* row =
+          (*plans)[j].flat.data() + static_cast<size_t>(lev) * stride;
+      const auto self = static_cast<int32_t>(node);
+      for (int32_t t = 0; t < row[0]; ++t)
+        backlinks.emplace_back(row[1 + t], self);
+    }
+    if (backlinks.empty()) continue;
+    // Pairs were pushed in ascending (batch node, link) order and are
+    // distinct (a plan links each neighbor at most once per level), so a
+    // plain sort groups by neighbor while keeping each group's back-links
+    // in the order the per-node commits appended them.
+    std::sort(backlinks.begin(), backlinks.end());
+    size_t g = 0;
+    while (g < backlinks.size()) {
+      const int32_t nb = backlinks[g].first;
+      size_t h = g;
+      while (h < backlinks.size() && backlinks[h].first == nb) ++h;
+      int32_t* back = LinkRow(static_cast<size_t>(nb), lev);
+      const double* nb_vec = vectors_.data() + static_cast<size_t>(nb) * dim_;
+      for (size_t q = g; q < h; ++q) {
+        const int32_t self = backlinks[q].second;
+        if (static_cast<size_t>(back[0]) < cap) {
+          back[1 + back[0]] = self;
+          ++back[0];
+          continue;
+        }
+        // Over-degree: re-select the neighbor's links with the same
+        // diversity heuristic, from its own vantage point. The freshly
+        // added back-link competes on equal terms and may be dropped.
+        auto& cand_ids = scratch->batch_ids;
+        cand_ids.clear();
+        for (int32_t t = 0; t < back[0]; ++t) cand_ids.push_back(back[1 + t]);
+        cand_ids.push_back(self);
+        if (scratch->batch_dots.size() < cand_ids.size())
+          scratch->batch_dots.resize(cand_ids.size());
+        la::AnnDotBatch(nb_vec, vectors_.data(), dim_, cand_ids.data(),
+                        cand_ids.size(), scratch->batch_dots.data());
+        auto& resort = scratch->resort;
+        resort.clear();
+        for (size_t t = 0; t < cand_ids.size(); ++t)
+          resort.emplace_back(-scratch->batch_dots[t], cand_ids[t]);
+        Heapify(&resort, std::less<DistNode>{});
+        SelectNeighbors(&resort, cap, scratch, &scratch->selected);
+        back[0] = static_cast<int32_t>(scratch->selected.size());
+        std::copy(scratch->selected.begin(), scratch->selected.end(),
+                  back + 1);
+      }
+      g = h;
+    }
+  }
+  // Phase 3: entry point, ascending node order — the same winner the
+  // per-node commit sequence would have crowned.
+  for (size_t j = 0; j < count; ++j) {
+    const int32_t node_level = levels_[start + j];
+    if (node_level > max_level_) {
+      max_level_ = node_level;
+      entry_ = static_cast<int32_t>(start + j);
+    }
+  }
+}
+
+namespace {
+
+/// The pre-arena build algorithm, preserved bit-for-bit for same-host A/B
+/// benchmarking (ann.build.speedup_vs_baseline) and for the golden
+/// pre-refactor snapshot test: nested-vector links, per-search heap
+/// allocations, scalar one-at-a-time distances, and a diversity
+/// re-selection after EVERY over-capacity back-link. Structurally a copy
+/// of the old HnswIndex internals operating on borrowed index fields; the
+/// result is packed into the arena when it finishes.
+struct LegacyBuilder {
+  using DistNode = std::pair<double, int32_t>;
+
+  struct Scratch {
+    std::vector<uint8_t> stamp;
+    uint8_t epoch = 0;
+    void NextEpoch(size_t n) {
+      if (stamp.size() < n) stamp.assign(n, 0);
+      ++epoch;
+      if (epoch == 0) {
+        std::fill(stamp.begin(), stamp.end(), uint8_t{0});
+        epoch = 1;
+      }
+    }
+    bool Visited(int32_t node) const {
+      return stamp[static_cast<size_t>(node)] == epoch;
+    }
+    void Mark(int32_t node) { stamp[static_cast<size_t>(node)] = epoch; }
+  };
+
+  struct Plan {
+    std::vector<std::vector<int32_t>> links;
+  };
+
+  size_t dim;
+  int M;
+  int ef_construction;
+  const std::vector<double>& vectors;
+  const std::vector<int32_t>& levels;
+  std::vector<std::vector<std::vector<int32_t>>> links;
+  int32_t max_level = -1;
+  int32_t entry = -1;
+
+  double Dist(int32_t node, const double* query) const {
+    const double* v = vectors.data() + static_cast<size_t>(node) * dim;
+    double dot = 0.0;
+    for (size_t d = 0; d < dim; ++d) dot += query[d] * v[d];
+    return -dot;
+  }
+
+  void GreedyStep(const double* query, int32_t level, int32_t* cur,
+                  double* cur_dist) const {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (int32_t nb :
+           links[static_cast<size_t>(*cur)][static_cast<size_t>(level)]) {
+        const double d = Dist(nb, query);
+        if (d < *cur_dist || (d == *cur_dist && nb < *cur)) {
+          *cur_dist = d;
+          *cur = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  void SearchLayer(const double* query, int32_t first, size_t ef,
+                   int32_t level, Scratch* scratch,
+                   std::vector<DistNode>* out) const {
+    scratch->NextEpoch(levels.size());
+    std::priority_queue<DistNode, std::vector<DistNode>,
+                        std::greater<DistNode>>
+        frontier;
+    std::priority_queue<DistNode> best;
+    const double entry_dist = Dist(first, query);
+    frontier.emplace(entry_dist, first);
+    best.emplace(entry_dist, first);
+    scratch->Mark(first);
+    while (!frontier.empty()) {
+      const DistNode cand = frontier.top();
+      if (best.size() >= ef && cand > best.top()) break;
+      frontier.pop();
+      for (int32_t nb : links[static_cast<size_t>(cand.second)]
+                             [static_cast<size_t>(level)]) {
+        if (scratch->Visited(nb)) continue;
+        scratch->Mark(nb);
+        const double d = Dist(nb, query);
+        if (best.size() < ef || DistNode(d, nb) < best.top()) {
+          frontier.emplace(d, nb);
+          best.emplace(d, nb);
+          if (best.size() > ef) best.pop();
+        }
+      }
+    }
+    out->clear();
+    out->resize(best.size());
+    for (size_t i = best.size(); i-- > 0;) {
+      (*out)[i] = best.top();
+      best.pop();
+    }
+  }
+
+  std::vector<int32_t> SelectNeighbors(const std::vector<DistNode>& candidates,
+                                       size_t max_links) const {
+    std::vector<int32_t> selected;
+    selected.reserve(std::min(max_links, candidates.size()));
+    for (const DistNode& cand : candidates) {
+      if (selected.size() >= max_links) break;
+      const double* cand_vec =
+          vectors.data() + static_cast<size_t>(cand.second) * dim;
+      bool diverse = true;
+      for (int32_t kept : selected) {
+        if (Dist(kept, cand_vec) < cand.first) {
+          diverse = false;
+          break;
+        }
+      }
+      if (diverse) selected.push_back(cand.second);
+    }
+    return selected;
+  }
+
+  Plan PlanInsert(size_t node, Scratch* scratch) const {
+    const double* query = vectors.data() + node * dim;
+    const int32_t node_level = levels[node];
+    Plan plan;
+    plan.links.resize(static_cast<size_t>(node_level) + 1);
+    int32_t cur = entry;
+    double cur_dist = Dist(cur, query);
+    for (int32_t lev = max_level; lev > node_level; --lev)
+      GreedyStep(query, lev, &cur, &cur_dist);
+    std::vector<DistNode> candidates;
+    for (int32_t lev = std::min(node_level, max_level); lev >= 0; --lev) {
+      SearchLayer(query, cur, static_cast<size_t>(ef_construction), lev,
+                  scratch, &candidates);
+      plan.links[static_cast<size_t>(lev)] =
+          SelectNeighbors(candidates, static_cast<size_t>(M));
+      cur = candidates.front().second;
+      cur_dist = candidates.front().first;
+    }
+    return plan;
+  }
+
+  void CommitInsert(size_t node, Plan plan) {
+    const int32_t node_level = levels[node];
+    for (size_t lev = 0; lev < plan.links.size(); ++lev)
+      links[node][lev] = std::move(plan.links[lev]);
+    const auto self = static_cast<int32_t>(node);
+    for (size_t lev = 0; lev < links[node].size(); ++lev) {
+      const size_t cap =
+          lev == 0 ? 2 * static_cast<size_t>(M) : static_cast<size_t>(M);
+      for (int32_t nb : links[node][lev]) {
+        auto& back = links[static_cast<size_t>(nb)][lev];
+        back.push_back(self);
+        if (back.size() <= cap) continue;
+        const double* nb_vec =
+            vectors.data() + static_cast<size_t>(nb) * dim;
+        std::vector<DistNode> resort(back.size());
+        for (size_t j = 0; j < back.size(); ++j)
+          resort[j] = DistNode(Dist(back[j], nb_vec), back[j]);
+        std::sort(resort.begin(), resort.end());
+        back = SelectNeighbors(resort, cap);
+      }
+    }
+    if (node_level > max_level) {
+      max_level = node_level;
+      entry = self;
+    }
+  }
+
+  void Run() {
+    const size_t n = levels.size();
+    links.resize(n);
+    for (size_t i = 0; i < n; ++i)
+      links[i].resize(static_cast<size_t>(levels[i]) + 1);
+    if (n == 0) return;
+    entry = 0;
+    max_level = levels[0];
+    size_t start = 1;
+    std::vector<Plan> plans;
+    while (start < n) {
+      const size_t batch = std::min({start, kMaxBatch, n - start});
+      plans.clear();
+      plans.resize(batch);
+      const LegacyBuilder* frozen = this;
+      par::ParallelFor(batch, kBuildGrain,
+                       [frozen, &plans, start](size_t begin, size_t end) {
+                         Scratch scratch;
+                         for (size_t j = begin; j < end; ++j)
+                           plans[j] = frozen->PlanInsert(start + j, &scratch);
+                       });
+      for (size_t j = 0; j < batch; ++j)
+        CommitInsert(start + j, std::move(plans[j]));
+      start += batch;
+    }
+  }
+};
+
+}  // namespace
+
+void HnswIndex::BuildLegacy() {
+  LegacyBuilder builder{dim_, M_, ef_construction_, vectors_, levels_, {}};
+  builder.Run();
+  max_level_ = builder.max_level;
+  entry_ = builder.entry;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    for (int32_t lev = 0; lev <= levels_[i]; ++lev) {
+      const auto& level_links = builder.links[i][static_cast<size_t>(lev)];
+      int32_t* row = LinkRow(i, lev);
+      row[0] = static_cast<int32_t>(level_links.size());
+      std::copy(level_links.begin(), level_links.end(), row + 1);
+    }
   }
 }
 
@@ -234,22 +731,26 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Build(
   const size_t n = index->ids_.size();
   const double mult = 1.0 / std::log(static_cast<double>(options.M));
   index->levels_.resize(n);
-  index->links_.resize(n);
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < n; ++i)
     index->levels_[i] = LevelForNode(options.seed, i, mult);
-    index->links_[i].resize(static_cast<size_t>(index->levels_[i]) + 1);
-  }
+  index->AllocateArena();
   if (n == 0) return index;
+
+  if (options.legacy_build) {
+    index->BuildLegacy();
+    return index;
+  }
 
   index->entry_ = 0;
   index->max_level_ = index->levels_[0];
   // Doubling batches: plan all insertions of a batch in parallel against
-  // the frozen pre-batch graph, then commit serially in ascending node
-  // order. Each batch at most doubles the graph (and is capped), so every
-  // node still links into a graph holding at least half the corpus below
-  // it, while the plan phase — all the distance work — parallelizes.
+  // the frozen pre-batch graph, then commit the batch serially. Each batch
+  // at most doubles the graph (and is capped), so every node still links
+  // into a graph holding at least half the corpus below it, while the plan
+  // phase — all the distance work — parallelizes.
   size_t start = 1;
   std::vector<InsertPlan> plans;
+  SearchScratch commit_scratch;
   while (start < n) {
     const size_t batch = std::min({start, kMaxBatch, n - start});
     plans.clear();
@@ -257,12 +758,11 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Build(
     const HnswIndex* frozen = index.get();
     par::ParallelFor(batch, kBuildGrain,
                      [frozen, &plans, start](size_t begin, size_t end) {
-                       Scratch scratch;
+                       SearchScratch scratch;
                        for (size_t j = begin; j < end; ++j)
                          plans[j] = frozen->PlanInsert(start + j, &scratch);
                      });
-    for (size_t j = 0; j < batch; ++j)
-      index->CommitInsert(start + j, std::move(plans[j]));
+    index->CommitBatch(start, batch, &plans, &commit_scratch);
     start += batch;
   }
   return index;
@@ -278,19 +778,24 @@ Status HnswIndex::Search(const std::vector<double>& query, int k, int ef,
                                    " != index dim " + std::to_string(dim_));
   out->clear();
   if (ids_.empty()) return Status::Ok();
+  // One scratch pool per serving thread, shared across every HnswIndex:
+  // grow-only buffers plus epoch-stamped visited markers (each SearchLayer
+  // bumps the epoch, so stamps left by other indexes can never read as
+  // visited). After one warm query per thread the whole search path stops
+  // allocating — the zero-allocation probe in tests/obs_serving_test.cc
+  // holds this path to that.
+  static thread_local SearchScratch scratch;
   const size_t beam = static_cast<size_t>(std::max(ef, k));
   int32_t cur = entry_;
   double cur_dist = Dist(cur, query.data());
   if (stats != nullptr) ++stats->distance_evals;
   for (int32_t lev = max_level_; lev >= 1; --lev)
-    GreedyStep(query.data(), lev, &cur, &cur_dist, stats);
-  Scratch scratch;
-  std::vector<DistNode> found;
-  SearchLayer(query.data(), cur, beam, 0, &scratch, &found, stats);
+    GreedyStep(query.data(), lev, &cur, &cur_dist, &scratch, stats);
+  SearchLayer(query.data(), cur, beam, 0, &scratch, &scratch.found, stats);
+  const auto& found = scratch.found;
   out->reserve(std::min(found.size(), static_cast<size_t>(k)));
   for (const DistNode& f : found)
-    out->push_back(
-        Neighbor{ids_[static_cast<size_t>(f.second)], -f.first});
+    out->push_back(Neighbor{ids_[static_cast<size_t>(f.second)], -f.first});
   // Graph order ties on internal node; callers are promised external-id
   // tie order, identical to ExactIndex.
   std::sort(out->begin(), out->end(),
@@ -317,10 +822,13 @@ std::string HnswIndex::Serialize() const {
   for (int32_t level : levels_) wire::AppendI32(&out, level);
   for (int32_t id : ids_) wire::AppendI32(&out, id);
   for (double v : vectors_) wire::AppendDouble(&out, v);
-  for (const auto& node_links : links_) {
-    for (const auto& level_links : node_links) {
-      wire::AppendU32(&out, static_cast<uint32_t>(level_links.size()));
-      for (int32_t nb : level_links) wire::AppendI32(&out, nb);
+  // Arena rows print as the same nested count-prefixed lists the pre-arena
+  // encoder wrote: the capacity padding never reaches the wire.
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    for (int32_t lev = 0; lev <= levels_[i]; ++lev) {
+      const int32_t* row = LinkRow(i, lev);
+      wire::AppendU32(&out, static_cast<uint32_t>(row[0]));
+      for (int32_t t = 0; t < row[0]; ++t) wire::AppendI32(&out, row[1 + t]);
     }
   }
   return out;
@@ -384,25 +892,30 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Deserialize(
     return Status::OutOfRange("hnsw: vectors larger than their payload");
   index->vectors_.resize(static_cast<size_t>(n) * dim);
   for (double& v : index->vectors_) SUBREC_RETURN_NOT_OK(c.ReadDouble(&v));
-  index->links_.resize(static_cast<size_t>(n));
-  for (size_t i = 0; i < index->links_.size(); ++i) {
-    index->links_[i].resize(static_cast<size_t>(index->levels_[i]) + 1);
-    for (size_t lev = 0; lev < index->links_[i].size(); ++lev) {
+  index->AllocateArena();
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    for (int32_t lev = 0; lev <= index->levels_[i]; ++lev) {
       uint32_t count = 0;
       SUBREC_RETURN_NOT_OK(c.ReadU32(&count));
+      // The arena rows have fixed capacity, and no well-formed encoder
+      // could exceed it: Build never links a node past M (2M at level 0).
+      if (count > index->RowCapacity(lev))
+        return Status::InvalidArgument(
+            "hnsw: link count exceeds level capacity");
       if (count > c.remaining() / 4)
         return Status::OutOfRange("hnsw: link list larger than its payload");
-      auto& level_links = index->links_[i][lev];
-      level_links.resize(count);
-      for (int32_t& nb : level_links) {
+      int32_t* row = index->LinkRow(i, lev);
+      row[0] = static_cast<int32_t>(count);
+      for (uint32_t t = 0; t < count; ++t) {
+        int32_t nb = 0;
         SUBREC_RETURN_NOT_OK(c.ReadI32(&nb));
         if (nb < 0 || static_cast<uint64_t>(nb) >= n)
           return Status::InvalidArgument("hnsw: neighbor out of range");
         // A link at level L to a node that does not reach level L would
-        // send Search indexing past that node's link arrays.
-        if (static_cast<size_t>(
-                index->levels_[static_cast<size_t>(nb)]) < lev)
+        // send Search indexing past that node's link rows.
+        if (index->levels_[static_cast<size_t>(nb)] < lev)
           return Status::InvalidArgument("hnsw: neighbor level skew");
+        row[1 + t] = nb;
       }
     }
   }

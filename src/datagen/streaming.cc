@@ -33,6 +33,9 @@ StreamingCorpusOptions AnnRecallPreset(AnnCorpusScale scale, uint64_t seed) {
     case AnnCorpusScale::kFull:
       options.papers_per_year = 10000;  // 1e5 papers, 5e4 in the new pool.
       break;
+    case AnnCorpusScale::kXl:
+      options.papers_per_year = 100000;  // 1e6 papers, 5e5 in the new pool.
+      break;
   }
   return options;
 }

@@ -31,8 +31,11 @@ struct StreamingCorpusOptions {
 };
 
 /// Named scales for bench/ann_recall. kSmoke is the CI gate; kFull is the
-/// 1e5-paper headline run from the ISSUE acceptance criteria.
-enum class AnnCorpusScale { kSmoke, kFull };
+/// 1e5-paper headline run from the ISSUE acceptance criteria; kXl is the
+/// 1e6-paper scale target (5e5 in the new pool, ~2-3 GB peak for the
+/// vector slab plus both indexes — documented in EXPERIMENTS.md, never run
+/// in CI).
+enum class AnnCorpusScale { kSmoke, kFull, kXl };
 StreamingCorpusOptions AnnRecallPreset(AnnCorpusScale scale, uint64_t seed);
 
 /// One generated paper with the two embeddings the serving path scores

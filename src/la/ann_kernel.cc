@@ -1,0 +1,44 @@
+// Baseline ANN distance TU plus the runtime dispatcher. Compiled with
+// -ffp-contract=off (src/CMakeLists.txt) like every serve-path kernel: the
+// batched distances must stay bit-identical to the scalar la::Dot loop the
+// HNSW determinism contract is defined against — see ann_kernel_impl.h.
+
+#include "la/ann_kernel.h"
+
+#include <cstddef>
+
+#define SUBREC_ANN_NS ann_generic
+#include "la/ann_kernel_impl.h"  // NOLINT(build/include)
+#undef SUBREC_ANN_NS
+
+namespace subrec::la {
+namespace internal {
+
+void AnnDotBatchGeneric(const double* query, const double* slab, size_t dim,
+                        const int32_t* nodes, size_t count, double* out) {
+  ann_generic::DotBatch(query, slab, dim, nodes, count, out);
+}
+
+}  // namespace internal
+
+namespace {
+
+using DotBatchFn = void (*)(const double*, const double*, size_t,
+                            const int32_t*, size_t, double*);
+
+DotBatchFn PickDotBatch() {
+  if (internal::AnnKernelAvx512Available())
+    return internal::AnnDotBatchAvx512;
+  if (internal::AnnKernelAvx2Available()) return internal::AnnDotBatchAvx2;
+  return internal::AnnDotBatchGeneric;
+}
+
+}  // namespace
+
+void AnnDotBatch(const double* query, const double* slab, size_t dim,
+                 const int32_t* nodes, size_t count, double* out) {
+  static const DotBatchFn fn = PickDotBatch();
+  fn(query, slab, dim, nodes, count, out);
+}
+
+}  // namespace subrec::la

@@ -1,0 +1,49 @@
+#ifndef SUBREC_LA_ANN_KERNEL_H_
+#define SUBREC_LA_ANN_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace subrec::la {
+
+namespace internal {
+
+/// Batched maximum-inner-product distance kernel for the ANN graph walk:
+/// out[i] = <query, slab row nodes[i]> for `count` scattered rows of a
+/// row-major slab (row width `dim`).
+///
+/// Determinism contract (the ANN analogue of the serve GEMM's): every
+/// output element accumulates its dim products in ascending-d order, one
+/// separate multiply then add per step — exactly la::Dot's rounding
+/// sequence. The vector TUs put one *candidate* per lane (never splitting
+/// one dot product across lanes, which would reorder the summation), so
+/// all ISAs produce identical bits and HnswIndex distances never depend on
+/// the host CPU. Like the serve kernels, every TU is compiled with
+/// -ffp-contract=off and never -mfma: a fused multiply-add rounds once
+/// where the oracle rounds twice.
+void AnnDotBatchGeneric(const double* query, const double* slab, size_t dim,
+                        const int32_t* nodes, size_t count, double* out);
+void AnnDotBatchAvx2(const double* query, const double* slab, size_t dim,
+                     const int32_t* nodes, size_t count, double* out);
+void AnnDotBatchAvx512(const double* query, const double* slab, size_t dim,
+                       const int32_t* nodes, size_t count, double* out);
+
+/// True when the AVX2 ANN TU was compiled with -mavx2 AND the running CPU
+/// reports it (no FMA requirement: the ANN kernels never fuse).
+bool AnnKernelAvx2Available();
+
+/// Same contract for the AVX-512F ANN TU.
+bool AnnKernelAvx512Available();
+
+}  // namespace internal
+
+/// out[i] = inner product of `query` with row nodes[i] of the row-major
+/// `slab` (row width `dim`), for i in [0, count). Dispatches once per
+/// process to the widest ANN kernel the CPU supports; bit-identical to
+/// la::Dot(query, slab + nodes[i] * dim, dim) on every ISA.
+void AnnDotBatch(const double* query, const double* slab, size_t dim,
+                 const int32_t* nodes, size_t count, double* out);
+
+}  // namespace subrec::la
+
+#endif  // SUBREC_LA_ANN_KERNEL_H_

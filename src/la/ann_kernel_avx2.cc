@@ -1,0 +1,42 @@
+// AVX2 ANN distance TU: compiled with -mavx2 -ffp-contract=off on x86-64
+// GNU/Clang builds (src/CMakeLists.txt) — note NO -mfma. One candidate per
+// lane with contraction off means every lane runs the scalar oracle's
+// separate multiply-then-add sequence; the wider vectors only let four
+// candidates advance per step. Anywhere else this TU degrades to the
+// generic kernel and AnnKernelAvx2Available() reports false.
+
+#include "la/ann_kernel.h"
+
+#include <cstddef>
+
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__AVX2__)
+
+#define SUBREC_ANN_NS ann_avx2
+#include "la/ann_kernel_impl.h"  // NOLINT(build/include)
+#undef SUBREC_ANN_NS
+
+namespace subrec::la::internal {
+
+void AnnDotBatchAvx2(const double* query, const double* slab, size_t dim,
+                     const int32_t* nodes, size_t count, double* out) {
+  ann_avx2::DotBatch(query, slab, dim, nodes, count, out);
+}
+
+bool AnnKernelAvx2Available() { return __builtin_cpu_supports("avx2"); }
+
+}  // namespace subrec::la::internal
+
+#else  // !__AVX2__
+
+namespace subrec::la::internal {
+
+void AnnDotBatchAvx2(const double* query, const double* slab, size_t dim,
+                     const int32_t* nodes, size_t count, double* out) {
+  AnnDotBatchGeneric(query, slab, dim, nodes, count, out);
+}
+
+bool AnnKernelAvx2Available() { return false; }
+
+}  // namespace subrec::la::internal
+
+#endif

@@ -1,0 +1,45 @@
+// AVX-512F ANN distance TU: compiled with -mavx512f -ffp-contract=off on
+// x86-64 GNU/Clang builds (src/CMakeLists.txt). -mavx512f alone enables
+// FMA instructions and GCC contracts by default, so pinning contraction
+// off is what keeps this TU bit-identical to the generic kernel and the
+// scalar la::Dot oracle — eight candidates per step, each lane still a
+// separate multiply then add in ascending-d order. Anywhere else this TU
+// degrades to the generic kernel and AnnKernelAvx512Available() is false.
+
+#include "la/ann_kernel.h"
+
+#include <cstddef>
+
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__AVX512F__)
+
+#define SUBREC_ANN_NS ann_avx512
+#include "la/ann_kernel_impl.h"  // NOLINT(build/include)
+#undef SUBREC_ANN_NS
+
+namespace subrec::la::internal {
+
+void AnnDotBatchAvx512(const double* query, const double* slab, size_t dim,
+                       const int32_t* nodes, size_t count, double* out) {
+  ann_avx512::DotBatch(query, slab, dim, nodes, count, out);
+}
+
+bool AnnKernelAvx512Available() {
+  return __builtin_cpu_supports("avx512f");
+}
+
+}  // namespace subrec::la::internal
+
+#else  // !__AVX512F__
+
+namespace subrec::la::internal {
+
+void AnnDotBatchAvx512(const double* query, const double* slab, size_t dim,
+                       const int32_t* nodes, size_t count, double* out) {
+  AnnDotBatchGeneric(query, slab, dim, nodes, count, out);
+}
+
+bool AnnKernelAvx512Available() { return false; }
+
+}  // namespace subrec::la::internal
+
+#endif

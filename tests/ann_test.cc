@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "ann/hnsw_index.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/wire.h"
 
 namespace subrec::ann {
 namespace {
@@ -277,6 +280,171 @@ TEST(HnswIndex, DeserializeRejectsMalformedInputWithoutCrashing) {
       EXPECT_GT(result.value()->Serialize().size(), 0u);
     }
   }
+}
+
+// --- Wire format: golden snapshot + capacity boundaries -------------------
+
+std::string ReadGoldenOrDie(const std::string& name) {
+  const std::string path = std::string(SUBREC_TEST_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  SUBREC_CHECK(in.good()) << "missing golden fixture " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Link-count census parsed straight off Serialize() bytes, independently
+/// of the arena accessors — the capacity-boundary tests cross-check the
+/// encoder against the documented v1 layout rather than against itself.
+struct WireCensus {
+  size_t n = 0;
+  uint32_t m = 0;
+  std::vector<int32_t> levels;
+  /// Byte offset of the first link count (node 0, level 0).
+  size_t graph_offset = 0;
+  size_t level0_full_rows = 0;  // rows at the 2M capacity
+  size_t level0_empty_rows = 0;
+  size_t level0_only_nodes = 0;  // nodes with no upper-level rows
+  uint32_t max_upper_count = 0;
+  size_t multi_level_nodes = 0;
+};
+
+WireCensus ScanWire(const std::string& bytes) {
+  wire::Cursor c(bytes);
+  WireCensus w;
+  uint64_t magic = 0, n = 0, seed = 0;
+  uint32_t version = 0, dim = 0, ef = 0;
+  int32_t max_level = 0, entry = 0, skip = 0;
+  double dskip = 0.0;
+  SUBREC_CHECK(c.ReadU64(&magic).ok());
+  SUBREC_CHECK(c.ReadU32(&version).ok());
+  SUBREC_CHECK(c.ReadU32(&dim).ok());
+  SUBREC_CHECK(c.ReadU64(&n).ok());
+  SUBREC_CHECK(c.ReadU32(&w.m).ok());
+  SUBREC_CHECK(c.ReadU32(&ef).ok());
+  SUBREC_CHECK(c.ReadU64(&seed).ok());
+  SUBREC_CHECK(c.ReadI32(&max_level).ok());
+  SUBREC_CHECK(c.ReadI32(&entry).ok());
+  w.n = static_cast<size_t>(n);
+  w.levels.resize(w.n);
+  for (int32_t& level : w.levels) SUBREC_CHECK(c.ReadI32(&level).ok());
+  for (size_t i = 0; i < w.n; ++i) SUBREC_CHECK(c.ReadI32(&skip).ok());
+  for (size_t i = 0; i < w.n * dim; ++i)
+    SUBREC_CHECK(c.ReadDouble(&dskip).ok());
+  // Header (48 bytes) + levels + ids + vector slab.
+  w.graph_offset = 48 + w.n * 8 + w.n * static_cast<size_t>(dim) * 8;
+  for (size_t i = 0; i < w.n; ++i) {
+    if (w.levels[i] == 0)
+      ++w.level0_only_nodes;
+    else
+      ++w.multi_level_nodes;
+    for (int32_t lev = 0; lev <= w.levels[i]; ++lev) {
+      uint32_t count = 0;
+      SUBREC_CHECK(c.ReadU32(&count).ok());
+      if (lev == 0 && count == 2 * w.m) ++w.level0_full_rows;
+      if (lev == 0 && count == 0) ++w.level0_empty_rows;
+      if (lev > 0) w.max_upper_count = std::max(w.max_upper_count, count);
+      for (uint32_t t = 0; t < count; ++t)
+        SUBREC_CHECK(c.ReadI32(&skip).ok());
+    }
+  }
+  SUBREC_CHECK(c.remaining() == 0);
+  return w;
+}
+
+TEST(HnswIndex, SerializeMatchesPreRefactorGolden) {
+  // The checked-in fixture is the Serialize() output of the pre-arena
+  // implementation over this exact corpus and options. Both build paths —
+  // the arena/SIMD default and the legacy_build A/B baseline — must still
+  // reproduce it byte for byte: the refactor changed the data structures
+  // and kernels, never the graph or the wire format.
+  const TestVectors tv = MakeClustered(240, 8, 4, 97);
+  HnswOptions options;
+  options.M = 8;
+  options.ef_construction = 64;
+  options.seed = 0x60D1DEA5ULL;
+  const std::string golden = ReadGoldenOrDie("hnsw_v1_prerefactor.bin");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(BuildOrDie(tv, options)->Serialize(), golden);
+
+  HnswOptions legacy = options;
+  legacy.legacy_build = true;
+  EXPECT_EQ(BuildOrDie(tv, legacy)->Serialize(), golden);
+
+  // And the pre-refactor bytes still load and re-serialize unchanged.
+  auto restored = HnswIndex::Deserialize(golden);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value()->Serialize(), golden);
+}
+
+TEST(HnswIndex, WireRoundTripsAtRowCapacityBoundaries) {
+  // Zero-link boundary: a single node has nothing to point at, so every
+  // row it serializes is an empty count.
+  {
+    auto single = HnswIndex::Build({42}, {1.0, 2.0}, 2, HnswOptions{});
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    const std::string bytes = single.value()->Serialize();
+    const WireCensus w = ScanWire(bytes);
+    EXPECT_EQ(w.n, 1u);
+    EXPECT_GE(w.level0_empty_rows, 1u);
+    EXPECT_EQ(w.max_upper_count, 0u);
+    auto restored = HnswIndex::Deserialize(bytes);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored.value()->Serialize(), bytes);
+  }
+
+  // Full-row boundary: the smallest legal M over a dense corpus drives
+  // level-0 rows to the 2M cap and upper rows to M, while plenty of nodes
+  // stay level-0-only — every arena row shape crosses the wire at once.
+  {
+    const TestVectors tv = MakeClustered(160, 4, 2, 91);
+    HnswOptions options;
+    options.M = 2;
+    options.ef_construction = 32;
+    const auto index = BuildOrDie(tv, options);
+    const std::string bytes = index->Serialize();
+    const WireCensus w = ScanWire(bytes);
+    EXPECT_GT(w.level0_full_rows, 0u) << "no level-0 row hit the 2M cap";
+    EXPECT_GT(w.level0_only_nodes, 0u);
+    EXPECT_GT(w.multi_level_nodes, 0u);
+    EXPECT_EQ(w.max_upper_count, 2u) << "no upper row hit the M cap";
+
+    auto restored = HnswIndex::Deserialize(bytes);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored.value()->Serialize(), bytes);
+
+    // Identical search behavior through the round trip.
+    const auto query = MakeQuery(tv.dim, 9);
+    std::vector<Neighbor> a, b;
+    ASSERT_TRUE(index->Search(query, 8, 32, &a).ok());
+    ASSERT_TRUE(restored.value()->Search(query, 8, 32, &b).ok());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST(HnswIndex, DeserializeRejectsLinkCountAboveRowCapacity) {
+  const TestVectors tv = MakeClustered(48, 4, 2, 87);
+  HnswOptions options;
+  options.M = 4;
+  options.ef_construction = 32;
+  std::string bytes = BuildOrDie(tv, options)->Serialize();
+  const WireCensus w = ScanWire(bytes);
+
+  // Patch node 0's level-0 link count to one past the 2M row capacity.
+  // The capacity check must fire on the count alone — before any link is
+  // read — so no compensating payload edit can smuggle an oversized row
+  // into the fixed-capacity arena.
+  const uint32_t bad = 2 * w.m + 1;
+  for (int b = 0; b < 4; ++b)
+    bytes[w.graph_offset + static_cast<size_t>(b)] =
+        static_cast<char>((bad >> (8 * b)) & 0xFF);
+  const auto result = HnswIndex::Deserialize(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("capacity"), std::string::npos)
+      << result.status().ToString();
 }
 
 // --- Determinism ----------------------------------------------------------

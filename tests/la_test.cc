@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "la/ann_kernel.h"
 #include "la/matrix.h"
 #include "la/ops.h"
 #include "la/score_math.h"
@@ -406,6 +407,37 @@ TEST(ServeKernel, GemmIsBitIdenticalToScalarDot) {
         ASSERT_EQ(c[i * n + j], Dot(a.data() + i * k, col.data(), k))
             << m << "x" << k << "x" << n << " cell (" << i << "," << j
             << ")";
+      }
+    }
+  }
+}
+
+TEST(AnnKernel, DotBatchIsBitIdenticalToScalarDot) {
+  // The ANN traversal's determinism rests on this the way the batched
+  // scorer's rests on ServeGemm: every batched distance must be EXACTLY
+  // la::Dot against the gathered row, whichever kernel the dispatcher
+  // picked. Dims sweep the 8-block/4-block/scalar-tail boundaries of the
+  // transpose kernel, counts sweep the lane-block boundaries, and the
+  // node list is scattered and repeats rows (the stamp filter upstream
+  // normally dedups, but the kernel must not rely on it).
+  Rng rng(13);
+  for (const size_t dim : {1u, 3u, 4u, 7u, 8u, 11u, 16u, 24u, 48u, 50u}) {
+    constexpr size_t kRows = 64;
+    std::vector<double> slab(kRows * dim), query(dim);
+    for (double& x : slab) x = rng.Gaussian();
+    for (double& x : query) x = rng.Gaussian();
+    for (const size_t count : {1u, 2u, 5u, 8u, 9u, 16u, 33u}) {
+      std::vector<int32_t> nodes(count);
+      for (int32_t& node : nodes)
+        node = static_cast<int32_t>(rng.UniformInt(kRows));
+      std::vector<double> got(count, -1.0);
+      AnnDotBatch(query.data(), slab.data(), dim, nodes.data(), count,
+                  got.data());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(got[i],
+                  Dot(query.data(),
+                      slab.data() + static_cast<size_t>(nodes[i]) * dim, dim))
+            << "dim " << dim << " count " << count << " slot " << i;
       }
     }
   }

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "ann/hnsw_index.h"
 #include "common/logging.h"
 #include "gtest/gtest.h"
 #include "obs/exposition.h"
@@ -858,6 +859,54 @@ TEST(ScorerAllocation, SteadyStateScoringLoopIsAllocationFree) {
                       nullptr, nullptr, &out);
       scorer.ScoreBatchInto(profile, candidates, &scores, &stats);
       scorer.ScoreStackedInto(stacked, candidates, &stats);
+    }
+  });
+  EXPECT_EQ(allocs, 0);
+  ASSERT_EQ(out.size(), 10u);
+}
+
+TEST(AnnAllocation, SteadyStateHnswSearchIsAllocationFree) {
+  // The kAnnEmbedding retrieval path is one HnswIndex::Search per user
+  // query, so this is the graph-walk analogue of the scoring-loop probe
+  // above: after one warm call per thread the search scratch (visited
+  // stamps, frontier/best heaps, the SIMD distance batches) lives in the
+  // thread-local pool and `out` keeps its capacity — a loop of queries
+  // must allocate NOTHING. A per-search scratch allocation, a heap that
+  // re-grows, or a transient in the batch kernel fails this test.
+  constexpr size_t kPapers = 512;
+  constexpr size_t kDim = 24;
+  std::vector<int32_t> ids(kPapers);
+  std::vector<double> vectors(kPapers * kDim);
+  for (size_t p = 0; p < kPapers; ++p) {
+    ids[p] = static_cast<int32_t>(p);
+    for (size_t j = 0; j < kDim; ++j)
+      vectors[p * kDim + j] =
+          static_cast<double>((p * 31 + j * 7) % 13) / 13.0 - 0.5;
+  }
+  auto built = ann::HnswIndex::Build(std::move(ids), std::move(vectors), kDim,
+                                     ann::HnswOptions{});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto& index = built.value();
+
+  std::vector<double> query(kDim);
+  std::vector<ann::Neighbor> out;
+  ann::SearchStats stats;
+  const auto fill_query = [&](int i) {
+    for (size_t j = 0; j < kDim; ++j)
+      query[j] = static_cast<double>((static_cast<size_t>(i) * 17 + j) % 11) /
+                     11.0 -
+                 0.5;
+  };
+
+  // Warm-up: primes the thread-local scratch pool and out's capacity.
+  fill_query(0);
+  ASSERT_TRUE(index->Search(query, 10, 128, &out, &stats).ok());
+
+  const int64_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 16; ++i) {
+      fill_query(i);
+      ASSERT_TRUE(index->Search(query, 10, 128, &out, &stats).ok());
+      ASSERT_TRUE(index->Search(query, 10, 128, &out, nullptr).ok());
     }
   });
   EXPECT_EQ(allocs, 0);

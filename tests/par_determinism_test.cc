@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "ann/hnsw_index.h"
+#include "datagen/streaming.h"
 #include "cluster/gmm.h"
 #include "cluster/lof.h"
 #include "cluster/tsne.h"
@@ -390,6 +392,56 @@ TEST(ParDeterminism, HnswBuildBitIdenticalAcrossThreadCounts) {
   auto rebuilt = ann::HnswIndex::Build(ids, vectors, kDim, {});
   ASSERT_TRUE(rebuilt.ok());
   ASSERT_EQ(rebuilt.value()->Serialize(), serialized[0]);
+}
+
+TEST(ParDeterminism, HnswStreamingPresetBitIdenticalAcrossThreadCounts) {
+  // Same determinism gate, but over the bench corpus itself: the streaming
+  // generator's smoke preset at the bench seed, indexing the new-pool
+  // influence vectors exactly as bench/ann_recall does (dim 48, several
+  // doubling batches, realistic cluster structure). Set
+  // SUBREC_ANN_DETERMINISM_FULL=1 to run the 1e5-paper full preset in a
+  // same-host soak; CI stays on smoke.
+  const char* env = std::getenv("SUBREC_ANN_DETERMINISM_FULL");
+  const bool full = env != nullptr && env[0] == '1';
+  auto created = datagen::StreamingCorpusGenerator::Create(
+      datagen::AnnRecallPreset(full ? datagen::AnnCorpusScale::kFull
+                                    : datagen::AnnCorpusScale::kSmoke,
+                               909));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  datagen::StreamingCorpusGenerator gen = std::move(created).value();
+  const size_t dim = gen.options().embedding_dim;
+  std::vector<int32_t> ids;
+  std::vector<double> vectors;
+  std::vector<datagen::StreamedPaper> batch;
+  while (gen.NextBatch(512, &batch) > 0) {
+    for (const datagen::StreamedPaper& paper : batch) {
+      if (paper.year <= gen.split_year()) continue;  // new-pool suffix only
+      ids.push_back(paper.id);
+      vectors.insert(vectors.end(), paper.influence.begin(),
+                     paper.influence.end());
+    }
+  }
+  ASSERT_GT(ids.size(), 1000u);
+
+  std::vector<std::string> serialized;
+  for (size_t threads : kThreadCounts) {
+    par::ScopedNumThreads scoped(threads);
+    auto built = ann::HnswIndex::Build(ids, vectors, dim, {});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    serialized.push_back(built.value()->Serialize());
+  }
+  for (size_t i = 1; i < serialized.size(); ++i)
+    ASSERT_EQ(serialized[0], serialized[i])
+        << "hnsw graph differs at " << kThreadCounts[i] << " threads";
+
+  // The legacy A/B baseline must build the identical graph on this corpus
+  // — otherwise ann.build.speedup_vs_baseline compares different work.
+  ann::HnswOptions legacy;
+  legacy.legacy_build = true;
+  auto baseline = ann::HnswIndex::Build(ids, vectors, dim, legacy);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline.value()->Serialize(), serialized[0])
+      << "legacy_build diverges from the arena build";
 }
 
 }  // namespace
